@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+repro:
+	$(GO) run ./cmd/repro
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/hmat/
+	$(GO) test -fuzz=FuzzParseList -fuzztime=30s ./internal/bitmap/
+
+clean:
+	$(GO) clean ./...

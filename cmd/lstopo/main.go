@@ -1,0 +1,124 @@
+// Command lstopo renders simulated platform topologies the way
+// hwloc's lstopo does, including the --memattrs report of memory
+// performance attributes (paper Figures 1, 2, 3 and 5).
+//
+// Usage:
+//
+//	lstopo -p xeon-snc2              # tree view
+//	lstopo -p xeon-snc2 --memattrs   # attribute report (Figure 5)
+//	lstopo -p knl-snc4-flat -export topo.json
+//	lstopo -import topo.json
+//	lstopo -list                     # available platforms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetmem/internal/core"
+	"hetmem/internal/lstopo"
+	"hetmem/internal/memattr"
+	"hetmem/internal/platform"
+	"hetmem/internal/topology"
+)
+
+func main() {
+	var (
+		platName   = flag.String("p", "xeon", "platform name (see -list)")
+		memattrs   = flag.Bool("memattrs", false, "print memory attributes after discovery (HMAT or benchmarking)")
+		list       = flag.Bool("list", false, "list available platforms")
+		exportPath = flag.String("export", "", "export the topology to this file (.xml for XML, else JSON)")
+		importPath = flag.String("import", "", "render a topology previously exported (JSON or XML, auto-detected)")
+		synthetic  = flag.String("synthetic", "", `build a synthetic platform instead of a predefined one, e.g. "package:2 core:8 pu:1 mem:package:DRAM:96GiB:bw=100:lat=85"`)
+		boxes      = flag.Bool("boxes", false, "draw nested boxes like graphical lstopo instead of the indented tree")
+		distances  = flag.Bool("distances", false, "print the numactl-style latency distance matrix after discovery")
+	)
+	flag.Parse()
+
+	if err := run(*platName, *memattrs, *list, *exportPath, *importPath, *synthetic, *boxes, *distances); err != nil {
+		fmt.Fprintln(os.Stderr, "lstopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platName string, memattrs, list bool, exportPath, importPath, synthetic string, boxes, distances bool) error {
+	if list {
+		for _, n := range platform.Names() {
+			p, err := platform.Get(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %s\n", n, p.Description)
+		}
+		return nil
+	}
+	if importPath != "" {
+		data, err := os.ReadFile(importPath)
+		if err != nil {
+			return err
+		}
+		var topo *topology.Topology
+		if topology.DetectFormat(data) == "xml" {
+			topo, err = topology.ImportXML(data)
+		} else {
+			topo, err = topology.Import(data)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(renderTopo(topo, boxes))
+		return nil
+	}
+
+	var p *platform.Platform
+	var err error
+	if synthetic != "" {
+		p, err = platform.FromSynthetic("synthetic", synthetic)
+	} else {
+		p, err = platform.Get(platName)
+	}
+	if err != nil {
+		return err
+	}
+	if exportPath != "" {
+		var data []byte
+		if strings.HasSuffix(exportPath, ".xml") {
+			data, err = topology.ExportXML(p.Topo)
+		} else {
+			data, err = topology.Export(p.Topo)
+		}
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(exportPath, data, 0o644)
+	}
+	fmt.Print(renderTopo(p.Topo, boxes))
+	if memattrs || distances {
+		sys, err := core.NewSystemFromPlatform(p, core.Options{})
+		if err != nil {
+			return err
+		}
+		if memattrs {
+			fmt.Printf("\nMemory attributes (source: %s)\n", sys.Source)
+			fmt.Print(lstopo.RenderMemAttrs(sys.Registry))
+		}
+		if distances {
+			d, err := sys.Registry.DistanceMatrix(memattr.Latency)
+			if err != nil {
+				return err
+			}
+			fmt.Println()
+			fmt.Print(d.Render(true))
+		}
+	}
+	return nil
+}
+
+func renderTopo(t *topology.Topology, boxes bool) string {
+	if boxes {
+		return lstopo.RenderBoxes(t)
+	}
+	return lstopo.Render(t)
+}

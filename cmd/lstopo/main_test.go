@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", false, true, "", "", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRenderAndMemattrs(t *testing.T) {
+	if err := run("xeon-snc2", true, false, "", "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("knl-snc4-flat", false, false, "", "", "", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownPlatform(t *testing.T) {
+	if err := run("bogus", false, false, "", "", "", false, false); err == nil {
+		t.Fatal("unknown platform should fail")
+	}
+}
+
+func TestRunExportImportBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"topo.json", "topo.xml"} {
+		path := filepath.Join(dir, name)
+		if err := run("fictitious", false, false, path, "", "", false, false); err != nil {
+			t.Fatal(err)
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Fatalf("export %s: %v", name, err)
+		}
+		if err := run("", false, false, "", path, "", false, false); err != nil {
+			t.Fatalf("import %s: %v", name, err)
+		}
+	}
+	if err := run("", false, false, "", filepath.Join(dir, "missing"), "", false, false); err == nil {
+		t.Fatal("missing import file should fail")
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	desc := "package:1 core:2 pu:1 mem:package:DRAM:8GiB"
+	if err := run("", true, false, "", "", desc, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", false, false, "", "", "package:0", false, false); err == nil {
+		t.Fatal("bad synthetic description should fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Command membench runs the benchmark-based attribute discovery
+// campaign on a simulated platform and prints the measured values —
+// the "External Sources" column of the paper's Table I, and the only
+// discovery path on machines without an ACPI HMAT (e.g. KNL).
+//
+// Usage:
+//
+//	membench -p knl-snc4-flat
+//	membench -p xeon -remote     # also measure non-local pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetmem/internal/bench"
+	"hetmem/internal/lstopo"
+	"hetmem/internal/memattr"
+	"hetmem/internal/platform"
+)
+
+func main() {
+	var (
+		platName = flag.String("p", "knl-snc4-flat", "platform name (see lstopo -list)")
+		remote   = flag.Bool("remote", false, "also measure non-local (initiator, target) pairs")
+		asAttrs  = flag.Bool("attrs", false, "print the resulting attribute registry instead of the raw table")
+		save     = flag.String("save", "", "save measured attribute values to this file (reusable with -load)")
+		load     = flag.String("load", "", "skip measuring; load attribute values from a previous -save")
+	)
+	flag.Parse()
+	if err := run(*platName, *remote, *asAttrs, *save, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "membench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platName string, remote, asAttrs bool, save, load string) error {
+	p, err := platform.Get(platName)
+	if err != nil {
+		return err
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		return err
+	}
+	if load != "" {
+		// Second-run workflow: reuse a saved measurement campaign.
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return err
+		}
+		reg := memattr.NewRegistry(p.Topo)
+		if err := memattr.Import(data, reg); err != nil {
+			return err
+		}
+		fmt.Printf("attribute values loaded from %s (no benchmarking)\n", load)
+		fmt.Print(lstopo.RenderMemAttrs(reg))
+		return nil
+	}
+	results, err := bench.MeasureAll(m, bench.Options{IncludeRemote: remote})
+	if err != nil {
+		return err
+	}
+	if save != "" || asAttrs {
+		reg := memattr.NewRegistry(p.Topo)
+		if err := bench.Apply(results, reg); err != nil {
+			return err
+		}
+		if _, err := bench.RegisterTriad(results, reg); err != nil {
+			return err
+		}
+		if save != "" {
+			data, err := memattr.Export(reg)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(save, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("attribute values saved to %s\n", save)
+		}
+		if asAttrs {
+			fmt.Print(lstopo.RenderMemAttrs(reg))
+		}
+		return nil
+	}
+	fmt.Printf("benchmarked attribute values on %s (%d pairs)\n\n", platName, len(results))
+	fmt.Printf("%-28s %-10s %6s %9s %9s %9s %10s %11s\n",
+		"Target", "Initiator", "local", "read GB/s", "write", "triad", "idle ns", "loaded ns")
+	for _, r := range results {
+		fmt.Printf("%-28s %-10s %6v %9.1f %9.1f %9.1f %10.0f %11.0f\n",
+			r.Target.String(), r.Initiator.ListString(), r.Local,
+			r.ReadBW, r.WriteBW, r.TriadBW, r.IdleLatency, r.LoadedLatency)
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable(t *testing.T) {
+	if err := run("knl-snc4-flat", false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAttrsAndRemote(t *testing.T) {
+	if err := run("xeon", true, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownPlatform(t *testing.T) {
+	if err := run("bogus", false, false, "", ""); err == nil {
+		t.Fatal("unknown platform should fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "knl.attrs")
+	if err := run("knl-snc4-flat", false, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("save: %v", err)
+	}
+	if err := run("knl-snc4-flat", false, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	// Loading onto a different topology fails (node indexes mismatch).
+	if err := run("homogeneous", false, false, "", path); err == nil {
+		t.Fatal("cross-platform load should fail")
+	}
+	if err := run("knl-snc4-flat", false, false, "", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing load file should fail")
+	}
+}

@@ -1,0 +1,64 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated platforms. Run -list to see every experiment, -exp <id> for
+// one, or -exp all for the full evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hetmem/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id, or 'all'")
+		list   = flag.Bool("list", false, "list experiments")
+		outDir = flag.String("o", "", "also write each experiment's output to <dir>/<id>.txt")
+	)
+	flag.Parse()
+	if err := run(*exp, *list, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, list bool, outDir string) error {
+	if list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-14s %s\n", s.ID, s.Title)
+		}
+		return nil
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	emit := func(id, out string) error {
+		fmt.Println(out)
+		if outDir == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(outDir, id+".txt"), []byte(out), 0o644)
+	}
+	if exp != "all" {
+		out, err := experiments.Run(exp)
+		if err != nil {
+			return err
+		}
+		return emit(exp, out)
+	}
+	for _, s := range experiments.All() {
+		out, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.ID, err)
+		}
+		if err := emit(s.ID, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("fig1", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("nope", false, ""); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunWithOutputDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := run("table1", false, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil || len(data) == 0 {
+		t.Fatalf("output file: %v", err)
+	}
+}

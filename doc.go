@@ -1,0 +1,14 @@
+// Package hetmem is a from-scratch Go reproduction of "Using
+// Performance Attributes for Managing Heterogeneous Memory in HPC
+// Applications" (Goglin & Rubio Proaño, PDSEC/IPDPS 2022): an
+// hwloc-memattrs-style API for identifying and characterizing memory
+// kinds (DRAM, HBM/MCDRAM, NVDIMM, network-attached memory) by
+// performance attributes, a heterogeneous allocator driven by those
+// attributes, sensitivity-analysis tooling, and a full simulated
+// evaluation reproducing every table and figure of the paper.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmark harness in bench_test.go regenerates each
+// table/figure as a testing.B target; the cmd/repro binary prints them.
+package hetmem

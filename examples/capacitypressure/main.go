@@ -1,0 +1,91 @@
+// Capacity pressure (paper Section VII): many buffers compete for a
+// 4GB MCDRAM. First-come-first-served lets unimportant scratch steal
+// the fast memory from the critical buffer allocated last; priority
+// planning fixes it; hybrid (partial) allocation handles buffers
+// larger than any node; and the OpenMP allocator traits show how a
+// runtime exposes the same machinery.
+//
+//	go run ./examples/capacitypressure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/core"
+	"hetmem/internal/memattr"
+	"hetmem/internal/ompspace"
+)
+
+const gib = uint64(1) << 30
+
+func main() {
+	reqs := []alloc.Request{
+		{Name: "halo-scratch", Size: 2 * gib, Attr: memattr.Bandwidth, Priority: 1},
+		{Name: "rhs-vector", Size: 1 * gib, Attr: memattr.Bandwidth, Priority: 3},
+		{Name: "matrix-hot", Size: 3 * gib, Attr: memattr.Bandwidth, Priority: 9},
+	}
+
+	fmt.Println("three bandwidth-hungry buffers vs a 4GB MCDRAM (KNL cluster)")
+	for _, mode := range []string{"FCFS", "priority"} {
+		sys := mustSystem()
+		ini := sys.InitiatorForGroup(0)
+		var placements []alloc.Placement
+		if mode == "FCFS" {
+			placements = sys.Allocator.PlanFCFS(reqs, ini)
+		} else {
+			placements = sys.Allocator.PlanPriority(reqs, ini)
+		}
+		fmt.Printf("\n%s order:\n", mode)
+		for _, p := range placements {
+			if p.Err != nil {
+				fmt.Printf("  %-13s prio %d -> error: %v\n", p.Request.Name, p.Request.Priority, p.Err)
+				continue
+			}
+			fmt.Printf("  %-13s prio %d -> %s\n", p.Request.Name, p.Request.Priority, p.Buffer.NodeNames())
+		}
+	}
+
+	// Hybrid allocation: a buffer bigger than both local nodes put
+	// together would fail; one bigger than any single node splits.
+	sys := mustSystem()
+	ini := sys.InitiatorForGroup(0)
+	big, dec, err := sys.MemAlloc("checkpoint", 26*gib, memattr.Bandwidth, ini, alloc.WithPartial())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n26GiB with WithPartial -> %s (partial=%v): the fast node holds what fits\n",
+		big.NodeNames(), dec.Partial)
+
+	// The same pressure through OpenMP 5.0 allocator traits.
+	fmt.Println("\nOpenMP view (omp_high_bw_mem_space):")
+	showOMP(ompspace.DefaultMemFB, "omp_atv_default_mem_fb", ini)
+	showOMP(ompspace.NullFB, "omp_atv_null_fb", ini)
+}
+
+func mustSystem() *core.System {
+	sys, err := core.NewSystem("knl-snc4-flat", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func showOMP(fb ompspace.Fallback, label string, ini *bitmap.Bitmap) {
+	sys := mustSystem()
+	al, err := ompspace.NewAllocator(ompspace.HighBWMem, ompspace.Traits{Fallback: fb}, sys.Allocator, ini)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := al.Alloc("fill", 4*gib); err != nil {
+		log.Fatal(err)
+	}
+	b, err := al.Alloc("spill", gib)
+	if err != nil {
+		fmt.Printf("  %-24s space full -> %v\n", label, err)
+		return
+	}
+	fmt.Printf("  %-24s space full -> spilled to %s\n", label, b.NodeNames())
+}

@@ -1,0 +1,3 @@
+module hetmem
+
+go 1.22

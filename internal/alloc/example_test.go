@@ -1,0 +1,72 @@
+package alloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bench"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/platform"
+)
+
+// The heterogeneous allocator end to end on KNL: benchmark discovery
+// (no HMAT on this machine), then ranked fallback as the 4 GB MCDRAM
+// fills — the paper's mem_alloc(..., attribute).
+func Example() {
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := bench.MeasureAll(m, bench.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	if err := bench.Apply(results, reg); err != nil {
+		log.Fatal(err)
+	}
+
+	a := alloc.New(m, reg)
+	cluster0 := bitmap.NewFromRange(0, 15)
+	for _, name := range []string{"hot-a", "hot-b"} {
+		buf, dec, err := a.Alloc(name, 3<<30, memattr.Bandwidth, cluster0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s (rank %d)\n", name, buf.NodeNames(), dec.RankPosition)
+	}
+	// Output:
+	// hot-a -> MCDRAM#4 (rank 0)
+	// hot-b -> DRAM#0 (rank 1)
+}
+
+// Priority planning beats first-come-first-served when a critical
+// buffer arrives late (paper Section VII).
+func Example_priority() {
+	p, _ := platform.Get("knl-snc4-flat")
+	m, _ := p.NewMachine()
+	results, _ := bench.MeasureAll(m, bench.Options{})
+	reg := memattr.NewRegistry(p.Topo)
+	if err := bench.Apply(results, reg); err != nil {
+		log.Fatal(err)
+	}
+	a := alloc.New(m, reg)
+	cluster0 := bitmap.NewFromRange(0, 15)
+
+	reqs := []alloc.Request{
+		{Name: "scratch", Size: 3 << 30, Attr: memattr.Bandwidth, Priority: 1},
+		{Name: "critical", Size: 3 << 30, Attr: memattr.Bandwidth, Priority: 10},
+	}
+	for _, pl := range a.PlanPriority(reqs, cluster0) {
+		fmt.Printf("%s -> %s\n", pl.Request.Name, pl.Buffer.NodeNames())
+	}
+	// Output:
+	// scratch -> DRAM#0
+	// critical -> MCDRAM#4
+}

@@ -1,0 +1,165 @@
+// Package arena provides a SICM-style high-level interface on top of
+// the heterogeneous allocator. The paper's conclusion names SICM,
+// FLEXMALLOC and Hexe as frameworks that "may use our work to provide
+// easy discovery of the hardware"; interpose covers the FLEXMALLOC
+// shape, and this package covers the SICM shape: an *arena* is bound
+// to a performance attribute once, grows in chunks placed by the
+// attribute-driven allocator (ranked fallback included), and serves
+// many small allocations from those chunks — the usual way runtimes
+// avoid per-allocation placement cost.
+package arena
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+)
+
+// DefaultChunkSize is used when Options.ChunkSize is zero.
+const DefaultChunkSize = 256 << 20
+
+// Options configures an arena.
+type Options struct {
+	// ChunkSize is the growth unit. Allocations larger than a chunk
+	// get a dedicated chunk of their own size.
+	ChunkSize uint64
+	// AllocOpts are passed through to the underlying allocator
+	// (WithPartial, WithRemote, ...).
+	AllocOpts []alloc.Option
+}
+
+// Arena is a growable allocation pool bound to one attribute.
+type Arena struct {
+	name string
+	a    *alloc.Allocator
+	ini  *bitmap.Bitmap
+	attr memattr.ID
+	opts Options
+
+	chunks []*memsim.Buffer
+	// used bytes in the newest chunk.
+	used      uint64
+	allocated uint64
+	destroyed bool
+}
+
+// Allocation is a sub-range of an arena chunk. Applications run
+// engine accesses against Chunk (the arena's placement decides the
+// performance of every allocation it serves).
+type Allocation struct {
+	Chunk  *memsim.Buffer
+	Offset uint64
+	Size   uint64
+}
+
+// Errors.
+var (
+	ErrDestroyed = errors.New("arena: arena destroyed")
+	ErrBadSize   = errors.New("arena: bad allocation size")
+)
+
+// New creates an arena serving allocations for threads on the
+// initiator, placed by the given attribute.
+func New(name string, a *alloc.Allocator, initiator *bitmap.Bitmap, attr memattr.ID, opts Options) (*Arena, error) {
+	if opts.ChunkSize == 0 {
+		opts.ChunkSize = DefaultChunkSize
+	}
+	if a.Registry().Name(attr) == "" {
+		return nil, fmt.Errorf("arena: unknown attribute %d", int(attr))
+	}
+	return &Arena{name: name, a: a, ini: initiator.Copy(), attr: attr, opts: opts}, nil
+}
+
+// Attribute returns the attribute driving this arena's placement.
+func (ar *Arena) Attribute() memattr.ID { return ar.attr }
+
+func (ar *Arena) grow(size uint64) (*memsim.Buffer, error) {
+	chunkName := fmt.Sprintf("%s[%d]", ar.name, len(ar.chunks))
+	buf, _, err := ar.a.Alloc(chunkName, size, ar.attr, ar.ini, ar.opts.AllocOpts...)
+	if err != nil {
+		return nil, err
+	}
+	ar.chunks = append(ar.chunks, buf)
+	return buf, nil
+}
+
+// Alloc carves size bytes out of the arena, growing it when needed.
+func (ar *Arena) Alloc(size uint64) (Allocation, error) {
+	if ar.destroyed {
+		return Allocation{}, ErrDestroyed
+	}
+	if size == 0 {
+		return Allocation{}, ErrBadSize
+	}
+	// Oversized allocations get a dedicated chunk, like SICM's and
+	// every malloc's large-object path.
+	if size > ar.opts.ChunkSize {
+		buf, err := ar.grow(size)
+		if err != nil {
+			return Allocation{}, err
+		}
+		ar.allocated += size
+		return Allocation{Chunk: buf, Offset: 0, Size: size}, nil
+	}
+	// Current chunk, if any, with room?
+	if len(ar.chunks) > 0 {
+		cur := ar.chunks[len(ar.chunks)-1]
+		if cur.Size <= ar.opts.ChunkSize && ar.used+size <= cur.Size {
+			a := Allocation{Chunk: cur, Offset: ar.used, Size: size}
+			ar.used += size
+			ar.allocated += size
+			return a, nil
+		}
+	}
+	buf, err := ar.grow(ar.opts.ChunkSize)
+	if err != nil {
+		return Allocation{}, err
+	}
+	ar.used = size
+	ar.allocated += size
+	return Allocation{Chunk: buf, Offset: 0, Size: size}, nil
+}
+
+// Stats reports the arena's footprint.
+type Stats struct {
+	Chunks      int
+	Reserved    uint64 // bytes held from the machine
+	Allocated   uint64 // bytes handed to callers
+	Utilization float64
+	// Placements lists chunk placements, e.g. ["MCDRAM#4", "DRAM#0"]:
+	// visible evidence of ranked fallback at chunk granularity.
+	Placements []string
+}
+
+// Stats snapshots the arena.
+func (ar *Arena) Stats() Stats {
+	s := Stats{Chunks: len(ar.chunks), Allocated: ar.allocated}
+	for _, c := range ar.chunks {
+		s.Reserved += c.Size
+		s.Placements = append(s.Placements, c.NodeNames())
+	}
+	if s.Reserved > 0 {
+		s.Utilization = float64(s.Allocated) / float64(s.Reserved)
+	}
+	return s
+}
+
+// Destroy frees every chunk. Allocations become invalid.
+func (ar *Arena) Destroy() error {
+	if ar.destroyed {
+		return ErrDestroyed
+	}
+	ar.destroyed = true
+	m := ar.a.Machine()
+	for _, c := range ar.chunks {
+		if err := m.Free(c); err != nil {
+			return err
+		}
+	}
+	ar.chunks = nil
+	return nil
+}

@@ -1,0 +1,182 @@
+package arena
+
+import (
+	"errors"
+	"testing"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bench"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+const gib = uint64(1) << 30
+
+func knlAllocator(t *testing.T) (*alloc.Allocator, *bitmap.Bitmap) {
+	t.Helper()
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := bench.MeasureAll(m, bench.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	if err := bench.Apply(results, reg); err != nil {
+		t.Fatal(err)
+	}
+	return alloc.New(m, reg), bitmap.NewFromRange(0, 15)
+}
+
+func TestSubAllocationPacking(t *testing.T) {
+	a, ini := knlAllocator(t)
+	ar, err := New("bw-arena", a, ini, memattr.Bandwidth, Options{ChunkSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four 256KiB allocations pack into one 1MiB chunk.
+	var allocs []Allocation
+	for i := 0; i < 4; i++ {
+		al, err := ar.Alloc(256 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, al)
+	}
+	st := ar.Stats()
+	if st.Chunks != 1 || st.Reserved != 1<<20 || st.Utilization != 1.0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i, al := range allocs {
+		if al.Chunk != allocs[0].Chunk || al.Offset != uint64(i)*(256<<10) {
+			t.Fatalf("allocation %d = %+v", i, al)
+		}
+	}
+	// The fifth spills into a second chunk.
+	if _, err := ar.Alloc(256 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Stats().Chunks != 2 {
+		t.Fatalf("chunks = %d", ar.Stats().Chunks)
+	}
+	// All chunks landed on the bandwidth-best node.
+	for _, pl := range ar.Stats().Placements {
+		if pl != "MCDRAM#4" {
+			t.Fatalf("placements = %v", ar.Stats().Placements)
+		}
+	}
+}
+
+func TestChunkFallbackAcrossTargets(t *testing.T) {
+	a, ini := knlAllocator(t)
+	ar, err := New("big", a, ini, memattr.Bandwidth, Options{ChunkSize: 2 * gib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 2GiB chunks: the first two fill the 4GiB MCDRAM, the third
+	// falls back to DRAM — ranked fallback at chunk granularity.
+	for i := 0; i < 3; i++ {
+		if _, err := ar.Alloc(2 * gib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ar.Stats()
+	want := []string{"MCDRAM#4", "MCDRAM#4", "DRAM#0"}
+	if len(st.Placements) != 3 {
+		t.Fatalf("placements = %v", st.Placements)
+	}
+	for i, w := range want {
+		if st.Placements[i] != w {
+			t.Fatalf("placements = %v, want %v", st.Placements, want)
+		}
+	}
+}
+
+func TestOversizedDedicatedChunk(t *testing.T) {
+	a, ini := knlAllocator(t)
+	ar, _ := New("mixed", a, ini, memattr.Capacity, Options{ChunkSize: 1 << 20})
+	small, err := ar.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ar.Alloc(3 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Chunk == small.Chunk || big.Chunk.Size != 3<<20 {
+		t.Fatalf("big allocation should get a dedicated chunk: %+v", big)
+	}
+	// Small allocations continue in the original chunk afterwards.
+	small2, err := ar.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The newest chunk is the dedicated big one (full), so a new chunk
+	// is opened; either way the sub-allocation must not land inside
+	// the dedicated chunk.
+	if small2.Chunk == big.Chunk {
+		t.Fatal("sub-allocation landed in a dedicated chunk")
+	}
+}
+
+func TestDestroyFreesEverything(t *testing.T) {
+	a, ini := knlAllocator(t)
+	m := a.Machine()
+	before := m.NodeByOS(4).Allocated() + m.NodeByOS(0).Allocated()
+	ar, _ := New("tmp", a, ini, memattr.Bandwidth, Options{ChunkSize: gib})
+	for i := 0; i < 5; i++ {
+		if _, err := ar.Alloc(900 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ar.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.NodeByOS(4).Allocated() + m.NodeByOS(0).Allocated()
+	if after != before {
+		t.Fatalf("destroy leaked: %d -> %d", before, after)
+	}
+	if _, err := ar.Alloc(1); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ar.Destroy(); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("double destroy err = %v", err)
+	}
+}
+
+func TestArenaErrors(t *testing.T) {
+	a, ini := knlAllocator(t)
+	if _, err := New("x", a, ini, memattr.ID(99), Options{}); err == nil {
+		t.Fatal("unknown attribute should fail")
+	}
+	ar, _ := New("x", a, ini, memattr.Bandwidth, Options{})
+	if _, err := ar.Alloc(0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("zero size err = %v", err)
+	}
+	// Exhaustion propagates from the allocator.
+	if _, err := ar.Alloc(4096 * gib); !errors.Is(err, alloc.ErrExhausted) {
+		t.Fatalf("exhaustion err = %v", err)
+	}
+}
+
+func TestArenaRunsPhases(t *testing.T) {
+	// Allocations are usable for engine phases via their chunk.
+	a, ini := knlAllocator(t)
+	ar, _ := New("run", a, ini, memattr.Bandwidth, Options{ChunkSize: gib})
+	al, err := ar.Alloc(512 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := memsim.NewEngine(a.Machine(), ini)
+	res := e.Phase("k", []memsim.Access{{Buffer: al.Chunk, ReadBytes: 8 * gib}})
+	if res.Seconds <= 0 || res.BoundKind != "MCDRAM" {
+		t.Fatalf("phase = %+v", res)
+	}
+}

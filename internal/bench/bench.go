@@ -1,0 +1,244 @@
+// Package bench implements benchmark-based discovery of memory
+// performance attributes — the "External Sources" column of Table I in
+// the paper. When a platform exposes no HMAT (e.g. Knights Landing,
+// which predates ACPI 6.2), or exposes only local values, attribute
+// values are measured: a STREAM-style kernel for read/write/triad
+// bandwidth (McCalpin), an lmbench-style dependent pointer chase for
+// idle latency, and a Multichase-style loaded probe for latency under
+// bandwidth pressure. The measured values are then fed into the
+// memory-attribute registry exactly like firmware values would be.
+//
+// Probes run on the simulated machine through the same access engine
+// as applications, so a measured ranking always reflects what an
+// application would actually observe.
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// Result holds the measured attribute values for one (initiator,
+// target) pair. Bandwidths are GiB/s, latencies nanoseconds.
+type Result struct {
+	Target    *topology.Object
+	Initiator *bitmap.Bitmap
+	Local     bool
+
+	ReadBW  float64
+	WriteBW float64
+	TriadBW float64
+
+	// RandomBW is the effective bandwidth of concurrent random reads
+	// (Multichase's bandwidth mode): line fills divided by the time
+	// the misses take at full memory-level parallelism.
+	RandomBW float64
+
+	IdleLatency   float64
+	LoadedLatency float64
+}
+
+// Options controls a measurement campaign.
+type Options struct {
+	// IncludeRemote also probes non-local (initiator, target) pairs,
+	// enabling comparisons Linux cannot provide (paper Section VIII).
+	IncludeRemote bool
+	// ProbeBytes is the probe buffer size; capped to half the node's
+	// free capacity. Default 1 GiB.
+	ProbeBytes uint64
+	// ChaseCount is the number of dependent loads in the latency
+	// probe. Default 2^22.
+	ChaseCount uint64
+}
+
+func (o *Options) defaults() {
+	if o.ProbeBytes == 0 {
+		o.ProbeBytes = 1 << 30
+	}
+	if o.ChaseCount == 0 {
+		o.ChaseCount = 1 << 22
+	}
+}
+
+// ErrNoRoom means a node is too full to probe.
+var ErrNoRoom = errors.New("bench: not enough free capacity to probe node")
+
+// initiatorDomains returns the distinct localities of the machine (CPU
+// parents of NUMA nodes), in deterministic order.
+func initiatorDomains(topo *topology.Topology) []*topology.Object {
+	var out []*topology.Object
+	seen := make(map[*topology.Object]bool)
+	for _, n := range topo.NUMANodes() {
+		p := n.CPUParent()
+		if p != nil && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MeasureAll probes every local (initiator, target) pair, plus remote
+// pairs when requested.
+func MeasureAll(m *memsim.Machine, opts Options) ([]Result, error) {
+	opts.defaults()
+	topo := m.Topology()
+	var results []Result
+	for _, dom := range initiatorDomains(topo) {
+		for _, node := range topo.NUMANodes() {
+			local := bitmap.Intersects(dom.CPUSet, node.CPUSet)
+			if !local && !opts.IncludeRemote {
+				continue
+			}
+			r, err := MeasurePair(m, dom.CPUSet, node, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: probing %v from %v: %w", node, dom, err)
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// MeasurePair measures one (initiator, target) pair.
+func MeasurePair(m *memsim.Machine, initiator *bitmap.Bitmap, node *topology.Object, opts Options) (Result, error) {
+	opts.defaults()
+	sim := m.Node(node)
+	size := opts.ProbeBytes
+	if max := sim.Available() / 2; size > max {
+		size = max
+	}
+	if size < 64<<20 {
+		return Result{}, fmt.Errorf("%w: %v has %d free", ErrNoRoom, node, sim.Available())
+	}
+	res := Result{
+		Target:    node,
+		Initiator: initiator.Copy(),
+		Local:     bitmap.Intersects(initiator, node.CPUSet),
+	}
+
+	buf, err := m.Alloc("bench-probe", size, sim)
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.Free(buf)
+
+	// Bandwidth probes: all threads of the initiator, several passes
+	// over the buffer.
+	const passes = 4
+	traffic := size * passes
+
+	e := memsim.NewEngine(m, initiator)
+	p := e.Phase("read", []memsim.Access{{Buffer: buf, ReadBytes: traffic}})
+	res.ReadBW = bwOf(traffic, p.StreamSeconds)
+
+	e = memsim.NewEngine(m, initiator)
+	p = e.Phase("write", []memsim.Access{{Buffer: buf, WriteBytes: traffic}})
+	res.WriteBW = bwOf(traffic, p.StreamSeconds)
+
+	e = memsim.NewEngine(m, initiator)
+	p = e.Phase("triad", []memsim.Access{{Buffer: buf, ReadBytes: traffic * 2 / 3, WriteBytes: traffic / 3}})
+	res.TriadBW = bwOf(traffic, p.StreamSeconds)
+
+	// Random bandwidth: all threads, many concurrent misses.
+	e = memsim.NewEngine(m, initiator)
+	p = e.Phase("randbw", []memsim.Access{{Buffer: buf, RandomReads: opts.ChaseCount * 8, MLP: 16}})
+	if p.RandomSeconds > 0 {
+		res.RandomBW = float64(opts.ChaseCount*8) * 64 / float64(1<<30) / p.RandomSeconds
+	}
+
+	// Idle latency: one thread, one dependent chase.
+	e = memsim.NewEngine(m, initiator)
+	e.SetThreads(1)
+	p = e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: opts.ChaseCount, MLP: 1}})
+	res.IdleLatency = p.RandomSeconds / float64(opts.ChaseCount) * 1e9
+
+	// Loaded latency: the chase runs while the remaining threads
+	// saturate the node (Multichase's loaded-latency mode).
+	e = memsim.NewEngine(m, initiator)
+	p = e.Phase("loaded-chase", []memsim.Access{
+		{Buffer: buf, ReadBytes: traffic * 4},
+		{Buffer: buf, RandomReads: opts.ChaseCount, MLP: 1},
+	})
+	chaseTime := p.RandomSeconds * float64(e.Threads())
+	res.LoadedLatency = chaseTime / float64(opts.ChaseCount) * 1e9
+	return res, nil
+}
+
+func bwOf(bytes uint64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(1<<30) / seconds
+}
+
+// Apply feeds measured results into a registry: Bandwidth gets the
+// read bandwidth in MiB/s (matching the firmware convention),
+// Read/WriteBandwidth their respective figures, and Latency the idle
+// chase latency in nanoseconds.
+func Apply(results []Result, reg *memattr.Registry) error {
+	for _, r := range results {
+		mb := func(gib float64) uint64 { return uint64(gib*1024 + 0.5) }
+		type sv struct {
+			id memattr.ID
+			v  uint64
+		}
+		for _, s := range []sv{
+			{memattr.Bandwidth, mb(r.ReadBW)},
+			{memattr.ReadBandwidth, mb(r.ReadBW)},
+			{memattr.WriteBandwidth, mb(r.WriteBW)},
+			{memattr.Latency, uint64(r.IdleLatency + 0.5)},
+		} {
+			if err := reg.SetValue(s.id, r.Target, r.Initiator, s.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TriadAttrName is the name of the custom attribute registered by
+// RegisterTriad.
+const TriadAttrName = "StreamTriadScore"
+
+// RegisterTriad registers the paper's example of a custom metric — a
+// STREAM-Triad score combining read and write bandwidth — and fills it
+// from measured results. Values are MiB/s, higher first.
+func RegisterTriad(results []Result, reg *memattr.Registry) (memattr.ID, error) {
+	id, err := reg.Register(TriadAttrName, memattr.HigherFirst|memattr.NeedInitiator)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		if err := reg.SetValue(id, r.Target, r.Initiator, uint64(r.TriadBW*1024+0.5)); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// RandomBWAttrName is the name of the custom attribute registered by
+// RegisterRandomBW.
+const RandomBWAttrName = "RandomAccessBandwidth"
+
+// RegisterRandomBW registers a custom attribute carrying the measured
+// random-access bandwidth (MiB/s) — the metric that separates GUPS-like
+// workloads from STREAM-like ones better than either Latency or
+// Bandwidth alone.
+func RegisterRandomBW(results []Result, reg *memattr.Registry) (memattr.ID, error) {
+	id, err := reg.Register(RandomBWAttrName, memattr.HigherFirst|memattr.NeedInitiator)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		if err := reg.SetValue(id, r.Target, r.Initiator, uint64(r.RandomBW*1024+0.5)); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}

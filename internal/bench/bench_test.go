@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+func knlMachine(t *testing.T) (*memsim.Machine, *platform.Platform) {
+	t.Helper()
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func xeonMachine(t *testing.T) (*memsim.Machine, *platform.Platform) {
+	t.Helper()
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestMeasureAllLocalPairs(t *testing.T) {
+	m, p := knlMachine(t)
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 clusters × 2 local nodes each.
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+	for _, r := range results {
+		if !r.Local {
+			t.Fatalf("non-local pair measured without IncludeRemote: %+v", r)
+		}
+		if r.ReadBW <= 0 || r.WriteBW <= 0 || r.TriadBW <= 0 || r.IdleLatency <= 0 {
+			t.Fatalf("degenerate measurement %+v", r)
+		}
+		if r.RandomBW <= 0 || r.RandomBW > r.ReadBW*1.1 {
+			t.Fatalf("random bandwidth %.1f implausible vs read %.1f", r.RandomBW, r.ReadBW)
+		}
+		if r.LoadedLatency < r.IdleLatency {
+			t.Fatalf("loaded latency %f below idle %f", r.LoadedLatency, r.IdleLatency)
+		}
+	}
+	// Probing must not leak allocations.
+	for _, n := range m.Nodes() {
+		if n.Allocated() != 0 {
+			t.Fatalf("probe leaked %d bytes on %v", n.Allocated(), n.Obj)
+		}
+	}
+	_ = p
+}
+
+func TestMeasuredValuesTrackModel(t *testing.T) {
+	m, p := knlMachine(t)
+	cluster0 := p.Topo.ObjectByLogical(0, 0) // Machine
+	_ = cluster0
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		model := m.Node(r.Target).Model
+		// Read bandwidth within 20% of the model (per-thread caps and
+		// total-BW bound can shave it).
+		if r.ReadBW > model.ReadBW*1.01 {
+			t.Fatalf("measured read bw %.1f exceeds model %.1f", r.ReadBW, model.ReadBW)
+		}
+		if r.ReadBW < model.TotalBW*0.5 {
+			t.Fatalf("measured read bw %.1f implausibly low (model total %.1f)", r.ReadBW, model.TotalBW)
+		}
+		// Idle latency within 15% of the model (probe buffer doesn't
+		// fully defeat the LLC).
+		if math.Abs(r.IdleLatency-model.IdleLatency)/model.IdleLatency > 0.15 {
+			t.Fatalf("measured latency %.0f vs model %.0f", r.IdleLatency, model.IdleLatency)
+		}
+	}
+}
+
+func TestKNLRankingMCDRAMFaster(t *testing.T) {
+	m, p := knlMachine(t)
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dram, mcdram *Result
+	for i := range results {
+		r := &results[i]
+		if r.Target.OSIndex == 0 {
+			dram = r
+		}
+		if r.Target.OSIndex == 4 {
+			mcdram = r
+		}
+	}
+	if dram == nil || mcdram == nil {
+		t.Fatal("missing cluster-0 results")
+	}
+	if mcdram.TriadBW <= dram.TriadBW*2 {
+		t.Fatalf("MCDRAM triad %.1f should be well above DRAM %.1f", mcdram.TriadBW, dram.TriadBW)
+	}
+	// The paper's key KNL observation: latencies are close (within
+	// ~15%), so latency barely discriminates, while bandwidth does.
+	if math.Abs(mcdram.IdleLatency-dram.IdleLatency)/dram.IdleLatency > 0.15 {
+		t.Fatalf("KNL latencies should be similar: MCDRAM %.0f vs DRAM %.0f", mcdram.IdleLatency, dram.IdleLatency)
+	}
+	_ = p
+}
+
+func TestApplyPopulatesRegistry(t *testing.T) {
+	m, p := knlMachine(t)
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	if err := Apply(results, reg); err != nil {
+		t.Fatal(err)
+	}
+	// From a cluster-0 core, the best local bandwidth target is the
+	// MCDRAM; the best capacity target is the DRAM.
+	ini := bitmap.NewFromIndexes(3)
+	best, _, err := reg.BestLocalTarget(memattr.Bandwidth, ini)
+	if err != nil || best.Subtype != "MCDRAM" {
+		t.Fatalf("best bandwidth = %v, %v", best, err)
+	}
+	best, _, err = reg.BestLocalTarget(memattr.Capacity, ini)
+	if err != nil || best.Subtype != "DRAM" {
+		t.Fatalf("best capacity = %v, %v", best, err)
+	}
+	if !reg.HasValues(memattr.WriteBandwidth) {
+		t.Fatal("write bandwidth not populated")
+	}
+}
+
+func TestRegisterTriad(t *testing.T) {
+	m, p := knlMachine(t)
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	id, err := RegisterTriad(results, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, v, err := reg.BestLocalTarget(id, bitmap.NewFromIndexes(0))
+	if err != nil || best.Subtype != "MCDRAM" || v == 0 {
+		t.Fatalf("best triad = %v (%d), %v", best, v, err)
+	}
+	// Registering twice must fail (duplicate name).
+	if _, err := RegisterTriad(results, reg); err == nil {
+		t.Fatal("duplicate triad registration should fail")
+	}
+}
+
+func TestIncludeRemote(t *testing.T) {
+	m, p := xeonMachine(t)
+	results, err := MeasureAll(m, Options{IncludeRemote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 packages × 4 nodes.
+	if len(results) != 8 {
+		t.Fatalf("results = %d, want 8", len(results))
+	}
+	var localD, remoteD *Result
+	for i := range results {
+		r := &results[i]
+		if r.Target.OSIndex == 0 {
+			if r.Local {
+				localD = r
+			} else {
+				remoteD = r
+			}
+		}
+	}
+	if localD == nil || remoteD == nil {
+		t.Fatal("missing local/remote DRAM results")
+	}
+	if remoteD.ReadBW >= localD.ReadBW {
+		t.Fatalf("remote bw %.1f should be below local %.1f", remoteD.ReadBW, localD.ReadBW)
+	}
+	if remoteD.IdleLatency <= localD.IdleLatency {
+		t.Fatalf("remote latency %.0f should exceed local %.0f", remoteD.IdleLatency, localD.IdleLatency)
+	}
+	// The Section VIII scenario: with remote values in the registry,
+	// the API can answer "local NVDIMM or remote DRAM?" — remote DRAM
+	// has lower latency than local NVDIMM on this machine.
+	reg := memattr.NewRegistry(p.Topo)
+	if err := Apply(results, reg); err != nil {
+		t.Fatal(err)
+	}
+	pkg0 := bitmap.NewFromRange(0, 19)
+	remoteDRAM := p.Topo.NUMANodes()[2] // package 1's DRAM
+	localNV := p.Topo.NUMANodes()[1]
+	vr, err1 := reg.Value(memattr.Latency, remoteDRAM, pkg0)
+	vl, err2 := reg.Value(memattr.Latency, localNV, pkg0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if vr >= vl {
+		t.Fatalf("remote DRAM latency %d should beat local NVDIMM %d on this machine", vr, vl)
+	}
+}
+
+func TestMeasurePairNoRoom(t *testing.T) {
+	m, p := knlMachine(t)
+	mcdram := p.Topo.NUMANodes()[1] // 4GB
+	// Fill it almost completely.
+	if _, err := m.Alloc("hog", 4*platform.GiB-32<<20, m.Node(mcdram)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MeasurePair(m, mcdram.CPUSet, mcdram, Options{})
+	if !errors.Is(err, ErrNoRoom) {
+		t.Fatalf("err = %v, want ErrNoRoom", err)
+	}
+}
+
+func TestRegisterRandomBW(t *testing.T) {
+	m, p := knlMachine(t)
+	results, err := MeasureAll(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	id, err := RegisterRandomBW(results, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On KNL the MCDRAM also wins random-access bandwidth (the GUPS
+	// result in attribute form).
+	best, v, err := reg.BestLocalTarget(id, bitmap.NewFromIndexes(0))
+	if err != nil || best.Subtype != "MCDRAM" || v == 0 {
+		t.Fatalf("best random bw = %v (%d), %v", best, v, err)
+	}
+}

@@ -1,0 +1,38 @@
+package bitmap
+
+import "testing"
+
+// FuzzParseList checks that the list parser never panics and that
+// anything it accepts round-trips canonically.
+func FuzzParseList(f *testing.F) {
+	for _, seed := range []string{"", "0", "0-3,12,14-15", "5-3", "x", "1,,2", "000", "0-0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseList(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseList(b.ListString())
+		if err != nil || !Equal(back, b) {
+			t.Fatalf("accepted %q but round trip broke: %v", s, err)
+		}
+	})
+}
+
+// FuzzParseHex mirrors FuzzParseList for the mask format.
+func FuzzParseHex(f *testing.F) {
+	for _, seed := range []string{"0x0", "0x00000001", "0x00000001,0xffffffff", "0xzz", "0x123456789"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseHex(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseHex(b.String())
+		if err != nil || !Equal(back, b) {
+			t.Fatalf("accepted %q but round trip broke: %v", s, err)
+		}
+	})
+}

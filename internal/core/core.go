@@ -1,0 +1,173 @@
+// Package core ties the reproduction together into the workflow the
+// paper proposes: discover the topology, identify and characterize the
+// memory kinds (from the firmware HMAT when the platform has one, from
+// benchmarking otherwise — Table I's two sources), and hand
+// applications a heterogeneous allocator whose single extra argument
+// is the performance attribute each buffer cares about.
+//
+// A typical application does:
+//
+//	sys, _ := core.NewSystem("knl-snc4-flat", core.Options{})
+//	ini := sys.InitiatorForPU(0)                    // where my threads run
+//	buf, dec, _ := sys.MemAlloc("hot", size, memattr.Bandwidth, ini)
+//	eng := sys.Engine(ini)                          // run phases against it
+//
+// and never mentions MCDRAM, NVDIMM, or node numbers — the paper's
+// portability claim.
+package core
+
+import (
+	"fmt"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bench"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/hmat"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+	"hetmem/internal/topology"
+)
+
+// DiscoverySource reports where attribute values came from.
+type DiscoverySource string
+
+// Discovery sources.
+const (
+	SourceHMAT      DiscoverySource = "hmat"
+	SourceBenchmark DiscoverySource = "benchmark"
+	SourceBoth      DiscoverySource = "hmat+benchmark"
+)
+
+// Options configures system construction.
+type Options struct {
+	// ForceBenchmark measures attributes even when the firmware
+	// provides them, overwriting the HMAT values with measured ones
+	// (and adding remote pairs if BenchRemote is set).
+	ForceBenchmark bool
+	// BenchRemote includes non-local pairs in the measurement
+	// campaign, enabling remote-memory comparisons Linux cannot
+	// provide.
+	BenchRemote bool
+	// Bench tunes the probes.
+	Bench bench.Options
+}
+
+// System is a fully discovered machine ready for attribute-driven
+// allocation.
+type System struct {
+	Platform  *platform.Platform
+	Machine   *memsim.Machine
+	Registry  *memattr.Registry
+	Allocator *alloc.Allocator
+	Source    DiscoverySource
+}
+
+// NewSystem builds the system for a named platform and runs discovery.
+func NewSystem(platformName string, opts Options) (*System, error) {
+	p, err := platform.Get(platformName)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystemFromPlatform(p, opts)
+}
+
+// NewSystemFromPlatform is NewSystem for an already-built platform.
+func NewSystemFromPlatform(p *platform.Platform, opts Options) (*System, error) {
+	m, err := p.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	reg := memattr.NewRegistry(p.Topo)
+
+	var src DiscoverySource
+	if tbl := p.HMATTable(); tbl != nil {
+		if err := hmat.Apply(tbl, reg); err != nil {
+			return nil, fmt.Errorf("core: applying HMAT: %w", err)
+		}
+		src = SourceHMAT
+	}
+	if src == "" || opts.ForceBenchmark {
+		bopts := opts.Bench
+		bopts.IncludeRemote = bopts.IncludeRemote || opts.BenchRemote
+		results, err := bench.MeasureAll(m, bopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: benchmark discovery: %w", err)
+		}
+		if err := bench.Apply(results, reg); err != nil {
+			return nil, err
+		}
+		if src == SourceHMAT {
+			src = SourceBoth
+		} else {
+			src = SourceBenchmark
+		}
+	}
+	return &System{
+		Platform:  p,
+		Machine:   m,
+		Registry:  reg,
+		Allocator: alloc.New(m, reg),
+		Source:    src,
+	}, nil
+}
+
+// Topology returns the system topology.
+func (s *System) Topology() *topology.Topology { return s.Platform.Topo }
+
+// InitiatorForPU returns a single-PU initiator cpuset.
+func (s *System) InitiatorForPU(pu int) *bitmap.Bitmap { return bitmap.NewFromIndexes(pu) }
+
+// InitiatorForPackage returns the cpuset of the package with the given
+// logical index, or nil.
+func (s *System) InitiatorForPackage(l int) *bitmap.Bitmap {
+	pkg := s.Topology().ObjectByLogical(topology.Package, l)
+	if pkg == nil {
+		return nil
+	}
+	return pkg.CPUSet.Copy()
+}
+
+// InitiatorForGroup returns the cpuset of the group (SNC cluster) with
+// the given logical index, falling back to the package when the
+// machine has no groups.
+func (s *System) InitiatorForGroup(l int) *bitmap.Bitmap {
+	if g := s.Topology().ObjectByLogical(topology.Group, l); g != nil {
+		return g.CPUSet.Copy()
+	}
+	return s.InitiatorForPackage(l)
+}
+
+// MemAlloc is the paper's mem_alloc(..., attribute): allocate on the
+// best local target for the attribute, with ranked fallback.
+func (s *System) MemAlloc(name string, size uint64, attr memattr.ID, initiator *bitmap.Bitmap, opts ...alloc.Option) (*memsim.Buffer, alloc.Decision, error) {
+	return s.Allocator.Alloc(name, size, attr, initiator, opts...)
+}
+
+// MemAllocNamed resolves the attribute by name first ("Bandwidth",
+// "Latency", "Capacity", or any registered custom attribute).
+func (s *System) MemAllocNamed(name string, size uint64, attrName string, initiator *bitmap.Bitmap, opts ...alloc.Option) (*memsim.Buffer, alloc.Decision, error) {
+	id, ok := s.Registry.ByName(attrName)
+	if !ok {
+		return nil, alloc.Decision{}, fmt.Errorf("core: unknown attribute %q", attrName)
+	}
+	return s.Allocator.Alloc(name, size, id, initiator, opts...)
+}
+
+// Free releases a buffer.
+func (s *System) Free(b *memsim.Buffer) error { return s.Machine.Free(b) }
+
+// Engine creates an execution engine for threads on the initiator.
+func (s *System) Engine(initiator *bitmap.Bitmap) *memsim.Engine {
+	return memsim.NewEngine(s.Machine, initiator)
+}
+
+// SaveAttributes serializes the discovered attribute values (including
+// custom attributes), so a later run on the same platform can skip
+// discovery with LoadAttributes — the caching workflow for measured
+// values the paper implies for benchmark-discovered platforms.
+func (s *System) SaveAttributes() ([]byte, error) { return memattr.Export(s.Registry) }
+
+// LoadAttributes applies previously saved attribute values on top of
+// (or instead of) discovery.
+func (s *System) LoadAttributes(data []byte) error { return memattr.Import(data, s.Registry) }

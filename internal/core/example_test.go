@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetmem/internal/core"
+	"hetmem/internal/memattr"
+)
+
+// The paper's workflow in a dozen lines: discover, then allocate by
+// requirement. The same code adapts to every machine.
+func Example() {
+	for _, machine := range []string{"knl-snc4-flat", "xeon"} {
+		sys, err := core.NewSystem(machine, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ini := sys.InitiatorForGroup(0)
+		hot, dec, err := sys.MemAlloc("hot", 1<<30, memattr.Bandwidth, ini)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: bandwidth-critical buffer on %s (source %s)\n",
+			machine, dec.Target.Subtype, sys.Source)
+		sys.Free(hot)
+	}
+	// Output:
+	// knl-snc4-flat: bandwidth-critical buffer on MCDRAM (source benchmark)
+	// xeon: bandwidth-critical buffer on DRAM (source hmat)
+}
+
+// Attribute values survive across sessions: benchmark once, save, and
+// later runs skip discovery.
+func Example_persistence() {
+	sys, err := core.NewSystem("knl-snc4-flat", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	saved, err := sys.SaveAttributes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ... next run ...
+	sys2, err := core.NewSystem("knl-snc4-flat", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys2.LoadAttributes(saved); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("attributes restored:", sys2.Registry.HasValues(memattr.Bandwidth))
+	// Output:
+	// attributes restored: true
+}

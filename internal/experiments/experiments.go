@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation on the simulated platforms. Each experiment has a
+// data function returning structured results (used by the tests and
+// the benchmark harness to assert the paper's qualitative shape) and a
+// renderer producing the table the way the paper prints it. The
+// cmd/repro binary exposes all of them on the command line.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// Spec describes one runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() (string, error)
+}
+
+var registry []Spec
+
+func register(id, title string, run func() (string, error)) {
+	registry = append(registry, Spec{id, title, run})
+}
+
+// All returns the experiment specs sorted by ID.
+func All() []Spec {
+	out := append([]Spec(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (string, error) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s.Run()
+		}
+	}
+	known := make([]string, 0, len(registry))
+	for _, s := range All() {
+		known = append(known, s.ID)
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(known, ", "))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

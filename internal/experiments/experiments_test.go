@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"capacity", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7a", "fig7b",
+		"gups", "nam", "numa", "portability", "scaling", "table1", "table2a", "table2b", "table3a", "table3b", "table4"}
+	specs := All()
+	if len(specs) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(specs), len(want))
+	}
+	for i, s := range specs {
+		if s.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, s.ID, want[i])
+		}
+		if s.Title == "" {
+			t.Errorf("%s has no title", s.ID)
+		}
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			out, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) < 50 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestTable2aShape asserts the Table IIa structure the paper reports:
+// DRAM beats NVDIMM by 1.5-3x at every size except the last, where the
+// NVDIMM falls off a cliff; both decline slowly with size.
+func TestTable2aShape(t *testing.T) {
+	data, err := Table2aData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 5 {
+		t.Fatalf("rows = %d", len(data))
+	}
+	for i, c := range data {
+		d, n := c.TEPSe8["DRAM"], c.TEPSe8["NVDIMM"]
+		if d <= n {
+			t.Fatalf("size %.1fGB: DRAM %.3f should beat NVDIMM %.3f", c.GraphGB, d, n)
+		}
+		ratio := d / n
+		if i < 4 {
+			if ratio < 1.4 || ratio > 3.0 {
+				t.Errorf("size %.1fGB: ratio %.2f outside the paper's 1.5-3x regime", c.GraphGB, ratio)
+			}
+		} else {
+			// The 34.36GB row: NVDIMM cliff (paper ratio 2.86; the
+			// working set has outgrown the device's buffering).
+			if ratio < 2.5 {
+				t.Errorf("largest size: ratio %.2f should show the NVDIMM cliff", ratio)
+			}
+			if n >= data[i-1].TEPSe8["NVDIMM"]*0.75 {
+				t.Errorf("NVDIMM should drop sharply at 34GB: %.3f vs %.3f", n, data[i-1].TEPSe8["NVDIMM"])
+			}
+		}
+		// Magnitudes: paper DRAM 3.42..2.99 e+8.
+		if d < 1.5 || d > 6 {
+			t.Errorf("DRAM TEPS %.2fe8 far from the paper's ~3e8", d)
+		}
+	}
+	// Mild monotone decline of DRAM with graph size.
+	for i := 1; i < len(data); i++ {
+		if data[i].TEPSe8["DRAM"] > data[i-1].TEPSe8["DRAM"]*1.02 {
+			t.Errorf("DRAM TEPS should not grow with size: %.3f -> %.3f", data[i-1].TEPSe8["DRAM"], data[i].TEPSe8["DRAM"])
+		}
+	}
+}
+
+// TestTable2bShape asserts the KNL observation: HBM and DRAM deliver
+// nearly identical TEPS (within 10%), at magnitudes far below the
+// Xeon's.
+func TestTable2bShape(t *testing.T) {
+	data, err := Table2bData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2 {
+		t.Fatalf("rows = %d", len(data))
+	}
+	for _, c := range data {
+		h, d := c.TEPSe8["HBM"], c.TEPSe8["DRAM"]
+		ratio := h / d
+		if ratio < 0.92 || ratio > 1.10 {
+			t.Errorf("size %.1fGB: HBM/DRAM %.3f should be ~1 (paper 1.007, 1.015)", c.GraphGB, ratio)
+		}
+		if h < 0.1 || h > 1.5 {
+			t.Errorf("KNL TEPS %.3fe8 far from the paper's ~0.4e8", h)
+		}
+	}
+}
+
+// TestTable3aShape asserts the Xeon STREAM structure: Latency->DRAM at
+// ~75 GB/s; Capacity->NVDIMM at ~31.6 buffered dropping to ~10
+// sustained and degrading further at 223 GiB.
+func TestTable3aShape(t *testing.T) {
+	data, err := Table3aData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]StreamCell{}
+	for _, c := range data {
+		byKey[c.Criterion+"/"+f2(c.TotalGiB)] = c
+	}
+	cap22 := byKey["Capacity/22.40"]
+	cap89 := byKey["Capacity/89.40"]
+	cap223 := byKey["Capacity/223.50"]
+	lat22 := byKey["Latency/22.40"]
+	lat89 := byKey["Latency/89.40"]
+
+	if cap22.BestTarget != "NVDIMM" || lat22.BestTarget != "DRAM" {
+		t.Fatalf("targets: capacity->%s latency->%s", cap22.BestTarget, lat22.BestTarget)
+	}
+	within := func(got, want, tol float64, label string) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %.2f, want %.1f±%.1f", label, got, want, tol)
+		}
+	}
+	within(lat22.TriadGBs, 75, 8, "Latency 22.4GiB")
+	within(lat89.TriadGBs, 75, 8, "Latency 89.4GiB")
+	within(cap22.TriadGBs, 31.6, 5, "Capacity 22.4GiB")
+	within(cap89.TriadGBs, 10.5, 3, "Capacity 89.4GiB")
+	if cap223.TriadGBs >= cap89.TriadGBs {
+		t.Errorf("NVDIMM should degrade with footprint: %.2f vs %.2f", cap223.TriadGBs, cap89.TriadGBs)
+	}
+	// The 223.5GiB latency run cannot fit DRAM alone: it spills (the
+	// paper leaves the cell blank).
+	if c := byKey["Latency/223.50"]; !c.Spilled && !c.Failed {
+		t.Errorf("Latency 223.5GiB should spill or fail, got %.2f", c.TriadGBs)
+	}
+}
+
+// TestTable3bShape asserts the KNL STREAM structure, including the
+// capacity crossover: Bandwidth->MCDRAM ~88 GB/s until the arrays
+// outgrow the 4GB node, then DRAM speed; Latency->DRAM ~29 GB/s flat.
+func TestTable3bShape(t *testing.T) {
+	data, err := Table3bData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]StreamCell{}
+	for _, c := range data {
+		byKey[c.Criterion+"/"+f2(c.TotalGiB)] = c
+	}
+	bw1 := byKey["Bandwidth/1.10"]
+	bw17 := byKey["Bandwidth/17.90"]
+	lat1 := byKey["Latency/1.10"]
+
+	if bw1.BestTarget != "MCDRAM" || lat1.BestTarget != "DRAM" {
+		t.Fatalf("targets: bandwidth->%s latency->%s", bw1.BestTarget, lat1.BestTarget)
+	}
+	if bw1.TriadGBs < 80 || bw1.TriadGBs > 95 {
+		t.Errorf("MCDRAM triad %.2f, want ~88 (paper 85-90)", bw1.TriadGBs)
+	}
+	if lat1.TriadGBs < 25 || lat1.TriadGBs > 33 {
+		t.Errorf("DRAM triad %.2f, want ~29 (paper 29.17)", lat1.TriadGBs)
+	}
+	// The crossover: at 17.9GiB the bandwidth-ranked run lands on DRAM.
+	if !bw17.Spilled {
+		t.Error("17.9GiB bandwidth run should have fallen back to DRAM")
+	}
+	if ratio := bw17.TriadGBs / lat1.TriadGBs; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("fallback run %.2f should match DRAM speed %.2f", bw17.TriadGBs, lat1.TriadGBs)
+	}
+}
+
+// TestTable4Shape asserts the profiler flags land like the paper's:
+// Graph500 latency-sensitive everywhere (stalling harder on NVDIMM),
+// STREAM bandwidth-sensitive with the flag on the kind it ran on.
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g5d, g5n := rows["Graph500/DRAM"], rows["Graph500/NVDIMM"]
+	std, stn := rows["STREAM/DRAM"], rows["STREAM/NVDIMM"]
+
+	if !g5d.LatencySensitive || !g5n.LatencySensitive || g5d.BandwidthSensitive || g5n.BandwidthSensitive {
+		t.Errorf("Graph500 flags wrong: %+v / %+v", g5d, g5n)
+	}
+	if g5n.DRAMBoundPct <= g5d.DRAMBoundPct {
+		t.Errorf("Graph500 should stall more on NVDIMM: %.1f vs %.1f", g5n.DRAMBoundPct, g5d.DRAMBoundPct)
+	}
+	if g5d.PMemBoundPct != 0 || g5n.PMemBoundPct == 0 {
+		t.Errorf("PMem bound wrong: %.1f / %.1f", g5d.PMemBoundPct, g5n.PMemBoundPct)
+	}
+	if !std.BandwidthSensitive || std.BandwidthKind != "DRAM" {
+		t.Errorf("STREAM/DRAM flags wrong: %+v", std)
+	}
+	if !stn.BandwidthSensitive || stn.BandwidthKind != "NVDIMM" {
+		t.Errorf("STREAM/NVDIMM flags wrong: %+v", stn)
+	}
+	// Paper: DRAM Bandwidth Bound 80.4% on the DRAM run.
+	if std.DRAMBWBoundPct() < 50 {
+		t.Errorf("STREAM/DRAM BW bound %.1f%% too low", std.DRAMBWBoundPct())
+	}
+}
+
+// TestPortabilityShape asserts the Section VI-A matrix.
+func TestPortabilityShape(t *testing.T) {
+	rows, err := PortabilityData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(machine, req string) string {
+		for _, r := range rows {
+			if r.Machine == machine && strings.Contains(r.Request, req) {
+				return r.Outcome
+			}
+		}
+		t.Fatalf("missing row %s/%s", machine, req)
+		return ""
+	}
+	if get("xeon", "Bandwidth") != "DRAM" || get("knl-snc4-flat", "Bandwidth") != "MCDRAM" {
+		t.Error("bandwidth request did not adapt per machine")
+	}
+	if get("xeon", "Latency") != "DRAM" || get("knl-snc4-flat", "Latency") != "DRAM" {
+		t.Error("latency request should pick DRAM on both machines")
+	}
+	if get("xeon", "Capacity") != "NVDIMM" || get("knl-snc4-flat", "Capacity") != "DRAM" {
+		t.Error("capacity request did not adapt per machine")
+	}
+	if !strings.HasPrefix(get("xeon", "MEMKIND_HBW"), "ERROR") {
+		t.Error("memkind HBW should fail on the Xeon")
+	}
+	if get("knl-snc4-flat", "MEMKIND_HBW") != "MCDRAM" {
+		t.Error("memkind HBW should work on KNL")
+	}
+	// The future platform (Section II-C): Bandwidth finds the HBM,
+	// Latency spares it.
+	if get("rhea", "Bandwidth") != "HBM" || get("rhea", "Latency") != "DDR5" || get("rhea", "Capacity") != "DDR5" {
+		t.Errorf("rhea rows wrong: %s/%s/%s", get("rhea", "Bandwidth"), get("rhea", "Latency"), get("rhea", "Capacity"))
+	}
+	if get("rhea", "MEMKIND_HBW") != "HBM" {
+		t.Error("memkind HBW should work on rhea")
+	}
+}
+
+func TestFig5Verbatim(t *testing.T) {
+	out, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"131072", "78644", "= 26 from", "= 77 from", "Capacity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 missing %q", want)
+		}
+	}
+}
+
+func TestCapacityNarrative(t *testing.T) {
+	out, err := Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FCFS loses the MCDRAM for the critical buffer; priority wins it.
+	fcfs := out[strings.Index(out, "FCFS"):strings.Index(out, "priority allocation")]
+	if !strings.Contains(fcfs, "scratch   (prio  1) -> MCDRAM") || !strings.Contains(fcfs, "critical  (prio 10) -> DRAM") {
+		t.Errorf("FCFS section wrong:\n%s", fcfs)
+	}
+	prio := out[strings.Index(out, "priority allocation"):]
+	if !strings.Contains(prio, "critical  (prio 10) -> MCDRAM") {
+		t.Errorf("priority section wrong:\n%s", prio)
+	}
+	if !strings.Contains(out, "partial=true") {
+		t.Error("hybrid allocation did not split")
+	}
+	if !strings.Contains(out, "allowed by Linux: false") {
+		t.Error("Linux restriction not demonstrated")
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	tab := Table1()
+	out := tab.Render()
+	for _, want := range []string{"Capacity, Locality", "always supported", "benchmarks", "user-specified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+// TestGUPSShape asserts the extension workload's structure: the
+// latency penalty passes through on the Xeon; the KNL kinds stay
+// within a factor of two either way.
+func TestGUPSShape(t *testing.T) {
+	data, err := GUPSData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(machine, kind string) float64 {
+		for _, c := range data {
+			if c.Machine == machine && c.Kind == kind {
+				return c.GUPS
+			}
+		}
+		t.Fatalf("missing %s/%s", machine, kind)
+		return 0
+	}
+	if r := get("xeon", "DRAM") / get("xeon", "NVDIMM"); r < 1.5 {
+		t.Errorf("xeon GUPS ratio %.2f too small for a latency workload", r)
+	}
+	if r := get("knl-snc4-flat", "MCDRAM") / get("knl-snc4-flat", "DRAM"); r < 1.2 || r > 5 {
+		t.Errorf("knl GUPS ratio %.2f implausible", r)
+	}
+}
+
+// TestScalingShape asserts the distributed extension's structure.
+func TestScalingShape(t *testing.T) {
+	rows, err := ScalingData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Ranks != 1 || rows[2].Ranks != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].CommMBPerBFS != 0 {
+		t.Error("single rank should not communicate")
+	}
+	if !(rows[2].TEPSe8 > rows[1].TEPSe8 && rows[1].TEPSe8 > rows[0].TEPSe8) {
+		t.Errorf("TEPS not scaling: %+v", rows)
+	}
+	if rows[2].Speedup < 2 || rows[2].Speedup > 5.5 {
+		t.Errorf("4-rank speedup %.2f implausible", rows[2].Speedup)
+	}
+}
+
+func TestNUMADegenerateCase(t *testing.T) {
+	out, err := NUMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package 0: best latency target = NUMANode P#0",
+		"package 1: best latency target = NUMANode P#1",
+		"10", "15",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("numa experiment missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetmem/internal/core"
+	"hetmem/internal/lstopo"
+	"hetmem/internal/memattr"
+	"hetmem/internal/platform"
+	"hetmem/internal/topology"
+)
+
+func init() {
+	register("fig1", "lstopo view of the KNL SNC4/Hybrid50 machine", func() (string, error) {
+		return renderPlatform("knl-snc4-hybrid50")
+	})
+	register("fig2", "lstopo view of the dual Xeon 6230 with SNC2 and NVDIMMs", func() (string, error) {
+		return renderPlatform("xeon-snc2")
+	})
+	register("fig3", "lstopo view of the fictitious all-kinds platform", func() (string, error) {
+		return renderPlatform("fictitious")
+	})
+	register("fig5", "lstopo --memattrs on the Figure 2 Xeon (firmware values, local only)", Fig5)
+	register("table1", "status of memory attributes and their discovery sources", func() (string, error) {
+		return Table1().Render(), nil
+	})
+}
+
+func renderPlatform(name string) (string, error) {
+	p, err := platform.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return p.Description + "\n\n" + lstopo.Render(p.Topo), nil
+}
+
+// Fig5 reproduces the lstopo --memattrs report: native HMAT discovery
+// on the SNC2 Xeon, exposing the verbatim paper values and the
+// local-only limitation.
+func Fig5() (string, error) {
+	sys, err := core.NewSystem("xeon-snc2", core.Options{})
+	if err != nil {
+		return "", err
+	}
+	head := fmt.Sprintf("$ lstopo --memattrs   (platform %s, source %s)\n", sys.Platform.Name, sys.Source)
+	return head + lstopo.RenderMemAttrs(sys.Registry), nil
+}
+
+// Table1 reproduces the attribute-status table: which attributes are
+// discovered natively (and on which of our platforms) versus fed by
+// external sources.
+func Table1() *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Status of memory attributes (paper Table I)",
+		Header: []string{"Attributes", "Native Discovery", "External Sources"},
+	}
+	hmatPlatforms, benchPlatforms := []string{}, []string{}
+	for _, name := range platform.Names() {
+		p, err := platform.Get(name)
+		if err != nil {
+			continue
+		}
+		if p.HasHMAT {
+			hmatPlatforms = append(hmatPlatforms, name)
+		} else {
+			benchPlatforms = append(benchPlatforms, name)
+		}
+	}
+	t.Rows = [][]string{
+		{"Capacity, Locality", "always supported (from the topology)", "unneeded"},
+		{"Bandwidth, Latency", fmt.Sprintf("HMAT on %d/%d platforms", len(hmatPlatforms), len(hmatPlatforms)+len(benchPlatforms)), "benchmarks (internal/bench)"},
+		{"R/W Bandwidth, Latency", "on some platforms (HMAT IncludeReadWrite)", "benchmarks"},
+		{"Persistence, Endurance, Power", "under investigation", ""},
+		{"Custom metrics (e.g. " + "StreamTriadScore)", "n/a", "user-specified (Registry.Register)"},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("platforms with native HMAT: %v", hmatPlatforms),
+		fmt.Sprintf("platforms requiring benchmark discovery: %v", benchPlatforms),
+		fmt.Sprintf("predefined attributes: %d (see memattr package)", len(memattr.NewRegistry(mustTopo()).IDs())),
+	)
+	return t
+}
+
+func mustTopo() *topology.Topology {
+	p, err := platform.Get("xeon")
+	if err != nil {
+		panic(err)
+	}
+	return p.Topo
+}

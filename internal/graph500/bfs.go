@@ -1,0 +1,133 @@
+package graph500
+
+// BFSStats is the memory-access profile of one BFS, used to replay the
+// traversal through the memory simulator.
+type BFSStats struct {
+	Root int64
+	// EdgesScanned is the number of adjacency entries examined.
+	EdgesScanned int64
+	// FrontierTotal is the total number of vertices ever enqueued.
+	FrontierTotal int64
+	// Levels is the number of BFS levels.
+	Levels int
+	// ReachableEdges is the number of input edges with at least one
+	// endpoint in the traversed component — the m of the TEPS metric.
+	ReachableEdges int64
+	// BottomUpLevels counts levels executed bottom-up (0 without
+	// direction optimization).
+	BottomUpLevels int
+}
+
+// BFSOptions tunes the traversal.
+type BFSOptions struct {
+	// DirectionOptimizing enables Beamer-style bottom-up switching.
+	DirectionOptimizing bool
+	// Alpha and Beta are the switching thresholds (defaults 15, 18).
+	Alpha, Beta int64
+}
+
+func (o *BFSOptions) defaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 15
+	}
+	if o.Beta == 0 {
+		o.Beta = 18
+	}
+}
+
+// BFS runs a level-synchronous breadth-first search from root and
+// returns the parent array (parent[v] == -1 for unreachable vertices,
+// parent[root] == root) together with the access statistics needed to
+// simulate its timing.
+func BFS(g *Graph, root int64, opts BFSOptions) ([]int64, BFSStats) {
+	opts.defaults()
+	parent := make([]int64, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[root] = root
+
+	stats := BFSStats{Root: root}
+	frontier := []int64{root}
+	stats.FrontierTotal = 1
+
+	// Scanned-edge bookkeeping for the direction heuristic.
+	unvisitedEdges := int64(len(g.Adj))
+	unvisitedEdges -= g.Degree(root)
+
+	for len(frontier) > 0 {
+		stats.Levels++
+		var frontierEdges int64
+		for _, v := range frontier {
+			frontierEdges += g.Degree(v)
+		}
+
+		bottomUp := opts.DirectionOptimizing && frontierEdges > unvisitedEdges/opts.Alpha
+		var next []int64
+		if bottomUp {
+			stats.BottomUpLevels++
+			inFrontier := make(map[int64]bool, len(frontier))
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			for v := int64(0); v < g.N; v++ {
+				if parent[v] != -1 {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					stats.EdgesScanned++
+					if inFrontier[u] {
+						parent[v] = u
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		} else {
+			for _, v := range frontier {
+				for _, u := range g.Neighbors(v) {
+					stats.EdgesScanned++
+					if parent[u] == -1 {
+						parent[u] = v
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		for _, v := range next {
+			unvisitedEdges -= g.Degree(v)
+		}
+		stats.FrontierTotal += int64(len(next))
+		frontier = next
+		// Small-frontier switch back to top-down is implicit: the
+		// heuristic re-evaluates every level.
+		_ = opts.Beta
+	}
+
+	// Edges counted by TEPS: adjacency entries whose source is
+	// reachable, halved (each undirected edge was inserted twice).
+	var reach int64
+	for v := int64(0); v < g.N; v++ {
+		if parent[v] != -1 {
+			reach += g.Degree(v)
+		}
+	}
+	stats.ReachableEdges = reach / 2
+	return parent, stats
+}
+
+// AnalyticStats synthesizes the access profile of a BFS over a
+// Kronecker graph too large to materialize: on these scale-free
+// graphs, one traversal from a random root of the giant component
+// scans nearly all adjacency entries and visits most vertices. Used by
+// the large-scale experiments (Table IIa goes to 34 GB edge lists).
+func AnalyticStats(scale, edgefactor int) BFSStats {
+	s := Sizes(scale, edgefactor)
+	const reachableFrac = 0.92 // giant-component share of a Kronecker graph
+	return BFSStats{
+		EdgesScanned:   int64(float64(2*s.M) * reachableFrac),
+		FrontierTotal:  int64(float64(s.N) * reachableFrac * 0.7), // isolated vertices never enqueue
+		Levels:         scale/2 + 4,
+		ReachableEdges: int64(float64(s.M) * reachableFrac),
+	}
+}

@@ -1,0 +1,142 @@
+package graph500
+
+import (
+	"fmt"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+)
+
+// The paper ran Graph500 3.0.0 "over MPI" with 16 processes confined
+// to one package/cluster so that only local memory was exercised. This
+// file extends the reproduction to the multi-cluster case: a 1-D
+// partitioned BFS where each rank owns a vertex shard and its
+// adjacency, keeps its buffers on memory local to its cluster, and
+// exchanges frontier vertices with the other ranks every level — the
+// communication crossing cluster boundaries at remote-access cost.
+
+// Rank is one MPI-style process: an initiator (its cluster's cores)
+// and its shard of the data structures.
+type Rank struct {
+	Initiator *bitmap.Bitmap
+	Threads   int
+	Bufs      *Buffers
+}
+
+// AllocRanks builds P ranks, placing each rank's shard through
+// place(rank, name, size). Shards split every structure evenly.
+func AllocRanks(p int, s SizesInfo, initiators []*bitmap.Bitmap, threads int,
+	place func(rank int, name string, size uint64) (*memsim.Buffer, error)) ([]*Rank, error) {
+	if p < 1 || len(initiators) < p {
+		return nil, fmt.Errorf("graph500: need %d initiators, have %d", p, len(initiators))
+	}
+	shard := func(v uint64) uint64 { return v / uint64(p) }
+	var ranks []*Rank
+	for r := 0; r < p; r++ {
+		rr := r
+		bufs, err := AllocBuffers(func(name string, size uint64) (*memsim.Buffer, error) {
+			return place(rr, fmt.Sprintf("r%d_%s", rr, name), size)
+		}, SizesInfo{
+			XAdjB:    shard(s.XAdjB),
+			AdjB:     shard(s.AdjB),
+			ParentB:  shard(s.ParentB),
+			QueueB:   shard(s.QueueB),
+			VisitedB: shard(s.VisitedB),
+		})
+		if err != nil {
+			for _, built := range ranks {
+				_ = built
+			}
+			return nil, err
+		}
+		ranks = append(ranks, &Rank{Initiator: initiators[r], Threads: threads, Bufs: bufs})
+	}
+	return ranks, nil
+}
+
+// Free releases all rank shards.
+func FreeRanks(m *memsim.Machine, ranks []*Rank) {
+	for _, r := range ranks {
+		r.Bufs.Free(m)
+	}
+}
+
+// DistResult reports a distributed run.
+type DistResult struct {
+	HarmonicTEPS float64
+	// MaxRankSeconds is the per-BFS critical path (slowest rank).
+	MaxRankSeconds float64
+	// CommBytesPerBFS is the frontier-exchange volume each rank
+	// handles per traversal.
+	CommBytesPerBFS uint64
+}
+
+// RunDistributedTEPS replays the BFS profiles across the ranks. Each
+// rank executes 1/P of the scans and probes against its own shard; in
+// addition it reads the frontier contributions of every other rank
+// from *their* queue buffers — remote traffic whose cost the machine's
+// remote model determines. A traversal's time is the slowest rank's
+// time (level-synchronous BFS barriers every level).
+func RunDistributedTEPS(m *memsim.Machine, ranks []*Rank, stats []BFSStats, params SimParams) DistResult {
+	params.defaults()
+	p := len(ranks)
+	var res DistResult
+	var invSum float64
+	engines := make([]*memsim.Engine, p)
+	for i, r := range ranks {
+		engines[i] = memsim.NewEngine(m, r.Initiator)
+		if r.Threads > 0 {
+			engines[i].SetThreads(r.Threads)
+		}
+	}
+	for _, st := range stats {
+		// Shard the profile.
+		shardStat := BFSStats{
+			Root:           st.Root,
+			EdgesScanned:   st.EdgesScanned / int64(p),
+			FrontierTotal:  st.FrontierTotal / int64(p),
+			Levels:         st.Levels,
+			ReachableEdges: st.ReachableEdges,
+		}
+		// Cut edges: with random vertex placement a (p-1)/p share of
+		// edges crosses ranks; each produces an 8-byte vertex id that
+		// the owning rank must read from the sender's queue.
+		cut := uint64(st.EdgesScanned) * uint64(p-1) / uint64(p)
+		commPerRank := cut / uint64(p) * 8
+		res.CommBytesPerBFS = commPerRank
+
+		var worst float64
+		for i, r := range ranks {
+			before := engines[i].Elapsed()
+			accesses := []memsim.Access{
+				{Buffer: r.Bufs.XAdj, RandomReads: uint64(shardStat.FrontierTotal), MLP: params.MLP},
+				{Buffer: r.Bufs.Adj, ReadBytes: uint64(shardStat.EdgesScanned) * 8, RandomReads: uint64(shardStat.FrontierTotal), MLP: params.MLP},
+				{Buffer: r.Bufs.Parent, RandomReads: uint64(shardStat.EdgesScanned), MLP: params.MLP,
+					WriteBytes: uint64(shardStat.FrontierTotal) * 8,
+					CPUSeconds: params.CPUPerEdge * float64(shardStat.EdgesScanned) / float64(engines[i].Threads())},
+				{Buffer: r.Bufs.Queue, ReadBytes: uint64(shardStat.FrontierTotal) * 8, WriteBytes: uint64(shardStat.FrontierTotal) * 8},
+			}
+			// Frontier exchange: read every other rank's queue shard.
+			for j, other := range ranks {
+				if j == i {
+					continue
+				}
+				accesses = append(accesses, memsim.Access{
+					Buffer:    other.Bufs.Queue,
+					ReadBytes: commPerRank / uint64(p-1),
+				})
+			}
+			engines[i].Phase(fmt.Sprintf("bfs-rank%d", i), accesses)
+			if d := engines[i].Elapsed() - before; d > worst {
+				worst = d
+			}
+		}
+		res.MaxRankSeconds = worst
+		teps := float64(st.ReachableEdges) / worst
+		invSum += 1 / teps
+	}
+	if n := float64(len(stats)); n > 0 {
+		res.HarmonicTEPS = n / invSum
+	}
+	return res
+}

@@ -1,0 +1,117 @@
+package graph500
+
+import (
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+	"hetmem/internal/topology"
+)
+
+func knlSetup(t *testing.T) (*memsim.Machine, []*bitmap.Bitmap) {
+	t.Helper()
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inis []*bitmap.Bitmap
+	for _, g := range p.Topo.Objects(topology.Group) {
+		inis = append(inis, g.CPUSet.Copy())
+	}
+	return m, inis
+}
+
+func runDist(t *testing.T, m *memsim.Machine, inis []*bitmap.Bitmap, p, scale int) DistResult {
+	t.Helper()
+	s := Sizes(scale, 16)
+	ranks, err := AllocRanks(p, s, inis, 16, func(rank int, name string, size uint64) (*memsim.Buffer, error) {
+		// Each rank's shard on its cluster's DRAM.
+		return m.Alloc(name, size, m.NodeByOS(rank))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer FreeRanks(m, ranks)
+	an := AnalyticStats(scale, 16)
+	return RunDistributedTEPS(m, ranks, []BFSStats{an, an}, SimParams{CPUPerEdge: 1.8e-7, MLP: 3})
+}
+
+func TestDistributedScaling(t *testing.T) {
+	m, inis := knlSetup(t)
+	const scale = 23
+	r1 := runDist(t, m, inis, 1, scale)
+	r2 := runDist(t, m, inis, 2, scale)
+	r4 := runDist(t, m, inis, 4, scale)
+
+	if r1.CommBytesPerBFS != 0 {
+		t.Fatalf("single rank should not communicate: %d", r1.CommBytesPerBFS)
+	}
+	if r2.CommBytesPerBFS == 0 || r4.CommBytesPerBFS == 0 {
+		t.Fatal("multi-rank runs must communicate")
+	}
+	// More clusters = more TEPS (weak CPU scaling dominates)...
+	if !(r4.HarmonicTEPS > r2.HarmonicTEPS && r2.HarmonicTEPS > r1.HarmonicTEPS) {
+		t.Fatalf("TEPS not scaling: 1=%.3g 2=%.3g 4=%.3g", r1.HarmonicTEPS, r2.HarmonicTEPS, r4.HarmonicTEPS)
+	}
+	// Speedup can exceed P slightly — sharding shrinks each rank's
+	// parent array toward the LLC, a well-known BFS cache effect — but
+	// stays bounded by communication and remote reads.
+	speedup := r4.HarmonicTEPS / r1.HarmonicTEPS
+	if speedup < 2 || speedup > 5.5 {
+		t.Fatalf("4-rank speedup %.2f implausible", speedup)
+	}
+	// Communication volume grows with rank count (more cut edges).
+	if r4.CommBytesPerBFS <= 0 || r2.CommBytesPerBFS <= 0 {
+		t.Fatal("missing communication accounting")
+	}
+	cut2 := float64(r2.CommBytesPerBFS) * 2 // total exchanged, 2 ranks
+	cut4 := float64(r4.CommBytesPerBFS) * 4
+	if cut4 <= cut2 {
+		t.Fatalf("total cut traffic should grow with ranks: %f vs %f", cut4, cut2)
+	}
+}
+
+func TestDistributedPlacementStillMatters(t *testing.T) {
+	// The paper's point survives distribution: putting every shard on
+	// the remote-est memory hurts.
+	m, inis := knlSetup(t)
+	const scale = 22
+	s := Sizes(scale, 16)
+	an := AnalyticStats(scale, 16)
+	run := func(nodeFor func(rank int) int) float64 {
+		ranks, err := AllocRanks(2, s, inis, 16, func(rank int, name string, size uint64) (*memsim.Buffer, error) {
+			return m.Alloc(name, size, m.NodeByOS(nodeFor(rank)))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer FreeRanks(m, ranks)
+		return RunDistributedTEPS(m, ranks, []BFSStats{an}, SimParams{CPUPerEdge: 1.8e-7, MLP: 3}).HarmonicTEPS
+	}
+	local := run(func(r int) int { return r })       // rank r on cluster r's DRAM
+	swapped := run(func(r int) int { return 1 - r }) // shards on the *other* cluster
+	if swapped >= local {
+		t.Fatalf("remote shards %.3g should underperform local %.3g", swapped, local)
+	}
+}
+
+func TestAllocRanksErrors(t *testing.T) {
+	m, inis := knlSetup(t)
+	s := Sizes(20, 16)
+	if _, err := AllocRanks(8, s, inis, 16, nil); err == nil {
+		t.Fatal("more ranks than initiators should fail")
+	}
+	// Placement failure propagates.
+	_, err := AllocRanks(2, s, inis, 16, func(rank int, name string, size uint64) (*memsim.Buffer, error) {
+		return nil, memsim.ErrNoCapacity
+	})
+	if err == nil {
+		t.Fatal("placement failure should propagate")
+	}
+	_ = m
+}

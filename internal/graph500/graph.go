@@ -1,0 +1,45 @@
+package graph500
+
+import "fmt"
+
+// Graph is a compressed-sparse-row representation of the undirected
+// graph: every input edge appears in both directions. Self-loops are
+// kept (they are harmless to BFS), matching the reference code.
+type Graph struct {
+	N    int64
+	M    int64 // undirected edge count (= len(input edge list))
+	XAdj []int64
+	Adj  []int64
+}
+
+// BuildCSR converts an edge list into CSR form.
+func BuildCSR(edges []Edge, n int64) *Graph {
+	g := &Graph{N: n, M: int64(len(edges))}
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("graph500: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := int64(0); i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.XAdj = deg
+	g.Adj = make([]int64, 2*len(edges))
+	fill := make([]int64, n)
+	for _, e := range edges {
+		g.Adj[g.XAdj[e.U]+fill[e.U]] = e.V
+		fill[e.U]++
+		g.Adj[g.XAdj[e.V]+fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	return g
+}
+
+// Degree returns the number of adjacency entries of v.
+func (g *Graph) Degree(v int64) int64 { return g.XAdj[v+1] - g.XAdj[v] }
+
+// Neighbors returns the adjacency slice of v.
+func (g *Graph) Neighbors(v int64) []int64 { return g.Adj[g.XAdj[v]:g.XAdj[v+1]] }

@@ -1,0 +1,295 @@
+package graph500
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+func TestGenerateEdgesShape(t *testing.T) {
+	const scale, ef = 10, 16
+	edges := GenerateEdges(scale, ef, 1)
+	n := int64(1) << scale
+	if int64(len(edges)) != ef*n {
+		t.Fatalf("edges = %d, want %d", len(edges), ef*n)
+	}
+	deg := make([]int64, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	// Kronecker graphs are highly skewed: the max degree dwarfs the
+	// mean (2*ef = 32).
+	var max int64
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 10*2*ef {
+		t.Fatalf("max degree %d too small for an R-MAT graph", max)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateEdges(8, 8, 42)
+	b := GenerateEdges(8, 8, 42)
+	c := GenerateEdges(8, 8, 43)
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must reproduce the same edge list")
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBuildCSR(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 2}}
+	g := BuildCSR(edges, 4)
+	if g.XAdj[4] != int64(2*len(edges)) {
+		t.Fatalf("adj entries = %d", g.XAdj[4])
+	}
+	if g.Degree(2) != 4 { // 1-2, 2-0, self-loop twice
+		t.Fatalf("deg(2) = %d", g.Degree(2))
+	}
+	if g.Degree(3) != 0 {
+		t.Fatalf("deg(3) = %d", g.Degree(3))
+	}
+	// Symmetry: 0 lists 1, and 1 lists 0.
+	has := func(v, u int64) bool {
+		for _, w := range g.Neighbors(v) {
+			if w == u {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) || !has(1, 0) || !has(2, 2) {
+		t.Fatal("CSR lost symmetry")
+	}
+}
+
+func TestCSRRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge should panic")
+		}
+	}()
+	BuildCSR([]Edge{{0, 9}}, 4)
+}
+
+func TestBFSAndValidate(t *testing.T) {
+	edges := GenerateEdges(10, 16, 7)
+	n := int64(1) << 10
+	g := BuildCSR(edges, n)
+	root := edges[0].U
+
+	parent, stats := BFS(g, root, BFSOptions{})
+	if err := Validate(edges, n, root, parent); err != nil {
+		t.Fatalf("top-down tree invalid: %v", err)
+	}
+	if stats.EdgesScanned == 0 || stats.FrontierTotal == 0 || stats.Levels == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.ReachableEdges == 0 || stats.ReachableEdges > g.M {
+		t.Fatalf("reachable edges = %d (m=%d)", stats.ReachableEdges, g.M)
+	}
+
+	// Direction-optimizing BFS produces an equally valid tree and uses
+	// bottom-up levels on this dense giant component.
+	parentDO, statsDO := BFS(g, root, BFSOptions{DirectionOptimizing: true})
+	if err := Validate(edges, n, root, parentDO); err != nil {
+		t.Fatalf("direction-optimizing tree invalid: %v", err)
+	}
+	if statsDO.BottomUpLevels == 0 {
+		t.Fatal("direction optimization never switched bottom-up")
+	}
+	if statsDO.ReachableEdges != stats.ReachableEdges {
+		t.Fatalf("reachable edges differ: %d vs %d", statsDO.ReachableEdges, stats.ReachableEdges)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	// Two disconnected components.
+	edges := []Edge{{0, 1}, {2, 3}}
+	g := BuildCSR(edges, 4)
+	parent, _ := BFS(g, 0, BFSOptions{})
+	if parent[2] != -1 || parent[3] != -1 {
+		t.Fatal("unreachable vertices must keep parent -1")
+	}
+	if parent[0] != 0 || parent[1] != 0 {
+		t.Fatalf("component 0 wrong: %v", parent)
+	}
+	// Validate must reject this tree against a *connected* edge list.
+	if err := Validate(append(edges, Edge{1, 2}), 4, 0, parent); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("boundary-crossing edge accepted: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}}
+	g := BuildCSR(edges, 4)
+	parent, _ := BFS(g, 0, BFSOptions{})
+	if err := Validate(edges, 4, 0, parent); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(f func(p []int64)) error {
+		p := append([]int64(nil), parent...)
+		f(p)
+		return Validate(edges, 4, 0, p)
+	}
+	if err := corrupt(func(p []int64) { p[0] = 1 }); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("bad root accepted: %v", err)
+	}
+	if err := corrupt(func(p []int64) { p[3] = 0 }); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("fake tree edge accepted: %v", err)
+	}
+	if err := corrupt(func(p []int64) { p[1] = 2; p[2] = 1 }); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("cycle accepted: %v", err)
+	}
+	if err := corrupt(func(p []int64) { p[2] = -1 }); !errors.Is(err, ErrInvalidTree) {
+		t.Fatalf("boundary-crossing accepted: %v", err)
+	}
+	if err := Validate(edges, 3, 0, parent); !errors.Is(err, ErrInvalidTree) {
+		t.Fatal("wrong n accepted")
+	}
+}
+
+func TestAnalyticStatsMatchRealShape(t *testing.T) {
+	const scale, ef = 12, 16
+	edges := GenerateEdges(scale, ef, 3)
+	g := BuildCSR(edges, int64(1)<<scale)
+	_, real := BFS(g, edges[0].U, BFSOptions{})
+	an := AnalyticStats(scale, ef)
+	ratio := float64(an.EdgesScanned) / float64(real.EdgesScanned)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("analytic edges scanned off by %.2fx (analytic %d, real %d)", ratio, an.EdgesScanned, real.EdgesScanned)
+	}
+	fr := float64(an.ReachableEdges) / float64(real.ReachableEdges)
+	if fr < 0.7 || fr > 1.4 {
+		t.Fatalf("analytic reachable edges off by %.2fx", fr)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := Sizes(23, 16)
+	if s.N != 1<<23 || s.M != 16<<23 {
+		t.Fatalf("sizes = %+v", s)
+	}
+	// The paper's first Table IIa row: 2.15 GB edge list at scale 23.
+	gbs := float64(s.GraphLabelB) / 1e9
+	if math.Abs(gbs-2.147) > 0.01 {
+		t.Fatalf("scale-23 edge list = %.3f GB, want ~2.15", gbs)
+	}
+}
+
+func TestSimulatedPlacementMatters(t *testing.T) {
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 19)
+	s := Sizes(23, 16)
+	an := AnalyticStats(23, 16)
+
+	run := func(nodeOS int) float64 {
+		node := m.NodeByOS(nodeOS)
+		bufs, err := AllocBuffers(func(name string, size uint64) (*memsim.Buffer, error) {
+			return m.Alloc(name, size, node)
+		}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bufs.Free(m)
+		e := memsim.NewEngine(m, ini)
+		e.SetThreads(16)
+		res := RunTEPS(e, bufs, []BFSStats{an, an, an}, SimParams{})
+		return res.HarmonicTEPS
+	}
+	dram := run(0)
+	nv := run(2)
+	if dram <= nv {
+		t.Fatalf("DRAM TEPS %.3g should beat NVDIMM %.3g", dram, nv)
+	}
+	ratio := dram / nv
+	if ratio < 1.3 || ratio > 2.6 {
+		t.Fatalf("DRAM/NVDIMM TEPS ratio %.2f outside the paper's regime (~1.6)", ratio)
+	}
+	// Magnitudes: the paper reports ~3.4e8 on DRAM; stay within the
+	// same order of magnitude.
+	if dram < 1e8 || dram > 1e9 {
+		t.Fatalf("DRAM TEPS %.3g implausible", dram)
+	}
+}
+
+func TestRunTEPSHarmonicMean(t *testing.T) {
+	p, _ := platform.Get("xeon")
+	m, _ := p.NewMachine()
+	node := m.NodeByOS(0)
+	s := Sizes(20, 16)
+	bufs, err := AllocBuffers(func(name string, size uint64) (*memsim.Buffer, error) {
+		return m.Alloc(name, size, node)
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bufs.Free(m)
+	e := memsim.NewEngine(m, bitmap.NewFromRange(0, 15))
+
+	edges := GenerateEdges(14, 8, 9)
+	g := BuildCSR(edges, 1<<14)
+	var stats []BFSStats
+	for _, root := range []int64{edges[0].U, edges[1].U, edges[2].U} {
+		_, st := BFS(g, root, BFSOptions{})
+		stats = append(stats, st)
+	}
+	res := RunTEPS(e, bufs, stats, SimParams{})
+	if len(res.PerRootTEPS) != 3 || res.HarmonicTEPS <= 0 || res.MeanSeconds <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Harmonic mean never exceeds the max per-root TEPS.
+	max := 0.0
+	for _, v := range res.PerRootTEPS {
+		if v > max {
+			max = v
+		}
+	}
+	if res.HarmonicTEPS > max {
+		t.Fatal("harmonic mean above max")
+	}
+}
+
+func TestAllocBuffersFailureCleanup(t *testing.T) {
+	p, _ := platform.Get("knl-snc4-flat")
+	m, _ := p.NewMachine()
+	mc := m.NodeByOS(4) // 4 GB MCDRAM
+	s := Sizes(24, 16)  // adjacency alone is 4 GB
+	_, err := AllocBuffers(func(name string, size uint64) (*memsim.Buffer, error) {
+		return m.Alloc(name, size, mc)
+	}, s)
+	if err == nil {
+		t.Fatal("oversized allocation should fail")
+	}
+}

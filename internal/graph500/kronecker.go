@@ -1,0 +1,108 @@
+// Package graph500 implements the Graph500 benchmark used in the
+// paper's use case (Section VI): a Kronecker (R-MAT) graph generator,
+// CSR construction, level-synchronous breadth-first search with
+// optional direction optimization, the specification's result
+// validation, and the harmonic-mean TEPS metric.
+//
+// The algorithms run for real (and are validated) on small scales; the
+// performance of a run at any scale is obtained by replaying the BFS's
+// memory-access profile through the memory-system simulator
+// (internal/memsim), so that TEPS depends on where the graph's buffers
+// were allocated — which is the whole point of the use case.
+package graph500
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Edge is one directed entry of the generated edge list (the benchmark
+// treats the graph as undirected).
+type Edge struct {
+	U, V int64
+}
+
+// Kronecker initiator matrix per the Graph500 specification.
+const (
+	initA = 0.57
+	initB = 0.19
+	initC = 0.19
+)
+
+// GenerateEdges produces an R-MAT edge list with 2^scale vertices and
+// edgefactor*2^scale edges, with randomly permuted vertex labels and
+// shuffled edge order, as the Graph500 reference generator does.
+func GenerateEdges(scale, edgefactor int, seed int64) []Edge {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("graph500: unreasonable scale %d", scale))
+	}
+	n := int64(1) << uint(scale)
+	m := int64(edgefactor) * n
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+
+	ab := initA + initB
+	cNorm := initC / (1 - ab)
+	aNorm := initA / ab
+	for k := range edges {
+		var u, v int64
+		for bit := 0; bit < scale; bit++ {
+			iiBit := r.Float64() > ab
+			var jjBit bool
+			if iiBit {
+				jjBit = r.Float64() > cNorm
+			} else {
+				jjBit = r.Float64() > aNorm
+			}
+			if iiBit {
+				u |= 1 << uint(bit)
+			}
+			if jjBit {
+				v |= 1 << uint(bit)
+			}
+		}
+		edges[k] = Edge{u, v}
+	}
+
+	// Permute vertex labels so vertex degree is uncorrelated with ID.
+	perm := r.Perm(int(n))
+	for k := range edges {
+		edges[k].U = int64(perm[edges[k].U])
+		edges[k].V = int64(perm[edges[k].V])
+	}
+	// Shuffle the edge list.
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// Sizes reports the data-structure sizes of a run without building
+// anything — used to reason about very large scales and to label the
+// experiments the way the paper does ("Graph Size" = edge-list bytes).
+type SizesInfo struct {
+	N           int64  // vertices
+	M           int64  // edges in the list (undirected count)
+	EdgeListB   uint64 // 16 bytes per edge
+	XAdjB       uint64 // CSR offsets, 8*(n+1)
+	AdjB        uint64 // CSR adjacency (both directions), 8*2m
+	ParentB     uint64 // BFS parent array
+	QueueB      uint64 // frontier queues
+	VisitedB    uint64 // visited bitmap
+	TotalWorkB  uint64 // everything the BFS touches
+	GraphLabelB uint64 // the paper's "graph size" label (edge list)
+}
+
+// Sizes computes SizesInfo for a scale/edgefactor pair.
+func Sizes(scale, edgefactor int) SizesInfo {
+	n := int64(1) << uint(scale)
+	m := int64(edgefactor) * n
+	s := SizesInfo{N: n, M: m}
+	s.EdgeListB = uint64(m) * 16
+	s.XAdjB = uint64(n+1) * 8
+	s.AdjB = uint64(2*m) * 8
+	s.ParentB = uint64(n) * 8
+	s.QueueB = uint64(n) * 8
+	s.VisitedB = uint64(n+7) / 8
+	s.TotalWorkB = s.XAdjB + s.AdjB + s.ParentB + s.QueueB + s.VisitedB
+	s.GraphLabelB = s.EdgeListB
+	return s
+}

@@ -1,0 +1,71 @@
+package graph500
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RealConfig drives a full real-mode benchmark run: generate, build,
+// traverse with validation — the Graph500 procedure — producing the
+// per-root access statistics that the simulator then replays.
+type RealConfig struct {
+	Scale      int
+	EdgeFactor int
+	Seed       int64
+	// NRoots is the number of search keys (the specification uses 64;
+	// small runs use fewer). Roots are sampled among vertices with
+	// non-zero degree, per the spec.
+	NRoots int
+	Opts   BFSOptions
+	// SkipValidation disables the result checks (they are O(m) with a
+	// large constant; the spec always validates).
+	SkipValidation bool
+}
+
+func (c *RealConfig) defaults() {
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = 16
+	}
+	if c.NRoots == 0 {
+		c.NRoots = 8
+	}
+}
+
+// RealOutput is the result of a real-mode run.
+type RealOutput struct {
+	N, M  int64
+	Graph *Graph
+	Stats []BFSStats
+}
+
+// RunReal executes the real algorithm end to end and returns the
+// per-root statistics. Use RunTEPS with an engine and placed buffers
+// to obtain the simulated performance of this exact run.
+func RunReal(cfg RealConfig) (*RealOutput, error) {
+	cfg.defaults()
+	edges := GenerateEdges(cfg.Scale, cfg.EdgeFactor, cfg.Seed)
+	n := int64(1) << uint(cfg.Scale)
+	g := BuildCSR(edges, n)
+
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995))
+	out := &RealOutput{N: n, M: g.M, Graph: g}
+	tried := 0
+	for len(out.Stats) < cfg.NRoots {
+		if tried > 100*cfg.NRoots {
+			return nil, fmt.Errorf("graph500: could not find %d roots with edges", cfg.NRoots)
+		}
+		tried++
+		root := int64(r.Intn(int(n)))
+		if g.Degree(root) == 0 {
+			continue
+		}
+		parent, st := BFS(g, root, cfg.Opts)
+		if !cfg.SkipValidation {
+			if err := Validate(edges, n, root, parent); err != nil {
+				return nil, fmt.Errorf("graph500: root %d: %w", root, err)
+			}
+		}
+		out.Stats = append(out.Stats, st)
+	}
+	return out, nil
+}

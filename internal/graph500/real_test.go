@@ -1,0 +1,103 @@
+package graph500
+
+import (
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+func TestRunRealValidated(t *testing.T) {
+	out, err := RunReal(RealConfig{Scale: 12, Seed: 5, NRoots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 1<<12 || out.M != 16<<12 {
+		t.Fatalf("sizes = %d %d", out.N, out.M)
+	}
+	if len(out.Stats) != 4 {
+		t.Fatalf("roots = %d", len(out.Stats))
+	}
+	for _, st := range out.Stats {
+		if st.EdgesScanned == 0 || st.ReachableEdges == 0 {
+			t.Fatalf("degenerate stats %+v", st)
+		}
+	}
+}
+
+func TestRunRealDirectionOptimizing(t *testing.T) {
+	plain, err := RunReal(RealConfig{Scale: 12, Seed: 5, NRoots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, err := RunReal(RealConfig{Scale: 12, Seed: 5, NRoots: 2, Opts: BFSOptions{DirectionOptimizing: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direction optimization scans dramatically fewer edges on the
+	// giant component of a scale-free graph.
+	if do.Stats[0].EdgesScanned >= plain.Stats[0].EdgesScanned {
+		t.Fatalf("direction optimization did not help: %d vs %d",
+			do.Stats[0].EdgesScanned, plain.Stats[0].EdgesScanned)
+	}
+	if do.Stats[0].ReachableEdges != plain.Stats[0].ReachableEdges {
+		t.Fatal("reachable edges must not depend on traversal direction")
+	}
+}
+
+func TestRealModeSimulatedTEPS(t *testing.T) {
+	// The full real pipeline into the simulator: results must land in
+	// the same ballpark as the analytic profile at the same scale.
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 14
+	out, err := RunReal(RealConfig{Scale: scale, Seed: 9, NRoots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sizes(scale, 16)
+	node := m.NodeByOS(0)
+	bufs, err := AllocBuffers(func(name string, size uint64) (*memsim.Buffer, error) {
+		return m.Alloc(name, size, node)
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bufs.Free(m)
+	e := memsim.NewEngine(m, bitmap.NewFromRange(0, 15))
+	real := RunTEPS(e, bufs, out.Stats, SimParams{})
+	an := RunTEPS(e, bufs, []BFSStats{AnalyticStats(scale, 16)}, SimParams{})
+	if real.HarmonicTEPS <= 0 {
+		t.Fatal("no TEPS")
+	}
+	ratio := real.HarmonicTEPS / an.HarmonicTEPS
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("real-mode TEPS %.3g vs analytic %.3g (ratio %.2f) disagree too much",
+			real.HarmonicTEPS, an.HarmonicTEPS, ratio)
+	}
+}
+
+func TestRunRealNoRoots(t *testing.T) {
+	// An (almost) edgeless graph cannot provide roots... edgefactor is
+	// at least 1 with our generator, so instead check the error path
+	// via an impossible root count on a tiny graph: every vertex has
+	// edges, so this succeeds; the error path needs degree-0 vertices.
+	// Build a graph where most vertices are isolated by using scale 10
+	// with edgefactor 1 concentrated by Kronecker skew.
+	out, err := RunReal(RealConfig{Scale: 10, EdgeFactor: 1, Seed: 3, NRoots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range out.Stats {
+		if out.Graph.Degree(st.Root) == 0 {
+			t.Fatal("picked an isolated root")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package graph500
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidTree is wrapped by all validation failures.
+var ErrInvalidTree = errors.New("graph500: invalid BFS tree")
+
+// Validate runs the Graph500 specification's result checks on a parent
+// array:
+//
+//  1. the root is its own parent;
+//  2. every tree edge (v, parent[v]) exists in the input edge list;
+//  3. BFS levels of tree neighbours differ by exactly one;
+//  4. every vertex incident to a reachable edge is in the tree
+//     (connectivity: the tree spans the root's component);
+//  5. the parent array contains no cycles (implied by 3, checked
+//     directly while computing levels).
+func Validate(edges []Edge, n, root int64, parent []int64) error {
+	if int64(len(parent)) != n {
+		return fmt.Errorf("%w: parent length %d != n %d", ErrInvalidTree, len(parent), n)
+	}
+	if parent[root] != root {
+		return fmt.Errorf("%w: parent[root]=%d", ErrInvalidTree, parent[root])
+	}
+
+	// Compute levels by walking parents, with cycle detection (check 5).
+	level := make([]int64, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	var walk func(v int64, depth int64) (int64, error)
+	walk = func(v int64, depth int64) (int64, error) {
+		if depth > n {
+			return 0, fmt.Errorf("%w: parent cycle at vertex %d", ErrInvalidTree, v)
+		}
+		if level[v] >= 0 {
+			return level[v], nil
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("%w: vertex %d has parent %d", ErrInvalidTree, v, p)
+		}
+		lp, err := walk(p, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		level[v] = lp + 1
+		return level[v], nil
+	}
+	for v := int64(0); v < n; v++ {
+		if parent[v] == -1 {
+			continue
+		}
+		if _, err := walk(v, 0); err != nil {
+			return err
+		}
+	}
+
+	// Check 2: tree edges must exist in the input list (either
+	// direction).
+	type pair struct{ a, b int64 }
+	present := make(map[pair]bool, 2*len(edges))
+	for _, e := range edges {
+		present[pair{e.U, e.V}] = true
+		present[pair{e.V, e.U}] = true
+	}
+	for v := int64(0); v < n; v++ {
+		p := parent[v]
+		if p == -1 || v == root {
+			continue
+		}
+		if !present[pair{v, p}] {
+			return fmt.Errorf("%w: tree edge (%d,%d) not in graph", ErrInvalidTree, v, p)
+		}
+	}
+
+	// Checks 3 and 4 over the full edge list.
+	for _, e := range edges {
+		lu, lv := level[e.U], level[e.V]
+		switch {
+		case lu == -1 && lv == -1:
+			// Both outside the component: fine.
+		case lu == -1 || lv == -1:
+			return fmt.Errorf("%w: edge (%d,%d) crosses the component boundary", ErrInvalidTree, e.U, e.V)
+		default:
+			d := lu - lv
+			if d < -1 || d > 1 {
+				return fmt.Errorf("%w: edge (%d,%d) spans levels %d and %d", ErrInvalidTree, e.U, e.V, lu, lv)
+			}
+		}
+	}
+	return nil
+}

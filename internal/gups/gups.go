@@ -1,0 +1,101 @@
+// Package gups implements the HPC Challenge RandomAccess benchmark
+// (GUPS — giga-updates per second), a second latency-bound workload
+// beyond Graph500: random read-modify-write updates over a huge table.
+// The paper's Section III-B2 singles out exactly this class
+// ("graph-based or Pointer Chasing-type applications benefit much more
+// from low latency than from high bandwidth"); GUPS gives the test
+// suite a pure-latency application with no streaming component at all.
+//
+// The real kernel runs and self-verifies at small scale (XOR updates
+// are an involution: replaying the same update stream restores the
+// table); the simulated run replays its access profile against placed
+// buffers, like the other workloads.
+package gups
+
+import (
+	"fmt"
+
+	"hetmem/internal/memsim"
+)
+
+// Real runs the actual RandomAccess kernel over a 2^logSize table and
+// verifies it by replaying the same update stream (which must restore
+// the initial table). Returns an error on verification failure.
+func Real(logSize uint, updates int) error {
+	if logSize < 1 || logSize > 28 {
+		return fmt.Errorf("gups: unreasonable table size 2^%d", logSize)
+	}
+	n := 1 << logSize
+	table := make([]uint64, n)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	mask := uint64(n - 1)
+
+	run := func() {
+		ran := uint64(1)
+		for i := 0; i < updates; i++ {
+			ran = lcg(ran)
+			table[ran&mask] ^= ran
+		}
+	}
+	run() // scramble
+	run() // unscramble: XOR with the same stream
+	for i, v := range table {
+		if v != uint64(i) {
+			return fmt.Errorf("gups: verification failed at %d: %d", i, v)
+		}
+	}
+	return nil
+}
+
+// lcg is the HPCC-style pseudo-random stream (a simple full-period
+// generator suffices for our purposes).
+func lcg(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+// SimParams tunes the simulated run.
+type SimParams struct {
+	// MLP is the update stream's memory-level parallelism: RandomAccess
+	// batches 128 independent updates, so parallelism is high. Default
+	// 16.
+	MLP float64
+	// CPUPerUpdate is the per-thread instruction cost of one update.
+	// Default 1.5 ns.
+	CPUPerUpdate float64
+}
+
+func (p *SimParams) defaults() {
+	if p.MLP == 0 {
+		p.MLP = 16
+	}
+	if p.CPUPerUpdate == 0 {
+		p.CPUPerUpdate = 1.5e-9
+	}
+}
+
+// Result of a simulated run.
+type Result struct {
+	Seconds float64
+	// GUPS is updates/1e9/seconds, the benchmark's metric.
+	GUPS float64
+}
+
+// Run replays `updates` random read-modify-write operations over the
+// table buffer.
+func Run(e *memsim.Engine, table *memsim.Buffer, updates uint64, p SimParams) Result {
+	p.defaults()
+	// The read half of each update pays the miss latency; the 8-byte
+	// write-backs drain asynchronously and are not modelled as a
+	// synchronous stream.
+	res := e.Phase("gups", []memsim.Access{{
+		Buffer:      table,
+		RandomReads: updates,
+		MLP:         p.MLP,
+		CPUSeconds:  p.CPUPerUpdate * float64(updates) / float64(e.Threads()),
+	}})
+	out := Result{Seconds: res.Seconds}
+	if res.Seconds > 0 {
+		out.GUPS = float64(updates) / 1e9 / res.Seconds
+	}
+	return out
+}

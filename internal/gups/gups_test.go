@@ -1,0 +1,102 @@
+package gups
+
+import (
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+const gib = uint64(1) << 30
+
+func TestRealVerifies(t *testing.T) {
+	if err := Real(16, 200_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := Real(0, 10); err == nil {
+		t.Fatal("degenerate size should fail")
+	}
+}
+
+func TestSimLatencyBound(t *testing.T) {
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 19)
+	run := func(nodeOS int) Result {
+		table, err := m.Alloc("gups-table", 8*gib, m.NodeByOS(nodeOS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Free(table)
+		e := memsim.NewEngine(m, ini)
+		return Run(e, table, 500_000_000, SimParams{})
+	}
+	dram := run(0)
+	nv := run(2)
+	if dram.GUPS <= nv.GUPS {
+		t.Fatalf("DRAM %.4f GUPS should beat NVDIMM %.4f", dram.GUPS, nv.GUPS)
+	}
+	// GUPS is far more placement-sensitive than STREAM-style ratios
+	// suggest: the latency gap passes straight through.
+	if ratio := dram.GUPS / nv.GUPS; ratio < 1.5 {
+		t.Fatalf("GUPS ratio %.2f too small for a pure-latency workload", ratio)
+	}
+	// Plausible magnitude: a two-socket Xeon delivers fractions of a
+	// GUPS.
+	if dram.GUPS < 0.005 || dram.GUPS > 5 {
+		t.Fatalf("GUPS %.4f implausible", dram.GUPS)
+	}
+}
+
+func TestSimOnKNLHighMLP(t *testing.T) {
+	// Unlike Graph500 (Table IIb), GUPS issues enough concurrent
+	// misses (MLP 16) that its line fills saturate the cluster DDR4
+	// bandwidth — MCDRAM wins by a large margin, as it does on real
+	// KNL for RandomAccess.
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15)
+	run := func(nodeOS int) Result {
+		table, err := m.Alloc("gups-table", 3*gib, m.NodeByOS(nodeOS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Free(table)
+		e := memsim.NewEngine(m, ini)
+		return Run(e, table, 200_000_000, SimParams{})
+	}
+	dram := run(0)
+	mc := run(4)
+	ratio := dram.GUPS / mc.GUPS
+	if ratio < 0.2 || ratio > 0.8 {
+		t.Fatalf("KNL GUPS ratio %.2f: MCDRAM should win clearly under load", ratio)
+	}
+	// At pointer-chase concurrency (MLP 1) the load vanishes and the
+	// two memories tie on idle latency, like Graph500.
+	run1 := func(nodeOS int) Result {
+		table, err := m.Alloc("gups-table", 3*gib, m.NodeByOS(nodeOS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Free(table)
+		e := memsim.NewEngine(m, ini)
+		return Run(e, table, 20_000_000, SimParams{MLP: 1})
+	}
+	d1, m1 := run1(0), run1(4)
+	if r := d1.GUPS / m1.GUPS; r < 0.9 || r > 1.3 {
+		t.Fatalf("chase-mode ratio %.2f should be near 1", r)
+	}
+}

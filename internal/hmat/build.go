@@ -1,0 +1,198 @@
+package hmat
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// Options controls table generation.
+type Options struct {
+	// LocalOnly restricts the matrix to (initiator, target) pairs that
+	// share locality, reproducing the Linux 5.2+ sysfs limitation the
+	// paper highlights: "it is currently impossible to compare the
+	// local DRAM with the HBM of another processor".
+	LocalOnly bool
+	// IncludeReadWrite additionally emits separate Read/Write
+	// latency/bandwidth structures, as some platforms do.
+	IncludeReadWrite bool
+	// Override, when non-nil, lets a platform dictate the exact value
+	// the firmware reports for a pair (e.g. the verbatim numbers in
+	// Figure 5 of the paper); returning ok=false falls back to the
+	// model-derived value.
+	Override func(ini, tgt *topology.Object, dt DataType, local bool) (uint64, bool)
+	Revision uint8
+}
+
+// BuildTable derives a firmware table from the machine's ground-truth
+// model: access bandwidth from each node's read bandwidth (MB/s) and
+// access latency from its idle latency (ns), degraded by the remote
+// model for non-local pairs. Initiator proximity domains are the
+// distinct CPU parents of NUMA nodes, in logical order.
+func BuildTable(topo *topology.Topology, model memsim.MachineModel, opts Options) *Table {
+	t := &Table{Revision: opts.Revision}
+
+	// Enumerate initiator localities (distinct CPU parents).
+	var parents []*topology.Object
+	seen := make(map[*topology.Object]bool)
+	for _, n := range topo.NUMANodes() {
+		p := n.CPUParent()
+		if p != nil && !seen[p] {
+			seen[p] = true
+			parents = append(parents, p)
+		}
+	}
+	sort.SliceStable(parents, func(i, j int) bool {
+		a, b := parents[i].CPUSet.First(), parents[j].CPUSet.First()
+		if a != b {
+			return a < b
+		}
+		return parents[i].CPUSet.Weight() < parents[j].CPUSet.Weight()
+	})
+	for pd, p := range parents {
+		ini := Initiator{PD: uint32(pd)}
+		p.CPUSet.ForEach(func(i int) bool {
+			ini.PUs = append(ini.PUs, uint32(i))
+			return true
+		})
+		t.Initiators = append(t.Initiators, ini)
+	}
+
+	nodes := topo.NUMANodes()
+	value := func(p, n *topology.Object, dt DataType, local bool) uint64 {
+		if opts.Override != nil {
+			if v, ok := opts.Override(p, n, dt, local); ok {
+				return v
+			}
+		}
+		nm, ok := model.Nodes[n.OSIndex]
+		if !ok {
+			return NoEntry
+		}
+		const mibPerGib = 1024
+		var v float64
+		switch dt {
+		case AccessBandwidth, ReadBandwidth:
+			v = nm.ReadBW * mibPerGib
+		case WriteBandwidth:
+			v = nm.WriteBW * mibPerGib
+		case AccessLatency, ReadLatency:
+			v = nm.IdleLatency
+		case WriteLatency:
+			v = nm.IdleLatency
+		}
+		if !local {
+			switch {
+			case dt.IsLatency():
+				add := model.Remote.LatencyAdd
+				if add <= 0 {
+					add = 60
+				}
+				v += add
+			default:
+				f := model.Remote.BWFactor
+				if f <= 0 {
+					f = 0.5
+				}
+				v *= f
+			}
+		}
+		return uint64(v + 0.5)
+	}
+
+	types := []DataType{AccessBandwidth, AccessLatency}
+	if opts.IncludeReadWrite {
+		types = append(types, ReadBandwidth, WriteBandwidth, ReadLatency, WriteLatency)
+	}
+	for _, dt := range types {
+		l := LatBW{Type: dt}
+		for pd := range parents {
+			l.Initiators = append(l.Initiators, uint32(pd))
+		}
+		for _, n := range nodes {
+			l.Targets = append(l.Targets, uint32(n.OSIndex))
+		}
+		for _, p := range parents {
+			for _, n := range nodes {
+				local := bitmap.Intersects(p.CPUSet, n.CPUSet)
+				if opts.LocalOnly && !local {
+					l.Entries = append(l.Entries, NoEntry)
+					continue
+				}
+				l.Entries = append(l.Entries, value(p, n, dt, local))
+			}
+		}
+		t.LatBW = append(t.LatBW, l)
+	}
+
+	// Memory-side caches.
+	var cached []int
+	for os := range model.MemCaches {
+		cached = append(cached, os)
+	}
+	sort.Ints(cached)
+	for _, os := range cached {
+		mc := model.MemCaches[os]
+		t.Caches = append(t.Caches, MemSideCache{
+			MemoryPD:  uint32(os),
+			CacheSize: mc.Size,
+			LatencyNS: uint32(mc.Latency),
+			BWMBs:     uint32(mc.TotalBW * 1024),
+		})
+	}
+	return t
+}
+
+var dtToAttr = map[DataType]memattr.ID{
+	AccessBandwidth: memattr.Bandwidth,
+	AccessLatency:   memattr.Latency,
+	ReadBandwidth:   memattr.ReadBandwidth,
+	WriteBandwidth:  memattr.WriteBandwidth,
+	ReadLatency:     memattr.ReadLatency,
+	WriteLatency:    memattr.WriteLatency,
+}
+
+// Apply feeds a decoded table into a memory-attribute registry: every
+// present matrix entry becomes a per-initiator attribute value. This is
+// the "native discovery" path of Table I in the paper.
+func Apply(t *Table, reg *memattr.Registry) error {
+	topo := reg.Topology()
+	iniSet := make(map[uint32]*bitmap.Bitmap)
+	for _, ini := range t.Initiators {
+		b := bitmap.New()
+		for _, pu := range ini.PUs {
+			b.Set(int(pu))
+		}
+		iniSet[ini.PD] = b
+	}
+	for _, l := range t.LatBW {
+		attr, ok := dtToAttr[l.Type]
+		if !ok {
+			return fmt.Errorf("hmat: unsupported data type %s", l.Type)
+		}
+		for i, ipd := range l.Initiators {
+			cpus, ok := iniSet[ipd]
+			if !ok {
+				return fmt.Errorf("hmat: initiator PD %d has no initiator map entry", ipd)
+			}
+			for j, tpd := range l.Targets {
+				v := l.Entry(i, j)
+				if v == NoEntry {
+					continue
+				}
+				node := topo.ObjectByOS(topology.NUMANode, int(tpd))
+				if node == nil {
+					return fmt.Errorf("hmat: target PD %d is not a NUMA node", tpd)
+				}
+				if err := reg.SetValue(attr, node, cpus, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

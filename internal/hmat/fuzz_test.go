@@ -1,0 +1,27 @@
+package hmat
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the firmware-table parser: it
+// must return an error or a table, never panic, and any table it
+// accepts must re-encode and re-decode stably.
+func FuzzDecode(f *testing.F) {
+	topo, model := rig(f)
+	f.Add(BuildTable(topo, model, Options{}).Encode())
+	f.Add(BuildTable(topo, model, Options{LocalOnly: true, IncludeReadWrite: true}).Encode())
+	f.Add([]byte("HMAT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(tbl.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted table failed: %v", err)
+		}
+		if len(again.LatBW) != len(tbl.LatBW) || len(again.Initiators) != len(tbl.Initiators) {
+			t.Fatal("re-decode changed structure counts")
+		}
+	})
+}

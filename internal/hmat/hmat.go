@@ -1,0 +1,282 @@
+// Package hmat implements a binary Heterogeneous Memory Attribute
+// Table in the spirit of the ACPI 6.2 HMAT, the firmware table the
+// paper relies on for native discovery of bandwidth and latency
+// (Section IV-A1). Platform definitions encode their theoretical
+// performance into a table; the discovery path decodes the table and
+// feeds the memory-attribute registry — exactly the sysfs pipeline the
+// authors contributed to Linux 5.2, including its limitation of
+// exposing only *local* performance (reproduced by the LocalOnly
+// option, and visible in Figure 5 of the paper).
+//
+// The layout is a simplified but faithful little-endian encoding:
+//
+//	header:  magic "HMAT" | revision u8 | reserved [3]u8 | nstruct u32 | checksum u32
+//	struct:  type u16 | length u32 | payload
+//
+// Structure types:
+//
+//	1: System Locality Latency and Bandwidth Information — data type
+//	   (access/read/write × latency/bandwidth), initiator and target
+//	   proximity-domain lists, and a row-major entry matrix
+//	   (0xFFFFFFFFFFFFFFFF = not provided);
+//	2: Memory Side Cache Information — cached node, size, performance;
+//	3: Initiator map (stand-in for SRAT): proximity domain → PU list.
+package hmat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DataType selects what a latency/bandwidth structure describes,
+// mirroring ACPI HMAT data types.
+type DataType uint8
+
+const (
+	AccessLatency DataType = iota // nanoseconds
+	ReadLatency
+	WriteLatency
+	AccessBandwidth // MB/s
+	ReadBandwidth
+	WriteBandwidth
+)
+
+// String names the data type.
+func (d DataType) String() string {
+	switch d {
+	case AccessLatency:
+		return "AccessLatency"
+	case ReadLatency:
+		return "ReadLatency"
+	case WriteLatency:
+		return "WriteLatency"
+	case AccessBandwidth:
+		return "AccessBandwidth"
+	case ReadBandwidth:
+		return "ReadBandwidth"
+	case WriteBandwidth:
+		return "WriteBandwidth"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(d))
+	}
+}
+
+// IsLatency reports whether the data type is a latency.
+func (d DataType) IsLatency() bool { return d <= WriteLatency }
+
+// NoEntry marks a missing matrix entry.
+const NoEntry = ^uint64(0)
+
+// LatBW is a System Locality Latency and Bandwidth Information
+// structure: a matrix of values between initiator proximity domains
+// and memory (target) proximity domains.
+type LatBW struct {
+	Type DataType
+	// Initiators and Targets are proximity-domain numbers. Targets are
+	// NUMA node OS indexes; Initiators refer to the initiator map.
+	Initiators []uint32
+	Targets    []uint32
+	// Entries is row-major [initiator][target]; NoEntry = absent.
+	Entries []uint64
+}
+
+// Entry returns the matrix entry for (initiator i, target t) by
+// position.
+func (l *LatBW) Entry(i, t int) uint64 { return l.Entries[i*len(l.Targets)+t] }
+
+// MemSideCache describes a memory-side cache in front of a memory
+// proximity domain.
+type MemSideCache struct {
+	MemoryPD  uint32
+	CacheSize uint64
+	LatencyNS uint32
+	BWMBs     uint32
+}
+
+// Initiator maps an initiator proximity domain to the PUs it contains
+// (our stand-in for the ACPI SRAT).
+type Initiator struct {
+	PD  uint32
+	PUs []uint32
+}
+
+// Table is a decoded HMAT.
+type Table struct {
+	Revision   uint8
+	LatBW      []LatBW
+	Caches     []MemSideCache
+	Initiators []Initiator
+}
+
+const magic = "HMAT"
+
+const (
+	stLatBW     uint16 = 1
+	stCache     uint16 = 2
+	stInitiator uint16 = 3
+)
+
+// Encode serializes the table.
+func (t *Table) Encode() []byte {
+	var payload []byte
+	n := 0
+	appendStruct := func(typ uint16, body []byte) {
+		var hdr [6]byte
+		binary.LittleEndian.PutUint16(hdr[0:], typ)
+		binary.LittleEndian.PutUint32(hdr[2:], uint32(len(body)))
+		payload = append(payload, hdr[:]...)
+		payload = append(payload, body...)
+		n++
+	}
+	u32 := func(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+	for _, l := range t.LatBW {
+		var b []byte
+		b = append(b, byte(l.Type))
+		b = u32(b, uint32(len(l.Initiators)))
+		b = u32(b, uint32(len(l.Targets)))
+		for _, p := range l.Initiators {
+			b = u32(b, p)
+		}
+		for _, p := range l.Targets {
+			b = u32(b, p)
+		}
+		for _, e := range l.Entries {
+			b = u64(b, e)
+		}
+		appendStruct(stLatBW, b)
+	}
+	for _, c := range t.Caches {
+		var b []byte
+		b = u32(b, c.MemoryPD)
+		b = u64(b, c.CacheSize)
+		b = u32(b, c.LatencyNS)
+		b = u32(b, c.BWMBs)
+		appendStruct(stCache, b)
+	}
+	for _, ini := range t.Initiators {
+		var b []byte
+		b = u32(b, ini.PD)
+		b = u32(b, uint32(len(ini.PUs)))
+		for _, pu := range ini.PUs {
+			b = u32(b, pu)
+		}
+		appendStruct(stInitiator, b)
+	}
+
+	out := make([]byte, 0, 16+len(payload))
+	out = append(out, magic...)
+	out = append(out, t.Revision, 0, 0, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	out = binary.LittleEndian.AppendUint32(out, checksum(payload))
+	return append(out, payload...)
+}
+
+func checksum(b []byte) uint32 {
+	var s uint32
+	for _, c := range b {
+		s = s*31 + uint32(c)
+	}
+	return s
+}
+
+// Decode errors.
+var (
+	ErrBadMagic    = errors.New("hmat: bad magic")
+	ErrBadChecksum = errors.New("hmat: checksum mismatch")
+	ErrTruncated   = errors.New("hmat: truncated table")
+)
+
+// Decode parses a table produced by Encode, validating the checksum.
+func Decode(data []byte) (*Table, error) {
+	if len(data) < 16 {
+		return nil, ErrTruncated
+	}
+	if string(data[0:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	t := &Table{Revision: data[4]}
+	nstruct := binary.LittleEndian.Uint32(data[8:12])
+	sum := binary.LittleEndian.Uint32(data[12:16])
+	payload := data[16:]
+	if checksum(payload) != sum {
+		return nil, ErrBadChecksum
+	}
+	off := 0
+	for i := uint32(0); i < nstruct; i++ {
+		if off+6 > len(payload) {
+			return nil, ErrTruncated
+		}
+		typ := binary.LittleEndian.Uint16(payload[off:])
+		length := int(binary.LittleEndian.Uint32(payload[off+2:]))
+		off += 6
+		if off+length > len(payload) {
+			return nil, ErrTruncated
+		}
+		body := payload[off : off+length]
+		off += length
+		switch typ {
+		case stLatBW:
+			l, err := decodeLatBW(body)
+			if err != nil {
+				return nil, err
+			}
+			t.LatBW = append(t.LatBW, *l)
+		case stCache:
+			if len(body) < 20 {
+				return nil, ErrTruncated
+			}
+			t.Caches = append(t.Caches, MemSideCache{
+				MemoryPD:  binary.LittleEndian.Uint32(body[0:]),
+				CacheSize: binary.LittleEndian.Uint64(body[4:]),
+				LatencyNS: binary.LittleEndian.Uint32(body[12:]),
+				BWMBs:     binary.LittleEndian.Uint32(body[16:]),
+			})
+		case stInitiator:
+			if len(body) < 8 {
+				return nil, ErrTruncated
+			}
+			ini := Initiator{PD: binary.LittleEndian.Uint32(body[0:])}
+			n := int(binary.LittleEndian.Uint32(body[4:]))
+			if len(body) < 8+4*n {
+				return nil, ErrTruncated
+			}
+			for j := 0; j < n; j++ {
+				ini.PUs = append(ini.PUs, binary.LittleEndian.Uint32(body[8+4*j:]))
+			}
+			t.Initiators = append(t.Initiators, ini)
+		default:
+			// Unknown structures are skipped, like ACPI consumers do.
+		}
+	}
+	return t, nil
+}
+
+func decodeLatBW(body []byte) (*LatBW, error) {
+	if len(body) < 9 {
+		return nil, ErrTruncated
+	}
+	l := &LatBW{Type: DataType(body[0])}
+	ni := int(binary.LittleEndian.Uint32(body[1:]))
+	nt := int(binary.LittleEndian.Uint32(body[5:]))
+	need := 9 + 4*ni + 4*nt + 8*ni*nt
+	if len(body) < need {
+		return nil, ErrTruncated
+	}
+	off := 9
+	for i := 0; i < ni; i++ {
+		l.Initiators = append(l.Initiators, binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	for i := 0; i < nt; i++ {
+		l.Targets = append(l.Targets, binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+	}
+	for i := 0; i < ni*nt; i++ {
+		l.Entries = append(l.Entries, binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+	return l, nil
+}

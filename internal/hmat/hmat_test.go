@@ -1,0 +1,288 @@
+package hmat
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+const gb = 1 << 30
+
+// rig: 2 packages, each with DRAM + NVDIMM, 2 PUs per package; DRAM 0
+// has a memory-side cache in the model.
+func rig(t testing.TB) (*topology.Topology, memsim.MachineModel) {
+	t.Helper()
+	root := topology.New(topology.Machine, -1)
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.AddMemChild(topology.NewNUMA(p, "DRAM", 96*gb))
+		pkg.AddMemChild(topology.NewNUMA(p+2, "NVDIMM", 768*gb))
+		for c := 0; c < 2; c++ {
+			pkg.AddChild(topology.New(topology.Core, pu)).AddChild(topology.New(topology.PU, pu))
+			pu++
+		}
+	}
+	topo, err := topology.Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram := memsim.NodeModel{Kind: "DRAM", ReadBW: 128, WriteBW: 64, TotalBW: 75, IdleLatency: 81}
+	nv := memsim.NodeModel{Kind: "NVDIMM", ReadBW: 76.8, WriteBW: 10, TotalBW: 25, IdleLatency: 305}
+	model := memsim.MachineModel{
+		Nodes:     map[int]memsim.NodeModel{0: dram, 1: dram, 2: nv, 3: nv},
+		Remote:    memsim.RemoteModel{BWFactor: 0.5, LatencyAdd: 60},
+		MemCaches: map[int]memsim.MemCacheModel{0: {Size: 2 * gb, TotalBW: 300, Latency: 100}},
+	}
+	return topo, model
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	topo, model := rig(t)
+	tbl := BuildTable(topo, model, Options{LocalOnly: true, IncludeReadWrite: true, Revision: 2})
+	data := tbl.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", tbl, back)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	topo, model := rig(t)
+	data := BuildTable(topo, model, Options{}).Encode()
+
+	if _, err := Decode(data[:8]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short err = %v", err)
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic err = %v", err)
+	}
+	bad = append([]byte{}, data...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := Decode(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("checksum err = %v", err)
+	}
+}
+
+func TestBuildTableStructure(t *testing.T) {
+	topo, model := rig(t)
+	tbl := BuildTable(topo, model, Options{LocalOnly: true})
+
+	if len(tbl.Initiators) != 2 {
+		t.Fatalf("initiators = %d, want 2 packages", len(tbl.Initiators))
+	}
+	if got := tbl.Initiators[0].PUs; !reflect.DeepEqual(got, []uint32{0, 1}) {
+		t.Fatalf("initiator 0 PUs = %v", got)
+	}
+	if len(tbl.LatBW) != 2 { // access bandwidth + access latency
+		t.Fatalf("latbw structs = %d", len(tbl.LatBW))
+	}
+	bw := tbl.LatBW[0]
+	if bw.Type != AccessBandwidth || len(bw.Targets) != 4 || len(bw.Entries) != 8 {
+		t.Fatalf("bw struct = %+v", bw)
+	}
+	// Local DRAM from package 0: 128 GiB/s = 131072 MB/s.
+	if v := bw.Entry(0, 0); v != 131072 {
+		t.Fatalf("local DRAM bw = %d, want 131072", v)
+	}
+	// Remote pairs are absent with LocalOnly.
+	// Targets order follows NUMA logical order: DRAM0, NVDIMM2, DRAM1, NVDIMM3.
+	if v := bw.Entry(0, 2); v != NoEntry {
+		t.Fatalf("remote entry = %d, want NoEntry", v)
+	}
+	// NVDIMM local bandwidth: 76.8*1024 ≈ 78643 MB/s (Fig 5 reports 78644).
+	if v := bw.Entry(0, 1); v != 78643 {
+		t.Fatalf("local NVDIMM bw = %d, want 78644", v)
+	}
+	lat := tbl.LatBW[1]
+	if lat.Type != AccessLatency {
+		t.Fatalf("second struct = %s", lat.Type)
+	}
+	if v := lat.Entry(0, 0); v != 81 {
+		t.Fatalf("local DRAM latency = %d", v)
+	}
+	if len(tbl.Caches) != 1 || tbl.Caches[0].MemoryPD != 0 || tbl.Caches[0].CacheSize != 2*gb {
+		t.Fatalf("caches = %+v", tbl.Caches)
+	}
+}
+
+func TestBuildTableRemoteEntries(t *testing.T) {
+	topo, model := rig(t)
+	tbl := BuildTable(topo, model, Options{LocalOnly: false})
+	bw := tbl.LatBW[0]
+	lat := tbl.LatBW[1]
+	// Remote DRAM (package 1's DRAM seen from package 0): halved bw,
+	// +60ns latency. Target order: DRAM0, NVDIMM2, DRAM1, NVDIMM3.
+	if v := bw.Entry(0, 2); v != 131072/2 {
+		t.Fatalf("remote DRAM bw = %d", v)
+	}
+	if v := lat.Entry(0, 2); v != 141 {
+		t.Fatalf("remote DRAM latency = %d", v)
+	}
+}
+
+func TestBuildTableOverride(t *testing.T) {
+	topo, model := rig(t)
+	tbl := BuildTable(topo, model, Options{
+		LocalOnly: true,
+		Override: func(ini, tgt *topology.Object, dt DataType, local bool) (uint64, bool) {
+			if dt == AccessLatency && tgt.Subtype == "DRAM" {
+				return 26, true // the verbatim Figure 5 number
+			}
+			return 0, false
+		},
+	})
+	lat := tbl.LatBW[1]
+	if v := lat.Entry(0, 0); v != 26 {
+		t.Fatalf("override latency = %d", v)
+	}
+	if v := lat.Entry(0, 1); v != 305 {
+		t.Fatalf("non-overridden latency = %d", v)
+	}
+}
+
+func TestApplyFeedsRegistry(t *testing.T) {
+	topo, model := rig(t)
+	tbl := BuildTable(topo, model, Options{LocalOnly: true, IncludeReadWrite: true})
+	reg := memattr.NewRegistry(topo)
+	if err := Apply(tbl, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	pkg0 := bitmap.NewFromRange(0, 1)
+	dram0 := topo.ObjectByOS(topology.NUMANode, 0)
+	nv2 := topo.ObjectByOS(topology.NUMANode, 2)
+
+	v, err := reg.Value(memattr.Bandwidth, dram0, pkg0)
+	if err != nil || v != 131072 {
+		t.Fatalf("Bandwidth(dram0) = %d, %v", v, err)
+	}
+	v, err = reg.Value(memattr.Latency, nv2, pkg0)
+	if err != nil || v != 305 {
+		t.Fatalf("Latency(nv2) = %d, %v", v, err)
+	}
+	v, err = reg.Value(memattr.WriteBandwidth, nv2, pkg0)
+	if err != nil || v != 10240 {
+		t.Fatalf("WriteBandwidth(nv2) = %d, %v", v, err)
+	}
+	// LocalOnly: no value for the remote pair.
+	pkg1 := bitmap.NewFromRange(2, 3)
+	if _, err := reg.Value(memattr.Bandwidth, dram0, pkg1); !errors.Is(err, memattr.ErrNoValue) {
+		t.Fatalf("remote value err = %v", err)
+	}
+
+	// End to end: best local target by latency from package 0 is DRAM0.
+	best, _, err := reg.BestLocalTarget(memattr.Latency, bitmap.NewFromIndexes(0))
+	if err != nil || best != dram0 {
+		t.Fatalf("best local latency target = %v, %v", best, err)
+	}
+	// By capacity it is the NVDIMM (native attribute, no HMAT needed).
+	best, _, err = reg.BestLocalTarget(memattr.Capacity, bitmap.NewFromIndexes(0))
+	if err != nil || best != nv2 {
+		t.Fatalf("best local capacity target = %v, %v", best, err)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	topo, _ := rig(t)
+	reg := memattr.NewRegistry(topo)
+
+	// Initiator PD without a map entry.
+	tbl := &Table{LatBW: []LatBW{{
+		Type: AccessBandwidth, Initiators: []uint32{7}, Targets: []uint32{0}, Entries: []uint64{1},
+	}}}
+	if err := Apply(tbl, reg); err == nil {
+		t.Fatal("missing initiator map should fail")
+	}
+	// Target PD that is not a NUMA node.
+	tbl = &Table{
+		Initiators: []Initiator{{PD: 0, PUs: []uint32{0}}},
+		LatBW: []LatBW{{
+			Type: AccessBandwidth, Initiators: []uint32{0}, Targets: []uint32{99}, Entries: []uint64{1},
+		}},
+	}
+	if err := Apply(tbl, reg); err == nil {
+		t.Fatal("unknown target PD should fail")
+	}
+	// Unsupported data type.
+	tbl = &Table{
+		Initiators: []Initiator{{PD: 0, PUs: []uint32{0}}},
+		LatBW: []LatBW{{
+			Type: DataType(42), Initiators: []uint32{0}, Targets: []uint32{0}, Entries: []uint64{1},
+		}},
+	}
+	if err := Apply(tbl, reg); err == nil {
+		t.Fatal("unsupported data type should fail")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := &Table{Revision: uint8(r.Intn(256))}
+		ni, nt := 1+r.Intn(3), 1+r.Intn(4)
+		l := LatBW{Type: DataType(r.Intn(6))}
+		for i := 0; i < ni; i++ {
+			l.Initiators = append(l.Initiators, uint32(i))
+			tbl.Initiators = append(tbl.Initiators, Initiator{PD: uint32(i), PUs: []uint32{uint32(r.Intn(64))}})
+		}
+		for i := 0; i < nt; i++ {
+			l.Targets = append(l.Targets, uint32(i))
+		}
+		for i := 0; i < ni*nt; i++ {
+			if r.Intn(4) == 0 {
+				l.Entries = append(l.Entries, NoEntry)
+			} else {
+				l.Entries = append(l.Entries, uint64(r.Intn(1_000_000)))
+			}
+		}
+		tbl.LatBW = append(tbl.LatBW, l)
+		if r.Intn(2) == 0 {
+			tbl.Caches = append(tbl.Caches, MemSideCache{MemoryPD: uint32(r.Intn(8)), CacheSize: uint64(r.Intn(1 << 30)), LatencyNS: uint32(r.Intn(1000)), BWMBs: uint32(r.Intn(500000))})
+		}
+		back, err := Decode(tbl.Encode())
+		return err == nil && reflect.DeepEqual(tbl, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
+	// Failure injection: random truncations and byte flips of a valid
+	// table must return errors, never panic or hang.
+	topo, model := rig(t)
+	data := BuildTable(topo, model, Options{IncludeReadWrite: true}).Encode()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte{}, data...)
+		switch r.Intn(3) {
+		case 0:
+			mut = mut[:r.Intn(len(mut)+1)]
+		case 1:
+			if len(mut) > 0 {
+				mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+			}
+		case 2:
+			mut = append(mut, byte(r.Intn(256)))
+		}
+		tbl, err := Decode(mut)
+		// Either a clean error or a structurally valid table; both are
+		// acceptable, crashing is not.
+		if err == nil && tbl == nil {
+			t.Fatal("nil table without error")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package interpose implements the no-code-modification path the paper
+// mentions in Section IV-B: "the code modification step could still be
+// avoided by intercepting and recognizing allocation calls to add
+// sensitivity hints" (auto-hbwmalloc, FLEXMALLOC). An Interposer sits
+// where malloc would be: it matches each allocation site against a
+// rule list — by site name glob and/or size range, as FLEXMALLOC's
+// configuration files do — and forwards the request to the
+// heterogeneous allocator with the matched attribute. Unmatched
+// allocations use a default attribute.
+//
+// Rules can be written in a small text format, one per line:
+//
+//	# hot graph structures
+//	csr_*       Bandwidth
+//	bfs_parent  Latency
+//	*           Capacity   64KiB  -      # everything big defaults to capacity
+//
+// Fields: name glob, attribute name, optional minimum and maximum
+// sizes ("-" = unbounded). First match wins.
+package interpose
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strconv"
+	"strings"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+)
+
+// Rule routes allocations whose site name matches Pattern (path.Match
+// glob) and whose size lies in [MinSize, MaxSize] (0 = unbounded) to
+// the attribute.
+type Rule struct {
+	Pattern string
+	Attr    memattr.ID
+	MinSize uint64
+	MaxSize uint64
+}
+
+func (r Rule) matches(name string, size uint64) bool {
+	ok, err := path.Match(r.Pattern, name)
+	if err != nil || !ok {
+		return false
+	}
+	if size < r.MinSize {
+		return false
+	}
+	if r.MaxSize > 0 && size > r.MaxSize {
+		return false
+	}
+	return true
+}
+
+// Hit records one interposed allocation for the report.
+type Hit struct {
+	Site string
+	Size uint64
+	Rule int // index of the matching rule, -1 for the default
+	Attr memattr.ID
+	Dec  alloc.Decision
+}
+
+// Interposer intercepts allocations.
+type Interposer struct {
+	a     *alloc.Allocator
+	ini   *bitmap.Bitmap
+	rules []Rule
+	def   memattr.ID
+	hits  []Hit
+	opts  []alloc.Option
+}
+
+// New creates an interposer with the given default attribute for
+// unmatched sites.
+func New(a *alloc.Allocator, initiator *bitmap.Bitmap, defaultAttr memattr.ID, opts ...alloc.Option) *Interposer {
+	return &Interposer{a: a, ini: initiator.Copy(), def: defaultAttr, opts: opts}
+}
+
+// AddRule appends a rule (first match wins; earlier rules have
+// priority). It validates the glob pattern eagerly.
+func (ip *Interposer) AddRule(r Rule) error {
+	if _, err := path.Match(r.Pattern, "probe"); err != nil {
+		return fmt.Errorf("interpose: bad pattern %q: %w", r.Pattern, err)
+	}
+	if ip.a.Registry().Name(r.Attr) == "" {
+		return fmt.Errorf("interpose: rule %q names unknown attribute %d", r.Pattern, int(r.Attr))
+	}
+	ip.rules = append(ip.rules, r)
+	return nil
+}
+
+// Rules returns a copy of the rule list.
+func (ip *Interposer) Rules() []Rule { return append([]Rule(nil), ip.rules...) }
+
+// Malloc is the intercepted allocation entry point.
+func (ip *Interposer) Malloc(site string, size uint64) (*memsim.Buffer, error) {
+	attr := ip.def
+	ruleIdx := -1
+	for i, r := range ip.rules {
+		if r.matches(site, size) {
+			attr = r.Attr
+			ruleIdx = i
+			break
+		}
+	}
+	buf, dec, err := ip.a.Alloc(site, size, attr, ip.ini, ip.opts...)
+	if err != nil {
+		return nil, err
+	}
+	ip.hits = append(ip.hits, Hit{Site: site, Size: size, Rule: ruleIdx, Attr: attr, Dec: dec})
+	return buf, nil
+}
+
+// Report returns the interposition log.
+func (ip *Interposer) Report() []Hit { return append([]Hit(nil), ip.hits...) }
+
+// RenderReport formats the log for humans.
+func (ip *Interposer) RenderReport() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %12s %-12s %-10s %s\n", "Site", "Size", "Attribute", "Rule", "Placed on")
+	for _, h := range ip.hits {
+		rule := "default"
+		if h.Rule >= 0 {
+			rule = fmt.Sprintf("#%d %q", h.Rule, ip.rules[h.Rule].Pattern)
+		}
+		fmt.Fprintf(&sb, "%-16s %12d %-12s %-10s %s\n",
+			h.Site, h.Size, ip.a.Registry().Name(h.Attr), rule, h.Dec.Target.Subtype)
+	}
+	return sb.String()
+}
+
+// ErrBadRule is wrapped by all rule-file parse errors.
+var ErrBadRule = errors.New("interpose: bad rule")
+
+// ParseRules reads the text rule format described in the package
+// comment, resolving attribute names against the registry.
+func ParseRules(r io.Reader, reg *memattr.Registry) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 4 {
+			return nil, fmt.Errorf("%w: line %d: want 'glob attribute [min] [max]'", ErrBadRule, lineNo)
+		}
+		rule := Rule{Pattern: fields[0]}
+		if _, err := path.Match(rule.Pattern, "probe"); err != nil {
+			return nil, fmt.Errorf("%w: line %d: pattern %q: %v", ErrBadRule, lineNo, rule.Pattern, err)
+		}
+		id, ok := reg.ByName(fields[1])
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: unknown attribute %q", ErrBadRule, lineNo, fields[1])
+		}
+		rule.Attr = id
+		if len(fields) >= 3 {
+			v, err := parseSize(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: min size: %v", ErrBadRule, lineNo, err)
+			}
+			rule.MinSize = v
+		}
+		if len(fields) == 4 {
+			v, err := parseSize(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: max size: %v", ErrBadRule, lineNo, err)
+			}
+			rule.MaxSize = v
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// parseSize accepts "-" (unbounded = 0), plain bytes, or KiB/MiB/GiB
+// suffixes.
+func parseSize(s string) (uint64, error) {
+	if s == "-" {
+		return 0, nil
+	}
+	mult := uint64(1)
+	for _, suf := range []struct {
+		s string
+		m uint64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, suf.s) {
+			mult = suf.m
+			s = strings.TrimSuffix(s, suf.s)
+			break
+		}
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,99 @@
+package lstopo
+
+import (
+	"fmt"
+	"strings"
+
+	"hetmem/internal/topology"
+)
+
+// RenderBoxes draws the topology as nested ASCII boxes, approximating
+// the graphical lstopo output reproduced in the paper's Figures 1-3:
+// each container object is a box, memory objects appear as labelled
+// boxes at the top of their parent, and runs of cores collapse into
+// one box.
+//
+//	+-Machine (28GB total)--------------------+
+//	| +-Package P#0---------------------------+
+//	| | +-NUMANode P#0 (DRAM, 24GB)---------+ |
+//	...
+func RenderBoxes(topo *topology.Topology) string {
+	lines := boxObject(topo.Root())
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// boxObject renders an object and its children as a slice of lines.
+func boxObject(o *topology.Object) []string {
+	label := boxLabel(o)
+
+	var inner []string
+	appendChild := func(c *topology.Object) {
+		for _, l := range boxObject(c) {
+			inner = append(inner, l)
+		}
+	}
+	for _, m := range o.MemChildren {
+		appendChild(m)
+	}
+	// Collapse simple-core runs.
+	i := 0
+	for i < len(o.Children) {
+		c := o.Children[i]
+		if c.Type == topology.Core && isSimpleCore(c) {
+			j := i
+			for j+1 < len(o.Children) && o.Children[j+1].Type == topology.Core &&
+				isSimpleCore(o.Children[j+1]) &&
+				o.Children[j+1].LogicalIndex == o.Children[j].LogicalIndex+1 {
+				j++
+			}
+			if j > i {
+				inner = append(inner, fmt.Sprintf("[ Core L#%d-%d + PU P#%s ]",
+					c.LogicalIndex, o.Children[j].LogicalIndex, coresPUs(o.Children[i:j+1])))
+				i = j + 1
+				continue
+			}
+		}
+		appendChild(c)
+		i++
+	}
+
+	if len(inner) == 0 {
+		// Leaf: a single-line box.
+		return []string{"[ " + label + " ]"}
+	}
+
+	width := len(label) + 4
+	for _, l := range inner {
+		if len(l)+4 > width {
+			width = len(l) + 4
+		}
+	}
+	top := "+-" + label + strings.Repeat("-", width-len(label)-3) + "+"
+	bottom := "+" + strings.Repeat("-", width-2) + "+"
+	out := make([]string, 0, len(inner)+2)
+	out = append(out, top)
+	for _, l := range inner {
+		out = append(out, "| "+l+strings.Repeat(" ", width-len(l)-4)+" |")
+	}
+	out = append(out, bottom)
+	return out
+}
+
+func boxLabel(o *topology.Object) string {
+	switch o.Type {
+	case topology.Machine:
+		s := fmt.Sprintf("Machine (%s total)", topology.FormatBytes(totalMemory(o)))
+		if o.Name != "" {
+			s += " " + o.Name
+		}
+		return s
+	case topology.MemCache:
+		return fmt.Sprintf("MemCache %s (memory-side)", topology.FormatBytes(o.CacheSize))
+	default:
+		s := o.String()
+		if o.Type == topology.Group && o.Name != "" {
+			s += " \"" + o.Name + "\""
+		}
+		return s
+	}
+}

@@ -1,0 +1,136 @@
+// Package lstopo renders topologies and memory attributes as text, in
+// the spirit of hwloc's lstopo tool: the tree views of Figures 1-3 of
+// the paper and the --memattrs report of Figure 5.
+package lstopo
+
+import (
+	"fmt"
+	"strings"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/topology"
+)
+
+// Render produces the indented tree view of a topology. Memory
+// children are printed before CPU children under the same parent
+// (hwloc's display convention), and runs of identical cores are
+// compressed to one line.
+func Render(topo *topology.Topology) string {
+	var sb strings.Builder
+	renderObj(&sb, topo.Root(), 0)
+	return sb.String()
+}
+
+func renderObj(sb *strings.Builder, o *topology.Object, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := o.String()
+	if o.Type == topology.Machine {
+		label = fmt.Sprintf("Machine (%s total)", topology.FormatBytes(totalMemory(o)))
+		if o.Name != "" {
+			label += " \"" + o.Name + "\""
+		}
+	}
+	if o.Type == topology.Group && o.Name != "" {
+		label += " \"" + o.Name + "\""
+	}
+	if o.Type == topology.MemCache {
+		label = fmt.Sprintf("MemCache (%s, memory-side)", topology.FormatBytes(o.CacheSize))
+	}
+	sb.WriteString(indent + label + "\n")
+
+	for _, m := range o.MemChildren {
+		renderObj(sb, m, depth+1)
+	}
+	// Compress consecutive single-PU cores into one line.
+	i := 0
+	for i < len(o.Children) {
+		c := o.Children[i]
+		if c.Type == topology.Core && isSimpleCore(c) {
+			j := i
+			for j+1 < len(o.Children) && o.Children[j+1].Type == topology.Core &&
+				isSimpleCore(o.Children[j+1]) &&
+				o.Children[j+1].LogicalIndex == o.Children[j].LogicalIndex+1 {
+				j++
+			}
+			if j > i {
+				fmt.Fprintf(sb, "%s  Core L#%d-%d + PU P#%s\n",
+					indent, c.LogicalIndex, o.Children[j].LogicalIndex, coresPUs(o.Children[i:j+1]))
+				i = j + 1
+				continue
+			}
+		}
+		renderObj(sb, c, depth+1)
+		i++
+	}
+}
+
+func isSimpleCore(c *topology.Object) bool {
+	return len(c.MemChildren) == 0 && len(c.Children) == 1 && c.Children[0].Type == topology.PU
+}
+
+func coresPUs(cores []*topology.Object) string {
+	b := bitmap.New()
+	for _, c := range cores {
+		b.Set(c.Children[0].OSIndex)
+	}
+	return b.ListString()
+}
+
+func totalMemory(o *topology.Object) uint64 {
+	var t uint64
+	if o.Type == topology.NUMANode {
+		t += o.Memory
+	}
+	for _, c := range o.Children {
+		t += totalMemory(c)
+	}
+	for _, m := range o.MemChildren {
+		t += totalMemory(m)
+	}
+	return t
+}
+
+// RenderMemAttrs produces the Figure 5 style report: every attribute
+// with values, listing each target's value and the initiator it was
+// recorded for.
+func RenderMemAttrs(reg *memattr.Registry) string {
+	topo := reg.Topology()
+	var sb strings.Builder
+	for i, id := range reg.IDs() {
+		targets := reg.Targets(id)
+		if len(targets) == 0 {
+			continue
+		}
+		flags, _ := reg.Flags(id)
+		fmt.Fprintf(&sb, "Memory attribute #%d name '%s' flags '%s'\n", i, reg.Name(id), flags)
+		for _, tgt := range targets {
+			ivs, err := reg.Initiators(id, tgt)
+			if err != nil {
+				continue
+			}
+			for _, iv := range ivs {
+				if iv.Initiator == nil {
+					fmt.Fprintf(&sb, "  NUMANode L#%d = %d\n", tgt.LogicalIndex, iv.Value)
+				} else {
+					fmt.Fprintf(&sb, "  NUMANode L#%d = %d from %s\n",
+						tgt.LogicalIndex, iv.Value, describeInitiator(topo, iv.Initiator))
+				}
+			}
+		}
+	}
+	return sb.String()
+}
+
+// describeInitiator names the topology object whose cpuset matches the
+// initiator, falling back to the raw cpuset.
+func describeInitiator(topo *topology.Topology, ini *bitmap.Bitmap) string {
+	for _, typ := range []topology.Type{topology.Group, topology.Package, topology.Machine, topology.Core, topology.PU} {
+		for _, o := range topo.Objects(typ) {
+			if bitmap.Equal(o.CPUSet, ini) {
+				return fmt.Sprintf("%s L#%d", o.Type, o.LogicalIndex)
+			}
+		}
+	}
+	return "cpuset " + ini.String()
+}

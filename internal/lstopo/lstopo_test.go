@@ -1,0 +1,172 @@
+package lstopo
+
+import (
+	"strings"
+	"testing"
+
+	"hetmem/internal/hmat"
+	"hetmem/internal/memattr"
+	"hetmem/internal/platform"
+)
+
+func TestRenderFig1KNLHybrid(t *testing.T) {
+	p, err := platform.Get("knl-snc4-hybrid50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(p.Topo)
+	// Figure 1 structure: clusters with 12GB DRAM behind a 2GB
+	// memory-side cache plus 2GB MCDRAM.
+	for _, want := range []string{
+		"MemCache (2GB, memory-side)",
+		"(DRAM, 12GB)",
+		"(MCDRAM, 2GB)",
+		`Group L#0 P#0 "Cluster"`,
+		"Core L#0-17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in render:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFig2Xeon(t *testing.T) {
+	p, _ := platform.Get("xeon-snc2")
+	out := Render(p.Topo)
+	for _, want := range []string{
+		"(DRAM, 96GB)",
+		"(NVDIMM, 768GB)",
+		`"SubNUMA Cluster"`,
+		"Package L#0",
+		"Package L#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in render:\n%s", want, out)
+		}
+	}
+	// Total: 4x96 DRAM + 2x768 NVDIMM = 1920GB.
+	if !strings.Contains(out, "Machine (1920GB total)") {
+		t.Errorf("machine header wrong:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestRenderFig3Fictitious(t *testing.T) {
+	p, _ := platform.Get("fictitious")
+	out := Render(p.Topo)
+	for _, want := range []string{"(DRAM, 64GB)", "(NVDIMM, 512GB)", "(HBM, 8GB)", "(NAM, 1TB)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The NAM is attached to the machine: it appears indented once.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "NAM") && strings.HasPrefix(l, "  NUMANode") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NAM not at machine level:\n%s", out)
+	}
+}
+
+func TestRenderMemAttrsFig5(t *testing.T) {
+	p, _ := platform.Get("xeon-snc2")
+	reg := memattr.NewRegistry(p.Topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMemAttrs(reg)
+	// Figure 5's content: capacity without initiator, bandwidth and
+	// latency per initiator, with the verbatim values.
+	for _, want := range []string{
+		"name 'Capacity'",
+		"name 'Bandwidth'",
+		"name 'Latency'",
+		"NUMANode L#0 = 131072 from Group L#0",
+		"NUMANode L#2 = 78644 from Package L#0",
+		"NUMANode L#0 = 26 from Group L#0",
+		"NUMANode L#2 = 77 from Package L#0",
+		"NUMANode L#5 = 77 from Package L#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Capacity lines carry no initiator.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "= 103079215104") && strings.Contains(l, "from") {
+			t.Errorf("capacity line has initiator: %s", l)
+		}
+	}
+}
+
+func TestDescribeInitiatorFallback(t *testing.T) {
+	p, _ := platform.Get("xeon")
+	reg := memattr.NewRegistry(p.Topo)
+	// A custom attribute with an initiator matching no object.
+	id, err := reg.Register("Weird", memattr.HigherFirst|memattr.NeedInitiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := p.Topo.NUMANodes()[0]
+	ini := node.CPUSet.Copy()
+	ini.Clr(ini.First()) // no longer any object's cpuset
+	if err := reg.SetValue(id, node, ini, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMemAttrs(reg)
+	if !strings.Contains(out, "from cpuset 0x") {
+		t.Errorf("fallback initiator description missing:\n%s", out)
+	}
+}
+
+func TestRenderBoxes(t *testing.T) {
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderBoxes(p.Topo)
+	for _, want := range []string{
+		"+-Machine",
+		"+-Package L#0 P#0",
+		"[ NUMANode L#0 P#0 (DRAM, 24GB) ]",
+		"[ NUMANode L#1 P#4 (MCDRAM, 4GB) ]",
+		"[ Core L#0-15 + PU P#0-15 ]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("boxes missing %q:\n%s", want, out)
+		}
+	}
+	// Every line of a box drawing is properly closed.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) == 0 {
+			t.Fatal("empty line in box render")
+		}
+		first, last := line[0], line[len(line)-1]
+		okFirst := first == '+' || first == '|' || first == '['
+		okLast := last == '+' || last == '|' || last == ']'
+		if !okFirst || !okLast {
+			t.Fatalf("unclosed box line: %q", line)
+		}
+	}
+}
+
+func TestRenderBoxesMemCache(t *testing.T) {
+	p, _ := platform.Get("knl-snc4-hybrid50")
+	out := RenderBoxes(p.Topo)
+	if !strings.Contains(out, "+-MemCache 2GB (memory-side)") {
+		t.Errorf("memory-side cache box missing:\n%s", out)
+	}
+	// The cached DRAM node nests inside the cache box.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "MemCache 2GB") {
+			if i+1 >= len(lines) || !strings.Contains(lines[i+1], "(DRAM, 12GB)") {
+				t.Fatalf("DRAM not nested in cache box at line %d:\n%s", i, out)
+			}
+			break
+		}
+	}
+}

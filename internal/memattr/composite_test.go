@@ -1,0 +1,121 @@
+package memattr
+
+import (
+	"errors"
+	"testing"
+
+	"hetmem/internal/bitmap"
+)
+
+func TestRegisterCompositeRW21(t *testing.T) {
+	// The paper footnote's case: 2 reads per write.
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	pkg0 := bitmap.NewFromRange(0, 3)
+	dram := nodeBySub(t, topo, 0, "DRAM")
+	nv := nodeBySub(t, topo, 0, "NVDIMM")
+	// DRAM: read 100, write 50; NVDIMM: read 30, write 4 (GB/s scaled).
+	r.SetValue(ReadBandwidth, dram, pkg0, 100)
+	r.SetValue(WriteBandwidth, dram, pkg0, 50)
+	r.SetValue(ReadBandwidth, nv, pkg0, 30)
+	r.SetValue(WriteBandwidth, nv, pkg0, 4)
+
+	id, err := r.RegisterComposite("RW21Bandwidth", HigherFirst|NeedInitiator,
+		[]Term{{ReadBandwidth, 2. / 3}, {WriteBandwidth, 1. / 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Value(id, dram, pkg0)
+	if err != nil || v != 83 { // 2/3*100 + 1/3*50 = 83.33 -> 83
+		t.Fatalf("dram composite = %d, %v", v, err)
+	}
+	v, err = r.Value(id, nv, pkg0)
+	if err != nil || v != 21 { // 2/3*30 + 1/3*4 = 21.3
+		t.Fatalf("nv composite = %d, %v", v, err)
+	}
+	// It ranks like any attribute.
+	best, _, err := r.BestLocalTarget(id, bitmap.NewFromIndexes(0))
+	if err != nil || best != dram {
+		t.Fatalf("best = %v, %v", best, err)
+	}
+}
+
+func TestCompositePartialCoverage(t *testing.T) {
+	// Targets missing any term get no composite value.
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	pkg0 := bitmap.NewFromRange(0, 3)
+	dram := nodeBySub(t, topo, 0, "DRAM")
+	nv := nodeBySub(t, topo, 0, "NVDIMM")
+	r.SetValue(ReadBandwidth, dram, pkg0, 100)
+	r.SetValue(WriteBandwidth, dram, pkg0, 50)
+	r.SetValue(ReadBandwidth, nv, pkg0, 30) // no write bandwidth
+
+	id, err := r.RegisterComposite("RW", HigherFirst|NeedInitiator,
+		[]Term{{ReadBandwidth, 0.5}, {WriteBandwidth, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Value(id, dram, pkg0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Value(id, nv, pkg0); !errors.Is(err, ErrNoValue) {
+		t.Fatalf("incomplete target err = %v", err)
+	}
+}
+
+func TestCompositeInitiatorless(t *testing.T) {
+	// A composite over initiator-less attributes (capacity discounted
+	// by locality) needs no initiator.
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	id, err := r.RegisterComposite("RoomyAndClose", HigherFirst,
+		[]Term{{Capacity, 1e-9}, {Locality, -0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := nodeBySub(t, topo, 0, "NVDIMM")
+	v, err := r.Value(id, nv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("composite value missing")
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	if _, err := r.RegisterComposite("X", HigherFirst, nil); !errors.Is(err, ErrCompositeTerms) {
+		t.Fatalf("no terms err = %v", err)
+	}
+	if _, err := r.RegisterComposite("X", HigherFirst, []Term{{ID(99), 1}}); !errors.Is(err, ErrCompositeTerms) {
+		t.Fatalf("unknown term err = %v", err)
+	}
+	if _, err := r.RegisterComposite("X", HigherFirst, []Term{{Capacity, 0}}); !errors.Is(err, ErrCompositeTerms) {
+		t.Fatalf("zero weight err = %v", err)
+	}
+	// An initiator-less composite cannot include per-initiator terms.
+	if _, err := r.RegisterComposite("X", HigherFirst, []Term{{Bandwidth, 1}}); !errors.Is(err, ErrCompositeTerms) {
+		t.Fatalf("initiator mismatch err = %v", err)
+	}
+	// Duplicate name still caught by Register.
+	if _, err := r.RegisterComposite("Capacity", HigherFirst, []Term{{Capacity, 1}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestCompositeNegativeClamped(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	id, err := r.RegisterComposite("Neg", HigherFirst, []Term{{Locality, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram := nodeBySub(t, topo, 0, "DRAM")
+	v, err := r.Value(id, dram, nil)
+	if err != nil || v != 0 {
+		t.Fatalf("negative composite should clamp to 0: %d, %v", v, err)
+	}
+}

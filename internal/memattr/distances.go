@@ -1,0 +1,113 @@
+package memattr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hetmem/internal/topology"
+)
+
+// Distances is the classical NUMA distance matrix (numactl
+// --hardware's "node distances" table, hwloc's distances API) derived
+// from a performance attribute: entry [i][j] is the attribute value
+// for accessing NUMA node j from the locality of NUMA node i. The
+// paper's predecessor interfaces navigated machines with exactly such
+// matrices; the attribute registry generalizes them, and this adapter
+// recovers the old view for tools that still want it.
+type Distances struct {
+	Attr  ID
+	Nodes []*topology.Object
+	// Values[i][j] is the value from node i's locality to node j;
+	// Missing entries (no recorded value, e.g. Linux local-only
+	// exposure) are 0.
+	Values [][]uint64
+}
+
+// ErrNoCPUNodes is returned when no node has a locality to measure
+// from.
+var ErrNoCPUNodes = errors.New("memattr: no NUMA node has CPUs in its locality")
+
+// DistanceMatrix builds the matrix for an initiator-dependent
+// attribute. Rows for CPU-less nodes (e.g. network-attached memory)
+// are all zero.
+func (r *Registry) DistanceMatrix(id ID) (*Distances, error) {
+	a, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAttr, int(id))
+	}
+	if a.flags&NeedInitiator == 0 {
+		return nil, fmt.Errorf("memattr: attribute %s has no initiators, no distance matrix", a.name)
+	}
+	nodes := r.topo.NUMANodes()
+	d := &Distances{Attr: id, Nodes: nodes}
+	anyCPU := false
+	for _, from := range nodes {
+		row := make([]uint64, len(nodes))
+		if !from.CPUSet.IsZero() {
+			anyCPU = true
+			for j, to := range nodes {
+				if v, err := r.Value(id, to, from.CPUSet); err == nil {
+					row[j] = v
+				}
+			}
+		}
+		d.Values = append(d.Values, row)
+	}
+	if !anyCPU {
+		return nil, ErrNoCPUNodes
+	}
+	return d, nil
+}
+
+// Normalized rescales the matrix the way numactl reports distances:
+// the smallest non-zero entry maps to 10. Zero (missing) entries stay
+// zero.
+func (d *Distances) Normalized() [][]uint64 {
+	var min uint64
+	for _, row := range d.Values {
+		for _, v := range row {
+			if v > 0 && (min == 0 || v < min) {
+				min = v
+			}
+		}
+	}
+	out := make([][]uint64, len(d.Values))
+	for i, row := range d.Values {
+		out[i] = make([]uint64, len(row))
+		for j, v := range row {
+			if v > 0 && min > 0 {
+				out[i][j] = v * 10 / min
+			}
+		}
+	}
+	return out
+}
+
+// Render formats the matrix like `numactl --hardware`.
+func (d *Distances) Render(normalized bool) string {
+	vals := d.Values
+	title := "raw"
+	if normalized {
+		vals = d.Normalized()
+		title = "normalized (min=10)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node distances, attribute #%d (%s):\n      ", int(d.Attr), title)
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&sb, "%6d", n.OSIndex)
+	}
+	sb.WriteString("\n")
+	for i, n := range d.Nodes {
+		fmt.Fprintf(&sb, "%4d: ", n.OSIndex)
+		for j := range d.Nodes {
+			if vals[i][j] == 0 {
+				sb.WriteString("     -")
+			} else {
+				fmt.Fprintf(&sb, "%6d", vals[i][j])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,99 @@
+package memattr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hetmem/internal/bitmap"
+)
+
+func TestDistanceMatrix(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	pkg0 := bitmap.NewFromRange(0, 3)
+	pkg1 := bitmap.NewFromRange(4, 7)
+	// Full latency matrix for the four package-level nodes plus HBM.
+	for _, n := range topo.NUMANodes() {
+		for _, ini := range []*bitmap.Bitmap{pkg0, pkg1} {
+			local := bitmap.Intersects(n.CPUSet, ini)
+			v := uint64(80)
+			if n.Subtype == "NVDIMM" {
+				v = 300
+			}
+			if n.Subtype == "HBM" {
+				v = 80
+			}
+			if !local {
+				v += 60
+			}
+			if err := r.SetValue(Latency, n, ini, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d, err := r.DistanceMatrix(Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nodes) != 5 || len(d.Values) != 5 {
+		t.Fatalf("matrix shape %dx%d", len(d.Nodes), len(d.Values))
+	}
+	// Node OS indexes in buildMini: pkg0 DRAM=0, NVDIMM=1, HBM=2;
+	// pkg1 DRAM=3, NVDIMM=4. Local DRAM to itself = 80; pkg0's view of
+	// pkg1's DRAM = 140.
+	idx := map[int]int{}
+	for i, n := range d.Nodes {
+		idx[n.OSIndex] = i
+	}
+	if v := d.Values[idx[0]][idx[0]]; v != 80 {
+		t.Fatalf("local DRAM distance = %d", v)
+	}
+	if v := d.Values[idx[0]][idx[3]]; v != 140 {
+		t.Fatalf("remote DRAM distance = %d", v)
+	}
+	if v := d.Values[idx[0]][idx[1]]; v != 300 {
+		t.Fatalf("local NVDIMM distance = %d", v)
+	}
+
+	// Normalization: min 80 -> 10; 140 -> 17; 300 -> 37.
+	norm := d.Normalized()
+	if norm[idx[0]][idx[0]] != 10 || norm[idx[0]][idx[3]] != 17 || norm[idx[0]][idx[1]] != 37 {
+		t.Fatalf("normalized = %d %d %d", norm[idx[0]][idx[0]], norm[idx[0]][idx[3]], norm[idx[0]][idx[1]])
+	}
+
+	out := d.Render(true)
+	if !strings.Contains(out, "normalized") || !strings.Contains(out, "10") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestDistanceMatrixLocalOnlyHasGaps(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	pkg0 := bitmap.NewFromRange(0, 3)
+	dram0 := nodeBySub(t, topo, 0, "DRAM")
+	if err := r.SetValue(Latency, dram0, pkg0, 80); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.DistanceMatrix(Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one entry known; the render shows "-" for the rest.
+	out := d.Render(false)
+	if !strings.Contains(out, "-") || !strings.Contains(out, "80") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestDistanceMatrixErrors(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	if _, err := r.DistanceMatrix(ID(99)); !errors.Is(err, ErrUnknownAttr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.DistanceMatrix(Capacity); err == nil {
+		t.Fatal("initiator-less attribute should fail")
+	}
+}

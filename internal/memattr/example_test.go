@@ -1,0 +1,77 @@
+package memattr_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/topology"
+)
+
+// Build a small machine, feed measured attribute values, and run the
+// paper's two-step selection: local targets first, then ranked by the
+// attribute that matters.
+func Example() {
+	// One package, two cores, a DRAM and an HBM node.
+	root := topology.New(topology.Machine, -1)
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	pkg.AddMemChild(topology.NewNUMA(0, "DRAM", 64<<30))
+	pkg.AddMemChild(topology.NewNUMA(1, "HBM", 8<<30))
+	for c := 0; c < 2; c++ {
+		pkg.AddChild(topology.New(topology.Core, c)).AddChild(topology.New(topology.PU, c))
+	}
+	topo, err := topology.Build(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := memattr.NewRegistry(topo)
+	cores := bitmap.NewFromRange(0, 1)
+	dram, hbm := topo.NUMANodes()[0], topo.NUMANodes()[1]
+	reg.SetValue(memattr.Bandwidth, dram, cores, 100<<10) // MiB/s
+	reg.SetValue(memattr.Bandwidth, hbm, cores, 400<<10)
+	reg.SetValue(memattr.Latency, dram, cores, 85) // ns
+	reg.SetValue(memattr.Latency, hbm, cores, 110)
+
+	for _, attr := range []memattr.ID{memattr.Bandwidth, memattr.Latency, memattr.Capacity} {
+		best, _, err := reg.BestLocalTarget(attr, bitmap.NewFromIndexes(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s -> %s\n", reg.Name(attr), best.Subtype)
+	}
+	// Output:
+	// Bandwidth -> HBM
+	// Latency   -> DRAM
+	// Capacity  -> DRAM
+}
+
+// Composite attributes express custom criteria, like the paper's
+// 2-reads-per-write ranking built from read and write bandwidth.
+func Example_composite() {
+	root := topology.New(topology.Machine, -1)
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	pkg.AddMemChild(topology.NewNUMA(0, "DRAM", 64<<30))
+	pkg.AddMemChild(topology.NewNUMA(1, "NVDIMM", 512<<30))
+	pkg.AddChild(topology.New(topology.Core, 0)).AddChild(topology.New(topology.PU, 0))
+	topo, _ := topology.Build(root)
+
+	reg := memattr.NewRegistry(topo)
+	pu := bitmap.NewFromIndexes(0)
+	dram, nv := topo.NUMANodes()[0], topo.NUMANodes()[1]
+	reg.SetValue(memattr.ReadBandwidth, dram, pu, 100)
+	reg.SetValue(memattr.WriteBandwidth, dram, pu, 45)
+	reg.SetValue(memattr.ReadBandwidth, nv, pu, 30)
+	reg.SetValue(memattr.WriteBandwidth, nv, pu, 4)
+
+	id, err := reg.RegisterComposite("RW21", memattr.HigherFirst|memattr.NeedInitiator,
+		[]memattr.Term{{Attr: memattr.ReadBandwidth, Weight: 2. / 3}, {Attr: memattr.WriteBandwidth, Weight: 1. / 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := reg.Value(id, dram, pu)
+	fmt.Println("DRAM 2R1W score:", v)
+	// Output:
+	// DRAM 2R1W score: 82
+}

@@ -1,0 +1,128 @@
+package memattr
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/topology"
+)
+
+// The persistence format lets a measurement campaign (internal/bench)
+// be saved and re-applied on later runs of the same machine without
+// re-benchmarking — the workflow the paper implies when it says
+// measured values "may be fed to hwloc". Custom attributes are saved
+// with their flags so Import can re-register them.
+
+type persistValue struct {
+	Attr      string `json:"attr"`
+	TargetOS  int    `json:"target"`
+	Initiator string `json:"initiator,omitempty"` // cpuset list format
+	Value     uint64 `json:"value"`
+}
+
+type persistCustom struct {
+	Name  string `json:"name"`
+	Flags string `json:"flags"`
+}
+
+type persistDump struct {
+	Custom []persistCustom `json:"custom,omitempty"`
+	Values []persistValue  `json:"values"`
+}
+
+// ParseFlags parses the Flags.String format ("higher-first,
+// need-initiator").
+func ParseFlags(s string) (Flags, error) {
+	var f Flags
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "higher-first":
+			f |= HigherFirst
+		case "lower-first":
+			f |= LowerFirst
+		case "need-initiator":
+			f |= NeedInitiator
+		case "":
+		default:
+			return 0, fmt.Errorf("memattr: unknown flag %q", part)
+		}
+	}
+	if !f.valid() {
+		return 0, ErrBadFlags
+	}
+	return f, nil
+}
+
+// Export serializes every attribute value in the registry (custom
+// attribute definitions included) as JSON.
+func Export(r *Registry) ([]byte, error) {
+	var d persistDump
+	for _, id := range r.IDs() {
+		a := r.byID[id]
+		if id >= firstCustomID {
+			d.Custom = append(d.Custom, persistCustom{Name: a.name, Flags: a.flags.String()})
+		}
+		for _, tgt := range r.Targets(id) {
+			for _, e := range a.values[tgt] {
+				pv := persistValue{Attr: a.name, TargetOS: tgt.OSIndex, Value: e.value}
+				if e.initiator != nil {
+					pv.Initiator = e.initiator.ListString()
+				}
+				d.Values = append(d.Values, pv)
+			}
+		}
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Import applies previously exported values to a registry built for
+// the same topology: custom attributes are registered if missing
+// (flags must agree when they already exist), and every value is set.
+func Import(data []byte, r *Registry) error {
+	var d persistDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("memattr: bad dump: %w", err)
+	}
+	for _, c := range d.Custom {
+		flags, err := ParseFlags(c.Flags)
+		if err != nil {
+			return fmt.Errorf("memattr: custom attribute %q: %w", c.Name, err)
+		}
+		if id, ok := r.ByName(c.Name); ok {
+			have, _ := r.Flags(id)
+			if have != flags {
+				return fmt.Errorf("memattr: custom attribute %q flags mismatch: have %s, dump %s",
+					c.Name, have, flags)
+			}
+			continue
+		}
+		if _, err := r.Register(c.Name, flags); err != nil {
+			return err
+		}
+	}
+	topo := r.Topology()
+	for _, v := range d.Values {
+		id, ok := r.ByName(v.Attr)
+		if !ok {
+			return fmt.Errorf("memattr: dump references unknown attribute %q", v.Attr)
+		}
+		tgt := topo.ObjectByOS(topology.NUMANode, v.TargetOS)
+		if tgt == nil {
+			return fmt.Errorf("memattr: dump references missing NUMA node P#%d", v.TargetOS)
+		}
+		var ini *bitmap.Bitmap
+		if v.Initiator != "" {
+			var err error
+			ini, err = bitmap.ParseList(v.Initiator)
+			if err != nil {
+				return fmt.Errorf("memattr: bad initiator %q: %w", v.Initiator, err)
+			}
+		}
+		if err := r.SetValue(id, tgt, ini, v.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package memattr
+
+import (
+	"strings"
+	"testing"
+
+	"hetmem/internal/bitmap"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	pkg0 := bitmap.NewFromRange(0, 3)
+	dram := nodeBySub(t, topo, 0, "DRAM")
+	nv := nodeBySub(t, topo, 0, "NVDIMM")
+	if err := r.SetValue(Bandwidth, dram, pkg0, 90000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetValue(Latency, nv, pkg0, 305); err != nil {
+		t.Fatal(err)
+	}
+	id, err := r.Register("StreamTriadScore", HigherFirst|NeedInitiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetValue(id, dram, pkg0, 76000); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := Export(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh registry for the same topology: the "second run" that
+	// skips re-benchmarking.
+	r2 := NewRegistry(topo)
+	if err := Import(data, r2); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r2.Value(Bandwidth, dram, pkg0); err != nil || v != 90000 {
+		t.Fatalf("bandwidth = %d, %v", v, err)
+	}
+	if v, err := r2.Value(Latency, nv, pkg0); err != nil || v != 305 {
+		t.Fatalf("latency = %d, %v", v, err)
+	}
+	id2, ok := r2.ByName("StreamTriadScore")
+	if !ok {
+		t.Fatal("custom attribute not re-registered")
+	}
+	fl, _ := r2.Flags(id2)
+	if fl != HigherFirst|NeedInitiator {
+		t.Fatalf("custom flags = %v", fl)
+	}
+	if v, err := r2.Value(id2, dram, pkg0); err != nil || v != 76000 {
+		t.Fatalf("custom value = %d, %v", v, err)
+	}
+	// Import into a registry that already has the custom attribute
+	// with the same flags: fine.
+	r3 := NewRegistry(topo)
+	if _, err := r3.Register("StreamTriadScore", HigherFirst|NeedInitiator); err != nil {
+		t.Fatal(err)
+	}
+	if err := Import(data, r3); err != nil {
+		t.Fatal(err)
+	}
+	// With conflicting flags: rejected.
+	r4 := NewRegistry(topo)
+	if _, err := r4.Register("StreamTriadScore", LowerFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := Import(data, r4); err == nil || !strings.Contains(err.Error(), "flags mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	topo := buildMini(t)
+	r := NewRegistry(topo)
+	if err := Import([]byte("{"), r); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if err := Import([]byte(`{"values":[{"attr":"Nope","target":0,"value":1}]}`), r); err == nil {
+		t.Fatal("unknown attribute should fail")
+	}
+	if err := Import([]byte(`{"values":[{"attr":"Capacity","target":99,"value":1}]}`), r); err == nil {
+		t.Fatal("missing node should fail")
+	}
+	if err := Import([]byte(`{"values":[{"attr":"Bandwidth","target":0,"initiator":"x","value":1}]}`), r); err == nil {
+		t.Fatal("bad initiator should fail")
+	}
+	if err := Import([]byte(`{"custom":[{"name":"X","flags":"sideways"}]}`), r); err == nil {
+		t.Fatal("bad flags should fail")
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cases := map[string]Flags{
+		"higher-first":                   HigherFirst,
+		"lower-first":                    LowerFirst,
+		"higher-first,need-initiator":    HigherFirst | NeedInitiator,
+		" lower-first , need-initiator ": LowerFirst | NeedInitiator,
+	}
+	for in, want := range cases {
+		got, err := ParseFlags(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFlags(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "need-initiator", "higher-first,lower-first", "bogus"} {
+		if _, err := ParseFlags(bad); err == nil {
+			t.Errorf("ParseFlags(%q) should fail", bad)
+		}
+	}
+	// Round trip through String.
+	for _, f := range []Flags{HigherFirst, LowerFirst | NeedInitiator} {
+		back, err := ParseFlags(f.String())
+		if err != nil || back != f {
+			t.Errorf("flags %v round trip = %v, %v", f, back, err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package memkind reimplements the memkind-style allocation API
+// (Cantalupo et al.) and the AutoHBW size-threshold interposer as
+// *baselines*: both hardwire memory technologies ("give me HBW")
+// instead of expressing requirements ("give me bandwidth"), which is
+// exactly the portability failure the paper's attribute-based
+// allocator fixes. The experiments use this package to show the
+// contrast: MEMKIND_HBW succeeds on KNL but errors on a Xeon that has
+// no HBM, while the same attribute request adapts.
+package memkind
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+)
+
+// Kind mirrors the memkind_t constants that matter for placement.
+type Kind int
+
+const (
+	// Default is MEMKIND_DEFAULT: the OS default node (lowest OS index
+	// among local nodes — DRAM on every platform of the paper).
+	Default Kind = iota
+	// HBW is MEMKIND_HBW: high-bandwidth memory or failure.
+	HBW
+	// HBWPreferred is MEMKIND_HBW_PREFERRED: high-bandwidth memory if
+	// available and not full, default otherwise.
+	HBWPreferred
+	// PMem is a pmem-style kind: persistent memory or failure.
+	PMem
+)
+
+// String names the kind like the C constants.
+func (k Kind) String() string {
+	switch k {
+	case Default:
+		return "MEMKIND_DEFAULT"
+	case HBW:
+		return "MEMKIND_HBW"
+	case HBWPreferred:
+		return "MEMKIND_HBW_PREFERRED"
+	case PMem:
+		return "MEMKIND_PMEM"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Errors.
+var (
+	// ErrKindUnavailable is returned when the hardwired technology
+	// does not exist on this machine — the baseline's portability
+	// failure mode.
+	ErrKindUnavailable = errors.New("memkind: requested memory kind not available on this platform")
+)
+
+// Memkind is an allocator bound to one machine and one thread
+// placement.
+type Memkind struct {
+	m   *memsim.Machine
+	ini *bitmap.Bitmap
+}
+
+// New creates a memkind allocator for threads running on the initiator
+// cpuset.
+func New(m *memsim.Machine, initiator *bitmap.Bitmap) *Memkind {
+	return &Memkind{m: m, ini: initiator.Copy()}
+}
+
+// localNodes returns the local nodes ordered by OS index (the OS
+// default ordering memkind relies on).
+func (k *Memkind) localNodes() []*memsim.Node {
+	var out []*memsim.Node
+	for _, obj := range k.m.Topology().LocalNUMANodes(k.ini) {
+		out = append(out, k.m.Node(obj))
+	}
+	// LocalNUMANodes is in logical order; the OS default is the
+	// lowest OS index, which on all modeled platforms coincides for
+	// DRAM. Sort to be explicit.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].OSIndex() < out[j-1].OSIndex(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (k *Memkind) findLocal(pred func(*memsim.Node) bool) *memsim.Node {
+	for _, n := range k.localNodes() {
+		if pred(n) {
+			return n
+		}
+	}
+	return nil
+}
+
+// CheckAvailable mirrors memkind_check_available: it reports whether
+// the kind exists on this machine without allocating.
+func (k *Memkind) CheckAvailable(kind Kind) error {
+	switch kind {
+	case Default:
+		if len(k.localNodes()) == 0 {
+			return ErrKindUnavailable
+		}
+		return nil
+	case HBW, HBWPreferred:
+		if k.findLocal(func(n *memsim.Node) bool { return memsim.IsHighBandwidth(n.Kind()) }) == nil {
+			return fmt.Errorf("%w: no HBW node local to the caller", ErrKindUnavailable)
+		}
+		return nil
+	case PMem:
+		if k.findLocal(func(n *memsim.Node) bool { return memsim.IsPMem(n.Kind()) }) == nil {
+			return fmt.Errorf("%w: no persistent memory node", ErrKindUnavailable)
+		}
+		return nil
+	default:
+		return fmt.Errorf("memkind: unknown kind %d", int(kind))
+	}
+}
+
+// Malloc allocates size bytes from the kind.
+func (k *Memkind) Malloc(kind Kind, name string, size uint64) (*memsim.Buffer, error) {
+	switch kind {
+	case Default:
+		n := k.findLocal(func(n *memsim.Node) bool { return !memsim.IsHighBandwidth(n.Kind()) && !memsim.IsPMem(n.Kind()) })
+		if n == nil {
+			n = k.findLocal(func(*memsim.Node) bool { return true })
+		}
+		if n == nil {
+			return nil, ErrKindUnavailable
+		}
+		return k.m.Alloc(name, size, n)
+	case HBW:
+		n := k.findLocal(func(n *memsim.Node) bool { return memsim.IsHighBandwidth(n.Kind()) })
+		if n == nil {
+			return nil, fmt.Errorf("%w: MEMKIND_HBW on a machine without HBM", ErrKindUnavailable)
+		}
+		return k.m.Alloc(name, size, n)
+	case HBWPreferred:
+		if n := k.findLocal(func(n *memsim.Node) bool { return memsim.IsHighBandwidth(n.Kind()) && n.Available() >= size }); n != nil {
+			return k.m.Alloc(name, size, n)
+		}
+		return k.Malloc(Default, name, size)
+	case PMem:
+		n := k.findLocal(func(n *memsim.Node) bool { return memsim.IsPMem(n.Kind()) })
+		if n == nil {
+			return nil, fmt.Errorf("%w: no persistent memory node", ErrKindUnavailable)
+		}
+		return k.m.Alloc(name, size, n)
+	default:
+		return nil, fmt.Errorf("memkind: unknown kind %d", int(kind))
+	}
+}
+
+// AutoHBW reproduces the AutoHBW interposer: allocations whose size
+// falls within [Low, High) go to HBW-preferred memory, everything else
+// to the default kind — no code modification, but the thresholds must
+// be re-tuned for every application and run, which is the
+// "convenience, not portability" critique in the paper.
+type AutoHBW struct {
+	K    *Memkind
+	Low  uint64
+	High uint64 // 0 = no upper bound
+}
+
+// Malloc routes by size.
+func (a *AutoHBW) Malloc(name string, size uint64) (*memsim.Buffer, error) {
+	if size >= a.Low && (a.High == 0 || size < a.High) {
+		return a.K.Malloc(HBWPreferred, name, size)
+	}
+	return a.K.Malloc(Default, name, size)
+}

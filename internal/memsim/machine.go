@@ -1,0 +1,312 @@
+package memsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hetmem/internal/topology"
+)
+
+// Errors returned by allocation.
+var (
+	ErrNoCapacity = errors.New("memsim: node capacity exhausted")
+	ErrNoModel    = errors.New("memsim: node has no performance model")
+	ErrFreed      = errors.New("memsim: buffer already freed")
+)
+
+// Node is the runtime state of one NUMA node: its model plus capacity
+// accounting and traffic counters.
+type Node struct {
+	Obj   *topology.Object
+	Model NodeModel
+
+	allocated uint64
+
+	// Counters, accumulated by the engine.
+	BytesRead    uint64
+	BytesWritten uint64
+	RandomReads  uint64
+}
+
+// OSIndex returns the node's OS index.
+func (n *Node) OSIndex() int { return n.Obj.OSIndex }
+
+// Capacity returns the node capacity in bytes.
+func (n *Node) Capacity() uint64 { return n.Obj.Memory }
+
+// Allocated returns the bytes currently allocated on the node.
+func (n *Node) Allocated() uint64 { return n.allocated }
+
+// Available returns the bytes still allocatable on the node.
+func (n *Node) Available() uint64 { return n.Obj.Memory - n.allocated }
+
+// Kind returns the node's memory kind.
+func (n *Node) Kind() string { return KindOf(n.Obj) }
+
+// Segment is a part of a buffer resident on one node.
+type Segment struct {
+	Node  *Node
+	Bytes uint64
+}
+
+// Buffer is an application data buffer placed on one or more nodes.
+type Buffer struct {
+	Name string
+	Size uint64
+
+	Segments []Segment
+
+	// Per-buffer counters for the profiler (Fig 7 of the paper).
+	LLCMisses uint64
+	// RandomMisses is the share of LLCMisses caused by irregular
+	// (latency-bound) accesses, used to classify buffer sensitivity.
+	RandomMisses uint64
+	Loads        uint64
+	Stores       uint64
+
+	freed bool
+	m     *Machine
+}
+
+// NodeNames describes the placement, e.g. "DRAM#0" or
+// "MCDRAM#1+DRAM#0" for a hybrid allocation.
+func (b *Buffer) NodeNames() string {
+	s := ""
+	for i, seg := range b.Segments {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%s#%d", seg.Node.Kind(), seg.Node.OSIndex())
+	}
+	return s
+}
+
+// OnKind reports whether any segment of the buffer resides on a node
+// of the given kind.
+func (b *Buffer) OnKind(kind string) bool {
+	for _, seg := range b.Segments {
+		if seg.Node.Kind() == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Machine is the simulated memory system of one topology.
+type Machine struct {
+	mu    sync.Mutex
+	topo  *topology.Topology
+	model MachineModel
+	nodes map[int]*Node // by OS index
+
+	buffers []*Buffer
+}
+
+// NewMachine builds the runtime machine for a topology and its model.
+// Every NUMA node must have a model.
+func NewMachine(topo *topology.Topology, model MachineModel) (*Machine, error) {
+	m := &Machine{topo: topo, model: model, nodes: make(map[int]*Node)}
+	for _, obj := range topo.NUMANodes() {
+		nm, ok := model.Nodes[obj.OSIndex]
+		if !ok {
+			return nil, fmt.Errorf("%w: NUMA node P#%d", ErrNoModel, obj.OSIndex)
+		}
+		if nm.Kind == "" {
+			nm.Kind = KindOf(obj)
+		}
+		m.nodes[obj.OSIndex] = &Node{Obj: obj, Model: nm}
+	}
+	if m.model.FreqGHz == 0 {
+		m.model.FreqGHz = 2.1
+	}
+	if m.model.Caches.LineSize == 0 {
+		m.model.Caches = DefaultCaches()
+	}
+	return m, nil
+}
+
+// Topology returns the machine's topology.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Model returns the machine model.
+func (m *Machine) Model() MachineModel { return m.model }
+
+// Node returns the runtime node for a topology NUMA object.
+func (m *Machine) Node(obj *topology.Object) *Node { return m.nodes[obj.OSIndex] }
+
+// NodeByOS returns the runtime node with the given OS index, or nil.
+func (m *Machine) NodeByOS(os int) *Node { return m.nodes[os] }
+
+// Nodes returns all runtime nodes ordered by OS index.
+func (m *Machine) Nodes() []*Node {
+	out := make([]*Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OSIndex() < out[j].OSIndex() })
+	return out
+}
+
+// Alloc places size bytes on the given node, failing with
+// ErrNoCapacity if it does not fit entirely.
+func (m *Machine) Alloc(name string, size uint64, node *Node) (*Buffer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node.Available() < size {
+		return nil, fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
+			node.Kind(), node.OSIndex(), size, node.Available())
+	}
+	node.allocated += size
+	b := &Buffer{Name: name, Size: size, Segments: []Segment{{node, size}}, m: m}
+	m.buffers = append(m.buffers, b)
+	return b, nil
+}
+
+// AllocSplit places a buffer across several nodes with explicit byte
+// counts per node (hybrid/partial allocation across two kinds of
+// memory, as discussed in the paper's capacity section). All-or-nothing.
+func (m *Machine) AllocSplit(name string, parts []Segment) (*Buffer, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total uint64
+	for _, p := range parts {
+		if p.Node.Available() < p.Bytes {
+			return nil, fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
+				p.Node.Kind(), p.Node.OSIndex(), p.Bytes, p.Node.Available())
+		}
+		total += p.Bytes
+	}
+	segs := make([]Segment, len(parts))
+	for i, p := range parts {
+		p.Node.allocated += p.Bytes
+		segs[i] = p
+	}
+	b := &Buffer{Name: name, Size: total, Segments: segs, m: m}
+	m.buffers = append(m.buffers, b)
+	return b, nil
+}
+
+// AllocInterleave spreads size bytes round-robin across the given
+// nodes (the OS "interleave" policy). All-or-nothing.
+func (m *Machine) AllocInterleave(name string, size uint64, nodes []*Node) (*Buffer, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("memsim: interleave across zero nodes")
+	}
+	per := size / uint64(len(nodes))
+	parts := make([]Segment, len(nodes))
+	rem := size
+	for i, n := range nodes {
+		b := per
+		if i == len(nodes)-1 {
+			b = rem
+		}
+		parts[i] = Segment{n, b}
+		rem -= b
+	}
+	return m.AllocSplit(name, parts)
+}
+
+// Free releases the buffer's memory back to its nodes.
+func (m *Machine) Free(b *Buffer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.freed {
+		return ErrFreed
+	}
+	for _, seg := range b.Segments {
+		seg.Node.allocated -= seg.Bytes
+	}
+	b.freed = true
+	return nil
+}
+
+// MigrationCost estimates the time Migrate would take, without moving
+// anything: copy time bounded by the slower of source read and
+// destination write bandwidth, plus per-page OS bookkeeping.
+func (m *Machine) MigrationCost(b *Buffer, dst *Node) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrationCostLocked(b, dst)
+}
+
+func (m *Machine) migrationCostLocked(b *Buffer, dst *Node) float64 {
+	const pageSize = 4096
+	const perPageOS = 1.2e-6
+	var seconds float64
+	for _, seg := range b.Segments {
+		if seg.Node == dst {
+			continue
+		}
+		bw := seg.Node.Model.ReadBW
+		if dst.Model.WriteBW < bw {
+			bw = dst.Model.WriteBW
+		}
+		if bw <= 0 {
+			bw = 1
+		}
+		seconds += float64(seg.Bytes)/(bw*float64(1<<30)) + perPageOS*float64(seg.Bytes/pageSize)
+	}
+	return seconds
+}
+
+// Migrate moves the whole buffer onto the destination node, failing
+// with ErrNoCapacity if it does not fit. It returns the time the copy
+// would take (bounded by the slower of the source read and destination
+// write bandwidths, plus a per-page OS cost), which the caller's engine
+// should add to its clock — the paper stresses that migration is
+// expensive in operating systems.
+func (m *Machine) Migrate(b *Buffer, dst *Node) (seconds float64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.freed {
+		return 0, ErrFreed
+	}
+	already := uint64(0)
+	for _, seg := range b.Segments {
+		if seg.Node == dst {
+			already += seg.Bytes
+		}
+	}
+	need := b.Size - already
+	if dst.Available() < need {
+		return 0, fmt.Errorf("%w: migrating %q to %s#%d", ErrNoCapacity, b.Name, dst.Kind(), dst.OSIndex())
+	}
+	seconds = m.migrationCostLocked(b, dst)
+	for _, seg := range b.Segments {
+		if seg.Node == dst {
+			continue
+		}
+		seg.Node.allocated -= seg.Bytes
+	}
+	dst.allocated += need
+	b.Segments = []Segment{{dst, b.Size}}
+	return seconds, nil
+}
+
+// Buffers returns all live buffers in allocation order.
+func (m *Machine) Buffers() []*Buffer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Buffer
+	for _, b := range m.buffers {
+		if !b.freed {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ResetCounters clears all node and buffer counters (allocation state
+// is preserved).
+func (m *Machine) ResetCounters() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.nodes {
+		n.BytesRead, n.BytesWritten, n.RandomReads = 0, 0, 0
+	}
+	for _, b := range m.buffers {
+		b.LLCMisses, b.RandomMisses, b.Loads, b.Stores = 0, 0, 0, 0
+	}
+}

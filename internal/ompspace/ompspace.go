@@ -1,0 +1,186 @@
+// Package ompspace implements OpenMP 5.0 memory spaces and allocator
+// traits (omp_high_bw_mem_space, omp_low_lat_mem_space, ...) on top of
+// the memory-attribute API, the runtime integration the paper names as
+// its target ("These attributes also directly provide support for
+// implementing the corresponding OpenMP 5.0 allocators and memory
+// spaces"). A space is resolved *portably*: omp_high_bw_mem_space is
+// "the local nodes whose bandwidth is close to the best", not a
+// hardwired technology, so the same OpenMP code gets MCDRAM on KNL and
+// DRAM on a Xeon without HBM.
+package ompspace
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+)
+
+// Space mirrors the omp_memspace_handle_t predefined spaces.
+type Space int
+
+const (
+	// DefaultMem is omp_default_mem_space: the OS default node.
+	DefaultMem Space = iota
+	// LargeCapMem is omp_large_cap_mem_space.
+	LargeCapMem
+	// HighBWMem is omp_high_bw_mem_space.
+	HighBWMem
+	// LowLatMem is omp_low_lat_mem_space.
+	LowLatMem
+)
+
+// String names the space like the OpenMP constants.
+func (s Space) String() string {
+	switch s {
+	case DefaultMem:
+		return "omp_default_mem_space"
+	case LargeCapMem:
+		return "omp_large_cap_mem_space"
+	case HighBWMem:
+		return "omp_high_bw_mem_space"
+	case LowLatMem:
+		return "omp_low_lat_mem_space"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// attr maps a space to the attribute that defines it.
+func (s Space) attr() (memattr.ID, error) {
+	switch s {
+	case LargeCapMem:
+		return memattr.Capacity, nil
+	case HighBWMem:
+		return memattr.Bandwidth, nil
+	case LowLatMem:
+		return memattr.Latency, nil
+	case DefaultMem:
+		return memattr.Locality, nil
+	default:
+		return 0, fmt.Errorf("ompspace: unknown space %d", int(s))
+	}
+}
+
+// Fallback mirrors the omp_atv_*_fb allocator trait values.
+type Fallback int
+
+const (
+	// DefaultMemFB falls back to the default memory space
+	// (omp_atv_default_mem_fb), the OpenMP default.
+	DefaultMemFB Fallback = iota
+	// NullFB returns ErrNullFallback (omp_atv_null_fb).
+	NullFB
+	// AbortFB returns ErrAbort (omp_atv_abort_fb; a real runtime would
+	// terminate the program).
+	AbortFB
+)
+
+// Errors.
+var (
+	// ErrNullFallback is the Go rendering of omp_alloc returning NULL.
+	ErrNullFallback = errors.New("ompspace: allocation failed (null fallback)")
+	// ErrAbort is the Go rendering of the abort fallback trait.
+	ErrAbort = errors.New("ompspace: allocation failed (abort fallback)")
+)
+
+// Traits configures an OpenMP allocator.
+type Traits struct {
+	Fallback Fallback
+}
+
+// Allocator is an omp_allocator_handle_t bound to a space and traits.
+type Allocator struct {
+	space  Space
+	traits Traits
+	a      *alloc.Allocator
+	ini    *bitmap.Bitmap
+}
+
+// closeFactor defines space membership: a node belongs to the space
+// when its attribute value is within this factor of the best local
+// value.
+const closeFactor = 1.25
+
+// NewAllocator creates an allocator for the space, as seen by threads
+// on the initiator cpuset.
+func NewAllocator(space Space, traits Traits, base *alloc.Allocator, initiator *bitmap.Bitmap) (*Allocator, error) {
+	if _, err := space.attr(); err != nil {
+		return nil, err
+	}
+	return &Allocator{space: space, traits: traits, a: base, ini: initiator.Copy()}, nil
+}
+
+// SpaceNodes resolves the space to its member nodes, best first.
+func (al *Allocator) SpaceNodes() ([]*memsim.Node, error) {
+	attr, err := al.space.attr()
+	if err != nil {
+		return nil, err
+	}
+	ranked, used, _, err := al.a.Candidates(attr, al.ini, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("ompspace: %s resolves to no node", al.space)
+	}
+	flags, err := al.a.Registry().Flags(used)
+	if err != nil {
+		return nil, err
+	}
+	best := float64(ranked[0].Value)
+	var out []*memsim.Node
+	for _, tv := range ranked {
+		v := float64(tv.Value)
+		var in bool
+		if flags&memattr.HigherFirst != 0 {
+			in = v*closeFactor >= best
+		} else {
+			in = v <= best*closeFactor
+		}
+		if in {
+			out = append(out, al.a.Machine().Node(tv.Target))
+		}
+	}
+	return out, nil
+}
+
+// Alloc is omp_alloc: allocate within the space, applying the fallback
+// trait on exhaustion.
+func (al *Allocator) Alloc(name string, size uint64) (*memsim.Buffer, error) {
+	nodes, err := al.SpaceNodes()
+	if err != nil {
+		return nil, err
+	}
+	m := al.a.Machine()
+	for _, n := range nodes {
+		if b, err := m.Alloc(name, size, n); err == nil {
+			return b, nil
+		} else if !errors.Is(err, memsim.ErrNoCapacity) {
+			return nil, err
+		}
+	}
+	switch al.traits.Fallback {
+	case DefaultMemFB:
+		if al.space == DefaultMem {
+			return nil, fmt.Errorf("%w: default space exhausted", ErrNullFallback)
+		}
+		def, err := NewAllocator(DefaultMem, Traits{Fallback: NullFB}, al.a, al.ini)
+		if err != nil {
+			return nil, err
+		}
+		return def.Alloc(name, size)
+	case NullFB:
+		return nil, fmt.Errorf("%w: space %s", ErrNullFallback, al.space)
+	case AbortFB:
+		return nil, fmt.Errorf("%w: space %s", ErrAbort, al.space)
+	default:
+		return nil, fmt.Errorf("ompspace: unknown fallback trait %d", int(al.traits.Fallback))
+	}
+}
+
+// Free is omp_free.
+func (al *Allocator) Free(b *memsim.Buffer) error { return al.a.Machine().Free(b) }

@@ -1,0 +1,174 @@
+package phases
+
+import (
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/core"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+)
+
+const gib = uint64(1) << 30
+
+// rig builds a Xeon system (DRAM 81ns vs NVDIMM 305ns: migrations can
+// actually pay off) with a buffer stranded on the NVDIMM.
+func rig(t *testing.T) (*core.System, *bitmap.Bitmap, *memsim.Buffer, *memsim.Engine, *Manager) {
+	t.Helper()
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := sys.InitiatorForPackage(0)
+	buf, err := sys.Machine.Alloc("hot", 4*gib, sys.Machine.NodeByOS(2)) // NVDIMM
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sys.Engine(ini)
+	mgr := NewManager(sys.Allocator, ini, e.Threads())
+	mgr.Manage(buf)
+	return sys, ini, buf, e, mgr
+}
+
+func TestIdleBufferNoAdvice(t *testing.T) {
+	_, _, _, _, mgr := rig(t)
+	adv := mgr.Observe()
+	if len(adv) != 1 || adv[0].Behaviour != Idle || adv[0].Migrate {
+		t.Fatalf("advice = %+v", adv)
+	}
+}
+
+func TestLatencyBoundAdvisesMigration(t *testing.T) {
+	_, _, buf, e, mgr := rig(t)
+	// A heavy irregular phase on the NVDIMM-resident buffer.
+	e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: 400_000_000, MLP: 4}})
+	mgr.Horizon = 4
+	adv := mgr.Observe()
+	if len(adv) != 1 {
+		t.Fatalf("advice count = %d", len(adv))
+	}
+	a := adv[0]
+	if a.Behaviour != LatencyBound || a.Attr != memattr.Latency {
+		t.Fatalf("classification = %v / %v", a.Behaviour, a.Attr)
+	}
+	if a.Target == nil || a.Target.Kind() != "DRAM" {
+		t.Fatalf("target = %v (%s)", a.Target, a.Reason)
+	}
+	if !a.Migrate || a.GainPerPhase <= 0 || a.Cost <= 0 {
+		t.Fatalf("advice = %+v", a)
+	}
+	// Apply it: the buffer moves, the clock advances.
+	before := e.Elapsed()
+	cost, err := mgr.Apply(adv, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || e.Elapsed() <= before {
+		t.Fatalf("cost = %f", cost)
+	}
+	if buf.NodeNames() != "DRAM#0" {
+		t.Fatalf("buffer on %s", buf.NodeNames())
+	}
+	// Next observation: already on the best target, no further move.
+	e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: 400_000_000, MLP: 4}})
+	adv = mgr.Observe()
+	if adv[0].Migrate {
+		t.Fatalf("should stay put: %+v", adv[0])
+	}
+}
+
+func TestShortHorizonDeclines(t *testing.T) {
+	_, _, buf, e, mgr := rig(t)
+	// A light phase: the gain cannot amortize the 4GiB copy within one
+	// phase.
+	e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: 5_000_000, MLP: 4}})
+	mgr.Horizon = 1
+	adv := mgr.Observe()
+	a := adv[0]
+	if a.Behaviour != LatencyBound {
+		t.Fatalf("behaviour = %v", a.Behaviour)
+	}
+	if a.Migrate {
+		t.Fatalf("light phase should not justify migration: %+v", a)
+	}
+	// With a long horizon the same behaviour does.
+	e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: 5_000_000, MLP: 4}})
+	mgr.Horizon = 1000
+	if a := mgr.Observe()[0]; !a.Migrate {
+		t.Fatalf("long horizon should migrate: %+v", a)
+	}
+}
+
+func TestBandwidthBoundClassification(t *testing.T) {
+	sys, err := core.NewSystem("knl-snc4-flat", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := sys.InitiatorForGroup(0)
+	buf, err := sys.Machine.Alloc("streamy", 2*gib, sys.Machine.NodeByOS(0)) // DRAM
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sys.Engine(ini)
+	mgr := NewManager(sys.Allocator, ini, e.Threads())
+	mgr.Manage(buf)
+	e.Phase("stream", []memsim.Access{{Buffer: buf, ReadBytes: 200 * gib}})
+	mgr.Horizon = 3
+	adv := mgr.Observe()
+	a := adv[0]
+	if a.Behaviour != BandwidthBound || a.Attr != memattr.Bandwidth {
+		t.Fatalf("classification = %v", a.Behaviour)
+	}
+	if a.Target == nil || a.Target.Kind() != "MCDRAM" || !a.Migrate {
+		t.Fatalf("advice = %+v (%s)", a, a.Reason)
+	}
+	if _, err := mgr.Apply(adv, e); err != nil {
+		t.Fatal(err)
+	}
+	if buf.NodeNames() != "MCDRAM#4" {
+		t.Fatalf("buffer on %s", buf.NodeNames())
+	}
+}
+
+func TestFullTargetSkipped(t *testing.T) {
+	sys, err := core.NewSystem("knl-snc4-flat", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := sys.InitiatorForGroup(0)
+	// Fill the MCDRAM so the better target is infeasible.
+	if _, err := sys.Machine.Alloc("hog", 4*gib, sys.Machine.NodeByOS(4)); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := sys.Machine.Alloc("streamy", 2*gib, sys.Machine.NodeByOS(0))
+	e := sys.Engine(ini)
+	mgr := NewManager(sys.Allocator, ini, e.Threads())
+	mgr.Manage(buf)
+	e.Phase("stream", []memsim.Access{{Buffer: buf, ReadBytes: 200 * gib}})
+	a := mgr.Observe()[0]
+	if a.Migrate || a.Target != nil {
+		t.Fatalf("full target should be skipped: %+v", a)
+	}
+}
+
+func TestBehaviourString(t *testing.T) {
+	if Idle.String() != "idle" || LatencyBound.String() != "latency-bound" ||
+		BandwidthBound.String() != "bandwidth-bound" || Behaviour(9).String() != "unknown" {
+		t.Fatal("behaviour names wrong")
+	}
+}
+
+func TestManagerUsesAllocCandidates(t *testing.T) {
+	// Sanity: the manager's target choice agrees with the allocator's
+	// ranking machinery (no private ranking logic drifting apart).
+	sys, ini, buf, e, mgr := rig(t)
+	e.Phase("chase", []memsim.Access{{Buffer: buf, RandomReads: 400_000_000, MLP: 4}})
+	a := mgr.Observe()[0]
+	ranked, _, _, err := sys.Allocator.Candidates(memattr.Latency, ini, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Target == nil || a.Target.Obj != ranked[0].Target {
+		t.Fatalf("manager target %v disagrees with allocator ranking %v", a.Target, ranked[0].Target)
+	}
+}

@@ -1,0 +1,119 @@
+package platform
+
+import (
+	"hetmem/internal/hmat"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// The paper's Section II-C argues the attribute API outlives KNL by
+// sketching the platforms that were coming: ARM HPC processors
+// combining on-package HBM with off-package DDR5 (ETRI K-AB21, SiPearl
+// Rhea), and POWER9 machines exposing NVIDIA V100 GPU memory as host
+// NUMA nodes. These two machines exist here to demonstrate exactly
+// that: the same attribute-driven code runs on them unchanged.
+
+func init() {
+	register("rhea", Rhea)
+	register("power9-gpu", Power9GPU)
+}
+
+// Rhea models a SiPearl-Rhea-like ARM socket: 64 cores in 4 clusters,
+// each cluster with a 16 GB slice of on-package HBM, plus 128 GB of
+// off-package DDR5 on the socket. HBM and DDR5 have similar latencies
+// (both are DRAM technologies); bandwidth differs 4x — so, like on
+// KNL, Bandwidth discriminates and Latency does not.
+func Rhea() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "rhea"
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	pkg.SetInfo("CPUModel", "ARM Neoverse-class with on-package HBM")
+	pkg.AddMemChild(topology.NewNUMA(4, "DDR5", 128*GiB))
+	pu := 0
+	for g := 0; g < 4; g++ {
+		grp := pkg.AddChild(topology.New(topology.Group, g))
+		grp.Name = "Cluster"
+		grp.AddMemChild(topology.NewNUMA(g, "HBM", 16*GiB))
+		pu = addCores(grp, 16, pu)
+	}
+	hbm := memsim.NodeModel{
+		Kind:   "HBM",
+		ReadBW: 180, WriteBW: 120, TotalBW: 160,
+		PerThreadBW: 12,
+		IdleLatency: 95, LoadedLatency: 140,
+	}
+	ddr5 := memsim.NodeModel{
+		Kind:   "DDR5",
+		ReadBW: 55, WriteBW: 30, TotalBW: 40,
+		PerThreadBW: 6,
+		IdleLatency: 90, LoadedLatency: 220,
+	}
+	m := memsim.MachineModel{
+		Nodes:      map[int]memsim.NodeModel{4: ddr5},
+		Caches:     memsim.CacheModel{LineSize: 64, L2PerCore: 1 << 20, LLCPerDomain: 32 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.6, LatencyAdd: 40},
+		FreqGHz:    2.6,
+		CPUPerByte: 5e-11,
+	}
+	for g := 0; g < 4; g++ {
+		m.Nodes[g] = hbm
+	}
+	return &Platform{
+		Name:        "rhea",
+		Description: "ARM socket with per-cluster on-package HBM + socket-wide DDR5 (paper Section II-C future platforms)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: false},
+	}
+}
+
+// Power9GPU models a POWER9 node exposing V100 GPU memory as host
+// NUMA nodes: 2 sockets with DRAM, plus two CPU-less 16 GB HBM2 nodes
+// (the GPUs) reachable over NVLink — high bandwidth but also high
+// latency from the CPU's point of view, the coherent-accelerator
+// memory scenario of Sections II-C and VIII.
+func Power9GPU() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "power9-gpu"
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.SetInfo("CPUModel", "POWER9")
+		pkg.AddMemChild(topology.NewNUMA(p, "DRAM", 256*GiB))
+		// The GPU memory is attached to the package (NVLink), exposed
+		// as a NUMA node without CPUs of its own; its locality is the
+		// package's cpuset.
+		pkg.AddMemChild(topology.NewNUMA(2+p, "GPU", 16*GiB))
+		pu = addCores(pkg, 16, pu)
+	}
+	dram := memsim.NodeModel{
+		Kind:   "DRAM",
+		ReadBW: 120, WriteBW: 60, TotalBW: 105,
+		PerThreadBW: 14,
+		IdleLatency: 90, LoadedLatency: 250,
+	}
+	gpu := memsim.NodeModel{
+		Kind: "GPU",
+		// NVLink2: ~75 GB/s per direction CPU<->GPU, far below the
+		// HBM2's native 900 GB/s; CPU-side latency is poor.
+		ReadBW: 70, WriteBW: 70, TotalBW: 75,
+		PerThreadBW: 8,
+		IdleLatency: 400, LoadedLatency: 700,
+	}
+	m := memsim.MachineModel{
+		Nodes:      map[int]memsim.NodeModel{0: dram, 1: dram, 2: gpu, 3: gpu},
+		Caches:     memsim.CacheModel{LineSize: 128, L2PerCore: 512 << 10, LLCPerDomain: 120 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.5, LatencyAdd: 70},
+		FreqGHz:    3.0,
+		CPUPerByte: 5e-11,
+	}
+	return &Platform{
+		Name:        "power9-gpu",
+		Description: "dual POWER9 with V100 GPU memory exposed as host NUMA nodes over NVLink (paper Sections II-C and VIII)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: false},
+	}
+}

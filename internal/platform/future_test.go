@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/hmat"
+	"hetmem/internal/memattr"
+)
+
+func TestRheaAttributeChoices(t *testing.T) {
+	// Section II-C: the same requests that worked on KNL and Xeon adapt
+	// to the HBM+DDR5 generation without any change.
+	p, err := Get("rhea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15) // cluster 0
+
+	best, _, err := reg.BestLocalTarget(memattr.Bandwidth, ini)
+	if err != nil || best.Subtype != "HBM" {
+		t.Fatalf("bandwidth -> %v, %v", best, err)
+	}
+	// Latencies are close; DDR5 measures marginally lower, sparing HBM.
+	best, _, err = reg.BestLocalTarget(memattr.Latency, ini)
+	if err != nil || best.Subtype != "DDR5" {
+		t.Fatalf("latency -> %v, %v", best, err)
+	}
+	best, _, err = reg.BestLocalTarget(memattr.Capacity, ini)
+	if err != nil || best.Subtype != "DDR5" {
+		t.Fatalf("capacity -> %v, %v", best, err)
+	}
+}
+
+func TestPower9GPUMemoryVisible(t *testing.T) {
+	p, err := Get("power9-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := memattr.NewRegistry(p.Topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15) // socket 0
+
+	// The GPU memory is a local target like any other...
+	local := p.Topo.LocalNUMANodes(ini)
+	kinds := map[string]bool{}
+	for _, n := range local {
+		kinds[n.Subtype] = true
+	}
+	if !kinds["DRAM"] || !kinds["GPU"] {
+		t.Fatalf("local kinds = %v", kinds)
+	}
+	// ...but from the CPU's point of view it never wins a performance
+	// attribute: DRAM has both better latency and better bandwidth
+	// over NVLink. Capacity is also DRAM's. So CPU-side requests leave
+	// the GPU memory alone — exactly what you want.
+	for _, attr := range []memattr.ID{memattr.Bandwidth, memattr.Latency, memattr.Capacity} {
+		best, _, err := reg.BestLocalTarget(attr, ini)
+		if err != nil || best.Subtype != "DRAM" {
+			t.Fatalf("%s -> %v, %v", reg.Name(attr), best, err)
+		}
+	}
+	// A custom attribute can still steer explicitly GPU-shared buffers
+	// there (the paper's "additional attributes for describing
+	// different constraints" future work).
+	id, err := reg.Register("GPUAccessibility", memattr.HigherFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range p.Topo.NUMANodes() {
+		v := uint64(1)
+		if n.Subtype == "GPU" {
+			v = 100
+		}
+		if err := reg.SetValue(id, n, nil, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best, _, err := reg.BestLocalTarget(id, ini)
+	if err != nil || best.Subtype != "GPU" {
+		t.Fatalf("GPUAccessibility -> %v, %v", best, err)
+	}
+}

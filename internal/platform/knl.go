@@ -1,0 +1,155 @@
+package platform
+
+import (
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// Calibration for the Xeon Phi Knights Landing 7230 testbed (paper
+// Section VI): 64 cores at 1.3 GHz, SNC-4 Flat — four clusters, each
+// with 24 GB of DRAM and a 4 GB MCDRAM NUMA node. Per-cluster
+// bandwidths are a quarter of the chip totals (~90 GB/s DDR4, ~360
+// GB/s MCDRAM stream):
+//
+//   - MCDRAM triad per cluster ≈ 90 GB/s (Table IIIb: 85.05/89.90);
+//   - DRAM triad per cluster ≈ 29 GB/s (Table IIIb: 29.17);
+//   - latencies nearly identical (~130 vs ~145 ns — MCDRAM's idle
+//     latency is in fact marginally *worse* than DDR4's on KNL), the
+//     key property that makes Graph500 insensitive to the choice
+//     (Table IIb) and makes "Latency" pick DRAM there, sparing the
+//     scarce MCDRAM (Table IIIb's Latency row).
+//
+// KNL predates the ACPI HMAT: HasHMAT is false and attribute values
+// must come from benchmarking.
+func knlDRAM() memsim.NodeModel {
+	return memsim.NodeModel{
+		Kind:   "DRAM",
+		ReadBW: 32, WriteBW: 16, TotalBW: 30.4,
+		PerThreadBW: 2.5,
+		IdleLatency: 130, LoadedLatency: 250,
+	}
+}
+
+func knlMCDRAM() memsim.NodeModel {
+	return memsim.NodeModel{
+		Kind:   "MCDRAM",
+		ReadBW: 120, WriteBW: 62, TotalBW: 102,
+		PerThreadBW: 7,
+		IdleLatency: 145, LoadedLatency: 185,
+	}
+}
+
+func knlCommon() memsim.MachineModel {
+	return memsim.MachineModel{
+		Nodes: map[int]memsim.NodeModel{},
+		// KNL has no shared L3; the aggregated per-cluster L2 acts as
+		// the last-level cache.
+		Caches:     memsim.CacheModel{LineSize: 64, L2PerCore: 1 << 20, LLCPerDomain: 8 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.7, LatencyAdd: 25},
+		FreqGHz:    1.3,
+		CPUPerByte: 2e-11, // wide SIMD keeps stream cheap; per-edge graph costs are modelled by the workloads
+	}
+}
+
+func init() {
+	register("knl-snc4-flat", KNLSNC4Flat)
+	register("knl-snc4-hybrid50", KNLSNC4Hybrid50)
+	register("knl-quadrant-cache", KNLQuadrantCache)
+}
+
+// KNLSNC4Flat is the use-case machine: SNC-4 Flat, memory-side cache
+// disabled. DRAM NUMA nodes are 0-3 and MCDRAM nodes 4-7 — MCDRAM
+// always gets the higher OS indexes so that default allocations do not
+// land on it by mistake (paper footnote on the Linux preferred-node
+// restriction).
+func KNLSNC4Flat() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "knl-snc4-flat"
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	pkg.SetInfo("CPUModel", "Intel Xeon Phi 7230")
+	pu := 0
+	for g := 0; g < 4; g++ {
+		grp := pkg.AddChild(topology.New(topology.Group, g))
+		grp.Name = "Cluster"
+		grp.AddMemChild(topology.NewNUMA(g, "DRAM", 24*GiB))
+		grp.AddMemChild(topology.NewNUMA(4+g, "MCDRAM", 4*GiB))
+		pu = addCores(grp, 16, pu)
+	}
+	m := knlCommon()
+	for g := 0; g < 4; g++ {
+		m.Nodes[g] = knlDRAM()
+		m.Nodes[4+g] = knlMCDRAM()
+	}
+	return &Platform{
+		Name:        "knl-snc4-flat",
+		Description: "Xeon Phi 7230, SNC-4 Flat: 4 clusters x (16 cores, 24GB DRAM, 4GB MCDRAM) (paper Section VI testbed)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     false,
+	}
+}
+
+// KNLSNC4Hybrid50 is the Figure 1 machine: a 72-core part in
+// SNC4/Hybrid50 — per cluster, 18 cores, 12 GB of DRAM behind a 2 GB
+// MCDRAM memory-side cache, plus a 2 GB flat MCDRAM node.
+func KNLSNC4Hybrid50() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "knl-snc4-hybrid50"
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	pkg.SetInfo("CPUModel", "Intel Xeon Phi 7290")
+	pu := 0
+	m := knlCommon()
+	mc := knlMCDRAM()
+	for g := 0; g < 4; g++ {
+		grp := pkg.AddChild(topology.New(topology.Group, g))
+		grp.Name = "Cluster"
+		msc := grp.AddMemChild(topology.NewMemCache(2 * GiB))
+		msc.AddMemChild(topology.NewNUMA(g, "DRAM", 12*GiB))
+		grp.AddMemChild(topology.NewNUMA(4+g, "MCDRAM", 2*GiB))
+		pu = addCores(grp, 18, pu)
+		m.Nodes[g] = knlDRAM()
+		m.Nodes[4+g] = mc
+		if m.MemCaches == nil {
+			m.MemCaches = map[int]memsim.MemCacheModel{}
+		}
+		m.MemCaches[g] = memsim.MemCacheModel{
+			Size: 2 * GiB, ReadBW: mc.ReadBW, WriteBW: mc.WriteBW, TotalBW: mc.TotalBW, Latency: mc.IdleLatency,
+		}
+	}
+	return &Platform{
+		Name:        "knl-snc4-hybrid50",
+		Description: "Xeon Phi in SNC4/Hybrid50: 4 clusters x (18 cores, 12GB DRAM behind 2GB memory-side cache, 2GB MCDRAM) (paper Figure 1)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     false,
+	}
+}
+
+// KNLQuadrantCache is the all-hardware-managed configuration (Cache
+// mode, no SNC): one 96 GB DRAM node behind a 16 GB MCDRAM memory-side
+// cache — the zero-effort baseline of the performance/productivity
+// trade-off the paper opens with.
+func KNLQuadrantCache() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "knl-quadrant-cache"
+	pkg := root.AddChild(topology.New(topology.Package, 0))
+	msc := pkg.AddMemChild(topology.NewMemCache(16 * GiB))
+	msc.AddMemChild(topology.NewNUMA(0, "DRAM", 96*GiB))
+	addCores(pkg, 64, 0)
+	m := knlCommon()
+	dram := knlDRAM()
+	// Whole-chip bandwidth with no SNC split.
+	dram.ReadBW, dram.WriteBW, dram.TotalBW = 128, 64, 117
+	m.Nodes[0] = dram
+	mc := knlMCDRAM()
+	m.MemCaches = map[int]memsim.MemCacheModel{
+		0: {Size: 16 * GiB, ReadBW: mc.ReadBW * 4, WriteBW: mc.WriteBW * 4, TotalBW: mc.TotalBW * 4, Latency: mc.IdleLatency + 10},
+	}
+	return &Platform{
+		Name:        "knl-quadrant-cache",
+		Description: "Xeon Phi 7230 in Cache mode: 96GB DRAM behind 16GB MCDRAM memory-side cache",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     false,
+	}
+}

@@ -1,0 +1,98 @@
+package platform
+
+import (
+	"hetmem/internal/hmat"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+func init() {
+	register("fictitious", Fictitious)
+	register("homogeneous", Homogeneous)
+}
+
+// Fictitious is the Figure 3 machine: every kind of memory at once.
+// Each of the two packages has a local NVDIMM and DRAM; each Sub-NUMA
+// Cluster inside them has an HBM; and a network-attached memory (NAM)
+// hangs off the whole machine with no local CPU, reachable from
+// everywhere at high latency. Four local NUMA nodes per core.
+func Fictitious() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "fictitious"
+	pu := 0
+	hbmOS := 6
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.AddMemChild(topology.NewNUMA(p, "DRAM", 64*GiB))
+		pkg.AddMemChild(topology.NewNUMA(2+p, "NVDIMM", 512*GiB))
+		for g := 0; g < 2; g++ {
+			grp := pkg.AddChild(topology.New(topology.Group, p*2+g))
+			grp.Name = "SubNUMA Cluster"
+			grp.AddMemChild(topology.NewNUMA(hbmOS, "HBM", 8*GiB))
+			hbmOS++
+			pu = addCores(grp, 4, pu)
+		}
+	}
+	// Network-attached memory: a memory child of the machine itself.
+	root.AddMemChild(topology.NewNUMA(10, "NAM", 1024*GiB))
+
+	m := memsim.MachineModel{
+		Nodes:      map[int]memsim.NodeModel{},
+		Caches:     memsim.CacheModel{LineSize: 64, L2PerCore: 1 << 20, LLCPerDomain: 16 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.5, LatencyAdd: 60},
+		FreqGHz:    2.4,
+		CPUPerByte: 6e-11,
+	}
+	dram := memsim.NodeModel{Kind: "DRAM", ReadBW: 100, WriteBW: 50, TotalBW: 80, PerThreadBW: 12, IdleLatency: 90, LoadedLatency: 250}
+	nv := memsim.NodeModel{Kind: "NVDIMM", ReadBW: 30, WriteBW: 4, TotalBW: 26, PerThreadBW: 5, IdleLatency: 310, LoadedLatency: 900}
+	hbm := memsim.NodeModel{Kind: "HBM", ReadBW: 250, WriteBW: 160, TotalBW: 220, PerThreadBW: 30, IdleLatency: 105, LoadedLatency: 160}
+	nam := memsim.NodeModel{Kind: "NAM", ReadBW: 10, WriteBW: 10, TotalBW: 12, PerThreadBW: 4, IdleLatency: 1500, LoadedLatency: 4000}
+	for p := 0; p < 2; p++ {
+		m.Nodes[p] = dram
+		m.Nodes[2+p] = nv
+	}
+	for os := 6; os < 10; os++ {
+		m.Nodes[os] = hbm
+	}
+	m.Nodes[10] = nam
+	return &Platform{
+		Name:        "fictitious",
+		Description: "fictitious platform with per-package DRAM+NVDIMM, per-SNC HBM, and machine-wide network-attached memory (paper Figure 3)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: false, IncludeReadWrite: true},
+	}
+}
+
+// Homogeneous is a plain dual-socket DRAM-only NUMA machine. The
+// paper notes the attribute API degenerates gracefully here: latency
+// and bandwidth simply tell local nodes from remote ones.
+func Homogeneous() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "homogeneous"
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.AddMemChild(topology.NewNUMA(p, "DRAM", 128*GiB))
+		pu = addCores(pkg, 16, pu)
+	}
+	m := memsim.MachineModel{
+		Nodes:      map[int]memsim.NodeModel{},
+		Caches:     memsim.CacheModel{LineSize: 64, L2PerCore: 1 << 20, LLCPerDomain: 22 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.6, LatencyAdd: 50},
+		FreqGHz:    2.5,
+		CPUPerByte: 6e-11,
+	}
+	dram := memsim.NodeModel{Kind: "DRAM", ReadBW: 110, WriteBW: 55, TotalBW: 85, PerThreadBW: 13, IdleLatency: 85, LoadedLatency: 240}
+	m.Nodes[0], m.Nodes[1] = dram, dram
+	return &Platform{
+		Name:        "homogeneous",
+		Description: "homogeneous dual-socket DRAM machine (NUMA-only degenerate case)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		// Expose the full matrix so remote nodes are comparable.
+		HMATOpts: hmat.Options{LocalOnly: false},
+	}
+}

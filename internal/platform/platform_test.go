@@ -1,0 +1,280 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/hmat"
+	"hetmem/internal/memattr"
+	"hetmem/internal/topology"
+)
+
+func TestAllPlatformsWellFormed(t *testing.T) {
+	names := Names()
+	if len(names) < 7 {
+		t.Fatalf("only %d platforms registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != name {
+				t.Errorf("Name = %q", p.Name)
+			}
+			if p.Description == "" {
+				t.Error("empty description")
+			}
+			m, err := p.NewMachine()
+			if err != nil {
+				t.Fatalf("NewMachine: %v", err)
+			}
+			// Every NUMA node has a model with sane values.
+			for _, n := range m.Nodes() {
+				if n.Model.TotalBW <= 0 || n.Model.IdleLatency <= 0 {
+					t.Errorf("node %v has degenerate model %+v", n.Obj, n.Model)
+				}
+				if n.Capacity() == 0 {
+					t.Errorf("node %v has zero capacity", n.Obj)
+				}
+			}
+			// The firmware view must apply cleanly when present.
+			reg := memattr.NewRegistry(p.Topo)
+			if tbl := p.HMATTable(); tbl != nil {
+				if !p.HasHMAT {
+					t.Fatal("table without HasHMAT")
+				}
+				if err := hmat.Apply(tbl, reg); err != nil {
+					t.Fatalf("HMAT apply: %v", err)
+				}
+				if !reg.HasValues(memattr.Bandwidth) || !reg.HasValues(memattr.Latency) {
+					t.Error("HMAT did not populate bandwidth/latency")
+				}
+			} else if p.HasHMAT {
+				t.Fatal("HasHMAT but nil table")
+			}
+		})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("bogus"); err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestXeonUseCaseShape(t *testing.T) {
+	p, _ := Get("xeon")
+	topo := p.Topo
+	if n := topo.NumObjects(topology.PU); n != 40 {
+		t.Fatalf("PUs = %d, want 40", n)
+	}
+	nodes := topo.NUMANodes()
+	if len(nodes) != 4 {
+		t.Fatalf("NUMA nodes = %d", len(nodes))
+	}
+	// Per the paper: first nodes are DRAM, NVDIMMs get higher indexes.
+	if nodes[0].Subtype != "DRAM" || nodes[0].OSIndex != 0 {
+		t.Fatalf("node0 = %v", nodes[0])
+	}
+	var kinds []string
+	for _, n := range nodes {
+		kinds = append(kinds, n.Subtype)
+	}
+	if got := strings.Join(kinds, ","); got != "DRAM,NVDIMM,DRAM,NVDIMM" {
+		t.Fatalf("kind order = %s", got)
+	}
+	if nodes[1].Memory != 768*GiB || nodes[0].Memory != 192*GiB {
+		t.Fatalf("capacities: %d %d", nodes[0].Memory, nodes[1].Memory)
+	}
+}
+
+func TestXeonSNC2Figure5Values(t *testing.T) {
+	p, _ := Get("xeon-snc2")
+	topo := p.Topo
+	nodes := topo.NUMANodes()
+	// Logical order per Figure 5: DRAM,DRAM,NVDIMM per package.
+	var kinds []string
+	for _, n := range nodes {
+		kinds = append(kinds, n.Subtype)
+	}
+	if got := strings.Join(kinds, ","); got != "DRAM,DRAM,NVDIMM,DRAM,DRAM,NVDIMM" {
+		t.Fatalf("logical kind order = %s", got)
+	}
+
+	reg := memattr.NewRegistry(topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	// Verbatim Figure 5 values.
+	ini := bitmap.NewFromIndexes(0) // a PU in Group0 L#0
+	dram := nodes[0]
+	nv := nodes[2]
+	if v, err := reg.Value(memattr.Bandwidth, dram, ini); err != nil || v != 131072 {
+		t.Fatalf("DRAM bw = %d, %v (want 131072)", v, err)
+	}
+	if v, err := reg.Value(memattr.Latency, dram, ini); err != nil || v != 26 {
+		t.Fatalf("DRAM lat = %d, %v (want 26)", v, err)
+	}
+	if v, err := reg.Value(memattr.Bandwidth, nv, ini); err != nil || v != 78644 {
+		t.Fatalf("NVDIMM bw = %d, %v (want 78644)", v, err)
+	}
+	if v, err := reg.Value(memattr.Latency, nv, ini); err != nil || v != 77 {
+		t.Fatalf("NVDIMM lat = %d, %v (want 77)", v, err)
+	}
+	if v, err := reg.Value(memattr.Capacity, dram, nil); err != nil || v != 96*GiB {
+		t.Fatalf("DRAM capacity = %d, %v", v, err)
+	}
+	if v, err := reg.Value(memattr.Capacity, nv, nil); err != nil || v != 768*GiB {
+		t.Fatalf("NVDIMM capacity = %d, %v", v, err)
+	}
+	// Local-only: the DRAM of package 1 has no value from package 0.
+	pkg1pu := bitmap.NewFromIndexes(25)
+	if _, err := reg.Value(memattr.Bandwidth, dram, pkg1pu); err == nil {
+		t.Fatal("remote value should be absent (Linux local-only limitation)")
+	}
+}
+
+func TestKNLShape(t *testing.T) {
+	p, _ := Get("knl-snc4-flat")
+	topo := p.Topo
+	if n := topo.NumObjects(topology.PU); n != 64 {
+		t.Fatalf("PUs = %d", n)
+	}
+	if p.HasHMAT || p.HMATTable() != nil {
+		t.Fatal("KNL must not expose an HMAT")
+	}
+	nodes := topo.NUMANodes()
+	if len(nodes) != 8 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	// MCDRAM OS indexes are strictly above all DRAM OS indexes (Linux
+	// preferred-node footnote in the paper).
+	maxDRAM, minMC := -1, 1<<30
+	for _, n := range nodes {
+		switch n.Subtype {
+		case "DRAM":
+			if n.OSIndex > maxDRAM {
+				maxDRAM = n.OSIndex
+			}
+		case "MCDRAM":
+			if n.OSIndex < minMC {
+				minMC = n.OSIndex
+			}
+		}
+	}
+	if maxDRAM >= minMC {
+		t.Fatalf("MCDRAM OS indexes must exceed DRAM's: maxDRAM=%d minMC=%d", maxDRAM, minMC)
+	}
+	// A core in cluster 2 sees exactly its cluster's DRAM+MCDRAM.
+	local := topo.LocalNUMANodes(bitmap.NewFromIndexes(34))
+	if len(local) != 2 {
+		t.Fatalf("local nodes = %d", len(local))
+	}
+	if local[0].Subtype != "DRAM" || local[1].Subtype != "MCDRAM" {
+		t.Fatalf("local = %v %v", local[0], local[1])
+	}
+	if local[1].Memory != 4*GiB {
+		t.Fatalf("MCDRAM capacity = %d", local[1].Memory)
+	}
+}
+
+func TestKNLHybrid50Shape(t *testing.T) {
+	p, _ := Get("knl-snc4-hybrid50")
+	topo := p.Topo
+	if n := topo.NumObjects(topology.PU); n != 72 {
+		t.Fatalf("PUs = %d", n)
+	}
+	if n := topo.NumObjects(topology.MemCache); n != 4 {
+		t.Fatalf("memory-side caches = %d", n)
+	}
+	for _, n := range topo.NUMANodes() {
+		switch n.Subtype {
+		case "DRAM":
+			if n.Memory != 12*GiB {
+				t.Fatalf("DRAM = %d", n.Memory)
+			}
+			c := topology.MemorySideCacheFor(n)
+			if c == nil || c.CacheSize != 2*GiB {
+				t.Fatalf("DRAM cache = %v", c)
+			}
+		case "MCDRAM":
+			if n.Memory != 2*GiB {
+				t.Fatalf("MCDRAM = %d", n.Memory)
+			}
+		}
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Model().MemCaches) != 4 {
+		t.Fatal("machine model missing memory-side caches")
+	}
+}
+
+func TestFictitiousFourLocalKinds(t *testing.T) {
+	p, _ := Get("fictitious")
+	topo := p.Topo
+	// A core in SNC 0 of package 0 sees DRAM, NVDIMM, HBM and the NAM:
+	// the paper's "4 local NUMA nodes" claim for Figure 3.
+	local := topo.LocalNUMANodes(bitmap.NewFromIndexes(0))
+	kinds := map[string]bool{}
+	for _, n := range local {
+		kinds[n.Subtype] = true
+	}
+	for _, k := range []string{"DRAM", "NVDIMM", "HBM", "NAM"} {
+		if !kinds[k] {
+			t.Errorf("kind %s not local: have %v", k, kinds)
+		}
+	}
+	if len(local) != 4 {
+		t.Fatalf("local nodes = %d, want 4", len(local))
+	}
+	// The HBM of the *other* SNC is not local.
+	for _, n := range local {
+		if n.Subtype == "HBM" && !n.CPUSet.Test(0) {
+			t.Fatal("wrong HBM considered local")
+		}
+	}
+}
+
+func TestHomogeneousRemoteComparable(t *testing.T) {
+	p, _ := Get("homogeneous")
+	reg := memattr.NewRegistry(p.Topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	// With the full matrix exposed, both nodes have values from
+	// package 0 and the local one ranks first for latency.
+	ini := bitmap.NewFromIndexes(0)
+	ranked, err := reg.RankTargets(memattr.Latency, ini, p.Topo.NUMANodes())
+	if err != nil || len(ranked) != 2 {
+		t.Fatalf("ranked = %v, %v", ranked, err)
+	}
+	if ranked[0].Target.OSIndex != 0 || ranked[1].Target.OSIndex != 1 {
+		t.Fatalf("order = %v", ranked)
+	}
+	if ranked[1].Value <= ranked[0].Value {
+		t.Fatal("remote latency should exceed local")
+	}
+}
+
+func Test2LMShape(t *testing.T) {
+	p, _ := Get("xeon-2lm")
+	nodes := p.Topo.NUMANodes()
+	if len(nodes) != 2 {
+		t.Fatalf("2LM should expose only NVDIMM nodes, got %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Subtype != "NVDIMM" {
+			t.Fatalf("node = %v", n)
+		}
+		if topology.MemorySideCacheFor(n) == nil {
+			t.Fatal("NVDIMM must sit behind a DRAM memory-side cache")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetmem/internal/hmat"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// FromSynthetic builds a platform from a textual description, in the
+// spirit of hwloc's synthetic topologies (lstopo --input "node:4
+// core:8 pu:2"). The grammar, whitespace-separated:
+//
+//	CPU levels (left to right, each nested in the previous):
+//	    package:N   group:N   core:N   pu:N
+//	Memory attachments (one NUMA node per instance of the level):
+//	    mem:LEVEL:KIND:SIZE[:bw=GBS][:lat=NS]
+//	        LEVEL ∈ machine|package|group|core
+//	        KIND is free-form (DRAM, HBM, MCDRAM, NVDIMM, NAM, ...)
+//	        SIZE accepts KiB/MiB/GiB/TiB suffixes
+//	Memory-side caches in front of the *next* mem spec's nodes:
+//	    memcache:LEVEL:SIZE
+//
+// Example — a 2-socket machine with per-socket DRAM + NVDIMM and
+// per-group HBM:
+//
+//	package:2 group:2 core:8 pu:1
+//	mem:package:DRAM:96GiB:bw=100:lat=85
+//	mem:package:NVDIMM:768GiB:bw=25:lat=310
+//	mem:group:HBM:8GiB:bw=220:lat=110
+//
+// NUMA node OS indexes are assigned in declaration order, one block of
+// indexes per mem spec (so the first spec's nodes get the lowest
+// indexes, matching the platform conventions of the paper). Bandwidth
+// defaults to 80 GB/s and latency to 100 ns when omitted; the machine
+// model derives read/write bandwidths and a loaded latency from them.
+func FromSynthetic(name, desc string) (*Platform, error) {
+	type level struct {
+		typ   topology.Type
+		count int
+	}
+	type memSpec struct {
+		level     string
+		kind      string
+		size      uint64
+		bw        float64
+		lat       float64
+		cacheSize uint64 // from a preceding memcache spec
+	}
+	var levels []level
+	var mems []memSpec
+	var pendingCache struct {
+		level string
+		size  uint64
+	}
+
+	levelTypes := map[string]topology.Type{
+		"package": topology.Package,
+		"group":   topology.Group,
+		"core":    topology.Core,
+		"pu":      topology.PU,
+	}
+	validMemLevels := map[string]bool{"machine": true, "package": true, "group": true, "core": true}
+
+	for _, tok := range strings.Fields(desc) {
+		parts := strings.Split(tok, ":")
+		switch parts[0] {
+		case "package", "group", "core", "pu":
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("platform: synthetic token %q: want level:count", tok)
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("platform: synthetic token %q: bad count", tok)
+			}
+			levels = append(levels, level{levelTypes[parts[0]], n})
+		case "mem":
+			if len(parts) < 4 {
+				return nil, fmt.Errorf("platform: synthetic token %q: want mem:level:kind:size", tok)
+			}
+			ms := memSpec{level: parts[1], kind: parts[2], bw: 80, lat: 100}
+			if !validMemLevels[ms.level] {
+				return nil, fmt.Errorf("platform: synthetic token %q: bad mem level %q", tok, ms.level)
+			}
+			size, err := parseSyntheticSize(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("platform: synthetic token %q: %v", tok, err)
+			}
+			ms.size = size
+			for _, opt := range parts[4:] {
+				switch {
+				case strings.HasPrefix(opt, "bw="):
+					v, err := strconv.ParseFloat(opt[3:], 64)
+					if err != nil || v <= 0 {
+						return nil, fmt.Errorf("platform: synthetic token %q: bad bw", tok)
+					}
+					ms.bw = v
+				case strings.HasPrefix(opt, "lat="):
+					v, err := strconv.ParseFloat(opt[4:], 64)
+					if err != nil || v <= 0 {
+						return nil, fmt.Errorf("platform: synthetic token %q: bad lat", tok)
+					}
+					ms.lat = v
+				default:
+					return nil, fmt.Errorf("platform: synthetic token %q: unknown option %q", tok, opt)
+				}
+			}
+			if pendingCache.size > 0 {
+				if pendingCache.level != ms.level {
+					return nil, fmt.Errorf("platform: memcache level %q does not match next mem level %q",
+						pendingCache.level, ms.level)
+				}
+				ms.cacheSize = pendingCache.size
+				pendingCache.size = 0
+			}
+			mems = append(mems, ms)
+		case "memcache":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("platform: synthetic token %q: want memcache:level:size", tok)
+			}
+			size, err := parseSyntheticSize(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("platform: synthetic token %q: %v", tok, err)
+			}
+			pendingCache.level = parts[1]
+			pendingCache.size = size
+		default:
+			return nil, fmt.Errorf("platform: unknown synthetic token %q", tok)
+		}
+	}
+	if pendingCache.size > 0 {
+		return nil, fmt.Errorf("platform: trailing memcache with no mem spec")
+	}
+	if len(levels) == 0 || levels[len(levels)-1].typ != topology.PU {
+		return nil, fmt.Errorf("platform: synthetic description must end its CPU levels with pu:N")
+	}
+	if len(mems) == 0 {
+		return nil, fmt.Errorf("platform: synthetic description needs at least one mem spec")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].typ <= levels[i-1].typ {
+			return nil, fmt.Errorf("platform: CPU levels must be declared outermost-first")
+		}
+	}
+
+	// Build the tree.
+	root := topology.New(topology.Machine, -1)
+	root.Name = name
+	model := memsim.MachineModel{
+		Nodes:   map[int]memsim.NodeModel{},
+		Caches:  memsim.DefaultCaches(),
+		Remote:  memsim.RemoteModel{BWFactor: 0.5, LatencyAdd: 60},
+		FreqGHz: 2.2,
+	}
+
+	// Per-spec OS index blocks: count instances per level first.
+	instances := map[string]int{"machine": 1}
+	count := 1
+	for _, l := range levels {
+		count *= l.count
+		switch l.typ {
+		case topology.Package:
+			instances["package"] = count
+		case topology.Group:
+			instances["group"] = count
+		case topology.Core:
+			instances["core"] = count
+		}
+	}
+	osBase := make([]int, len(mems))
+	next := 0
+	for i, ms := range mems {
+		osBase[i] = next
+		next += instances[ms.level]
+	}
+	osNext := append([]int(nil), osBase...)
+
+	attach := func(obj *topology.Object, levelName string) {
+		for i, ms := range mems {
+			if ms.level != levelName {
+				continue
+			}
+			os := osNext[i]
+			osNext[i]++
+			node := topology.NewNUMA(os, ms.kind, ms.size)
+			if ms.cacheSize > 0 {
+				msc := topology.NewMemCache(ms.cacheSize)
+				msc.AddMemChild(node)
+				obj.AddMemChild(msc)
+				model.MemCaches = ensureCaches(&model)
+				model.MemCaches[os] = memsim.MemCacheModel{
+					Size: ms.cacheSize, ReadBW: ms.bw * 3, WriteBW: ms.bw * 2, TotalBW: ms.bw * 3, Latency: ms.lat,
+				}
+			} else {
+				obj.AddMemChild(node)
+			}
+			model.Nodes[os] = memsim.NodeModel{
+				Kind:   ms.kind,
+				ReadBW: ms.bw * 1.3, WriteBW: ms.bw * 0.6, TotalBW: ms.bw,
+				PerThreadBW: ms.bw / 8,
+				IdleLatency: ms.lat, LoadedLatency: ms.lat * 2.5,
+			}
+		}
+	}
+
+	pu := 0
+	var expand func(parent *topology.Object, depth int)
+	expand = func(parent *topology.Object, depth int) {
+		if depth == len(levels) {
+			return
+		}
+		l := levels[depth]
+		for i := 0; i < l.count; i++ {
+			var child *topology.Object
+			switch l.typ {
+			case topology.PU:
+				child = parent.AddChild(topology.New(topology.PU, pu))
+				pu++
+				continue
+			case topology.Core:
+				child = parent.AddChild(topology.New(topology.Core, pu))
+			default:
+				child = parent.AddChild(topology.New(l.typ, instanceCounter(parent, l.typ)))
+			}
+			switch l.typ {
+			case topology.Package:
+				attach(child, "package")
+			case topology.Group:
+				attach(child, "group")
+			case topology.Core:
+				attach(child, "core")
+			}
+			expand(child, depth+1)
+		}
+	}
+	attach(root, "machine")
+	expand(root, 0)
+
+	topo, err := topology.Build(root)
+	if err != nil {
+		return nil, fmt.Errorf("platform: synthetic build: %w", err)
+	}
+	return &Platform{
+		Name:        name,
+		Description: "synthetic platform: " + desc,
+		Topo:        topo,
+		Model:       model,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: false},
+	}, nil
+}
+
+func ensureCaches(m *memsim.MachineModel) map[int]memsim.MemCacheModel {
+	if m.MemCaches == nil {
+		m.MemCaches = map[int]memsim.MemCacheModel{}
+	}
+	return m.MemCaches
+}
+
+// instanceCounter assigns the next OS index for an intermediate level
+// (Package/Group) by counting the objects of that type already in the
+// tree — indexes need only be unique.
+func instanceCounter(parent *topology.Object, typ topology.Type) int {
+	root := parent
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	n := 0
+	var walk func(o *topology.Object)
+	walk = func(o *topology.Object) {
+		if o.Type == typ {
+			n++
+		}
+		for _, c := range o.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return n
+}
+
+func parseSyntheticSize(s string) (uint64, error) {
+	mult := uint64(1)
+	for _, suf := range []struct {
+		s string
+		m uint64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}, {"TiB", 1 << 40},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40}} {
+		if strings.HasSuffix(s, suf.s) {
+			mult = suf.m
+			s = strings.TrimSuffix(s, suf.s)
+			break
+		}
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || v == 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,159 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/hmat"
+	"hetmem/internal/memattr"
+	"hetmem/internal/topology"
+)
+
+const fig3ish = "package:2 group:2 core:8 pu:1 " +
+	"mem:package:DRAM:96GiB:bw=100:lat=85 " +
+	"mem:package:NVDIMM:768GiB:bw=25:lat=310 " +
+	"mem:group:HBM:8GiB:bw=220:lat=110 " +
+	"mem:machine:NAM:1TiB:bw=10:lat=1500"
+
+func TestSyntheticFig3ish(t *testing.T) {
+	p, err := FromSynthetic("custom", fig3ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := p.Topo
+	if n := topo.NumObjects(topology.PU); n != 32 {
+		t.Fatalf("PUs = %d", n)
+	}
+	nodes := topo.NUMANodes()
+	if len(nodes) != 9 { // 2 DRAM + 2 NVDIMM + 4 HBM + 1 NAM
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	// OS blocks follow declaration order: DRAM 0-1, NVDIMM 2-3, HBM
+	// 4-7, NAM 8.
+	kindOf := map[int]string{}
+	for _, n := range nodes {
+		kindOf[n.OSIndex] = n.Subtype
+	}
+	want := map[int]string{0: "DRAM", 1: "DRAM", 2: "NVDIMM", 3: "NVDIMM",
+		4: "HBM", 5: "HBM", 6: "HBM", 7: "HBM", 8: "NAM"}
+	for os, kind := range want {
+		if kindOf[os] != kind {
+			t.Errorf("node %d = %s, want %s", os, kindOf[os], kind)
+		}
+	}
+	// A core sees DRAM + NVDIMM + its HBM + NAM: 4 local kinds.
+	local := topo.LocalNUMANodes(bitmap.NewFromIndexes(0))
+	if len(local) != 4 {
+		t.Fatalf("local = %d", len(local))
+	}
+	// Machine works and every node has a model.
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes() {
+		if n.Model.TotalBW <= 0 {
+			t.Fatalf("node %v missing model", n.Obj)
+		}
+	}
+	// The HMAT view applies and rankings make sense end to end.
+	reg := memattr.NewRegistry(topo)
+	if err := hmat.Apply(p.HMATTable(), reg); err != nil {
+		t.Fatal(err)
+	}
+	best, _, err := reg.BestLocalTarget(memattr.Bandwidth, bitmap.NewFromIndexes(0))
+	if err != nil || best.Subtype != "HBM" {
+		t.Fatalf("best bandwidth = %v, %v", best, err)
+	}
+	best, _, err = reg.BestLocalTarget(memattr.Latency, bitmap.NewFromIndexes(0))
+	if err != nil || best.Subtype != "DRAM" {
+		t.Fatalf("best latency = %v, %v", best, err)
+	}
+}
+
+func TestSyntheticMemCache(t *testing.T) {
+	p, err := FromSynthetic("knl-ish",
+		"package:1 group:2 core:4 pu:1 memcache:group:2GiB mem:group:DRAM:12GiB:bw=30:lat=130 mem:group:MCDRAM:2GiB:bw=90:lat=140")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Topo.NumObjects(topology.MemCache); n != 2 {
+		t.Fatalf("memcaches = %d", n)
+	}
+	dram := p.Topo.ObjectByOS(topology.NUMANode, 0)
+	if topology.MemorySideCacheFor(dram) == nil {
+		t.Fatal("DRAM not behind its cache")
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Model().MemCaches) != 2 {
+		t.Fatal("model missing memory-side caches")
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	p, err := FromSynthetic("simple", "package:1 core:2 pu:2 mem:package:DRAM:8GiB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Topo.NumObjects(topology.PU); n != 4 {
+		t.Fatalf("PUs = %d", n)
+	}
+	m, _ := p.NewMachine()
+	model := m.NodeByOS(0).Model
+	if model.TotalBW != 80 || model.IdleLatency != 100 {
+		t.Fatalf("defaults = %+v", model)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no levels
+		"package:2",                            // no PU level
+		"package:2 pu:1",                       // no mem
+		"pu:1 package:2 mem:package:DRAM:1GiB", // wrong nesting order
+		"package:x pu:1 mem:package:DRAM:1GiB",
+		"package:0 pu:1 mem:package:DRAM:1GiB",
+		"package:1 pu:1 mem:package:DRAM",          // missing size
+		"package:1 pu:1 mem:socket:DRAM:1GiB",      // bad level
+		"package:1 pu:1 mem:package:DRAM:zz",       // bad size
+		"package:1 pu:1 mem:package:DRAM:1GiB:x=1", // bad option
+		"package:1 pu:1 mem:package:DRAM:1GiB:bw=-2",
+		"package:1 pu:1 mem:package:DRAM:1GiB:lat=0",
+		"package:1 pu:1 mem:package:DRAM:1GiB memcache:package:1GiB",       // trailing cache
+		"package:1 pu:1 memcache:group:1GiB mem:package:DRAM:1GiB",         // cache level mismatch
+		"bogus:1 pu:1 mem:package:DRAM:1GiB",                               // unknown token
+		"package:1 pu:1 mem:package:DRAM:1GiB mem:package:NVDIMM:badsize:", // bad size again
+	}
+	for _, desc := range cases {
+		if _, err := FromSynthetic("x", desc); err == nil {
+			t.Errorf("FromSynthetic(%q) should fail", desc)
+		}
+	}
+}
+
+func TestSyntheticRendering(t *testing.T) {
+	// The synthetic machine flows through the whole stack: here the
+	// lstopo-style description survives a JSON round trip.
+	p, err := FromSynthetic("rt", fig3ish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := topology.Export(p.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := topology.Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects(topology.NUMANode) != 9 {
+		t.Fatal("round trip lost nodes")
+	}
+	if !strings.Contains(p.Description, "synthetic platform") {
+		t.Fatal("description missing")
+	}
+}

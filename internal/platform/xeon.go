@@ -1,0 +1,214 @@
+package platform
+
+import (
+	"hetmem/internal/hmat"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// Calibration for the dual Xeon Cascade Lake 6230 + Optane NVDIMM
+// testbed (paper Section VI, Tables II-IV; van Renen et al. for the
+// device-level numbers). Bandwidths are GiB/s per socket, latencies ns.
+//
+//   - DRAM sustained STREAM-triad ≈ 75 GB/s (Table IIIa: 75.06/75.24);
+//   - NVDIMM triad ≈ 31.6 GB/s while the working set fits the device's
+//     internal buffering (Table IIIa: 31.59 at 22.4 GiB), dropping to
+//     ~10.5 sustained (10.49 at 89.4 GiB) and degrading slowly with
+//     footprint (9.46 at 223.5 GiB);
+//   - latencies 81/305 ns idle, 285/860 ns loaded (van Renen).
+func xeonDRAM() memsim.NodeModel {
+	return memsim.NodeModel{
+		Kind:   "DRAM",
+		ReadBW: 105, WriteBW: 45, TotalBW: 100,
+		PerThreadBW: 12,
+		IdleLatency: 81, LoadedLatency: 285,
+		DegradePerTiB: 0.35,
+	}
+}
+
+func xeonNVDIMM() memsim.NodeModel {
+	return memsim.NodeModel{
+		Kind:   "NVDIMM",
+		ReadBW: 30, WriteBW: 3.72, TotalBW: 26,
+		PerThreadBW: 5,
+		IdleLatency: 305, LoadedLatency: 860,
+		BufferBytes:    32 * GiB,
+		BufferedReadBW: 60, BufferedWriteBW: 13, BufferedTotalBW: 35.3,
+		OverflowLatencyFactor: 2.0,
+		DegradePerTiB:         0.7,
+	}
+}
+
+func xeonCommon() memsim.MachineModel {
+	return memsim.MachineModel{
+		Nodes:      map[int]memsim.NodeModel{},
+		Caches:     memsim.CacheModel{LineSize: 64, L2PerCore: 1 << 20, LLCPerDomain: 27 << 20},
+		Remote:     memsim.RemoteModel{BWFactor: 0.45, LatencyAdd: 55},
+		FreqGHz:    2.1,
+		CPUPerByte: 6.2e-11,
+	}
+}
+
+func init() {
+	register("xeon", XeonCLX1LM)
+	register("xeon-snc2", XeonCLXSNC2)
+	register("xeon-2lm", XeonCLX2LM)
+	register("xeon-quad", XeonQuad)
+}
+
+// XeonCLX1LM is the use-case machine of Section VI: two Xeon 6230
+// packages (20 cores each), Sub-NUMA Clustering disabled, 192 GB DRAM
+// and 768 GB NVDIMM per package, NVDIMMs in 1-Level-Memory mode
+// (exposed as separate NUMA nodes 2 and 3).
+func XeonCLX1LM() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "xeon"
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.SetInfo("CPUModel", "Intel Xeon Gold 6230")
+		pkg.AddMemChild(topology.NewNUMA(p, "DRAM", 192*GiB))
+		pkg.AddMemChild(topology.NewNUMA(p+2, "NVDIMM", 768*GiB))
+		pu = addCores(pkg, 20, pu)
+	}
+	m := xeonCommon()
+	m.Nodes[0], m.Nodes[1] = xeonDRAM(), xeonDRAM()
+	m.Nodes[2], m.Nodes[3] = xeonNVDIMM(), xeonNVDIMM()
+	return &Platform{
+		Name:        "xeon",
+		Description: "dual Xeon Cascade Lake 6230, 2x192GB DRAM + 2x768GB NVDIMM, 1LM, SNC off (paper Section VI testbed)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: true},
+	}
+}
+
+// XeonCLXSNC2 is the Figure 2 machine: the same two packages with
+// Sub-NUMA Clustering enabled — four 10-core clusters each owning a
+// 96 GB DRAM node, plus one 768 GB NVDIMM node per package. Its
+// firmware reports the verbatim Figure 5 values (bandwidth 131072 and
+// 78644 MB/s; latency 26 and 77 ns), local accesses only.
+func XeonCLXSNC2() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "xeon-snc2"
+	pu := 0
+	dramOS := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		pkg.SetInfo("CPUModel", "Intel Xeon Gold 6230")
+		for g := 0; g < 2; g++ {
+			grp := pkg.AddChild(topology.New(topology.Group, p*2+g))
+			grp.Name = "SubNUMA Cluster"
+			grp.AddMemChild(topology.NewNUMA(dramOS, "DRAM", 96*GiB))
+			dramOS++
+			pu = addCores(grp, 10, pu)
+		}
+		pkg.AddMemChild(topology.NewNUMA(4+p, "NVDIMM", 768*GiB))
+	}
+	m := xeonCommon()
+	// Per-SNC DRAM halves the per-node bandwidth.
+	dram := xeonDRAM()
+	dram.ReadBW, dram.WriteBW, dram.TotalBW = 52, 23, 50
+	m.Caches.LLCPerDomain = 13 << 20
+	for os := 0; os < 4; os++ {
+		m.Nodes[os] = dram
+	}
+	m.Nodes[4], m.Nodes[5] = xeonNVDIMM(), xeonNVDIMM()
+	return &Platform{
+		Name:        "xeon-snc2",
+		Description: "dual Xeon 6230 with SNC2: 4x96GB DRAM + 2x768GB NVDIMM, 1LM (paper Figures 2 and 5)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts: hmat.Options{
+			LocalOnly: true,
+			// The verbatim numbers of Figure 5.
+			Override: func(ini, tgt *topology.Object, dt hmat.DataType, local bool) (uint64, bool) {
+				if !local {
+					return 0, false
+				}
+				switch {
+				case dt == hmat.AccessBandwidth && tgt.Subtype == "DRAM":
+					return 131072, true
+				case dt == hmat.AccessBandwidth && tgt.Subtype == "NVDIMM":
+					return 78644, true
+				case dt == hmat.AccessLatency && tgt.Subtype == "DRAM":
+					return 26, true
+				case dt == hmat.AccessLatency && tgt.Subtype == "NVDIMM":
+					return 77, true
+				}
+				return 0, false
+			},
+		},
+	}
+}
+
+// XeonCLX2LM is the same hardware in 2-Level-Memory mode: the DRAM of
+// each package becomes a memory-side cache in front of the NVDIMM,
+// which is the only visible NUMA node — the "productivity" end of the
+// paper's performance/productivity trade-off.
+func XeonCLX2LM() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "xeon-2lm"
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		msc := pkg.AddMemChild(topology.NewMemCache(192 * GiB))
+		msc.AddMemChild(topology.NewNUMA(p, "NVDIMM", 768*GiB))
+		pu = addCores(pkg, 20, pu)
+	}
+	m := xeonCommon()
+	m.Nodes[0], m.Nodes[1] = xeonNVDIMM(), xeonNVDIMM()
+	dram := xeonDRAM()
+	m.MemCaches = map[int]memsim.MemCacheModel{
+		0: {Size: 192 * GiB, ReadBW: dram.ReadBW, WriteBW: dram.WriteBW, TotalBW: dram.TotalBW, Latency: dram.IdleLatency + 15},
+		1: {Size: 192 * GiB, ReadBW: dram.ReadBW, WriteBW: dram.WriteBW, TotalBW: dram.TotalBW, Latency: dram.IdleLatency + 15},
+	}
+	return &Platform{
+		Name:        "xeon-2lm",
+		Description: "dual Xeon 6230 in 2-Level-Memory mode: DRAM as memory-side cache in front of NVDIMM",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: true},
+	}
+}
+
+// XeonQuad is the Section VIII thought experiment: four packages, each
+// split in two SNCs with their own DRAM, plus one NVDIMM per package —
+// 8 DRAM + 4 NVDIMM NUMA nodes.
+func XeonQuad() *Platform {
+	root := topology.New(topology.Machine, -1)
+	root.Name = "xeon-quad"
+	pu := 0
+	dramOS := 0
+	for p := 0; p < 4; p++ {
+		pkg := root.AddChild(topology.New(topology.Package, p))
+		for g := 0; g < 2; g++ {
+			grp := pkg.AddChild(topology.New(topology.Group, p*2+g))
+			grp.Name = "SubNUMA Cluster"
+			grp.AddMemChild(topology.NewNUMA(dramOS, "DRAM", 48*GiB))
+			dramOS++
+			pu = addCores(grp, 10, pu)
+		}
+		pkg.AddMemChild(topology.NewNUMA(8+p, "NVDIMM", 512*GiB))
+	}
+	m := xeonCommon()
+	dram := xeonDRAM()
+	dram.ReadBW, dram.WriteBW, dram.TotalBW = 52, 23, 50
+	for os := 0; os < 8; os++ {
+		m.Nodes[os] = dram
+	}
+	for os := 8; os < 12; os++ {
+		m.Nodes[os] = xeonNVDIMM()
+	}
+	return &Platform{
+		Name:        "xeon-quad",
+		Description: "four-socket Xeon with SNC2: 8 DRAM + 4 NVDIMM NUMA nodes (paper Section VIII)",
+		Topo:        mustBuild(root),
+		Model:       m,
+		HasHMAT:     true,
+		HMATOpts:    hmat.Options{LocalOnly: true},
+	}
+}

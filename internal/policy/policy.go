@@ -1,0 +1,188 @@
+// Package policy emulates the operating-system memory policies
+// (set_mempolicy/mbind/numactl) that the paper's Section II-D calls
+// "the basic way to allocate on specific kinds of memory": binding a
+// whole process to nodes, interleaving, and Linux's *preferred* policy
+// with its real-world restriction — the preferred node must have a
+// lower index than the fallback nodes (paper footnote: impossible for
+// KNL MCDRAM, whose nodes always carry the higher indexes). The
+// heterogeneous allocator (internal/alloc) exists precisely because
+// these policies cannot express "fast memory first, ranked fallback".
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+)
+
+// Mode mirrors the MPOL_* constants.
+type Mode int
+
+const (
+	// Default allocates on the lowest-indexed node local to the
+	// caller (first-touch approximation).
+	Default Mode = iota
+	// Bind restricts allocation to the node set strictly.
+	Bind
+	// Interleave round-robins pages across the node set.
+	Interleave
+	// Preferred tries one node and falls back to the others in index
+	// order — subject to the Linux index restriction.
+	Preferred
+)
+
+// String names the mode like numactl.
+func (m Mode) String() string {
+	switch m {
+	case Default:
+		return "default"
+	case Bind:
+		return "membind"
+	case Interleave:
+		return "interleave"
+	case Preferred:
+		return "preferred"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Errors.
+var (
+	// ErrInvalid is the EINVAL analogue: the policy cannot be
+	// expressed (empty node set, multi-node preferred, or the Linux
+	// preferred-index restriction).
+	ErrInvalid = errors.New("policy: invalid policy")
+)
+
+// Policy is one memory policy over explicit node OS indexes.
+type Policy struct {
+	Mode  Mode
+	Nodes []int // node OS indexes; unused for Default
+}
+
+// Validate checks expressibility against a machine, including the
+// Linux preferred-index restriction: every node outside the preferred
+// one is a potential fallback, so the preferred node must carry the
+// lowest index of the machine's nodes that could serve the
+// allocation. This is what makes "prefer MCDRAM, fall back to DRAM"
+// inexpressible on KNL.
+func (p Policy) Validate(m *memsim.Machine) error {
+	switch p.Mode {
+	case Default:
+		return nil
+	case Bind, Interleave:
+		if len(p.Nodes) == 0 {
+			return fmt.Errorf("%w: %s needs at least one node", ErrInvalid, p.Mode)
+		}
+	case Preferred:
+		if len(p.Nodes) != 1 {
+			return fmt.Errorf("%w: preferred takes exactly one node", ErrInvalid)
+		}
+		pref := p.Nodes[0]
+		for _, n := range m.Nodes() {
+			if n.OSIndex() < pref {
+				return fmt.Errorf("%w: preferred node %d has fallback node %d with a lower index (Linux restriction)",
+					ErrInvalid, pref, n.OSIndex())
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %d", ErrInvalid, int(p.Mode))
+	}
+	for _, os := range p.Nodes {
+		if m.NodeByOS(os) == nil {
+			return fmt.Errorf("%w: no node with OS index %d", ErrInvalid, os)
+		}
+	}
+	return nil
+}
+
+// Alloc places size bytes under the policy for a caller running on the
+// initiator cpuset.
+func (p Policy) Alloc(m *memsim.Machine, initiator *bitmap.Bitmap, name string, size uint64) (*memsim.Buffer, error) {
+	if err := p.Validate(m); err != nil {
+		return nil, err
+	}
+	switch p.Mode {
+	case Default:
+		node := defaultNode(m, initiator)
+		if node == nil {
+			return nil, fmt.Errorf("%w: no local node", ErrInvalid)
+		}
+		return m.Alloc(name, size, node)
+	case Bind:
+		var lastErr error
+		for _, os := range sorted(p.Nodes) {
+			b, err := m.Alloc(name, size, m.NodeByOS(os))
+			if err == nil {
+				return b, nil
+			}
+			if !errors.Is(err, memsim.ErrNoCapacity) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	case Interleave:
+		nodes := make([]*memsim.Node, 0, len(p.Nodes))
+		for _, os := range sorted(p.Nodes) {
+			nodes = append(nodes, m.NodeByOS(os))
+		}
+		return m.AllocInterleave(name, size, nodes)
+	case Preferred:
+		pref := m.NodeByOS(p.Nodes[0])
+		if b, err := m.Alloc(name, size, pref); err == nil {
+			return b, nil
+		} else if !errors.Is(err, memsim.ErrNoCapacity) {
+			return nil, err
+		}
+		// Kernel fallback: remaining nodes in index order.
+		for _, n := range m.Nodes() {
+			if n == pref {
+				continue
+			}
+			b, err := m.Alloc(name, size, n)
+			if err == nil {
+				return b, nil
+			}
+			if !errors.Is(err, memsim.ErrNoCapacity) {
+				return nil, err
+			}
+		}
+		return nil, memsim.ErrNoCapacity
+	default:
+		return nil, fmt.Errorf("%w: unknown mode", ErrInvalid)
+	}
+}
+
+// Placer curries the policy into the placement-function shape the
+// applications accept — numactl-style whole-process binding:
+//
+//	place := policy.Policy{Mode: policy.Bind, Nodes: []int{2}}.Placer(m, ini)
+//	bufs, err := graph500.AllocBuffers(place, sizes)
+func (p Policy) Placer(m *memsim.Machine, initiator *bitmap.Bitmap) func(string, uint64) (*memsim.Buffer, error) {
+	return func(name string, size uint64) (*memsim.Buffer, error) {
+		return p.Alloc(m, initiator, name, size)
+	}
+}
+
+// defaultNode returns the lowest-OS-index node local to the initiator.
+func defaultNode(m *memsim.Machine, initiator *bitmap.Bitmap) *memsim.Node {
+	var best *memsim.Node
+	for _, obj := range m.Topology().LocalNUMANodes(initiator) {
+		n := m.Node(obj)
+		if best == nil || n.OSIndex() < best.OSIndex() {
+			best = n
+		}
+	}
+	return best
+}
+
+func sorted(in []int) []int {
+	out := append([]int(nil), in...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,248 @@
+// Package sensitivity implements the paper's Section V: deciding which
+// performance attribute each application (or buffer) should request.
+// Three methods are provided, matching the survey and Figure 6:
+//
+//   - Benchmarking: run the whole process bound to each kind of memory
+//     and compare the application metric (Section V-A / VI-A). The
+//     classifier rejects attributes whose large value differences do
+//     not translate into performance differences (the KNL bandwidth
+//     case) and keeps those consistent with the observations.
+//   - Profiling: read the VTune-style summary flags and the hot-object
+//     report (Section V-B / VI-B) to classify the run and individual
+//     buffers.
+//   - Static analysis: classify declared kernel access patterns
+//     (Section V-C — surveyed in the paper, implemented here as a
+//     lightweight pattern classifier).
+//
+// The output of every method is expressed in the same vocabulary the
+// allocator consumes: a memattr attribute per application or buffer.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/profile"
+)
+
+// NodeMetric is the application metric measured with the whole process
+// bound to one node (higher is better, e.g. TEPS or GB/s).
+type NodeMetric struct {
+	Node   *memsim.Node
+	Metric float64
+}
+
+// BenchmarkProcess runs the application once per candidate node with
+// everything allocated there, returning the per-node metrics. runOn
+// must return a higher-is-better figure.
+func BenchmarkProcess(nodes []*memsim.Node, runOn func(*memsim.Node) (float64, error)) ([]NodeMetric, error) {
+	var out []NodeMetric
+	for _, n := range nodes {
+		v, err := runOn(n)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: benchmarking on %s#%d: %w", n.Kind(), n.OSIndex(), err)
+		}
+		out = append(out, NodeMetric{n, v})
+	}
+	return out, nil
+}
+
+// Classification thresholds.
+const (
+	// insensitiveSpread: below this relative performance spread the
+	// application does not care where it runs.
+	insensitiveSpread = 0.05
+	// attrSignificant: attribute values differing by less than this
+	// ratio impose no ordering constraint.
+	attrSignificant = 1.15
+	// perfSignificant: a "better" placement must win by at least this
+	// ratio to count as confirming an attribute.
+	perfSignificant = 1.05
+)
+
+// ErrNoMetrics is returned when classification has nothing to work on.
+var ErrNoMetrics = errors.New("sensitivity: no metrics to classify")
+
+// ClassifyFromBench returns the attributes consistent with the
+// measured per-node performance, best-supported first. An attribute is
+// *rejected* when two nodes differ significantly in its value but the
+// application performs the same on both (the paper's KNL-bandwidth
+// observation: 3x the bandwidth, same TEPS — so bandwidth is not what
+// the application needs). When performance barely varies across all
+// nodes, the only recommendation is Capacity: do not spend scarce fast
+// memory on an insensitive application.
+func ClassifyFromBench(metrics []NodeMetric, reg *memattr.Registry, initiator *bitmap.Bitmap) ([]memattr.ID, error) {
+	if len(metrics) < 2 {
+		return nil, fmt.Errorf("%w: need at least two placements", ErrNoMetrics)
+	}
+	lo, hi := metrics[0].Metric, metrics[0].Metric
+	for _, m := range metrics[1:] {
+		if m.Metric < lo {
+			lo = m.Metric
+		}
+		if m.Metric > hi {
+			hi = m.Metric
+		}
+	}
+	if hi <= 0 {
+		return nil, fmt.Errorf("%w: degenerate metrics", ErrNoMetrics)
+	}
+	insensitive := (hi-lo)/hi < insensitiveSpread
+
+	candidates := []memattr.ID{memattr.Latency, memattr.Bandwidth}
+	type scored struct {
+		id      memattr.ID
+		support int
+	}
+	var kept []scored
+	for _, attr := range candidates {
+		flags, err := reg.Flags(attr)
+		if err != nil {
+			return nil, err
+		}
+		consistent := true
+		support := 0
+		for i := 0; i < len(metrics) && consistent; i++ {
+			for j := 0; j < len(metrics) && consistent; j++ {
+				if i == j {
+					continue
+				}
+				vi, erri := reg.Value(attr, metrics[i].Node.Obj, initiator)
+				vj, errj := reg.Value(attr, metrics[j].Node.Obj, initiator)
+				if erri != nil || errj != nil {
+					continue // unmeasured pair imposes no constraint
+				}
+				betterI := attrBetter(flags, vi, vj)
+				if !betterI {
+					continue
+				}
+				// Node i has a significantly better attribute value.
+				// If the application does not run faster there, the
+				// attribute does not explain its behaviour.
+				if metrics[i].Metric >= metrics[j].Metric*perfSignificant {
+					support++
+				} else {
+					consistent = false
+				}
+			}
+		}
+		if consistent {
+			kept = append(kept, scored{attr, support})
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].support > kept[j].support })
+	out := make([]memattr.ID, 0, len(kept)+1)
+	if insensitive {
+		// Performance barely varies: lead with Capacity (do not spend
+		// scarce fast memory on this application) but keep the
+		// attributes that remain *consistent* with the observations —
+		// on KNL equal latencies explain equal TEPS, so Latency stays
+		// a valid hypothesis while Bandwidth is rejected.
+		out = append(out, memattr.Capacity)
+	}
+	for _, k := range kept {
+		out = append(out, k.id)
+	}
+	if len(out) == 0 {
+		out = append(out, memattr.Capacity)
+	}
+	return out, nil
+}
+
+// attrBetter reports whether value a is *significantly* better than b
+// under the attribute direction.
+func attrBetter(flags memattr.Flags, a, b uint64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	if flags&memattr.HigherFirst != 0 {
+		return float64(a) >= float64(b)*attrSignificant
+	}
+	return float64(b) >= float64(a)*attrSignificant
+}
+
+// Intersect combines the candidate lists obtained on different
+// machines (or different runs), keeping attributes supported
+// everywhere, in the order of the first list. This is how the paper's
+// use case converges on Latency for Graph500: the Xeon cannot separate
+// latency from bandwidth (DRAM wins both), the KNL rules bandwidth
+// out.
+func Intersect(lists ...[]memattr.ID) []memattr.ID {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := append([]memattr.ID(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		set := make(map[memattr.ID]bool, len(l))
+		for _, id := range l {
+			set[id] = true
+		}
+		var next []memattr.ID
+		for _, id := range out {
+			if set[id] {
+				next = append(next, id)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// FromProfile converts the profiler's summary flags into an attribute
+// recommendation for the whole application.
+func FromProfile(s profile.Summary) memattr.ID {
+	switch {
+	case s.BandwidthSensitive:
+		return memattr.Bandwidth
+	case s.LatencySensitive:
+		return memattr.Latency
+	default:
+		return memattr.Capacity
+	}
+}
+
+// BufferRecommendation pairs a buffer name with the attribute its
+// observed access profile calls for.
+type BufferRecommendation struct {
+	Name      string
+	Attr      memattr.ID
+	Report    profile.ObjectReport
+	Rationale string
+}
+
+// FromHotObjects converts a hot-object report into per-buffer
+// recommendations — the actionable outcome of the paper's Section
+// VI-B: "modify Graph500 to allocate this buffer with the latency
+// attribute". Buffers below minMissShare of the total misses are
+// classified Capacity (not performance-critical).
+func FromHotObjects(objs []profile.ObjectReport, minMissShare float64) []BufferRecommendation {
+	var total uint64
+	for _, o := range objs {
+		total += o.LLCMisses
+	}
+	var out []BufferRecommendation
+	for _, o := range objs {
+		rec := BufferRecommendation{Name: o.Name, Report: o}
+		share := 0.0
+		if total > 0 {
+			share = float64(o.LLCMisses) / float64(total)
+		}
+		switch {
+		case share < minMissShare:
+			rec.Attr = memattr.Capacity
+			rec.Rationale = fmt.Sprintf("only %.1f%% of LLC misses: not performance-critical", 100*share)
+		case o.Sensitivity() == "Latency":
+			rec.Attr = memattr.Latency
+			rec.Rationale = fmt.Sprintf("%.0f%% of its misses are irregular", 100*o.RandomShare)
+		default:
+			rec.Attr = memattr.Bandwidth
+			rec.Rationale = "misses are streaming line fills"
+		}
+		out = append(out, rec)
+	}
+	return out
+}

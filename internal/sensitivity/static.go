@@ -1,0 +1,92 @@
+package sensitivity
+
+import "hetmem/internal/memattr"
+
+// AccessPattern is the statically-known access pattern of a buffer in
+// a kernel, the information a compiler pass would annotate (Section
+// V-C of the paper: "streamed/linear accesses to contiguous buffers
+// can be detected and marked as bandwidth sensitive").
+type AccessPattern int
+
+const (
+	// Sequential is a linear walk over the buffer.
+	Sequential AccessPattern = iota
+	// Strided is a constant-stride walk (tiled kernels).
+	Strided
+	// Random is data-dependent indexing (gather/scatter).
+	Random
+	// PointerChase is dependent pointer dereferencing (linked
+	// structures, graph traversal).
+	PointerChase
+)
+
+// String names the pattern.
+func (p AccessPattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	case PointerChase:
+		return "pointer-chase"
+	default:
+		return "unknown"
+	}
+}
+
+// BufferUse describes how one kernel touches one buffer.
+type BufferUse struct {
+	Buffer  string
+	Pattern AccessPattern
+	// AccessesPerElement weights buffers against each other: how many
+	// times the kernel touches each element per execution.
+	AccessesPerElement float64
+}
+
+// KernelSpec is the declarative "source code" a static analyzer
+// extracts: one entry per (kernel, buffer) use.
+type KernelSpec struct {
+	Name string
+	Uses []BufferUse
+}
+
+// AnalyzeStatic derives per-buffer attribute hints from kernel specs:
+// dominant irregular patterns map to Latency, dominant linear patterns
+// to Bandwidth, untouched buffers to Capacity. When a buffer is used
+// by several kernels, the use with the highest access weight wins;
+// irregular uses win ties (a wrong Latency hint wastes less fast
+// memory than a wrong Bandwidth hint, since latency-ranked targets
+// often coincide with default DRAM).
+func AnalyzeStatic(kernels []KernelSpec) map[string]memattr.ID {
+	type vote struct {
+		attr   memattr.ID
+		weight float64
+	}
+	best := make(map[string]vote)
+	for _, k := range kernels {
+		for _, u := range k.Uses {
+			w := u.AccessesPerElement
+			if w <= 0 {
+				w = 1
+			}
+			var attr memattr.ID
+			switch u.Pattern {
+			case Random, PointerChase:
+				attr = memattr.Latency
+				w *= 1.0001 // irregular uses win exact ties
+			default:
+				attr = memattr.Bandwidth
+			}
+			if cur, ok := best[u.Buffer]; !ok || w > cur.weight {
+				best[u.Buffer] = vote{attr, w}
+			}
+		}
+	}
+	out := make(map[string]memattr.ID, len(best))
+	for name, v := range best {
+		out[name] = v.attr
+	}
+	return out
+}

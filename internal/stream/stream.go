@@ -1,0 +1,163 @@
+// Package stream implements the STREAM benchmark (McCalpin) used in
+// the paper both as a discovery microbenchmark and as the
+// bandwidth-bound application of the use case (Table III). The four
+// kernels (Copy, Scale, Add, Triad) run against simulated buffers; a
+// reference implementation over real slices (RealRun) validates the
+// arithmetic and provides the verification step of the original
+// benchmark.
+package stream
+
+import (
+	"fmt"
+
+	"hetmem/internal/memsim"
+)
+
+// Arrays are the three STREAM vectors placed on simulated memory.
+type Arrays struct {
+	A, B, C *memsim.Buffer
+	// Elems is the element count per array (float64 elements).
+	Elems uint64
+}
+
+// ElemBytes is the size of one STREAM element.
+const ElemBytes = 8
+
+// AllocArrays places the three arrays through the given placement
+// function. Total allocated memory is 3 * elems * 8 bytes — the
+// paper's Table III labels columns by this total.
+func AllocArrays(place func(name string, size uint64) (*memsim.Buffer, error), elems uint64) (*Arrays, error) {
+	ar := &Arrays{Elems: elems}
+	size := elems * ElemBytes
+	var err error
+	alloc := func(dst **memsim.Buffer, name string) {
+		if err != nil {
+			return
+		}
+		*dst, err = place(name, size)
+		if err != nil {
+			err = fmt.Errorf("stream: allocating %s (%d bytes): %w", name, size, err)
+		}
+	}
+	alloc(&ar.A, "stream_a")
+	alloc(&ar.B, "stream_b")
+	alloc(&ar.C, "stream_c")
+	if err != nil {
+		return nil, err
+	}
+	return ar, nil
+}
+
+// Free releases the arrays.
+func (ar *Arrays) Free(m *memsim.Machine) {
+	for _, b := range []*memsim.Buffer{ar.A, ar.B, ar.C} {
+		if b != nil {
+			m.Free(b)
+		}
+	}
+}
+
+// TotalBytes is the memory footprint of the three arrays.
+func (ar *Arrays) TotalBytes() uint64 { return 3 * ar.Elems * ElemBytes }
+
+// Result reports best-iteration bandwidth per kernel in GiB/s, using
+// STREAM's byte-counting convention (Copy/Scale move 2 array-lengths,
+// Add/Triad move 3).
+type Result struct {
+	CopyBW  float64
+	ScaleBW float64
+	AddBW   float64
+	TriadBW float64
+}
+
+// Run executes iterations of the four kernels on the simulated
+// machine and reports the best bandwidth per kernel, like STREAM.
+func Run(e *memsim.Engine, ar *Arrays, iterations int) Result {
+	if iterations < 1 {
+		iterations = 1
+	}
+	n := ar.Elems * ElemBytes
+	var res Result
+	best := func(cur *float64, bytes uint64, seconds float64) {
+		if seconds <= 0 {
+			return
+		}
+		bw := float64(bytes) / float64(1<<30) / seconds
+		if bw > *cur {
+			*cur = bw
+		}
+	}
+	for i := 0; i < iterations; i++ {
+		// Copy: c[j] = a[j]
+		p := e.Phase("stream-copy", []memsim.Access{
+			{Buffer: ar.A, ReadBytes: n},
+			{Buffer: ar.C, WriteBytes: n},
+		})
+		best(&res.CopyBW, 2*n, p.Seconds)
+		// Scale: b[j] = s*c[j]
+		p = e.Phase("stream-scale", []memsim.Access{
+			{Buffer: ar.C, ReadBytes: n},
+			{Buffer: ar.B, WriteBytes: n},
+		})
+		best(&res.ScaleBW, 2*n, p.Seconds)
+		// Add: c[j] = a[j] + b[j]
+		p = e.Phase("stream-add", []memsim.Access{
+			{Buffer: ar.A, ReadBytes: n},
+			{Buffer: ar.B, ReadBytes: n},
+			{Buffer: ar.C, WriteBytes: n},
+		})
+		best(&res.AddBW, 3*n, p.Seconds)
+		// Triad: a[j] = b[j] + s*c[j]
+		p = e.Phase("stream-triad", []memsim.Access{
+			{Buffer: ar.B, ReadBytes: n},
+			{Buffer: ar.C, ReadBytes: n},
+			{Buffer: ar.A, WriteBytes: n},
+		})
+		best(&res.TriadBW, 3*n, p.Seconds)
+	}
+	return res
+}
+
+// RealRun executes the four kernels for real over Go slices of the
+// given length and verifies the results against the analytic solution,
+// like the original benchmark's check phase. It returns an error when
+// verification fails (it never should; it exists to keep the simulated
+// kernels honest about what they model).
+func RealRun(elems int, iterations int) error {
+	if elems <= 0 {
+		return fmt.Errorf("stream: bad element count %d", elems)
+	}
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range a {
+		a[i], b[i], c[i] = 1.0, 2.0, 0.0
+	}
+	const scalar = 3.0
+	va, vb, vc := 1.0, 2.0, 0.0
+	for it := 0; it < iterations; it++ {
+		for i := range c {
+			c[i] = a[i]
+		}
+		for i := range b {
+			b[i] = scalar * c[i]
+		}
+		for i := range c {
+			c[i] = a[i] + b[i]
+		}
+		for i := range a {
+			a[i] = b[i] + scalar*c[i]
+		}
+		vc = va
+		vb = scalar * vc
+		vc = va + vb
+		va = vb + scalar*vc
+	}
+	for i := range a {
+		if a[i] != va || b[i] != vb || c[i] != vc {
+			return fmt.Errorf("stream: verification failed at %d: got (%g,%g,%g) want (%g,%g,%g)",
+				i, a[i], b[i], c[i], va, vb, vc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+const gib = uint64(1) << 30
+
+func xeonMachine(t *testing.T) *memsim.Machine {
+	t.Helper()
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func placeOn(m *memsim.Machine, os int) func(string, uint64) (*memsim.Buffer, error) {
+	return func(name string, size uint64) (*memsim.Buffer, error) {
+		return m.Alloc(name, size, m.NodeByOS(os))
+	}
+}
+
+func TestAllocArrays(t *testing.T) {
+	m := xeonMachine(t)
+	ar, err := AllocArrays(placeOn(m, 0), gib/ElemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.TotalBytes() != 3*gib {
+		t.Fatalf("total = %d", ar.TotalBytes())
+	}
+	if m.NodeByOS(0).Allocated() != 3*gib {
+		t.Fatalf("allocated = %d", m.NodeByOS(0).Allocated())
+	}
+	ar.Free(m)
+	if m.NodeByOS(0).Allocated() != 0 {
+		t.Fatal("free incomplete")
+	}
+	// Failure cleanliness: an NVDIMM-sized request on the 192GB DRAM
+	// fails on the second array and reports which one.
+	if _, err := AllocArrays(placeOn(m, 0), 80*gib/ElemBytes); err == nil {
+		t.Fatal("oversized arrays should fail")
+	}
+}
+
+func TestTriadCalibrationXeon(t *testing.T) {
+	m := xeonMachine(t)
+	ini := bitmap.NewFromRange(0, 19)
+
+	run := func(nodeOS int, totalGiB uint64) Result {
+		elems := totalGiB * gib / 3 / ElemBytes
+		ar, err := AllocArrays(placeOn(m, nodeOS), elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ar.Free(m)
+		e := memsim.NewEngine(m, ini)
+		return Run(e, ar, 3)
+	}
+
+	// Paper Table IIIa: DRAM triad ~75 GB/s; NVDIMM ~31.6 small,
+	// ~10.5 at 89 GiB.
+	d := run(0, 22)
+	if math.Abs(d.TriadBW-75) > 8 {
+		t.Fatalf("DRAM triad = %.2f, want ~75", d.TriadBW)
+	}
+	nvSmall := run(2, 22)
+	if math.Abs(nvSmall.TriadBW-31.6) > 5 {
+		t.Fatalf("NVDIMM small triad = %.2f, want ~31.6", nvSmall.TriadBW)
+	}
+	nvBig := run(2, 89)
+	if math.Abs(nvBig.TriadBW-10.5) > 3 {
+		t.Fatalf("NVDIMM large triad = %.2f, want ~10.5", nvBig.TriadBW)
+	}
+	nvHuge := run(2, 223)
+	if nvHuge.TriadBW >= nvBig.TriadBW {
+		t.Fatalf("NVDIMM should degrade with footprint: %.2f vs %.2f", nvHuge.TriadBW, nvBig.TriadBW)
+	}
+	// Kernel ordering: triad/add move 3 lengths, copy/scale 2; all
+	// bound by the same node, so reported numbers are similar.
+	if d.CopyBW <= 0 || d.ScaleBW <= 0 || d.AddBW <= 0 {
+		t.Fatalf("missing kernels: %+v", d)
+	}
+}
+
+func TestTriadCalibrationKNL(t *testing.T) {
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15) // cluster 0
+
+	run := func(nodeOS int, totalGiB float64) Result {
+		elems := uint64(totalGiB * float64(gib) / 3 / ElemBytes)
+		ar, err := AllocArrays(placeOn(m, nodeOS), elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ar.Free(m)
+		e := memsim.NewEngine(m, ini)
+		return Run(e, ar, 3)
+	}
+	// Paper Table IIIb: MCDRAM triad 85-90; DRAM 29.17.
+	mc := run(4, 1.1)
+	if math.Abs(mc.TriadBW-88) > 8 {
+		t.Fatalf("MCDRAM triad = %.2f, want ~88", mc.TriadBW)
+	}
+	dr := run(0, 1.1)
+	if math.Abs(dr.TriadBW-29.2) > 4 {
+		t.Fatalf("DRAM triad = %.2f, want ~29.2", dr.TriadBW)
+	}
+}
+
+func TestRunThreadScaling(t *testing.T) {
+	m := xeonMachine(t)
+	ar, err := AllocArrays(placeOn(m, 0), 4*gib/ElemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Free(m)
+	one := memsim.NewEngine(m, bitmap.NewFromIndexes(0))
+	many := memsim.NewEngine(m, bitmap.NewFromRange(0, 19))
+	r1 := Run(one, ar, 1)
+	rn := Run(many, ar, 1)
+	if r1.TriadBW >= rn.TriadBW {
+		t.Fatalf("1-thread triad %.1f should be below 20-thread %.1f", r1.TriadBW, rn.TriadBW)
+	}
+	// A single thread cannot saturate the node (PerThreadBW = 12).
+	if r1.TriadBW > 13 {
+		t.Fatalf("1-thread triad %.1f exceeds per-thread cap", r1.TriadBW)
+	}
+}
+
+func TestRealRunVerifies(t *testing.T) {
+	if err := RealRun(1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := RealRun(0, 1); err == nil {
+		t.Fatal("zero elements should fail")
+	}
+}

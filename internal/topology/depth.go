@@ -1,0 +1,73 @@
+package topology
+
+// hwloc exposes the tree as a set of horizontal *levels* addressed by
+// depth; this file provides the equivalents of hwloc_get_type_depth,
+// hwloc_get_depth_type and hwloc_get_nbobjs_by_depth for the CPU side
+// of the tree (memory objects live on virtual levels in hwloc; here
+// they are reachable through NUMANodes and Objects(NUMANode)).
+
+// DepthUnknown is returned when a type has no objects; DepthMultiple
+// when objects of the type appear at several depths (possible for
+// Group).
+const (
+	DepthUnknown  = -1
+	DepthMultiple = -2
+)
+
+// Depth returns the depth of o: the number of CPU-side edges from the
+// root (memory objects report their CPU parent's depth + 1, matching
+// hwloc's convention that memory levels hang off a normal level).
+func Depth(o *Object) int {
+	d := 0
+	p := o.Parent
+	for p != nil {
+		if !p.Type.IsMemory() {
+			d++
+		}
+		p = p.Parent
+	}
+	return d
+}
+
+// TypeDepth returns the depth at which objects of the type live, or
+// DepthUnknown / DepthMultiple.
+func (t *Topology) TypeDepth(typ Type) int {
+	objs := t.byType[typ]
+	if len(objs) == 0 {
+		return DepthUnknown
+	}
+	d := Depth(objs[0])
+	for _, o := range objs[1:] {
+		if Depth(o) != d {
+			return DepthMultiple
+		}
+	}
+	return d
+}
+
+// ObjectsAtDepth returns the non-memory objects at the given depth, in
+// logical order.
+func (t *Topology) ObjectsAtDepth(depth int) []*Object {
+	var out []*Object
+	var walk func(o *Object)
+	walk = func(o *Object) {
+		if !o.Type.IsMemory() && Depth(o) == depth {
+			out = append(out, o)
+			return // children are strictly deeper
+		}
+		for _, c := range o.Children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// MaxDepth returns the depth of the PUs (the deepest CPU level).
+func (t *Topology) MaxDepth() int {
+	d := t.TypeDepth(PU)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

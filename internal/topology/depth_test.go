@@ -1,0 +1,69 @@
+package topology
+
+import "testing"
+
+func TestDepthAPI(t *testing.T) {
+	topo := buildMini(t) // Machine > Package > Core > PU, memory at Package
+	if d := topo.TypeDepth(Machine); d != 0 {
+		t.Fatalf("machine depth = %d", d)
+	}
+	if d := topo.TypeDepth(Package); d != 1 {
+		t.Fatalf("package depth = %d", d)
+	}
+	if d := topo.TypeDepth(Core); d != 2 {
+		t.Fatalf("core depth = %d", d)
+	}
+	if d := topo.TypeDepth(PU); d != 3 {
+		t.Fatalf("pu depth = %d", d)
+	}
+	if d := topo.MaxDepth(); d != 3 {
+		t.Fatalf("max depth = %d", d)
+	}
+	if d := topo.TypeDepth(Group); d != DepthUnknown {
+		t.Fatalf("group depth = %d, want unknown", d)
+	}
+	// Memory objects: their depth hangs off the CPU parent.
+	dram := topo.ObjectByOS(NUMANode, 0)
+	if d := Depth(dram); d != 2 { // parent = package at depth 1
+		t.Fatalf("numa depth = %d", d)
+	}
+
+	if n := len(topo.ObjectsAtDepth(1)); n != 2 {
+		t.Fatalf("objects at depth 1 = %d", n)
+	}
+	if n := len(topo.ObjectsAtDepth(3)); n != 8 {
+		t.Fatalf("objects at depth 3 = %d", n)
+	}
+	if n := len(topo.ObjectsAtDepth(9)); n != 0 {
+		t.Fatalf("objects at depth 9 = %d", n)
+	}
+	// Logical order at a level.
+	pus := topo.ObjectsAtDepth(3)
+	for i, pu := range pus {
+		if pu.LogicalIndex != i {
+			t.Fatalf("level order broken at %d", i)
+		}
+	}
+}
+
+func TestDepthMultiple(t *testing.T) {
+	// Groups at two different depths (a group of packages and a group
+	// inside a package).
+	root := New(Machine, -1)
+	outer := root.AddChild(New(Group, 0))
+	pkg := outer.AddChild(New(Package, 0))
+	inner := pkg.AddChild(New(Group, 1))
+	inner.AddMemChild(NewNUMA(0, "DRAM", 1<<30))
+	inner.AddChild(New(Core, 0)).AddChild(New(PU, 0))
+	topo, err := Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := topo.TypeDepth(Group); d != DepthMultiple {
+		t.Fatalf("group depth = %d, want multiple", d)
+	}
+	// Memory behind a memory-side cache still reports a CPU-based depth.
+	if d := Depth(topo.ObjectByOS(NUMANode, 0)); d != 4 {
+		t.Fatalf("numa depth = %d", d)
+	}
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// objectDTO is the serialized form of an Object. Parent links and
+// computed fields (cpusets, logical indexes) are omitted: they are
+// reconstructed by Build on import, which also re-validates the tree.
+type objectDTO struct {
+	Type        string            `json:"type"`
+	OSIndex     *int              `json:"os_index,omitempty"`
+	Subtype     string            `json:"subtype,omitempty"`
+	Name        string            `json:"name,omitempty"`
+	Memory      uint64            `json:"memory,omitempty"`
+	CacheSize   uint64            `json:"cache_size,omitempty"`
+	Infos       map[string]string `json:"infos,omitempty"`
+	Children    []*objectDTO      `json:"children,omitempty"`
+	MemChildren []*objectDTO      `json:"mem_children,omitempty"`
+}
+
+func toDTO(o *Object) *objectDTO {
+	d := &objectDTO{
+		Type:      o.Type.String(),
+		Subtype:   o.Subtype,
+		Name:      o.Name,
+		Memory:    o.Memory,
+		CacheSize: o.CacheSize,
+		Infos:     o.Infos,
+	}
+	if o.OSIndex >= 0 {
+		idx := o.OSIndex
+		d.OSIndex = &idx
+	}
+	for _, c := range o.Children {
+		d.Children = append(d.Children, toDTO(c))
+	}
+	for _, m := range o.MemChildren {
+		d.MemChildren = append(d.MemChildren, toDTO(m))
+	}
+	return d
+}
+
+func fromDTO(d *objectDTO) (*Object, error) {
+	typ, err := ParseType(d.Type)
+	if err != nil {
+		return nil, err
+	}
+	os := -1
+	if d.OSIndex != nil {
+		os = *d.OSIndex
+	}
+	o := New(typ, os)
+	o.Subtype = d.Subtype
+	o.Name = d.Name
+	o.Memory = d.Memory
+	o.CacheSize = d.CacheSize
+	o.Infos = d.Infos
+	for _, c := range d.Children {
+		child, err := fromDTO(c)
+		if err != nil {
+			return nil, err
+		}
+		if child.Type.IsMemory() {
+			return nil, fmt.Errorf("topology: %s found among CPU children", child.Type)
+		}
+		o.AddChild(child)
+	}
+	for _, m := range d.MemChildren {
+		mem, err := fromDTO(m)
+		if err != nil {
+			return nil, err
+		}
+		if !mem.Type.IsMemory() {
+			return nil, fmt.Errorf("topology: %s found among memory children", mem.Type)
+		}
+		o.AddMemChild(mem)
+	}
+	return o, nil
+}
+
+// Export serializes the topology to JSON. The output is stable
+// (indented) and can be re-imported with Import on another machine,
+// mirroring hwloc's XML export/import workflow.
+func Export(t *Topology) ([]byte, error) {
+	return json.MarshalIndent(toDTO(t.root), "", "  ")
+}
+
+// Import deserializes a topology previously produced by Export and
+// rebuilds it (recomputing cpusets, logical indexes and validation).
+func Import(data []byte) (*Topology, error) {
+	var d objectDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("topology: bad JSON: %w", err)
+	}
+	root, err := fromDTO(&d)
+	if err != nil {
+		return nil, err
+	}
+	return Build(root)
+}

@@ -1,0 +1,265 @@
+// Package topology implements an hwloc-style model of the hardware
+// resources of a machine: a tree of objects (Machine, Package, Group,
+// caches, Core, PU) ordered by physical inclusion, with memory objects
+// (NUMA nodes and memory-side caches) attached as *memory children* of
+// the CPU object they are local to, as introduced in hwloc 2.0.
+//
+// The tree is the substrate for the memory-attributes API
+// (internal/memattr): NUMA nodes are the *targets* of memory accesses,
+// and sets of processors (cpusets) are the *initiators*.
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"hetmem/internal/bitmap"
+)
+
+// Type enumerates the kinds of objects in a topology, mirroring the
+// hwloc object types that matter for memory placement.
+type Type int
+
+const (
+	// Machine is the root of every topology.
+	Machine Type = iota
+	// Package is a physical processor package (socket).
+	Package
+	// Group is an intermediate grouping such as a Sub-NUMA Cluster
+	// (SNC) on Intel Xeon, or a quadrant/cluster on Knights Landing.
+	Group
+	// L3 is a level-3 cache.
+	L3
+	// L2 is a level-2 cache.
+	L2
+	// Core is a physical core.
+	Core
+	// PU is a processing unit (hardware thread), the leaf of the CPU
+	// hierarchy. Each PU owns exactly one cpuset bit.
+	PU
+	// NUMANode is a memory bank attached as a memory child of the CPU
+	// object sharing its locality. Its Subtype describes the memory
+	// kind for humans (DRAM, MCDRAM, HBM, NVDIMM, NAM); software must
+	// not rely on it, per the paper, and should compare performance
+	// attributes instead.
+	NUMANode
+	// MemCache is a memory-side cache: a cache in front of a NUMA node
+	// (e.g. MCDRAM in KNL Cache mode, DRAM in Xeon 2-Level-Memory
+	// mode). It appears between the CPU parent and the cached
+	// NUMANode in the memory-children chain.
+	MemCache
+
+	numTypes = int(MemCache) + 1
+)
+
+var typeNames = [...]string{
+	Machine:  "Machine",
+	Package:  "Package",
+	Group:    "Group",
+	L3:       "L3",
+	L2:       "L2",
+	Core:     "Core",
+	PU:       "PU",
+	NUMANode: "NUMANode",
+	MemCache: "MemCache",
+}
+
+// String returns the hwloc-style name of the type.
+func (t Type) String() string {
+	if t < 0 || int(t) >= len(typeNames) {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// ParseType converts a type name back to a Type.
+func ParseType(s string) (Type, error) {
+	for i, n := range typeNames {
+		if strings.EqualFold(n, s) {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown object type %q", s)
+}
+
+// IsMemory reports whether objects of this type live on the
+// memory-children side of the tree.
+func (t Type) IsMemory() bool { return t == NUMANode || t == MemCache }
+
+// Object is a node of the topology tree. Construct objects with New and
+// assemble them with AddChild/AddMemChild, then call Build to finalize
+// a Topology.
+type Object struct {
+	Type Type
+
+	// OSIndex is the physical index assigned by the "operating
+	// system" (our platform definitions), e.g. the OS index of a NUMA
+	// node or PU. -1 when meaningless (caches, groups).
+	OSIndex int
+
+	// LogicalIndex is the depth-first logical index among objects of
+	// the same type, assigned by Build. This is the L# number printed
+	// by lstopo.
+	LogicalIndex int
+
+	// Subtype is a human-readable qualifier. For NUMANode it names the
+	// memory kind (DRAM, MCDRAM, HBM, NVDIMM, NAM).
+	Subtype string
+
+	// Name is an optional human-readable label.
+	Name string
+
+	// CPUSet is the set of PUs physically below (or, for memory
+	// objects, local to) this object. Computed by Build.
+	CPUSet *bitmap.Bitmap
+
+	// NodeSet is the set of NUMA node OS indexes below or attached to
+	// this object. Computed by Build.
+	NodeSet *bitmap.Bitmap
+
+	// Memory is the local memory capacity in bytes (NUMANode only).
+	Memory uint64
+
+	// CacheSize is the size in bytes for L2/L3/MemCache objects.
+	CacheSize uint64
+
+	// Infos carries free-form key/value annotations, like hwloc info
+	// attrs.
+	Infos map[string]string
+
+	Parent      *Object
+	Children    []*Object // CPU-side children
+	MemChildren []*Object // memory-side children (NUMANode, MemCache)
+}
+
+// New returns a fresh object of the given type and OS index.
+func New(t Type, osIndex int) *Object {
+	return &Object{
+		Type:         t,
+		OSIndex:      osIndex,
+		LogicalIndex: -1,
+		CPUSet:       bitmap.New(),
+		NodeSet:      bitmap.New(),
+	}
+}
+
+// NewNUMA returns a NUMA node object with the given OS index, memory
+// kind subtype and capacity in bytes.
+func NewNUMA(osIndex int, subtype string, memory uint64) *Object {
+	o := New(NUMANode, osIndex)
+	o.Subtype = subtype
+	o.Memory = memory
+	return o
+}
+
+// NewMemCache returns a memory-side cache of the given size. Attach the
+// cached NUMA node as its memory child.
+func NewMemCache(size uint64) *Object {
+	o := New(MemCache, -1)
+	o.CacheSize = size
+	return o
+}
+
+// AddChild appends a CPU-side child and returns the child for chaining.
+func (o *Object) AddChild(c *Object) *Object {
+	if c.Type.IsMemory() {
+		panic(fmt.Sprintf("topology: %s must be added with AddMemChild", c.Type))
+	}
+	c.Parent = o
+	o.Children = append(o.Children, c)
+	return c
+}
+
+// AddMemChild appends a memory-side child (NUMANode or MemCache) and
+// returns the child for chaining.
+func (o *Object) AddMemChild(c *Object) *Object {
+	if !c.Type.IsMemory() {
+		panic(fmt.Sprintf("topology: %s must be added with AddChild", c.Type))
+	}
+	c.Parent = o
+	o.MemChildren = append(o.MemChildren, c)
+	return c
+}
+
+// SetInfo records a key/value annotation and returns o for chaining.
+func (o *Object) SetInfo(key, value string) *Object {
+	if o.Infos == nil {
+		o.Infos = make(map[string]string)
+	}
+	o.Infos[key] = value
+	return o
+}
+
+// Info returns the annotation for key, or "".
+func (o *Object) Info(key string) string { return o.Infos[key] }
+
+// String formats like lstopo: "NUMANode L#2 P#2 (NVDIMM, 768GB)".
+func (o *Object) String() string {
+	var sb strings.Builder
+	sb.WriteString(o.Type.String())
+	if o.LogicalIndex >= 0 {
+		fmt.Fprintf(&sb, " L#%d", o.LogicalIndex)
+	}
+	if o.OSIndex >= 0 {
+		fmt.Fprintf(&sb, " P#%d", o.OSIndex)
+	}
+	var details []string
+	if o.Subtype != "" {
+		details = append(details, o.Subtype)
+	}
+	if o.Memory > 0 {
+		details = append(details, FormatBytes(o.Memory))
+	}
+	if o.CacheSize > 0 {
+		details = append(details, FormatBytes(o.CacheSize))
+	}
+	if len(details) > 0 {
+		fmt.Fprintf(&sb, " (%s)", strings.Join(details, ", "))
+	}
+	return sb.String()
+}
+
+// CPUParent walks up to the nearest non-memory ancestor. For a NUMA
+// node this is the object defining its locality (the cpuset of the
+// cores that are local to it).
+func (o *Object) CPUParent() *Object {
+	p := o.Parent
+	for p != nil && p.Type.IsMemory() {
+		p = p.Parent
+	}
+	return p
+}
+
+// Ancestors returns the chain of ancestors from parent to root.
+func (o *Object) Ancestors() []*Object {
+	var out []*Object
+	for p := o.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatBytes renders a byte count the way lstopo does (binary units,
+// no decimals at the GB level unless needed).
+func FormatBytes(b uint64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+		tb = 1 << 40
+	)
+	switch {
+	case b >= tb && b%tb == 0:
+		return fmt.Sprintf("%dTB", b/tb)
+	case b >= gb && b%gb == 0:
+		return fmt.Sprintf("%dGB", b/gb)
+	case b >= gb:
+		return fmt.Sprintf("%.1fGB", float64(b)/float64(gb))
+	case b >= mb:
+		return fmt.Sprintf("%dMB", b/mb)
+	case b >= kb:
+		return fmt.Sprintf("%dKB", b/kb)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,323 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"hetmem/internal/bitmap"
+)
+
+// Topology is a finalized object tree with logical indexes assigned and
+// cpusets/nodesets computed. Build one with Build; after that the tree
+// must be treated as immutable.
+type Topology struct {
+	root   *Object
+	byType [numTypes][]*Object
+	byOS   [numTypes]map[int]*Object
+}
+
+// Build finalizes a tree rooted at root: it computes cpusets and
+// nodesets bottom-up, assigns logical indexes in depth-first order per
+// type, and validates structural invariants. It returns an error if the
+// tree is malformed (wrong root type, duplicate OS indexes, overlapping
+// sibling cpusets, PU without its own index, ...).
+func Build(root *Object) (*Topology, error) {
+	if root == nil {
+		return nil, errors.New("topology: nil root")
+	}
+	if root.Type != Machine {
+		return nil, fmt.Errorf("topology: root must be Machine, got %s", root.Type)
+	}
+	if root.Parent != nil {
+		return nil, errors.New("topology: root has a parent")
+	}
+	t := &Topology{root: root}
+	for i := range t.byOS {
+		t.byOS[i] = make(map[int]*Object)
+	}
+	if err := t.computeSets(root); err != nil {
+		return nil, err
+	}
+	t.index(root)
+	if err := t.validate(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// computeSets fills CPUSet and NodeSet bottom-up. A PU owns its own
+// cpuset bit; a NUMANode owns its own nodeset bit; every other object
+// is the union of its children. Memory objects inherit the cpuset of
+// their CPU parent as their locality.
+func (t *Topology) computeSets(o *Object) error {
+	o.CPUSet = bitmap.New()
+	o.NodeSet = bitmap.New()
+	switch o.Type {
+	case PU:
+		if o.OSIndex < 0 {
+			return fmt.Errorf("topology: PU without OS index")
+		}
+		if len(o.Children) > 0 || len(o.MemChildren) > 0 {
+			return errors.New("topology: PU must be a leaf")
+		}
+		o.CPUSet.Set(o.OSIndex)
+	case NUMANode:
+		if o.OSIndex < 0 {
+			return fmt.Errorf("topology: NUMANode without OS index")
+		}
+		if len(o.Children) > 0 {
+			return errors.New("topology: NUMANode cannot have CPU children")
+		}
+		o.NodeSet.Set(o.OSIndex)
+	}
+	for _, c := range o.Children {
+		if err := t.computeSets(c); err != nil {
+			return err
+		}
+		o.CPUSet.Or(c.CPUSet)
+		o.NodeSet.Or(c.NodeSet)
+	}
+	for _, m := range o.MemChildren {
+		if err := t.computeSets(m); err != nil {
+			return err
+		}
+		o.NodeSet.Or(m.NodeSet)
+	}
+	// Memory objects are local to the PUs of their CPU parent; that
+	// locality is propagated after the parent's cpuset is complete, in
+	// propagateLocality.
+	return nil
+}
+
+// propagateLocality sets the cpuset of memory objects to the cpuset of
+// their CPU parent (their locality), recursively.
+func propagateLocality(o *Object) {
+	for _, m := range o.MemChildren {
+		setMemLocality(m, o.CPUSet)
+	}
+	for _, c := range o.Children {
+		propagateLocality(c)
+	}
+}
+
+func setMemLocality(m *Object, cpuset *bitmap.Bitmap) {
+	m.CPUSet = cpuset.Copy()
+	for _, mm := range m.MemChildren {
+		setMemLocality(mm, cpuset)
+	}
+}
+
+// index assigns logical indexes in depth-first order and fills lookup
+// tables.
+func (t *Topology) index(root *Object) {
+	propagateLocality(root)
+	var next [numTypes]int
+	var walk func(o *Object)
+	walk = func(o *Object) {
+		o.LogicalIndex = next[o.Type]
+		next[o.Type]++
+		t.byType[o.Type] = append(t.byType[o.Type], o)
+		if o.OSIndex >= 0 {
+			t.byOS[o.Type][o.OSIndex] = o
+		}
+		// CPU children first: NUMA nodes attached deeper in the tree
+		// (e.g. per-SNC DRAM) get lower logical indexes than nodes
+		// attached higher (e.g. per-package NVDIMM), matching the
+		// numbering shown in Figure 5 of the paper.
+		for _, c := range o.Children {
+			walk(c)
+		}
+		for _, m := range o.MemChildren {
+			walk(m)
+		}
+	}
+	walk(root)
+}
+
+func (t *Topology) validate(root *Object) error {
+	// OS indexes must be unique per type.
+	for typ := Type(0); int(typ) < numTypes; typ++ {
+		seen := make(map[int]bool)
+		for _, o := range t.byType[typ] {
+			if o.OSIndex < 0 {
+				continue
+			}
+			if seen[o.OSIndex] {
+				return fmt.Errorf("topology: duplicate %s OS index %d", typ, o.OSIndex)
+			}
+			seen[o.OSIndex] = true
+		}
+	}
+	if len(t.byType[PU]) == 0 {
+		return errors.New("topology: no PU")
+	}
+	if len(t.byType[NUMANode]) == 0 {
+		return errors.New("topology: no NUMA node")
+	}
+	// Sibling CPU children must have disjoint cpusets, each included
+	// in the parent's.
+	var walk func(o *Object) error
+	walk = func(o *Object) error {
+		acc := bitmap.New()
+		for _, c := range o.Children {
+			if !bitmap.IsIncluded(c.CPUSet, o.CPUSet) {
+				return fmt.Errorf("topology: %s cpuset not included in parent %s", c, o)
+			}
+			if bitmap.Intersects(acc, c.CPUSet) {
+				return fmt.Errorf("topology: overlapping sibling cpusets under %s", o)
+			}
+			acc.Or(c.CPUSet)
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		for _, m := range o.MemChildren {
+			if err := walk(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// Root returns the Machine object.
+func (t *Topology) Root() *Object { return t.root }
+
+// Objects returns the objects of the given type in logical order. The
+// returned slice must not be modified.
+func (t *Topology) Objects(typ Type) []*Object { return t.byType[typ] }
+
+// NumObjects returns the number of objects of the given type.
+func (t *Topology) NumObjects(typ Type) int { return len(t.byType[typ]) }
+
+// NUMANodes returns all NUMA nodes in logical order.
+func (t *Topology) NUMANodes() []*Object { return t.byType[NUMANode] }
+
+// PUs returns all processing units in logical order.
+func (t *Topology) PUs() []*Object { return t.byType[PU] }
+
+// ObjectByOS returns the object of the given type with the given OS
+// index, or nil.
+func (t *Topology) ObjectByOS(typ Type, os int) *Object { return t.byOS[typ][os] }
+
+// ObjectByLogical returns the object of the given type with the given
+// logical index, or nil.
+func (t *Topology) ObjectByLogical(typ Type, l int) *Object {
+	objs := t.byType[typ]
+	if l < 0 || l >= len(objs) {
+		return nil
+	}
+	return objs[l]
+}
+
+// CompleteCPUSet returns the machine-wide cpuset.
+func (t *Topology) CompleteCPUSet() *bitmap.Bitmap { return t.root.CPUSet.Copy() }
+
+// CompleteNodeSet returns the machine-wide nodeset.
+func (t *Topology) CompleteNodeSet() *bitmap.Bitmap { return t.root.NodeSet.Copy() }
+
+// LocalNUMANodes returns the NUMA nodes whose locality cpuset
+// intersects the given initiator cpuset, in logical order. This mirrors
+// hwloc_get_local_numanode_objs: it is the first step of a placement
+// decision (NUMA affinity), before ranking the candidates by a
+// performance attribute (memory-kind affinity).
+//
+// Nodes with an empty locality (e.g. network-attached memory local to
+// no CPU in particular) are returned only when the initiator is the
+// complete machine cpuset, or when includeCPUless is set via
+// LocalNUMANodesAll.
+func (t *Topology) LocalNUMANodes(initiator *bitmap.Bitmap) []*Object {
+	return t.localNUMANodes(initiator, false)
+}
+
+// LocalNUMANodesAll is LocalNUMANodes but also includes CPU-less NUMA
+// nodes (such as network-attached memory) regardless of the initiator.
+func (t *Topology) LocalNUMANodesAll(initiator *bitmap.Bitmap) []*Object {
+	return t.localNUMANodes(initiator, true)
+}
+
+func (t *Topology) localNUMANodes(initiator *bitmap.Bitmap, includeCPUless bool) []*Object {
+	var out []*Object
+	for _, n := range t.byType[NUMANode] {
+		if n.CPUSet.IsZero() {
+			if includeCPUless || bitmap.Equal(initiator, t.root.CPUSet) {
+				out = append(out, n)
+			}
+			continue
+		}
+		if bitmap.Intersects(n.CPUSet, initiator) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NUMANodeByNodeSetBit returns the NUMA node owning the given nodeset
+// bit (OS index), or nil.
+func (t *Topology) NUMANodeByNodeSetBit(os int) *Object { return t.byOS[NUMANode][os] }
+
+// CommonAncestor returns the deepest object that is an ancestor of (or
+// equal to) both a and b.
+func CommonAncestor(a, b *Object) *Object {
+	depth := func(o *Object) int {
+		d := 0
+		for p := o; p.Parent != nil; p = p.Parent {
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// MemorySideCacheFor returns the memory-side cache in front of the
+// given NUMA node, or nil if the node is accessed directly. The cache,
+// when present, is the node's direct parent in the memory-children
+// chain.
+func MemorySideCacheFor(n *Object) *Object {
+	if n.Parent != nil && n.Parent.Type == MemCache {
+		return n.Parent
+	}
+	return nil
+}
+
+// Summary returns a one-line inventory like `lstopo -s`:
+// "2 Package, 40 Core, 40 PU; 4 NUMANode (2 DRAM, 2 NVDIMM)".
+func (t *Topology) Summary() string {
+	s := fmt.Sprintf("%d %s, %d %s, %d %s; %d %s",
+		t.NumObjects(Package), Package, t.NumObjects(Core), Core, t.NumObjects(PU), PU,
+		t.NumObjects(NUMANode), NUMANode)
+	kinds := map[string]int{}
+	var order []string
+	for _, n := range t.NUMANodes() {
+		k := n.Subtype
+		if k == "" {
+			k = "DRAM"
+		}
+		if kinds[k] == 0 {
+			order = append(order, k)
+		}
+		kinds[k]++
+	}
+	s += " ("
+	for i, k := range order {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d %s", kinds[k], k)
+	}
+	return s + ")"
+}

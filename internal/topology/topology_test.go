@@ -1,0 +1,435 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetmem/internal/bitmap"
+)
+
+// buildMini builds a small dual-package machine:
+//
+//	Machine
+//	├─ Package0 ── mem: NUMA0(DRAM 96G), NUMA2(NVDIMM 768G); cpu: Core0(PU0,PU1), Core1(PU2,PU3)
+//	└─ Package1 ── mem: NUMA1(DRAM 96G), NUMA3(NVDIMM 768G); cpu: Core2(PU4,PU5), Core3(PU6,PU7)
+func buildMini(t *testing.T) *Topology {
+	t.Helper()
+	root := New(Machine, -1)
+	const gb = 1 << 30
+	pu := 0
+	for p := 0; p < 2; p++ {
+		pkg := root.AddChild(New(Package, p))
+		pkg.AddMemChild(NewNUMA(p, "DRAM", 96*gb))
+		pkg.AddMemChild(NewNUMA(p+2, "NVDIMM", 768*gb))
+		for c := 0; c < 2; c++ {
+			core := pkg.AddChild(New(Core, p*2+c))
+			for k := 0; k < 2; k++ {
+				core.AddChild(New(PU, pu))
+				pu++
+			}
+		}
+	}
+	topo, err := Build(root)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func TestBuildMini(t *testing.T) {
+	topo := buildMini(t)
+	if n := topo.NumObjects(Package); n != 2 {
+		t.Fatalf("packages = %d, want 2", n)
+	}
+	if n := topo.NumObjects(PU); n != 8 {
+		t.Fatalf("PUs = %d, want 8", n)
+	}
+	if n := topo.NumObjects(NUMANode); n != 4 {
+		t.Fatalf("NUMA nodes = %d, want 4", n)
+	}
+	if got := topo.Root().CPUSet.ListString(); got != "0-7" {
+		t.Fatalf("machine cpuset = %q", got)
+	}
+	if got := topo.Root().NodeSet.ListString(); got != "0-3" {
+		t.Fatalf("machine nodeset = %q", got)
+	}
+}
+
+func TestLogicalIndexOrder(t *testing.T) {
+	topo := buildMini(t)
+	for i, pu := range topo.PUs() {
+		if pu.LogicalIndex != i {
+			t.Fatalf("PU logical index %d at position %d", pu.LogicalIndex, i)
+		}
+	}
+	// NUMA logical order follows DFS: package0's DRAM, package0's
+	// NVDIMM, then package1's.
+	nodes := topo.NUMANodes()
+	wantSub := []string{"DRAM", "NVDIMM", "DRAM", "NVDIMM"}
+	wantOS := []int{0, 2, 1, 3}
+	for i, n := range nodes {
+		if n.Subtype != wantSub[i] || n.OSIndex != wantOS[i] {
+			t.Fatalf("node %d = %s/%d, want %s/%d", i, n.Subtype, n.OSIndex, wantSub[i], wantOS[i])
+		}
+	}
+}
+
+func TestMemoryLocality(t *testing.T) {
+	topo := buildMini(t)
+	dram0 := topo.ObjectByOS(NUMANode, 0)
+	if got := dram0.CPUSet.ListString(); got != "0-3" {
+		t.Fatalf("DRAM0 locality = %q, want 0-3", got)
+	}
+	nv3 := topo.ObjectByOS(NUMANode, 3)
+	if got := nv3.CPUSet.ListString(); got != "4-7" {
+		t.Fatalf("NVDIMM3 locality = %q, want 4-7", got)
+	}
+	if p := dram0.CPUParent(); p == nil || p.Type != Package || p.OSIndex != 0 {
+		t.Fatalf("CPUParent of DRAM0 = %v", p)
+	}
+}
+
+func TestLocalNUMANodes(t *testing.T) {
+	topo := buildMini(t)
+	// A thread on PU5 sees package1's two nodes.
+	local := topo.LocalNUMANodes(bitmap.NewFromIndexes(5))
+	if len(local) != 2 {
+		t.Fatalf("local nodes = %d, want 2", len(local))
+	}
+	if local[0].OSIndex != 1 || local[1].OSIndex != 3 {
+		t.Fatalf("local nodes = %v %v", local[0], local[1])
+	}
+	// A cpuset spanning both packages sees all four.
+	all := topo.LocalNUMANodes(bitmap.NewFromRange(0, 7))
+	if len(all) != 4 {
+		t.Fatalf("all-local nodes = %d, want 4", len(all))
+	}
+}
+
+func TestCPUlessNUMANode(t *testing.T) {
+	root := New(Machine, -1)
+	pkg := root.AddChild(New(Package, 0))
+	pkg.AddMemChild(NewNUMA(0, "DRAM", 1<<30))
+	pkg.AddChild(New(Core, 0)).AddChild(New(PU, 0))
+	// Network-attached memory: attached to the machine, no local CPU.
+	nam := NewNUMA(1, "NAM", 1<<40)
+	machineLevel := root.AddMemChild(nam)
+	_ = machineLevel
+	topo, err := Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAM's locality is the machine cpuset (its CPU parent is the root).
+	if got := nam.CPUSet.ListString(); got != "0" {
+		t.Fatalf("NAM locality = %q", got)
+	}
+	local := topo.LocalNUMANodes(bitmap.NewFromIndexes(0))
+	if len(local) != 2 {
+		t.Fatalf("local = %d, want 2 (DRAM + machine-level NAM)", len(local))
+	}
+}
+
+func TestMemorySideCache(t *testing.T) {
+	root := New(Machine, -1)
+	pkg := root.AddChild(New(Package, 0))
+	msc := pkg.AddMemChild(NewMemCache(2 << 30))
+	dram := NewNUMA(0, "DRAM", 12<<30)
+	msc.AddMemChild(dram)
+	pkg.AddMemChild(NewNUMA(1, "MCDRAM", 2<<30))
+	pkg.AddChild(New(Core, 0)).AddChild(New(PU, 0))
+	topo, err := Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := MemorySideCacheFor(dram); c == nil || c.CacheSize != 2<<30 {
+		t.Fatalf("MemorySideCacheFor(dram) = %v", c)
+	}
+	mcdram := topo.ObjectByOS(NUMANode, 1)
+	if MemorySideCacheFor(mcdram) != nil {
+		t.Fatal("MCDRAM should have no memory-side cache")
+	}
+	// The cache inherits the package locality, and so does the node
+	// behind it.
+	if got := dram.CPUSet.ListString(); got != "0" {
+		t.Fatalf("cached DRAM locality = %q", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("nil root", func(t *testing.T) {
+		if _, err := Build(nil); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("non-machine root", func(t *testing.T) {
+		if _, err := Build(New(Package, 0)); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("no PU", func(t *testing.T) {
+		root := New(Machine, -1)
+		root.AddMemChild(NewNUMA(0, "DRAM", 1))
+		if _, err := Build(root); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("no NUMA", func(t *testing.T) {
+		root := New(Machine, -1)
+		root.AddChild(New(PU, 0))
+		if _, err := Build(root); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("duplicate PU OS index", func(t *testing.T) {
+		root := New(Machine, -1)
+		root.AddMemChild(NewNUMA(0, "DRAM", 1))
+		root.AddChild(New(PU, 0))
+		root.AddChild(New(PU, 0))
+		if _, err := Build(root); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("duplicate NUMA OS index", func(t *testing.T) {
+		root := New(Machine, -1)
+		root.AddMemChild(NewNUMA(0, "DRAM", 1))
+		root.AddMemChild(NewNUMA(0, "NVDIMM", 1))
+		root.AddChild(New(PU, 0))
+		if _, err := Build(root); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("PU without OS index", func(t *testing.T) {
+		root := New(Machine, -1)
+		root.AddMemChild(NewNUMA(0, "DRAM", 1))
+		root.AddChild(New(PU, -1))
+		if _, err := Build(root); err == nil {
+			t.Fatal("want error")
+		}
+	})
+}
+
+func TestAddChildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddChild(NUMANode) should panic")
+		}
+	}()
+	New(Machine, -1).AddChild(NewNUMA(0, "DRAM", 1))
+}
+
+func TestAddMemChildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddMemChild(Core) should panic")
+		}
+	}()
+	New(Machine, -1).AddMemChild(New(Core, 0))
+}
+
+func TestCommonAncestor(t *testing.T) {
+	topo := buildMini(t)
+	pu0 := topo.ObjectByOS(PU, 0)
+	pu3 := topo.ObjectByOS(PU, 3)
+	pu4 := topo.ObjectByOS(PU, 4)
+	if a := CommonAncestor(pu0, pu3); a.Type != Package || a.OSIndex != 0 {
+		t.Fatalf("CA(pu0,pu3) = %v", a)
+	}
+	if a := CommonAncestor(pu0, pu4); a.Type != Machine {
+		t.Fatalf("CA(pu0,pu4) = %v", a)
+	}
+	if a := CommonAncestor(pu0, pu0); a != pu0 {
+		t.Fatalf("CA(pu0,pu0) = %v", a)
+	}
+	dram0 := topo.ObjectByOS(NUMANode, 0)
+	if a := CommonAncestor(pu0, dram0); a.Type != Package {
+		t.Fatalf("CA(pu0,dram0) = %v", a)
+	}
+}
+
+func TestObjectString(t *testing.T) {
+	topo := buildMini(t)
+	n := topo.ObjectByOS(NUMANode, 2)
+	if got := n.String(); got != "NUMANode L#1 P#2 (NVDIMM, 768GB)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for typ := Type(0); int(typ) < numTypes; typ++ {
+		back, err := ParseType(typ.String())
+		if err != nil || back != typ {
+			t.Fatalf("ParseType(%s) = %v, %v", typ, back, err)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("ParseType(bogus) should fail")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		b    uint64
+		want string
+	}{
+		{512, "512B"},
+		{2 << 10, "2KB"},
+		{3 << 20, "3MB"},
+		{96 << 30, "96GB"},
+		{1<<40 + 512<<30, "1536GB"},
+		{2 << 40, "2TB"},
+		{96<<30 + 512<<20, "96.5GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.b); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	topo := buildMini(t)
+	data, err := Export(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects(PU) != topo.NumObjects(PU) ||
+		back.NumObjects(NUMANode) != topo.NumObjects(NUMANode) {
+		t.Fatal("import changed object counts")
+	}
+	for i, n := range topo.NUMANodes() {
+		bn := back.NUMANodes()[i]
+		if bn.OSIndex != n.OSIndex || bn.Subtype != n.Subtype || bn.Memory != n.Memory {
+			t.Fatalf("node %d mismatch: %v vs %v", i, bn, n)
+		}
+		if !bitmap.Equal(bn.CPUSet, n.CPUSet) {
+			t.Fatalf("node %d locality mismatch", i)
+		}
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := Import([]byte("{")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if _, err := Import([]byte(`{"type":"Elephant"}`)); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	// NUMANode among CPU children.
+	if _, err := Import([]byte(`{"type":"Machine","children":[{"type":"NUMANode","os_index":0}]}`)); err == nil {
+		t.Fatal("memory object among children should fail")
+	}
+	// Core among memory children.
+	if _, err := Import([]byte(`{"type":"Machine","mem_children":[{"type":"Core","os_index":0}]}`)); err == nil {
+		t.Fatal("CPU object among mem_children should fail")
+	}
+}
+
+// randomTopology builds a random but well-formed machine for property
+// tests: 1-4 packages, 1-4 cores each, 1-2 PUs per core, 1-3 NUMA
+// nodes per package.
+func randomTopology(r *rand.Rand) *Topology {
+	root := New(Machine, -1)
+	pu, node := 0, 0
+	kinds := []string{"DRAM", "HBM", "NVDIMM"}
+	npkg := 1 + r.Intn(4)
+	for p := 0; p < npkg; p++ {
+		pkg := root.AddChild(New(Package, p))
+		for n := 0; n < 1+r.Intn(3); n++ {
+			pkg.AddMemChild(NewNUMA(node, kinds[r.Intn(len(kinds))], uint64(1+r.Intn(1000))<<30))
+			node++
+		}
+		for c := 0; c < 1+r.Intn(4); c++ {
+			core := pkg.AddChild(New(Core, pu))
+			for k := 0; k < 1+r.Intn(2); k++ {
+				core.AddChild(New(PU, pu))
+				pu++
+			}
+		}
+	}
+	topo, err := Build(root)
+	if err != nil {
+		panic(err)
+	}
+	return topo
+}
+
+func TestQuickCPUSetPartition(t *testing.T) {
+	// The PU cpusets partition the machine cpuset; package cpusets are
+	// disjoint and their union is the machine cpuset.
+	f := func(seed int64) bool {
+		topo := randomTopology(rand.New(rand.NewSource(seed)))
+		union := bitmap.New()
+		total := 0
+		for _, pkg := range topo.Objects(Package) {
+			if bitmap.Intersects(union, pkg.CPUSet) {
+				return false
+			}
+			union.Or(pkg.CPUSet)
+			total += pkg.CPUSet.Weight()
+		}
+		return bitmap.Equal(union, topo.Root().CPUSet) && total == topo.NumObjects(PU)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLocalNodesCoverEverything(t *testing.T) {
+	// Every NUMA node is local to at least one PU, and every PU has at
+	// least one local node; locality sets equal the CPU parent cpuset.
+	f := func(seed int64) bool {
+		topo := randomTopology(rand.New(rand.NewSource(seed)))
+		for _, n := range topo.NUMANodes() {
+			if n.CPUSet.IsZero() {
+				return false
+			}
+			if !bitmap.Equal(n.CPUSet, n.CPUParent().CPUSet) {
+				return false
+			}
+		}
+		for _, pu := range topo.PUs() {
+			if len(topo.LocalNUMANodes(pu.CPUSet)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExportImportStable(t *testing.T) {
+	f := func(seed int64) bool {
+		topo := randomTopology(rand.New(rand.NewSource(seed)))
+		d1, err := Export(topo)
+		if err != nil {
+			return false
+		}
+		back, err := Import(d1)
+		if err != nil {
+			return false
+		}
+		d2, err := Export(back)
+		if err != nil {
+			return false
+		}
+		return string(d1) == string(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	topo := buildMini(t)
+	want := "2 Package, 4 Core, 8 PU; 4 NUMANode (2 DRAM, 2 NVDIMM)"
+	if got := topo.Summary(); got != want {
+		t.Fatalf("Summary = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// xmlObject mirrors hwloc's v2 XML export closely enough to be
+// recognizable: nested <object> elements with type/os_index/subtype
+// attributes, memory children marked by the NUMANode/MemCache types,
+// and info key/value pairs as <info> children. Like the JSON form,
+// computed fields are omitted and rebuilt by Build on import.
+type xmlObject struct {
+	XMLName   xml.Name    `xml:"object"`
+	Type      string      `xml:"type,attr"`
+	OSIndex   *int        `xml:"os_index,attr,omitempty"`
+	Subtype   string      `xml:"subtype,attr,omitempty"`
+	Name      string      `xml:"name,attr,omitempty"`
+	Memory    uint64      `xml:"local_memory,attr,omitempty"`
+	CacheSize uint64      `xml:"cache_size,attr,omitempty"`
+	Infos     []xmlInfo   `xml:"info"`
+	Children  []xmlObject `xml:"object"`
+}
+
+type xmlInfo struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlTopology struct {
+	XMLName xml.Name  `xml:"topology"`
+	Version string    `xml:"version,attr"`
+	Root    xmlObject `xml:"object"`
+}
+
+func toXML(o *Object) xmlObject {
+	x := xmlObject{
+		Type:      o.Type.String(),
+		Subtype:   o.Subtype,
+		Name:      o.Name,
+		Memory:    o.Memory,
+		CacheSize: o.CacheSize,
+	}
+	if o.OSIndex >= 0 {
+		idx := o.OSIndex
+		x.OSIndex = &idx
+	}
+	for k, v := range o.Infos {
+		x.Infos = append(x.Infos, xmlInfo{k, v})
+	}
+	// Deterministic info order.
+	for i := 1; i < len(x.Infos); i++ {
+		for j := i; j > 0 && x.Infos[j].Name < x.Infos[j-1].Name; j-- {
+			x.Infos[j], x.Infos[j-1] = x.Infos[j-1], x.Infos[j]
+		}
+	}
+	// hwloc lists memory children first in its XML.
+	for _, m := range o.MemChildren {
+		x.Children = append(x.Children, toXML(m))
+	}
+	for _, c := range o.Children {
+		x.Children = append(x.Children, toXML(c))
+	}
+	return x
+}
+
+func fromXML(x xmlObject) (*Object, error) {
+	typ, err := ParseType(x.Type)
+	if err != nil {
+		return nil, err
+	}
+	os := -1
+	if x.OSIndex != nil {
+		os = *x.OSIndex
+	}
+	o := New(typ, os)
+	o.Subtype = x.Subtype
+	o.Name = x.Name
+	o.Memory = x.Memory
+	o.CacheSize = x.CacheSize
+	for _, info := range x.Infos {
+		o.SetInfo(info.Name, info.Value)
+	}
+	for _, c := range x.Children {
+		child, err := fromXML(c)
+		if err != nil {
+			return nil, err
+		}
+		if child.Type.IsMemory() {
+			o.AddMemChild(child)
+		} else {
+			o.AddChild(child)
+		}
+	}
+	return o, nil
+}
+
+// ExportXML serializes the topology in an hwloc-flavoured XML format.
+func ExportXML(t *Topology) ([]byte, error) {
+	doc := xmlTopology{Version: "2.0", Root: toXML(t.root)}
+	data, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), data...), nil
+}
+
+// ImportXML parses a topology produced by ExportXML and rebuilds it.
+func ImportXML(data []byte) (*Topology, error) {
+	var doc xmlTopology
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("topology: bad XML: %w", err)
+	}
+	if doc.Root.Type == "" {
+		return nil, fmt.Errorf("topology: XML has no root object")
+	}
+	root, err := fromXML(doc.Root)
+	if err != nil {
+		return nil, err
+	}
+	return Build(root)
+}
+
+// DetectFormat guesses whether exported topology bytes are XML or
+// JSON, for tools that accept either.
+func DetectFormat(data []byte) string {
+	s := strings.TrimSpace(string(data))
+	if strings.HasPrefix(s, "<") {
+		return "xml"
+	}
+	return "json"
+}

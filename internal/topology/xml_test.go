@@ -1,0 +1,146 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hetmem/internal/bitmap"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	topo := buildMini(t)
+	topo.Root().SetInfo("Backend", "simulated")
+	data, err := ExportXML(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), xmlHeaderPrefix) {
+		t.Fatalf("missing XML header:\n%.80s", data)
+	}
+	for _, want := range []string{`type="Machine"`, `type="NUMANode"`, `subtype="NVDIMM"`, `local_memory=`, `<info name="Backend" value="simulated">`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("XML missing %q", want)
+		}
+	}
+	back, err := ImportXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumObjects(PU) != topo.NumObjects(PU) || back.NumObjects(NUMANode) != topo.NumObjects(NUMANode) {
+		t.Fatal("XML import changed object counts")
+	}
+	if back.Root().Info("Backend") != "simulated" {
+		t.Fatal("info lost in XML round trip")
+	}
+	for i, n := range topo.NUMANodes() {
+		bn := back.NUMANodes()[i]
+		if bn.OSIndex != n.OSIndex || bn.Subtype != n.Subtype || bn.Memory != n.Memory {
+			t.Fatalf("node %d mismatch", i)
+		}
+		if !bitmap.Equal(bn.CPUSet, n.CPUSet) {
+			t.Fatalf("node %d locality mismatch", i)
+		}
+	}
+}
+
+const xmlHeaderPrefix = "<?xml"
+
+func TestXMLMemCache(t *testing.T) {
+	root := New(Machine, -1)
+	pkg := root.AddChild(New(Package, 0))
+	msc := pkg.AddMemChild(NewMemCache(2 << 30))
+	msc.AddMemChild(NewNUMA(0, "DRAM", 12<<30))
+	pkg.AddChild(New(Core, 0)).AddChild(New(PU, 0))
+	topo, err := Build(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ExportXML(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram := back.ObjectByOS(NUMANode, 0)
+	c := MemorySideCacheFor(dram)
+	if c == nil || c.CacheSize != 2<<30 {
+		t.Fatalf("memory-side cache lost: %v", c)
+	}
+}
+
+func TestImportXMLErrors(t *testing.T) {
+	if _, err := ImportXML([]byte("<not-xml")); err == nil {
+		t.Fatal("bad XML should fail")
+	}
+	if _, err := ImportXML([]byte("<topology></topology>")); err == nil {
+		t.Fatal("empty topology should fail")
+	}
+	if _, err := ImportXML([]byte(`<topology><object type="Elephant"></object></topology>`)); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	// Structurally invalid (no PU) must be caught by Build on import.
+	if _, err := ImportXML([]byte(`<topology><object type="Machine"><object type="NUMANode" os_index="0"></object></object></topology>`)); err == nil {
+		t.Fatal("PU-less topology should fail validation")
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	topo := buildMini(t)
+	xmlData, _ := ExportXML(topo)
+	jsonData, _ := Export(topo)
+	if DetectFormat(xmlData) != "xml" {
+		t.Fatal("XML not detected")
+	}
+	if DetectFormat(jsonData) != "json" {
+		t.Fatal("JSON not detected")
+	}
+	if DetectFormat([]byte("  \n\t<?xml...")) != "xml" {
+		t.Fatal("leading whitespace broke detection")
+	}
+}
+
+func TestQuickXMLRoundTripStable(t *testing.T) {
+	f := func(seed int64) bool {
+		topo := randomTopology(rand.New(rand.NewSource(seed)))
+		d1, err := ExportXML(topo)
+		if err != nil {
+			return false
+		}
+		back, err := ImportXML(d1)
+		if err != nil {
+			return false
+		}
+		d2, err := ExportXML(back)
+		if err != nil {
+			return false
+		}
+		return string(d1) == string(d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXMLJSONAgree(t *testing.T) {
+	// Importing either serialization yields the same logical topology.
+	topo := buildMini(t)
+	xd, _ := ExportXML(topo)
+	jd, _ := Export(topo)
+	fromX, err := ImportXML(xd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJ, err := Import(jd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jx, _ := Export(fromX)
+	jj, _ := Export(fromJ)
+	if string(jx) != string(jj) {
+		t.Fatal("XML and JSON round trips disagree")
+	}
+}

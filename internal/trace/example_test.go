@@ -1,0 +1,41 @@
+package trace_test
+
+import (
+	"fmt"
+	"log"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+	"hetmem/internal/trace"
+)
+
+// Record one run, then search placements post-mortem: both buffers
+// belong on the MCDRAM here (the chaser's concurrent misses load the
+// DDR4 enough that its loaded latency loses), and the replayed
+// optimum says so without re-running the application.
+func Example() {
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15)
+
+	streamy, _ := m.Alloc("streamy", 2<<30, m.NodeByOS(0))
+	chasey, _ := m.Alloc("chasey", 2<<30, m.NodeByOS(0))
+	rec := trace.NewRecorder(memsim.NewEngine(m, ini))
+	rec.Phase("stream", []memsim.Access{{Buffer: streamy, ReadBytes: 40 << 30}})
+	rec.Phase("chase", []memsim.Access{{Buffer: chasey, RandomReads: 40_000_000, MLP: 2}})
+
+	res, err := trace.Exhaustive(rec.Trace(), p.NewMachine, ini, []int{0, 4}, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best placement after %d replays: %s\n", res.Evaluated, res.Best)
+	// Output:
+	// best placement after 4 replays: chasey->4 streamy->4
+}

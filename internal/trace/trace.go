@@ -1,0 +1,323 @@
+// Package trace implements the post-mortem analysis path the paper
+// surveys in Section V (Servat et al., MOCA, FLEXMALLOC): record the
+// memory-access profile of one run, then replay it under different
+// buffer placements without re-running the application, and search the
+// placement space for the best assignment.
+//
+// A Recorder wraps an Engine and captures every phase. A replay maps
+// buffer names to nodes and re-executes the same accesses on a fresh
+// machine, so "what if the parent array lived on MCDRAM?" is answered
+// in microseconds. Two searchers are provided:
+//
+//   - Exhaustive enumerates all |nodes|^|buffers| placements — the
+//     combinatorial explosion the paper warns about in Section V-A,
+//     capped to stay tractable;
+//   - Greedy orders buffers by miss count and assigns each to the best
+//     node given the partial placement — the MOCA-style heuristic.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+)
+
+// BufferInfo describes one buffer of the recorded run.
+type BufferInfo struct {
+	Name string
+	Size uint64
+}
+
+// AccessRecord is one access of one phase, referring to buffers by
+// name so the trace is placement-independent.
+type AccessRecord struct {
+	Buffer      string
+	ReadBytes   uint64
+	WriteBytes  uint64
+	RandomReads uint64
+	MLP         float64
+	CPUSeconds  float64
+}
+
+// PhaseRecord is one recorded phase.
+type PhaseRecord struct {
+	Name     string
+	Accesses []AccessRecord
+}
+
+// Trace is a complete recorded run.
+type Trace struct {
+	Buffers []BufferInfo
+	Phases  []PhaseRecord
+	Threads int
+}
+
+// TotalBytes returns the memory footprint of all traced buffers.
+func (t *Trace) TotalBytes() uint64 {
+	var s uint64
+	for _, b := range t.Buffers {
+		s += b.Size
+	}
+	return s
+}
+
+// Recorder wraps an engine, capturing phases as they execute.
+type Recorder struct {
+	e     *memsim.Engine
+	trace Trace
+	seen  map[string]bool
+}
+
+// NewRecorder wraps an engine.
+func NewRecorder(e *memsim.Engine) *Recorder {
+	return &Recorder{e: e, seen: make(map[string]bool)}
+}
+
+// Phase executes and records one phase.
+func (r *Recorder) Phase(name string, accesses []memsim.Access) memsim.PhaseResult {
+	rec := PhaseRecord{Name: name}
+	for _, a := range accesses {
+		ar := AccessRecord{
+			ReadBytes:   a.ReadBytes,
+			WriteBytes:  a.WriteBytes,
+			RandomReads: a.RandomReads,
+			MLP:         a.MLP,
+			CPUSeconds:  a.CPUSeconds,
+		}
+		if a.Buffer != nil {
+			ar.Buffer = a.Buffer.Name
+			if !r.seen[a.Buffer.Name] {
+				r.seen[a.Buffer.Name] = true
+				r.trace.Buffers = append(r.trace.Buffers, BufferInfo{a.Buffer.Name, a.Buffer.Size})
+			}
+		}
+		rec.Accesses = append(rec.Accesses, ar)
+	}
+	r.trace.Phases = append(r.trace.Phases, rec)
+	r.trace.Threads = r.e.Threads()
+	return r.e.Phase(name, accesses)
+}
+
+// Trace returns the recorded trace (a shallow copy safe to keep).
+func (r *Recorder) Trace() Trace {
+	t := r.trace
+	t.Buffers = append([]BufferInfo(nil), r.trace.Buffers...)
+	t.Phases = append([]PhaseRecord(nil), r.trace.Phases...)
+	return t
+}
+
+// Placement maps buffer names to the OS index of the node holding
+// them.
+type Placement map[string]int
+
+// String renders a placement deterministically.
+func (p Placement) String() string {
+	names := make([]string, 0, len(p))
+	for n := range p {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s->%d", n, p[n])
+	}
+	return s
+}
+
+// Errors.
+var (
+	ErrUnknownBuffer = errors.New("trace: placement names a buffer not in the trace")
+	ErrTooLarge      = errors.New("trace: placement search space too large")
+)
+
+// Replay re-executes the trace on a fresh machine built by newMachine,
+// with buffers placed per the placement (buffers missing from the
+// placement go to defaultNode). It returns the simulated wall time.
+func Replay(t Trace, m *memsim.Machine, initiator *bitmap.Bitmap, pl Placement, defaultNode int) (float64, error) {
+	for name := range pl {
+		found := false
+		for _, b := range t.Buffers {
+			if b.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("%w: %q", ErrUnknownBuffer, name)
+		}
+	}
+	bufs := make(map[string]*memsim.Buffer, len(t.Buffers))
+	for _, bi := range t.Buffers {
+		os, ok := pl[bi.Name]
+		if !ok {
+			os = defaultNode
+		}
+		node := m.NodeByOS(os)
+		if node == nil {
+			return 0, fmt.Errorf("trace: no node with OS index %d", os)
+		}
+		b, err := m.Alloc(bi.Name, bi.Size, node)
+		if err != nil {
+			return 0, err
+		}
+		bufs[bi.Name] = b
+	}
+	defer func() {
+		for _, b := range bufs {
+			m.Free(b)
+		}
+	}()
+
+	e := memsim.NewEngine(m, initiator)
+	if t.Threads > 0 {
+		e.SetThreads(t.Threads)
+	}
+	for _, ph := range t.Phases {
+		accesses := make([]memsim.Access, 0, len(ph.Accesses))
+		for _, a := range ph.Accesses {
+			accesses = append(accesses, memsim.Access{
+				Buffer:      bufs[a.Buffer],
+				ReadBytes:   a.ReadBytes,
+				WriteBytes:  a.WriteBytes,
+				RandomReads: a.RandomReads,
+				MLP:         a.MLP,
+				CPUSeconds:  a.CPUSeconds,
+			})
+		}
+		e.Phase(ph.Name, accesses)
+	}
+	return e.Elapsed(), nil
+}
+
+// SearchResult is the outcome of a placement search.
+type SearchResult struct {
+	Best      Placement
+	Seconds   float64
+	Evaluated int
+}
+
+// Exhaustive tries every assignment of traced buffers to the candidate
+// nodes (skipping assignments that exceed a node's capacity). The
+// space is |nodes|^|buffers|; maxEvals caps it (ErrTooLarge beyond),
+// reproducing the Section V-A combinatorial-explosion discussion.
+func Exhaustive(t Trace, mk func() (*memsim.Machine, error), initiator *bitmap.Bitmap, nodeOS []int, maxEvals int) (SearchResult, error) {
+	if len(nodeOS) == 0 || len(t.Buffers) == 0 {
+		return SearchResult{}, errors.New("trace: nothing to search")
+	}
+	total := math.Pow(float64(len(nodeOS)), float64(len(t.Buffers)))
+	if maxEvals > 0 && total > float64(maxEvals) {
+		return SearchResult{}, fmt.Errorf("%w: %d^%d = %.0f placements (cap %d)",
+			ErrTooLarge, len(nodeOS), len(t.Buffers), total, maxEvals)
+	}
+	res := SearchResult{Seconds: math.Inf(1)}
+	assign := make([]int, len(t.Buffers))
+	for {
+		pl := Placement{}
+		for i, bi := range t.Buffers {
+			pl[bi.Name] = nodeOS[assign[i]]
+		}
+		m, err := mk()
+		if err != nil {
+			return SearchResult{}, err
+		}
+		secs, err := Replay(t, m, initiator, pl, nodeOS[0])
+		res.Evaluated++
+		if err == nil && secs < res.Seconds {
+			res.Seconds = secs
+			res.Best = pl
+		} else if err != nil && !errors.Is(err, memsim.ErrNoCapacity) {
+			return SearchResult{}, err
+		}
+		// Increment the mixed-radix counter.
+		i := 0
+		for ; i < len(assign); i++ {
+			assign[i]++
+			if assign[i] < len(nodeOS) {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == len(assign) {
+			break
+		}
+	}
+	if res.Best == nil {
+		return SearchResult{}, errors.New("trace: no feasible placement")
+	}
+	return res, nil
+}
+
+// Greedy orders buffers by their traced miss pressure (random reads
+// weighted heaviest, then streamed traffic) and assigns each in turn
+// to the node that minimizes the replay time given the assignments so
+// far — linear in buffers × nodes instead of exponential.
+func Greedy(t Trace, mk func() (*memsim.Machine, error), initiator *bitmap.Bitmap, nodeOS []int) (SearchResult, error) {
+	if len(nodeOS) == 0 || len(t.Buffers) == 0 {
+		return SearchResult{}, errors.New("trace: nothing to search")
+	}
+	// Pressure per buffer.
+	pressure := make(map[string]float64)
+	for _, ph := range t.Phases {
+		for _, a := range ph.Accesses {
+			if a.Buffer == "" {
+				continue
+			}
+			pressure[a.Buffer] += 8*float64(a.RandomReads) + float64(a.ReadBytes+a.WriteBytes)
+		}
+	}
+	order := make([]BufferInfo, len(t.Buffers))
+	copy(order, t.Buffers)
+	sort.SliceStable(order, func(i, j int) bool { return pressure[order[i].Name] > pressure[order[j].Name] })
+
+	res := SearchResult{Best: Placement{}}
+	for _, bi := range order {
+		bestOS, bestSecs := -1, math.Inf(1)
+		for _, os := range nodeOS {
+			pl := Placement{}
+			for k, v := range res.Best {
+				pl[k] = v
+			}
+			pl[bi.Name] = os
+			// Unassigned buffers ride along on this candidate too, so
+			// capacity pressure is felt early.
+			m, err := mk()
+			if err != nil {
+				return SearchResult{}, err
+			}
+			secs, err := Replay(t, m, initiator, pl, os)
+			res.Evaluated++
+			if err != nil {
+				if errors.Is(err, memsim.ErrNoCapacity) {
+					continue
+				}
+				return SearchResult{}, err
+			}
+			if secs < bestSecs {
+				bestSecs, bestOS = secs, os
+			}
+		}
+		if bestOS < 0 {
+			return SearchResult{}, fmt.Errorf("trace: buffer %q fits no candidate node", bi.Name)
+		}
+		res.Best[bi.Name] = bestOS
+		res.Seconds = bestSecs
+	}
+	// Final replay with the complete placement (no ride-along).
+	m, err := mk()
+	if err != nil {
+		return SearchResult{}, err
+	}
+	secs, err := Replay(t, m, initiator, res.Best, nodeOS[0])
+	if err != nil {
+		return SearchResult{}, err
+	}
+	res.Seconds = secs
+	return res, nil
+}

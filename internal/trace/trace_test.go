@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+const gib = uint64(1) << 30
+
+func knl(t *testing.T) (*platform.Platform, func() (*memsim.Machine, error)) {
+	t.Helper()
+	p, err := platform.Get("knl-snc4-flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, func() (*memsim.Machine, error) { return p.NewMachine() }
+}
+
+// mixedApp runs a two-buffer application: "streamy" is bandwidth-bound
+// and "chasey" is latency-bound, so the optimal placement splits them
+// (streamy on MCDRAM, chasey anywhere with low latency).
+func mixedApp(t *testing.T, m *memsim.Machine, ini *bitmap.Bitmap) Trace {
+	t.Helper()
+	streamy, err := m.Alloc("streamy", 2*gib, m.NodeByOS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chasey, err := m.Alloc("chasey", 2*gib, m.NodeByOS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := memsim.NewEngine(m, ini)
+	r := NewRecorder(e)
+	for i := 0; i < 3; i++ {
+		r.Phase("stream", []memsim.Access{{Buffer: streamy, ReadBytes: 40 * gib, WriteBytes: 10 * gib}})
+		r.Phase("chase", []memsim.Access{{Buffer: chasey, RandomReads: 40_000_000, MLP: 2}})
+	}
+	return r.Trace()
+}
+
+func TestRecorderCapturesEverything(t *testing.T) {
+	p, mk := knl(t)
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15)
+	tr := mixedApp(t, m, ini)
+	if len(tr.Buffers) != 2 {
+		t.Fatalf("buffers = %d", len(tr.Buffers))
+	}
+	if len(tr.Phases) != 6 {
+		t.Fatalf("phases = %d", len(tr.Phases))
+	}
+	if tr.Threads != 16 {
+		t.Fatalf("threads = %d", tr.Threads)
+	}
+	if tr.TotalBytes() != 4*gib {
+		t.Fatalf("total = %d", tr.TotalBytes())
+	}
+	if tr.Phases[0].Accesses[0].Buffer != "streamy" || tr.Phases[0].Accesses[0].ReadBytes != 40*gib {
+		t.Fatalf("access record = %+v", tr.Phases[0].Accesses[0])
+	}
+	_ = p
+}
+
+func TestReplayMatchesLive(t *testing.T) {
+	_, mk := knl(t)
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15)
+
+	// Live run with both buffers on DRAM#0.
+	streamy, _ := m.Alloc("streamy", 2*gib, m.NodeByOS(0))
+	chasey, _ := m.Alloc("chasey", 2*gib, m.NodeByOS(0))
+	e := memsim.NewEngine(m, ini)
+	r := NewRecorder(e)
+	r.Phase("stream", []memsim.Access{{Buffer: streamy, ReadBytes: 40 * gib}})
+	r.Phase("chase", []memsim.Access{{Buffer: chasey, RandomReads: 40_000_000, MLP: 2}})
+	live := e.Elapsed()
+
+	// Replaying the same placement on a fresh machine reproduces the
+	// time exactly (the model is deterministic).
+	m2, _ := mk()
+	replayed, err := Replay(r.Trace(), m2, ini, Placement{"streamy": 0, "chasey": 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replayed-live)/live > 1e-9 {
+		t.Fatalf("replay %.6f != live %.6f", replayed, live)
+	}
+}
+
+func TestReplayPlacementMatters(t *testing.T) {
+	_, mk := knl(t)
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ini := bitmap.NewFromRange(0, 15)
+	tr := mixedApp(t, m, ini)
+
+	onDRAM, err := Replay(tr, mustMachine(t, mk), ini, Placement{"streamy": 0, "chasey": 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Replay(tr, mustMachine(t, mk), ini, Placement{"streamy": 4, "chasey": 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split >= onDRAM {
+		t.Fatalf("streaming buffer on MCDRAM should win: %.3f vs %.3f", split, onDRAM)
+	}
+}
+
+func mustMachine(t *testing.T, mk func() (*memsim.Machine, error)) *memsim.Machine {
+	t.Helper()
+	m, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReplayErrors(t *testing.T) {
+	_, mk := knl(t)
+	m := mustMachine(t, mk)
+	ini := bitmap.NewFromRange(0, 15)
+	tr := mixedApp(t, m, ini)
+
+	if _, err := Replay(tr, mustMachine(t, mk), ini, Placement{"bogus": 0}, 0); !errors.Is(err, ErrUnknownBuffer) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Replay(tr, mustMachine(t, mk), ini, Placement{"streamy": 99}, 0); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+	// Capacity failure: both 2GiB buffers forced onto the 4GiB MCDRAM
+	// is fine, but oversize default node placement must fail cleanly.
+	big := Trace{
+		Buffers: []BufferInfo{{"huge", 30 * gib}},
+		Phases:  []PhaseRecord{{Name: "p", Accesses: []AccessRecord{{Buffer: "huge", ReadBytes: gib}}}},
+	}
+	if _, err := Replay(big, mustMachine(t, mk), ini, Placement{"huge": 4}, 4); !errors.Is(err, memsim.ErrNoCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExhaustiveFindsSplit(t *testing.T) {
+	_, mk := knl(t)
+	m := mustMachine(t, mk)
+	ini := bitmap.NewFromRange(0, 15)
+	tr := mixedApp(t, m, ini)
+
+	res, err := Exhaustive(tr, mk, ini, []int{0, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 4 { // 2 buffers × 2 nodes
+		t.Fatalf("evaluated = %d", res.Evaluated)
+	}
+	// The optimum puts the streaming buffer on MCDRAM (OS 4); the
+	// chasing buffer's node barely matters but DRAM has the lower
+	// latency.
+	if res.Best["streamy"] != 4 {
+		t.Fatalf("best placement = %v", res.Best)
+	}
+	// The optimum beats (or ties) every uniform placement.
+	for _, uniform := range []Placement{{"streamy": 0, "chasey": 0}, {"streamy": 4, "chasey": 4}} {
+		secs, err := Replay(tr, mustMachine(t, mk), ini, uniform, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Seconds > secs*1.0001 {
+			t.Fatalf("exhaustive %.3f worse than uniform %v %.3f", res.Seconds, uniform, secs)
+		}
+	}
+}
+
+func TestExhaustiveExplosionGuard(t *testing.T) {
+	_, mk := knl(t)
+	ini := bitmap.NewFromRange(0, 15)
+	tr := Trace{Threads: 16}
+	for i := 0; i < 20; i++ {
+		tr.Buffers = append(tr.Buffers, BufferInfo{Name: string(rune('a' + i)), Size: 1 << 20})
+	}
+	if _, err := Exhaustive(tr, mk, ini, []int{0, 4}, 1000); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGreedyMatchesExhaustiveHere(t *testing.T) {
+	_, mk := knl(t)
+	m := mustMachine(t, mk)
+	ini := bitmap.NewFromRange(0, 15)
+	tr := mixedApp(t, m, ini)
+
+	ex, err := Exhaustive(tr, mk, ini, []int{0, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy(tr, mk, ini, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Best["streamy"] != ex.Best["streamy"] {
+		t.Fatalf("greedy %v vs exhaustive %v", gr.Best, ex.Best)
+	}
+	if gr.Seconds > ex.Seconds*1.05 {
+		t.Fatalf("greedy %.3f much worse than exhaustive %.3f", gr.Seconds, ex.Seconds)
+	}
+	// Greedy's evaluation count is linear: buffers × nodes + 1 final.
+	if gr.Evaluated > len(tr.Buffers)*2+1 {
+		t.Fatalf("greedy evaluated %d placements", gr.Evaluated)
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	// A 10 GiB streaming buffer cannot use the 4 GiB MCDRAM: greedy
+	// must keep it on DRAM and still place the small hot buffer well.
+	_, mk := knl(t)
+	m := mustMachine(t, mk)
+	ini := bitmap.NewFromRange(0, 15)
+	big, _ := m.Alloc("big-stream", 10*gib, m.NodeByOS(0))
+	small, _ := m.Alloc("small-stream", 1*gib, m.NodeByOS(0))
+	e := memsim.NewEngine(m, ini)
+	r := NewRecorder(e)
+	r.Phase("p", []memsim.Access{
+		{Buffer: big, ReadBytes: 20 * gib},
+		{Buffer: small, ReadBytes: 20 * gib},
+	})
+	res, err := Greedy(r.Trace(), mk, ini, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["big-stream"] != 0 || res.Best["small-stream"] != 4 {
+		t.Fatalf("placement = %v", res.Best)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	p := Placement{"b": 1, "a": 0}
+	if got := p.String(); got != "a->0 b->1" {
+		t.Fatalf("String = %q", got)
+	}
+}
