@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain `go` underneath.
 
 GO ?= go
+FUZZTIME ?= 30s
 
 .PHONY: all build vet test race bench repro cover fuzz clean
 
@@ -28,8 +29,9 @@ cover:
 	$(GO) test -cover ./...
 
 fuzz:
-	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/hmat/
-	$(GO) test -fuzz=FuzzParseList -fuzztime=30s ./internal/bitmap/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/hmat/
+	$(GO) test -fuzz=FuzzParseList -fuzztime=$(FUZZTIME) ./internal/bitmap/
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/server/
 
 clean:
 	$(GO) clean ./...

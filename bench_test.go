@@ -8,6 +8,7 @@ package hetmem
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"hetmem/internal/alloc"
@@ -19,6 +20,7 @@ import (
 	"hetmem/internal/memsim"
 	"hetmem/internal/platform"
 	"hetmem/internal/policy"
+	"hetmem/internal/server"
 	"hetmem/internal/stream"
 )
 
@@ -262,6 +264,38 @@ func BenchmarkAblation_FCFSvsPriority(b *testing.B) {
 			b.ReportMetric(seconds, "kernel-s")
 		})
 	}
+}
+
+// BenchmarkServerAlloc measures placement-daemon service throughput:
+// parallel alloc/free round-trips (HTTP, JSON, lease table, sharded
+// capacity accounting) against an in-process hetmemd. This is the
+// series that tracks the service layer's perf trajectory.
+func BenchmarkServerAlloc(b *testing.B) {
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(sys).Handler())
+	defer ts.Close()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl := server.NewClient(ts.URL)
+		for pb.Next() {
+			resp, err := cl.Alloc(server.AllocRequest{
+				Name: "bench", Size: 1 << 20, Attr: "Bandwidth", Initiator: "0-19",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Free(resp.Lease); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	// Two HTTP requests per iteration.
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkAblation_AllocatorOverhead measures the cost of one

@@ -1,0 +1,161 @@
+// Command hetmemd is the heterogeneous-memory placement daemon: it
+// loads a simulated platform, runs attribute discovery once (HMAT or
+// benchmarking — Table I's two paths), and serves placement decisions
+// to concurrent clients over HTTP (see internal/server for the
+// endpoints and wire format).
+//
+// Usage:
+//
+//	hetmemd serve -addr :7077 -p xeon          # run the daemon
+//	hetmemd loadtest -clients 64               # self-hosted load test
+//	hetmemd loadtest -addr http://host:7077    # load-test a running daemon
+//	hetmemd platforms                          # list available platforms
+//
+// Try it:
+//
+//	curl localhost:7077/attrs?format=text
+//	curl -d '{"name":"hot","size":1073741824,"attr":"Bandwidth","initiator":"0-19"}' localhost:7077/alloc
+//	curl localhost:7077/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"hetmem/internal/core"
+	"hetmem/internal/platform"
+	"hetmem/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hetmemd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: hetmemd <serve|loadtest|platforms> [flags] (-h for flags)")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:], out)
+	case "loadtest":
+		return runLoadtest(args[1:], out)
+	case "platforms":
+		for _, n := range platform.Names() {
+			p, err := platform.Get(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-20s %s\n", n, p.Description)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, or platforms)", args[0])
+	}
+}
+
+// buildServer discovers the platform and wraps it in the daemon core.
+func buildServer(platName string, forceBench bool, out io.Writer) (*server.Server, error) {
+	sys, err := core.NewSystem(platName, core.Options{ForceBenchmark: forceBench})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "hetmemd: platform %s, %d NUMA nodes, attributes from %s\n",
+		platName, len(sys.Topology().NUMANodes()), sys.Source)
+	return server.New(sys), nil
+}
+
+// startServer binds the daemon to addr and serves it in the
+// background; the returned base URL is ready for clients, and stop
+// closes the listener.
+func startServer(addr, platName string, forceBench bool, out io.Writer) (base string, stop func(), err error) {
+	srv, err := buildServer(platName, forceBench, out)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	base = "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "hetmemd: listening on %s\n", base)
+	go http.Serve(ln, srv.Handler())
+	return base, func() { ln.Close() }, nil
+}
+
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7077", "listen address")
+		platName   = fs.String("p", "xeon", "platform to serve (see `hetmemd platforms`)")
+		forceBench = fs.Bool("force-bench", false, "benchmark attributes even when the firmware has an HMAT")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := buildServer(*platName, *forceBench, out)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hetmemd: listening on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+func runLoadtest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd loadtest", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:7077 (empty: boot one in-process)")
+		platName = fs.String("p", "xeon", "platform for the in-process daemon")
+		clients  = fs.Int("clients", 8, "concurrent client goroutines")
+		requests = fs.Int("requests", 100, "operations per client")
+		maxLive  = fs.Int("live", 8, "max live leases per client")
+		maxSize  = fs.Uint64("maxsize", 64<<20, "max allocation size in bytes")
+		seed     = fs.Int64("seed", 1, "traffic mix seed")
+		verify   = fs.Bool("verify", true, "cross-check /metrics against the lease table afterwards")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := *addr
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = startServer("127.0.0.1:0", *platName, false, out)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	stats, err := server.LoadTest(base, server.LoadOptions{
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		MaxLive:           *maxLive,
+		MaxSizeBytes:      *maxSize,
+		Seed:              *seed,
+	})
+	fmt.Fprintf(out, "hetmemd: loadtest %s\n", stats)
+	if err != nil {
+		return err
+	}
+	if *verify {
+		desc, err := server.VerifyConsistency(base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	}
+	return nil
+}

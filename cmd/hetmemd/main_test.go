@@ -1,0 +1,165 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hetmem/internal/server"
+)
+
+// boot starts the daemon on a random port and returns its base URL.
+func boot(t *testing.T, platform string) string {
+	t.Helper()
+	var log strings.Builder
+	base, stop, err := startServer("127.0.0.1:0", platform, false, &log)
+	if err != nil {
+		t.Fatalf("%v (log: %s)", err, log.String())
+	}
+	t.Cleanup(stop)
+	if !strings.Contains(log.String(), "listening on http://127.0.0.1:") {
+		t.Fatalf("startup log: %q", log.String())
+	}
+	return base
+}
+
+// TestDaemonEndToEnd boots the daemon on a random port, hits every
+// endpoint, and checks that /metrics counters move.
+func TestDaemonEndToEnd(t *testing.T) {
+	base := boot(t, "xeon")
+	cl := server.NewClient(base)
+
+	before, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GET /topology
+	topo, err := cl.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.NUMANodes()) == 0 {
+		t.Fatal("topology has no NUMA nodes")
+	}
+
+	// GET /attrs
+	attrs, err := cl.Attrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) == 0 {
+		t.Fatal("no attributes")
+	}
+
+	// POST /alloc
+	ar, err := cl.Alloc(server.AllocRequest{Name: "e2e", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// POST /migrate
+	if _, err := cl.Migrate(server.MigrateRequest{Lease: ar.Lease, Attr: "Capacity", Initiator: "0-19"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// GET /leases
+	leases, err := cl.Leases(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leases.Count != 1 || leases.Bytes != 1<<30 {
+		t.Fatalf("leases: %+v", leases)
+	}
+
+	// POST /free
+	if err := cl.Free(ar.Lease); err != nil {
+		t.Fatal(err)
+	}
+
+	// GET /metrics: every exercised endpoint's counter moved.
+	after, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{"topology", "attrs", "alloc", "migrate", "leases", "free", "metrics"} {
+		key := `hetmemd_requests_total{endpoint="` + ep + `"}`
+		if after[key] <= before[key] {
+			t.Errorf("counter %s did not move (%v -> %v)", key, before[key], after[key])
+		}
+	}
+	for k, want := range map[string]float64{
+		"hetmemd_alloc_total":   1,
+		"hetmemd_migrate_total": 1,
+		"hetmemd_free_total":    1,
+		"hetmemd_leases_active": 0,
+	} {
+		if after[k] != want {
+			t.Errorf("%s = %v, want %v", k, after[k], want)
+		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	if err := run([]string{"serve", "-p", "bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown platform should fail")
+	}
+	if err := run([]string{"serve", "-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Fatal("bad address should fail")
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Fatal("no args should fail")
+	}
+	if err := run([]string{"bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown subcommand should fail")
+	}
+	var out strings.Builder
+	if err := run([]string{"platforms"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "xeon") || !strings.Contains(out.String(), "knl-snc4-flat") {
+		t.Fatalf("platforms output: %q", out.String())
+	}
+}
+
+// TestLoadtestSelfHosted runs the self-hosted load test the acceptance
+// criteria describe (scaled down for CI) and checks it reports
+// consistent books and zero failures.
+func TestLoadtestSelfHosted(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"loadtest", "-clients", "8", "-requests", "30", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 failed") {
+		t.Fatalf("expected zero failed requests: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "books consistent") {
+		t.Fatalf("expected consistency check: %q", out.String())
+	}
+}
+
+// TestLoadtestAgainstRunningDaemon points the load generator at an
+// already-running daemon over the -addr flag.
+func TestLoadtestAgainstRunningDaemon(t *testing.T) {
+	base := boot(t, "knl-snc4-flat")
+	var out strings.Builder
+	err := run([]string{"loadtest", "-addr", base, "-clients", "4", "-requests", "20"}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+
+	// The daemon that served the load is still healthy.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics after load: HTTP %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,102 @@
+// Daemon client: talk to a running hetmemd placement daemon with the
+// server.Client Go API — the service-oriented version of the
+// quickstart, where placement decisions come from a shared daemon
+// instead of an in-process allocator.
+//
+//	go run ./examples/daemonclient                 # boots a daemon in-process
+//	go run ./examples/daemonclient http://host:7077  # uses a running daemon
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"hetmem/internal/core"
+	"hetmem/internal/server"
+)
+
+func main() {
+	base := ""
+	if len(os.Args) > 1 {
+		base = os.Args[1]
+	}
+	if base == "" {
+		// No daemon given: boot one in-process on a random port, the
+		// way hetmemd serve would.
+		sys, err := core.NewSystem("xeon", core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, server.New(sys).Handler())
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("booted an in-process daemon on %s (platform xeon)\n\n", base)
+	}
+	cl := server.NewClient(base)
+
+	// What machine is on the other side?
+	topo, err := cl.Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon serves a machine with %d NUMA nodes and %d PUs\n",
+		len(topo.NUMANodes()), topo.Root().CPUSet.Weight())
+
+	// The Figure-5-style attribute dump, as data.
+	attrs, err := cl.Attrs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range attrs {
+		if len(a.Values) > 0 {
+			fmt.Printf("  %-16s %d values (%s)\n", a.Name, len(a.Values), a.Flags)
+		}
+	}
+
+	// Three buffers, three needs — the daemon picks the technology.
+	fmt.Println("\nallocating by attribute (initiator: PUs 0-19):")
+	var leases []uint64
+	for _, req := range []server.AllocRequest{
+		{Name: "frontier", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"},
+		{Name: "index", Size: 1 << 30, Attr: "Latency", Initiator: "0-19"},
+		{Name: "log", Size: 200 << 30, Attr: "Capacity", Initiator: "0-19"},
+	} {
+		resp, err := cl.Alloc(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %-9s -> %-10s (lease %d, rank %d)\n",
+			req.Name, req.Attr, resp.Placement, resp.Lease, resp.Rank)
+		leases = append(leases, resp.Lease)
+	}
+
+	// A phase change: the frontier becomes capacity-bound.
+	mig, err := cl.Migrate(server.MigrateRequest{Lease: leases[0], Attr: "Capacity", Initiator: "0-19"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphase change: frontier migrated to %s (simulated copy: %.3fs)\n",
+		mig.Placement, mig.CostSeconds)
+
+	// The daemon's books.
+	metrics, err := cl.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndaemon metrics: %.0f allocs, %.0f migrations, %.0f bytes placed, %.0f leases active\n",
+		metrics["hetmemd_alloc_total"], metrics["hetmemd_migrate_total"],
+		metrics["hetmemd_bytes_placed_total"], metrics["hetmemd_leases_active"])
+
+	for _, l := range leases {
+		if err := cl.Free(l); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("freed all leases")
+}

@@ -100,6 +100,16 @@ func WithPartial() Option { return func(c *config) { c.allowPartial = true } }
 func WithRemote() Option { return func(c *config) { c.allowRemote = true } }
 
 // Allocator binds a simulated machine to an attribute registry.
+//
+// An Allocator is safe for concurrent use by multiple goroutines once
+// discovery has populated the registry: Alloc, MigrateToBest, and the
+// planners only read the registry and rely on the machine's per-node
+// atomic capacity accounting. Capacity checks are races-by-design —
+// when two goroutines contend for the last bytes of a target, the
+// loser transparently falls down the ranking exactly as if the target
+// had been full, and the hybrid (partial) path retries its plan a few
+// times before giving up. Mutating the registry (SetValue, Register)
+// concurrently with allocation is not supported.
 type Allocator struct {
 	m   *memsim.Machine
 	reg *memattr.Registry
@@ -188,26 +198,35 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 	}
 
 	if c.allowPartial && c.policy != Bind {
-		// Hybrid allocation: fill targets in ranking order.
-		var parts []memsim.Segment
-		remaining := size
-		for _, tv := range ranked {
-			n := a.m.Node(tv.Target)
-			take := n.Available()
-			if take == 0 {
-				continue
+		// Hybrid allocation: fill targets in ranking order. The plan is
+		// built from a snapshot of per-node availability, so under
+		// concurrent allocation AllocSplit can lose the race; re-plan a
+		// few times before declaring exhaustion.
+		for attempt := 0; attempt < 4; attempt++ {
+			var parts []memsim.Segment
+			remaining := size
+			for _, tv := range ranked {
+				n := a.m.Node(tv.Target)
+				take := n.Available()
+				if take == 0 {
+					continue
+				}
+				if take > remaining {
+					take = remaining
+				}
+				parts = append(parts, memsim.Segment{Node: n, Bytes: take})
+				remaining -= take
+				if remaining == 0 {
+					break
+				}
 			}
-			if take > remaining {
-				take = remaining
-			}
-			parts = append(parts, memsim.Segment{Node: n, Bytes: take})
-			remaining -= take
-			if remaining == 0 {
+			if remaining != 0 {
 				break
 			}
-		}
-		if remaining == 0 {
 			buf, err := a.m.AllocSplit(name, parts)
+			if errors.Is(err, memsim.ErrNoCapacity) {
+				continue
+			}
 			if err != nil {
 				return nil, Decision{}, err
 			}
@@ -237,7 +256,8 @@ func (a *Allocator) MigrateToBest(buf *memsim.Buffer, attr memattr.ID, initiator
 	dec := Decision{Requested: attr, Used: used, AttrFellBack: fell}
 	for i, tv := range ranked {
 		n := a.m.Node(tv.Target)
-		already := len(buf.Segments) == 1 && buf.Segments[0].Node == n
+		segs := buf.SegmentsSnapshot()
+		already := len(segs) == 1 && segs[0].Node == n
 		if !already && n.Available() < buf.Size {
 			continue
 		}
@@ -248,6 +268,10 @@ func (a *Allocator) MigrateToBest(buf *memsim.Buffer, attr memattr.ID, initiator
 			return 0, dec, nil
 		}
 		cost, err := a.m.Migrate(buf, n)
+		if errors.Is(err, memsim.ErrNoCapacity) {
+			// Lost a capacity race; try the next candidate.
+			continue
+		}
 		return cost, dec, err
 	}
 	return 0, Decision{}, fmt.Errorf("%w: migrating %q", ErrExhausted, buf.Name)

@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+)
+
+// TestConcurrentAllocFreeMigrate hammers one allocator from 32
+// goroutines doing mixed alloc/free/migrate, then checks that the
+// per-node capacity accounting exactly matches the surviving buffers.
+// Run with -race: this is the stress test backing the package's
+// concurrency guarantee (and the hetmemd daemon built on it).
+func TestConcurrentAllocFreeMigrate(t *testing.T) {
+	a, ini := xeonAlloc(t)
+
+	const (
+		goroutines = 32
+		iterations = 200
+	)
+	attrs := []memattr.ID{memattr.Bandwidth, memattr.Latency, memattr.Capacity}
+
+	var (
+		mu   sync.Mutex
+		live []*memsim.Buffer
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var mine []*memsim.Buffer
+			for i := 0; i < iterations; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(mine) == 0:
+					size := uint64(1+rng.Intn(64)) << 20
+					buf, _, err := a.Alloc("stress", size, attrs[rng.Intn(len(attrs))], ini,
+						WithRemote(), WithPartial())
+					if err != nil {
+						// Under pressure exhaustion is legal; corruption is not.
+						if !errors.Is(err, ErrExhausted) {
+							t.Error(err)
+						}
+						continue
+					}
+					mine = append(mine, buf)
+				case op < 8:
+					j := rng.Intn(len(mine))
+					if err := a.m.Free(mine[j]); err != nil {
+						t.Error(err)
+					}
+					mine = append(mine[:j], mine[j+1:]...)
+				default:
+					j := rng.Intn(len(mine))
+					_, _, err := a.MigrateToBest(mine[j], attrs[rng.Intn(len(attrs))], ini, WithRemote())
+					if err != nil && !errors.Is(err, ErrExhausted) {
+						t.Error(err)
+					}
+				}
+			}
+			mu.Lock()
+			live = append(live, mine...)
+			mu.Unlock()
+		}(int64(g))
+	}
+	wg.Wait()
+
+	// Per-node accounting must equal the sum of live segments.
+	want := map[*memsim.Node]uint64{}
+	for _, b := range live {
+		for _, seg := range b.SegmentsSnapshot() {
+			want[seg.Node] += seg.Bytes
+		}
+	}
+	for _, n := range a.m.Nodes() {
+		if got := n.Allocated(); got != want[n] {
+			t.Errorf("%s#%d: allocated=%d, live segments sum to %d", n.Kind(), n.OSIndex(), got, want[n])
+		}
+	}
+
+	// Free everything: accounting must return to zero.
+	for _, b := range live {
+		if err := a.m.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range a.m.Nodes() {
+		if got := n.Allocated(); got != 0 {
+			t.Errorf("%s#%d: %d bytes leaked", n.Kind(), n.OSIndex(), got)
+		}
+	}
+}
+
+// TestConcurrentDoubleFree checks that racing frees of the same buffer
+// release its capacity exactly once.
+func TestConcurrentDoubleFree(t *testing.T) {
+	a, ini := xeonAlloc(t)
+	for i := 0; i < 50; i++ {
+		buf, _, err := a.Alloc("b", 1<<20, memattr.Bandwidth, ini)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		var freedOK, freedErr int64
+		var mu sync.Mutex
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err := a.m.Free(buf)
+				mu.Lock()
+				defer mu.Unlock()
+				if err == nil {
+					freedOK++
+				} else if errors.Is(err, memsim.ErrFreed) {
+					freedErr++
+				} else {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		if freedOK != 1 || freedErr != 3 {
+			t.Fatalf("double free: ok=%d err=%d", freedOK, freedErr)
+		}
+	}
+	for _, n := range a.m.Nodes() {
+		if got := n.Allocated(); got != 0 {
+			t.Errorf("%s#%d: %d bytes leaked", n.Kind(), n.OSIndex(), got)
+		}
+	}
+}

@@ -18,10 +18,17 @@ var (
 
 // Node is the runtime state of one NUMA node: its model plus capacity
 // accounting and traffic counters.
+//
+// Capacity accounting is guarded by a per-node lock, so concurrent
+// allocations targeting different nodes never contend with each other —
+// the sharding that lets one Machine serve many placement clients (see
+// internal/server). The traffic counters are owned by the engine, which
+// remains a single-threaded simulation.
 type Node struct {
 	Obj   *topology.Object
 	Model NodeModel
 
+	mu        sync.Mutex // guards allocated
 	allocated uint64
 
 	// Counters, accumulated by the engine.
@@ -37,10 +44,38 @@ func (n *Node) OSIndex() int { return n.Obj.OSIndex }
 func (n *Node) Capacity() uint64 { return n.Obj.Memory }
 
 // Allocated returns the bytes currently allocated on the node.
-func (n *Node) Allocated() uint64 { return n.allocated }
+func (n *Node) Allocated() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.allocated
+}
 
 // Available returns the bytes still allocatable on the node.
-func (n *Node) Available() uint64 { return n.Obj.Memory - n.allocated }
+func (n *Node) Available() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Obj.Memory - n.allocated
+}
+
+// reserve atomically claims size bytes on the node, failing with
+// ErrNoCapacity when they do not fit.
+func (n *Node) reserve(size uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.Obj.Memory-n.allocated < size {
+		return fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
+			n.Kind(), n.OSIndex(), size, n.Obj.Memory-n.allocated)
+	}
+	n.allocated += size
+	return nil
+}
+
+// release returns size bytes to the node.
+func (n *Node) release(size uint64) {
+	n.mu.Lock()
+	n.allocated -= size
+	n.mu.Unlock()
+}
 
 // Kind returns the node's memory kind.
 func (n *Node) Kind() string { return KindOf(n.Obj) }
@@ -52,10 +87,17 @@ type Segment struct {
 }
 
 // Buffer is an application data buffer placed on one or more nodes.
+//
+// Placement state (Segments, freed) is guarded by a per-buffer lock so
+// Free and Migrate are safe against concurrent calls on the same
+// buffer; the per-buffer counters belong to the single-threaded engine.
 type Buffer struct {
 	Name string
 	Size uint64
 
+	// Segments is the buffer's placement. Guarded by mu: concurrent
+	// readers must use SegmentsSnapshot, NodeNames, or OnKind; direct
+	// access is only safe while no Migrate/Free can run.
 	Segments []Segment
 
 	// Per-buffer counters for the profiler (Fig 7 of the paper).
@@ -66,16 +108,34 @@ type Buffer struct {
 	Loads        uint64
 	Stores       uint64
 
+	mu    sync.Mutex // guards Segments and freed
 	freed bool
 	m     *Machine
+}
+
+// SegmentsSnapshot returns a copy of the buffer's current segments,
+// safe against a concurrent Migrate.
+func (b *Buffer) SegmentsSnapshot() []Segment {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Segment, len(b.Segments))
+	copy(out, b.Segments)
+	return out
+}
+
+// Freed reports whether the buffer has been released.
+func (b *Buffer) Freed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.freed
 }
 
 // NodeNames describes the placement, e.g. "DRAM#0" or
 // "MCDRAM#1+DRAM#0" for a hybrid allocation.
 func (b *Buffer) NodeNames() string {
 	s := ""
-	for i, seg := range b.Segments {
-		if i > 0 {
+	for _, seg := range b.SegmentsSnapshot() {
+		if s != "" {
 			s += "+"
 		}
 		s += fmt.Sprintf("%s#%d", seg.Node.Kind(), seg.Node.OSIndex())
@@ -86,7 +146,7 @@ func (b *Buffer) NodeNames() string {
 // OnKind reports whether any segment of the buffer resides on a node
 // of the given kind.
 func (b *Buffer) OnKind(kind string) bool {
-	for _, seg := range b.Segments {
+	for _, seg := range b.SegmentsSnapshot() {
 		if seg.Node.Kind() == kind {
 			return true
 		}
@@ -95,12 +155,18 @@ func (b *Buffer) OnKind(kind string) bool {
 }
 
 // Machine is the simulated memory system of one topology.
+//
+// Alloc, AllocSplit, AllocInterleave, Free, Migrate, MigrationCost, and
+// Buffers are safe for concurrent use: capacity accounting takes only
+// the per-node locks of the nodes involved, and the buffer registry has
+// its own short-lived lock. The engine (NewEngine/Phase) and counter
+// accessors remain single-threaded by design.
 type Machine struct {
-	mu    sync.Mutex
 	topo  *topology.Topology
 	model MachineModel
 	nodes map[int]*Node // by OS index
 
+	bufMu   sync.Mutex // guards buffers
 	buffers []*Buffer
 }
 
@@ -152,40 +218,41 @@ func (m *Machine) Nodes() []*Node {
 // Alloc places size bytes on the given node, failing with
 // ErrNoCapacity if it does not fit entirely.
 func (m *Machine) Alloc(name string, size uint64, node *Node) (*Buffer, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if node.Available() < size {
-		return nil, fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
-			node.Kind(), node.OSIndex(), size, node.Available())
+	if err := node.reserve(size); err != nil {
+		return nil, err
 	}
-	node.allocated += size
 	b := &Buffer{Name: name, Size: size, Segments: []Segment{{node, size}}, m: m}
-	m.buffers = append(m.buffers, b)
+	m.track(b)
 	return b, nil
 }
 
 // AllocSplit places a buffer across several nodes with explicit byte
 // counts per node (hybrid/partial allocation across two kinds of
-// memory, as discussed in the paper's capacity section). All-or-nothing.
+// memory, as discussed in the paper's capacity section). All-or-nothing:
+// on failure, partially reserved capacity is rolled back.
 func (m *Machine) AllocSplit(name string, parts []Segment) (*Buffer, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var total uint64
-	for _, p := range parts {
-		if p.Node.Available() < p.Bytes {
-			return nil, fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
-				p.Node.Kind(), p.Node.OSIndex(), p.Bytes, p.Node.Available())
+	for i, p := range parts {
+		if err := p.Node.reserve(p.Bytes); err != nil {
+			for _, q := range parts[:i] {
+				q.Node.release(q.Bytes)
+			}
+			return nil, err
 		}
 		total += p.Bytes
 	}
 	segs := make([]Segment, len(parts))
-	for i, p := range parts {
-		p.Node.allocated += p.Bytes
-		segs[i] = p
-	}
+	copy(segs, parts)
 	b := &Buffer{Name: name, Size: total, Segments: segs, m: m}
-	m.buffers = append(m.buffers, b)
+	m.track(b)
 	return b, nil
+}
+
+// track registers a buffer in the machine's allocation-order list.
+func (m *Machine) track(b *Buffer) {
+	m.bufMu.Lock()
+	m.buffers = append(m.buffers, b)
+	m.bufMu.Unlock()
 }
 
 // AllocInterleave spreads size bytes round-robin across the given
@@ -210,13 +277,13 @@ func (m *Machine) AllocInterleave(name string, size uint64, nodes []*Node) (*Buf
 
 // Free releases the buffer's memory back to its nodes.
 func (m *Machine) Free(b *Buffer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.freed {
 		return ErrFreed
 	}
 	for _, seg := range b.Segments {
-		seg.Node.allocated -= seg.Bytes
+		seg.Node.release(seg.Bytes)
 	}
 	b.freed = true
 	return nil
@@ -226,12 +293,12 @@ func (m *Machine) Free(b *Buffer) error {
 // anything: copy time bounded by the slower of source read and
 // destination write bandwidth, plus per-page OS bookkeeping.
 func (m *Machine) MigrationCost(b *Buffer, dst *Node) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.migrationCostLocked(b, dst)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return migrationCostLocked(b, dst)
 }
 
-func (m *Machine) migrationCostLocked(b *Buffer, dst *Node) float64 {
+func migrationCostLocked(b *Buffer, dst *Node) float64 {
 	const pageSize = 4096
 	const perPageOS = 1.2e-6
 	var seconds float64
@@ -258,8 +325,8 @@ func (m *Machine) migrationCostLocked(b *Buffer, dst *Node) float64 {
 // should add to its clock — the paper stresses that migration is
 // expensive in operating systems.
 func (m *Machine) Migrate(b *Buffer, dst *Node) (seconds float64, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.freed {
 		return 0, ErrFreed
 	}
@@ -270,28 +337,29 @@ func (m *Machine) Migrate(b *Buffer, dst *Node) (seconds float64, err error) {
 		}
 	}
 	need := b.Size - already
-	if dst.Available() < need {
+	if err := dst.reserve(need); err != nil {
 		return 0, fmt.Errorf("%w: migrating %q to %s#%d", ErrNoCapacity, b.Name, dst.Kind(), dst.OSIndex())
 	}
-	seconds = m.migrationCostLocked(b, dst)
+	seconds = migrationCostLocked(b, dst)
 	for _, seg := range b.Segments {
 		if seg.Node == dst {
 			continue
 		}
-		seg.Node.allocated -= seg.Bytes
+		seg.Node.release(seg.Bytes)
 	}
-	dst.allocated += need
 	b.Segments = []Segment{{dst, b.Size}}
 	return seconds, nil
 }
 
 // Buffers returns all live buffers in allocation order.
 func (m *Machine) Buffers() []*Buffer {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.bufMu.Lock()
+	all := make([]*Buffer, len(m.buffers))
+	copy(all, m.buffers)
+	m.bufMu.Unlock()
 	var out []*Buffer
-	for _, b := range m.buffers {
-		if !b.freed {
+	for _, b := range all {
+		if !b.Freed() {
 			out = append(out, b)
 		}
 	}
@@ -299,13 +367,14 @@ func (m *Machine) Buffers() []*Buffer {
 }
 
 // ResetCounters clears all node and buffer counters (allocation state
-// is preserved).
+// is preserved). Like the engine that feeds them, this is not safe to
+// run concurrently with Phase.
 func (m *Machine) ResetCounters() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, n := range m.nodes {
 		n.BytesRead, n.BytesWritten, n.RandomReads = 0, 0, 0
 	}
+	m.bufMu.Lock()
+	defer m.bufMu.Unlock()
 	for _, b := range m.buffers {
 		b.LLCMisses, b.RandomMisses, b.Loads, b.Stores = 0, 0, 0, 0
 	}

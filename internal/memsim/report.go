@@ -21,15 +21,14 @@ type UsageRow struct {
 
 // Usage snapshots every node, ordered by OS index.
 func (m *Machine) Usage() []UsageRow {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	rows := make([]UsageRow, 0, len(m.nodes))
 	for _, n := range m.nodes {
+		alloc := n.Allocated()
 		rows = append(rows, UsageRow{
 			Node:         n,
 			Capacity:     n.Capacity(),
-			Allocated:    n.allocated,
-			Available:    n.Capacity() - n.allocated,
+			Allocated:    alloc,
+			Available:    n.Capacity() - alloc,
 			BytesRead:    n.BytesRead,
 			BytesWritten: n.BytesWritten,
 			RandomReads:  n.RandomReads,

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hetmem/internal/topology"
+)
+
+// Client is the Go API for a running hetmemd daemon. The zero value is
+// not usable; create one with NewClient. A Client is safe for
+// concurrent use (it shares one http.Client).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:7077".
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// apiError turns a non-2xx response into an error carrying the
+// server's message.
+func apiError(resp *http.Response, body []byte) error {
+	var e ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) get(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, body)
+	}
+	return body, nil
+}
+
+func (c *Client) post(path string, req, out any) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp, body)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Topology fetches and rebuilds the daemon's machine topology.
+func (c *Client) Topology() (*topology.Topology, error) {
+	body, err := c.get("/topology")
+	if err != nil {
+		return nil, err
+	}
+	return topology.Import(body)
+}
+
+// Attrs fetches the attribute dump (the Figure 5 report).
+func (c *Client) Attrs() ([]AttrReport, error) {
+	body, err := c.get("/attrs")
+	if err != nil {
+		return nil, err
+	}
+	var out []AttrReport
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Alloc places a buffer on the daemon and returns its lease.
+func (c *Client) Alloc(req AllocRequest) (AllocResponse, error) {
+	var out AllocResponse
+	err := c.post("/alloc", req, &out)
+	return out, err
+}
+
+// Free releases a lease.
+func (c *Client) Free(lease uint64) error {
+	return c.post("/free", FreeRequest{Lease: lease}, nil)
+}
+
+// Migrate re-places a leased buffer for a new attribute.
+func (c *Client) Migrate(req MigrateRequest) (MigrateResponse, error) {
+	var out MigrateResponse
+	err := c.post("/migrate", req, &out)
+	return out, err
+}
+
+// Leases fetches the live lease table summary (with the per-lease list
+// when list is true).
+func (c *Client) Leases(list bool) (LeasesResponse, error) {
+	path := "/leases"
+	if list {
+		path += "?list=1"
+	}
+	body, err := c.get(path)
+	if err != nil {
+		return LeasesResponse{}, err
+	}
+	var out LeasesResponse
+	err = json.Unmarshal(body, &out)
+	return out, err
+}
+
+// MetricsRaw fetches the /metrics text.
+func (c *Client) MetricsRaw() (string, error) {
+	body, err := c.get("/metrics")
+	return string(body), err
+}
+
+// Metrics fetches and parses /metrics into a series→value map.
+func (c *Client) Metrics() (map[string]float64, error) {
+	text, err := c.MetricsRaw()
+	if err != nil {
+		return nil, err
+	}
+	return ParseMetrics(text)
+}

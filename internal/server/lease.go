@@ -1,0 +1,107 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hetmem/internal/memsim"
+)
+
+// leaseShards is the number of independent lock domains of the lease
+// table. IDs are dealt round-robin, so concurrent clients touch
+// different shards with high probability.
+const leaseShards = 64
+
+// lease ties a lease ID to its live buffer.
+type lease struct {
+	id   uint64
+	name string
+	size uint64
+	buf  *memsim.Buffer
+}
+
+// leaseTable is a sharded map from lease ID to buffer. IDs come from a
+// single atomic counter (so they are unique and dense), and each shard
+// guards its slice of the ID space with its own mutex.
+type leaseTable struct {
+	next   atomic.Uint64
+	shards [leaseShards]struct {
+		mu sync.Mutex
+		m  map[uint64]*lease
+	}
+}
+
+func newLeaseTable() *leaseTable {
+	t := &leaseTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*lease)
+	}
+	return t
+}
+
+func (t *leaseTable) shard(id uint64) *struct {
+	mu sync.Mutex
+	m  map[uint64]*lease
+} {
+	return &t.shards[id%leaseShards]
+}
+
+// put registers a buffer and returns its fresh lease ID (never 0).
+func (t *leaseTable) put(name string, buf *memsim.Buffer) uint64 {
+	id := t.next.Add(1)
+	s := t.shard(id)
+	s.mu.Lock()
+	s.m[id] = &lease{id: id, name: name, size: buf.Size, buf: buf}
+	s.mu.Unlock()
+	return id
+}
+
+// get looks a lease up without removing it.
+func (t *leaseTable) get(id uint64) (*lease, bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	l, ok := s.m[id]
+	s.mu.Unlock()
+	return l, ok
+}
+
+// take removes and returns a lease; the atomic claim makes double-free
+// over the API race-free even before memsim's own check.
+func (t *leaseTable) take(id uint64) (*lease, bool) {
+	s := t.shard(id)
+	s.mu.Lock()
+	l, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	return l, ok
+}
+
+// snapshot returns all live leases ordered by ID.
+func (t *leaseTable) snapshot() []*lease {
+	var out []*lease
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, l := range s.m {
+			out = append(out, l)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// count returns the number of live leases.
+func (t *leaseTable) count() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

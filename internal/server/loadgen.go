@@ -1,0 +1,238 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures a load-generation run.
+type LoadOptions struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// RequestsPerClient is how many operations each client issues.
+	RequestsPerClient int
+	// MaxLive bounds how many leases each client keeps alive at once.
+	MaxLive int
+	// MaxSizeBytes bounds individual allocation sizes (sizes are drawn
+	// uniformly in [1 MiB, MaxSizeBytes]).
+	MaxSizeBytes uint64
+	// Seed makes the traffic mix reproducible.
+	Seed int64
+	// Initiator is the cpuset list requests carry; empty lets the
+	// daemon use the whole machine.
+	Initiator string
+}
+
+// withDefaults fills unset options with sane load-test values.
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.RequestsPerClient <= 0 {
+		o.RequestsPerClient = 100
+	}
+	if o.MaxLive <= 0 {
+		o.MaxLive = 8
+	}
+	if o.MaxSizeBytes == 0 {
+		o.MaxSizeBytes = 64 << 20
+	}
+	return o
+}
+
+// LoadStats summarizes a load-generation run.
+type LoadStats struct {
+	Requests   uint64  // operations issued (allocs, frees, migrates, queries)
+	Failed     uint64  // operations that returned an error
+	Allocs     uint64  // successful allocations
+	Frees      uint64  // successful frees
+	Migrates   uint64  // successful migrations
+	Queries    uint64  // attrs/leases/metrics reads
+	Seconds    float64 // wall time of the run
+	Throughput float64 // requests per second
+	// LeasesLeft is how many leases the run left alive on purpose, so
+	// the caller can cross-check /metrics against /leases.
+	LeasesLeft int
+}
+
+func (s LoadStats) String() string {
+	return fmt.Sprintf("%d requests in %.2fs (%.0f req/s): %d allocs, %d frees, %d migrates, %d queries, %d failed, %d leases left",
+		s.Requests, s.Seconds, s.Throughput, s.Allocs, s.Frees, s.Migrates, s.Queries, s.Failed, s.LeasesLeft)
+}
+
+// attrMix is the attribute distribution of generated allocations: the
+// three requests of the paper's portability demo.
+var attrMix = []string{"Bandwidth", "Latency", "Capacity"}
+
+// LoadTest drives mixed alloc/free/migrate/query traffic against the
+// daemon at base from many concurrent clients and reports throughput.
+// Roughly half the operations are allocations, a third frees, and the
+// rest migrations and read-only queries. Each client frees all but its
+// last few leases at the end, so the daemon is left with a small live
+// table the caller can verify against /metrics.
+func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
+	opts = opts.withDefaults()
+	var stats LoadStats
+	var requests, failed, allocs, frees, migrates, queries atomic.Uint64
+	var leasesLeft atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, opts.Clients)
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := NewClient(base)
+			rng := rand.New(rand.NewSource(opts.Seed + int64(id)))
+			var leases []uint64
+			fail := func(err error) {
+				failed.Add(1)
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+			for i := 0; i < opts.RequestsPerClient; i++ {
+				requests.Add(1)
+				switch op := rng.Intn(12); {
+				case op < 6 || len(leases) == 0: // alloc
+					size := 1<<20 + uint64(rng.Int63n(int64(opts.MaxSizeBytes-1<<20+1)))
+					resp, err := cl.Alloc(AllocRequest{
+						Name:      fmt.Sprintf("load-%d-%d", id, i),
+						Size:      size,
+						Attr:      attrMix[rng.Intn(len(attrMix))],
+						Initiator: opts.Initiator,
+						Partial:   true,
+						Remote:    true,
+					})
+					if err != nil {
+						fail(err)
+						continue
+					}
+					allocs.Add(1)
+					leases = append(leases, resp.Lease)
+					// Stay under the live-lease cap.
+					for len(leases) > opts.MaxLive {
+						requests.Add(1)
+						if err := cl.Free(leases[0]); err != nil {
+							fail(err)
+						} else {
+							frees.Add(1)
+						}
+						leases = leases[1:]
+					}
+				case op < 9: // free
+					j := rng.Intn(len(leases))
+					if err := cl.Free(leases[j]); err != nil {
+						fail(err)
+					} else {
+						frees.Add(1)
+					}
+					leases = append(leases[:j], leases[j+1:]...)
+				case op < 10: // migrate
+					j := rng.Intn(len(leases))
+					_, err := cl.Migrate(MigrateRequest{
+						Lease:     leases[j],
+						Attr:      attrMix[rng.Intn(len(attrMix))],
+						Initiator: opts.Initiator,
+						Remote:    true,
+					})
+					if err != nil {
+						fail(err)
+					} else {
+						migrates.Add(1)
+					}
+				default: // read-only queries
+					var err error
+					switch rng.Intn(3) {
+					case 0:
+						_, err = cl.Attrs()
+					case 1:
+						_, err = cl.Leases(false)
+					default:
+						_, err = cl.Metrics()
+					}
+					if err != nil {
+						fail(err)
+					} else {
+						queries.Add(1)
+					}
+				}
+			}
+			// Drain down to at most one survivor per client so the
+			// verification workload is non-trivial but small.
+			for len(leases) > 1 {
+				requests.Add(1)
+				if err := cl.Free(leases[0]); err != nil {
+					fail(err)
+				} else {
+					frees.Add(1)
+				}
+				leases = leases[1:]
+			}
+			leasesLeft.Add(int64(len(leases)))
+		}(c)
+	}
+	wg.Wait()
+
+	stats.Requests = requests.Load()
+	stats.Failed = failed.Load()
+	stats.Allocs = allocs.Load()
+	stats.Frees = frees.Load()
+	stats.Migrates = migrates.Load()
+	stats.Queries = queries.Load()
+	stats.Seconds = time.Since(start).Seconds()
+	stats.Throughput = float64(stats.Requests) / stats.Seconds
+	stats.LeasesLeft = int(leasesLeft.Load())
+
+	var firstErr error
+	select {
+	case firstErr = <-errCh:
+	default:
+	}
+	if stats.Failed > 0 {
+		return stats, fmt.Errorf("server: load test had %d failed requests, first: %w", stats.Failed, firstErr)
+	}
+	return stats, nil
+}
+
+// VerifyConsistency cross-checks the daemon's books: the per-node
+// bytes-in-use gauges of /metrics must sum to exactly the bytes of the
+// live lease table reported by /leases, and the per-node breakdowns
+// must match node for node. It returns a description of the state on
+// success.
+func VerifyConsistency(base string) (string, error) {
+	cl := NewClient(base)
+	leases, err := cl.Leases(false)
+	if err != nil {
+		return "", err
+	}
+	metrics, err := cl.Metrics()
+	if err != nil {
+		return "", err
+	}
+	inUse := SumSeries(metrics, "hetmemd_node_bytes_in_use")
+	var leaseBytes uint64
+	for _, b := range leases.NodeBytes {
+		leaseBytes += b
+	}
+	if math.Abs(inUse-float64(leaseBytes)) > 0.5 {
+		return "", fmt.Errorf("server: /metrics reports %.0f bytes in use, lease table holds %d", inUse, leaseBytes)
+	}
+	for node, b := range leases.NodeBytes {
+		key := fmt.Sprintf("hetmemd_node_bytes_in_use{node=%q}", node)
+		if got, ok := metrics[key]; !ok || math.Abs(got-float64(b)) > 0.5 {
+			return "", fmt.Errorf("server: node %s: /metrics=%v, leases=%d", node, got, b)
+		}
+	}
+	active := SumSeries(metrics, "hetmemd_leases_active")
+	if int(active) != leases.Count {
+		return "", fmt.Errorf("server: /metrics reports %d active leases, /leases reports %d", int(active), leases.Count)
+	}
+	return fmt.Sprintf("consistent: %d leases, %d bytes across %d nodes", leases.Count, leaseBytes, len(leases.NodeBytes)), nil
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint indexes the daemon's request counters.
+type Endpoint int
+
+// The instrumented endpoints.
+const (
+	EpTopology Endpoint = iota
+	EpAttrs
+	EpAlloc
+	EpFree
+	EpMigrate
+	EpLeases
+	EpMetrics
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"topology", "attrs", "alloc", "free", "migrate", "leases", "metrics",
+}
+
+func (e Endpoint) String() string { return endpointNames[e] }
+
+// latencyBuckets are the histogram upper bounds in seconds, roughly
+// quadrupling from 4µs to 67ms plus a catch-all.
+const numBuckets = 8
+
+var latencyBuckets = [numBuckets]float64{4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 67e-3}
+
+// Metrics is the daemon's lock-free instrumentation: per-endpoint
+// request/error counters and latency histograms, plus allocator
+// outcome counters. Everything is atomic; rendering takes a snapshot.
+type Metrics struct {
+	requests [numEndpoints]atomic.Uint64
+	errors   [numEndpoints]atomic.Uint64
+	// latency histogram: per endpoint, one counter per bucket plus a
+	// +Inf overflow, and nanosecond totals for the _sum series.
+	latency   [numEndpoints][numBuckets + 1]atomic.Uint64
+	latencyNS [numEndpoints]atomic.Uint64
+
+	AllocTotal    atomic.Uint64
+	AllocFailed   atomic.Uint64
+	FallbackTotal atomic.Uint64 // placements not on the best-ranked target
+	AttrFallback  atomic.Uint64 // placements using a substitute attribute
+	PartialTotal  atomic.Uint64
+	RemoteTotal   atomic.Uint64
+	FreeTotal     atomic.Uint64
+	MigrateTotal  atomic.Uint64
+	BytesPlaced   atomic.Uint64 // cumulative bytes ever placed
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe records one request to the endpoint with its duration and
+// whether it failed.
+func (m *Metrics) Observe(e Endpoint, d time.Duration, failed bool) {
+	m.requests[e].Add(1)
+	if failed {
+		m.errors[e].Add(1)
+	}
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if sec <= latencyBuckets[i] {
+			break
+		}
+	}
+	m.latency[e][i].Add(1)
+	m.latencyNS[e].Add(uint64(d.Nanoseconds()))
+}
+
+// Requests returns the request count for one endpoint.
+func (m *Metrics) Requests(e Endpoint) uint64 { return m.requests[e].Load() }
+
+// NodeUsage is the per-node gauge snapshot rendered into /metrics.
+type NodeUsage struct {
+	Node     string // e.g. "DRAM#0"
+	Capacity uint64
+	InUse    uint64
+}
+
+// Render writes the metrics in the flat Prometheus-style text format
+// (one "name{labels} value" per line). Node gauges and the live lease
+// count are passed in by the server so the text always reflects the
+// allocator's ground truth.
+func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
+	var sb strings.Builder
+	counter := func(name string, v uint64) {
+		fmt.Fprintf(&sb, "%s %d\n", name, v)
+	}
+	counter("hetmemd_alloc_total", m.AllocTotal.Load())
+	counter("hetmemd_alloc_failed_total", m.AllocFailed.Load())
+	counter("hetmemd_alloc_fallback_total", m.FallbackTotal.Load())
+	counter("hetmemd_alloc_attr_fallback_total", m.AttrFallback.Load())
+	counter("hetmemd_alloc_partial_total", m.PartialTotal.Load())
+	counter("hetmemd_alloc_remote_total", m.RemoteTotal.Load())
+	counter("hetmemd_free_total", m.FreeTotal.Load())
+	counter("hetmemd_migrate_total", m.MigrateTotal.Load())
+	counter("hetmemd_bytes_placed_total", m.BytesPlaced.Load())
+	fmt.Fprintf(&sb, "hetmemd_leases_active %d\n", leases)
+
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "hetmemd_node_capacity_bytes{node=%q} %d\n", n.Node, n.Capacity)
+		fmt.Fprintf(&sb, "hetmemd_node_bytes_in_use{node=%q} %d\n", n.Node, n.InUse)
+	}
+
+	for e := Endpoint(0); e < numEndpoints; e++ {
+		name := endpointNames[e]
+		fmt.Fprintf(&sb, "hetmemd_requests_total{endpoint=%q} %d\n", name, m.requests[e].Load())
+		fmt.Fprintf(&sb, "hetmemd_request_errors_total{endpoint=%q} %d\n", name, m.errors[e].Load())
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += m.latency[e][i].Load()
+			fmt.Fprintf(&sb, "hetmemd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", name, formatBound(ub), cum)
+		}
+		cum += m.latency[e][numBuckets].Load()
+		fmt.Fprintf(&sb, "hetmemd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&sb, "hetmemd_request_seconds_sum{endpoint=%q} %g\n", name, float64(m.latencyNS[e].Load())/1e9)
+		fmt.Fprintf(&sb, "hetmemd_request_seconds_count{endpoint=%q} %d\n", name, m.requests[e].Load())
+	}
+	return sb.String()
+}
+
+func formatBound(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}
+
+// ParseMetrics parses the Render text format back into a map keyed by
+// the full series name including labels, e.g.
+// `hetmemd_node_bytes_in_use{node="DRAM#0"}`. Clients and tests use it
+// to assert on counters.
+func ParseMetrics(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("server: bad metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad metrics value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// SumSeries adds up every series whose name (before any label block)
+// equals name, e.g. SumSeries(m, "hetmemd_node_bytes_in_use") is the
+// machine-wide bytes in use.
+func SumSeries(m map[string]float64, name string) float64 {
+	var sum float64
+	for k, v := range m {
+		base := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			base = k[:i]
+		}
+		if base == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// sortedNodeUsage orders node gauges by name for deterministic output.
+func sortedNodeUsage(nodes []NodeUsage) []NodeUsage {
+	out := make([]NodeUsage, len(nodes))
+	copy(out, nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -1,0 +1,345 @@
+// Package server turns a discovered heterogeneous-memory system
+// (internal/core) into a long-running placement daemon: the paper's
+// in-process attribute API served over HTTP to many concurrent
+// clients, in the spirit of the standalone guidance daemons of Olson
+// et al. and the pool-tuning runtime of Vaverka et al.
+//
+// The daemon loads one platform, runs discovery once (HMAT or
+// benchmarking), and then serves:
+//
+//	GET  /topology  — the machine's topology (JSON export)
+//	GET  /attrs     — the Figure-5-style attribute dump (JSON, or
+//	                  ?format=text for the lstopo rendering)
+//	POST /alloc     — size + attribute + initiator → ranked-fallback
+//	                  placement, returning a lease ID
+//	POST /free      — release a lease
+//	POST /migrate   — re-place a leased buffer for a new attribute/phase
+//	GET  /leases    — the live lease table with per-node byte totals
+//	GET  /metrics   — counters, fallback rates, per-node bytes in use,
+//	                  and request latency histograms (plain text)
+//
+// Concurrency: request handling is lock-free except for the per-node
+// capacity locks in internal/memsim and the sharded lease table, so
+// allocations on different NUMA nodes proceed in parallel.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/bitmap"
+	"hetmem/internal/core"
+	"hetmem/internal/lstopo"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+// Server is the placement daemon's HTTP core. Create one with New and
+// mount Handler on any net/http server.
+type Server struct {
+	sys     *core.System
+	leases  *leaseTable
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// defaultInitiator is used when a request does not name one: the
+	// whole machine's cpuset.
+	defaultInitiator *bitmap.Bitmap
+}
+
+// New builds a server around a discovered system.
+func New(sys *core.System) *Server {
+	s := &Server{
+		sys:              sys,
+		leases:           newLeaseTable(),
+		metrics:          NewMetrics(),
+		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /topology", s.instrument(EpTopology, s.handleTopology))
+	s.mux.HandleFunc("GET /attrs", s.instrument(EpAttrs, s.handleAttrs))
+	s.mux.HandleFunc("POST /alloc", s.instrument(EpAlloc, s.handleAlloc))
+	s.mux.HandleFunc("POST /free", s.instrument(EpFree, s.handleFree))
+	s.mux.HandleFunc("POST /migrate", s.instrument(EpMigrate, s.handleMigrate))
+	s.mux.HandleFunc("GET /leases", s.instrument(EpLeases, s.handleLeases))
+	s.mux.HandleFunc("GET /metrics", s.instrument(EpMetrics, s.handleMetrics))
+	return s
+}
+
+// System returns the system the daemon serves.
+func (s *Server) System() *core.System { return s.sys }
+
+// Metrics returns the daemon's live metrics.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter records the status code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation.
+func (s *Server) instrument(e Endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.Observe(e, time.Since(start), sw.status >= 400)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, errNoSuchLease):
+		status = http.StatusNotFound
+	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
+		// The daemon is healthy; the machine is full. 507 tells the
+		// client to free, shrink, or retry with partial/remote.
+		status = http.StatusInsufficientStorage
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+var errNoSuchLease = errors.New("server: no such lease")
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	data, err := topology.Export(s.sys.Topology())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "Memory attributes (source: %s)\n", s.sys.Source)
+		fmt.Fprint(w, lstopo.RenderMemAttrs(s.sys.Registry))
+		return
+	}
+	reg := s.sys.Registry
+	var out []AttrReport
+	for _, id := range reg.IDs() {
+		flags, err := reg.Flags(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		rep := AttrReport{Name: reg.Name(id), Flags: flags.String()}
+		for _, tgt := range reg.Targets(id) {
+			ivs, err := reg.Initiators(id, tgt)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			for _, iv := range ivs {
+				av := AttrValue{
+					Target:   fmt.Sprintf("%s#%d", memsim.KindOf(tgt), tgt.OSIndex),
+					TargetOS: tgt.OSIndex,
+					Value:    iv.Value,
+				}
+				if iv.Initiator != nil {
+					av.Initiator = iv.Initiator.ListString()
+				}
+				rep.Values = append(rep.Values, av)
+			}
+		}
+		out = append(out, rep)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolveInitiator widens an absent initiator to the whole machine.
+func (s *Server) resolveInitiator(list string) (*bitmap.Bitmap, error) {
+	ini, err := parseInitiator(list)
+	if err != nil {
+		return nil, err
+	}
+	if ini == nil {
+		ini = s.defaultInitiator
+	}
+	return ini, nil
+}
+
+func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeAllocRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id, ok := s.sys.Registry.ByName(req.Attr)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
+		return
+	}
+	ini, err := s.resolveInitiator(req.Initiator)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var opts []alloc.Option
+	if req.Policy == "bind" {
+		opts = append(opts, alloc.WithPolicy(alloc.Bind))
+	}
+	if req.Partial {
+		opts = append(opts, alloc.WithPartial())
+	}
+	if req.Remote {
+		opts = append(opts, alloc.WithRemote())
+	}
+	buf, dec, err := s.sys.Allocator.Alloc(req.Name, req.Size, id, ini, opts...)
+	if err != nil {
+		s.metrics.AllocFailed.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.metrics.AllocTotal.Add(1)
+	s.metrics.BytesPlaced.Add(req.Size)
+	if dec.RankPosition > 0 {
+		s.metrics.FallbackTotal.Add(1)
+	}
+	if dec.AttrFellBack {
+		s.metrics.AttrFallback.Add(1)
+	}
+	if dec.Partial {
+		s.metrics.PartialTotal.Add(1)
+	}
+	if dec.Remote {
+		s.metrics.RemoteTotal.Add(1)
+	}
+	writeJSON(w, http.StatusOK, AllocResponse{
+		Lease:        s.leases.put(req.Name, buf),
+		Placement:    buf.NodeNames(),
+		AttrUsed:     s.sys.Registry.Name(dec.Used),
+		AttrFellBack: dec.AttrFellBack,
+		Rank:         dec.RankPosition,
+		Partial:      dec.Partial,
+		Remote:       dec.Remote,
+	})
+}
+
+func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeFreeRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	l, ok := s.leases.take(req.Lease)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		return
+	}
+	if err := s.sys.Machine.Free(l.buf); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.FreeTotal.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Lease uint64 `json:"lease"`
+		Freed bool   `json:"freed"`
+	}{req.Lease, true})
+}
+
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeMigrateRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id, ok := s.sys.Registry.ByName(req.Attr)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
+		return
+	}
+	ini, err := s.resolveInitiator(req.Initiator)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	l, ok := s.leases.get(req.Lease)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		return
+	}
+	var opts []alloc.Option
+	if req.Remote {
+		opts = append(opts, alloc.WithRemote())
+	}
+	cost, dec, err := s.sys.Allocator.MigrateToBest(l.buf, id, ini, opts...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.MigrateTotal.Add(1)
+	writeJSON(w, http.StatusOK, MigrateResponse{
+		Lease:       req.Lease,
+		Placement:   l.buf.NodeNames(),
+		Rank:        dec.RankPosition,
+		CostSeconds: cost,
+	})
+}
+
+// leasesResponse assembles the live lease table view; the per-node
+// totals are computed from the leases themselves, so clients can
+// cross-check them against the allocator gauges in /metrics.
+func (s *Server) leasesResponse(includeList bool) LeasesResponse {
+	resp := LeasesResponse{NodeBytes: make(map[string]uint64)}
+	for _, l := range s.leases.snapshot() {
+		resp.Count++
+		resp.Bytes += l.size
+		for _, seg := range l.buf.SegmentsSnapshot() {
+			key := fmt.Sprintf("%s#%d", seg.Node.Kind(), seg.Node.OSIndex())
+			resp.NodeBytes[key] += seg.Bytes
+		}
+		if includeList {
+			resp.Leases = append(resp.Leases, LeaseInfo{
+				Lease:     l.id,
+				Name:      l.name,
+				Size:      l.size,
+				Placement: l.buf.NodeNames(),
+			})
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.leasesResponse(r.URL.Query().Get("list") != ""))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes := make([]NodeUsage, 0, len(s.sys.Machine.Nodes()))
+	for _, n := range s.sys.Machine.Nodes() {
+		nodes = append(nodes, NodeUsage{
+			Node:     fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()),
+			Capacity: n.Capacity(),
+			InUse:    n.Allocated(),
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(sortedNodeUsage(nodes), s.leases.count()))
+}

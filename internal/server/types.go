@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hetmem/internal/bitmap"
+)
+
+// MaxRequestBytes bounds the size of a request body the daemon will
+// decode; anything larger is rejected before parsing.
+const MaxRequestBytes = 1 << 20
+
+// Errors returned by request decoding.
+var (
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// AllocRequest asks the daemon to place a buffer: the paper's
+// mem_alloc(name, size, attribute) over the wire, plus the initiator
+// (where the client's threads run) and the allocator options.
+type AllocRequest struct {
+	// Name labels the buffer for reports.
+	Name string `json:"name"`
+	// Size is the buffer size in bytes.
+	Size uint64 `json:"size"`
+	// Attr is the attribute name ("Bandwidth", "Latency", "Capacity",
+	// or any attribute registered on the daemon).
+	Attr string `json:"attr"`
+	// Initiator is a cpuset list, e.g. "0-15" or "0,2,4". Empty means
+	// the whole machine.
+	Initiator string `json:"initiator,omitempty"`
+	// Policy is "preferred" (ranked fallback, the default) or "bind"
+	// (best target or fail).
+	Policy string `json:"policy,omitempty"`
+	// Partial allows splitting the buffer across targets when no single
+	// one fits.
+	Partial bool `json:"partial,omitempty"`
+	// Remote extends candidates to non-local nodes.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// AllocResponse reports a placement and the lease that owns it.
+type AllocResponse struct {
+	// Lease identifies the allocation for /free and /migrate.
+	Lease uint64 `json:"lease"`
+	// Placement is the human-readable node list, e.g. "MCDRAM#4" or
+	// "MCDRAM#4+DRAM#0".
+	Placement string `json:"placement"`
+	// AttrUsed is the attribute actually used after fallback.
+	AttrUsed     string `json:"attr_used"`
+	AttrFellBack bool   `json:"attr_fell_back,omitempty"`
+	// Rank is the index of the chosen target in the ranking (0 = best).
+	Rank    int  `json:"rank"`
+	Partial bool `json:"partial,omitempty"`
+	Remote  bool `json:"remote,omitempty"`
+}
+
+// FreeRequest releases a lease.
+type FreeRequest struct {
+	Lease uint64 `json:"lease"`
+}
+
+// MigrateRequest re-places a leased buffer for a (possibly different)
+// attribute, e.g. across application phases.
+type MigrateRequest struct {
+	Lease     uint64 `json:"lease"`
+	Attr      string `json:"attr"`
+	Initiator string `json:"initiator,omitempty"`
+	Remote    bool   `json:"remote,omitempty"`
+}
+
+// MigrateResponse reports the new placement and the simulated copy
+// cost the paper warns about.
+type MigrateResponse struct {
+	Lease       uint64  `json:"lease"`
+	Placement   string  `json:"placement"`
+	Rank        int     `json:"rank"`
+	CostSeconds float64 `json:"cost_seconds"`
+}
+
+// AttrValue is one (target, initiator, value) entry of the attribute
+// dump — a row of the paper's Figure 5 report.
+type AttrValue struct {
+	Target    string `json:"target"`    // e.g. "MCDRAM#4"
+	TargetOS  int    `json:"target_os"` // NUMA OS index
+	Initiator string `json:"initiator,omitempty"`
+	Value     uint64 `json:"value"`
+}
+
+// AttrReport dumps one attribute over all targets.
+type AttrReport struct {
+	Name   string      `json:"name"`
+	Flags  string      `json:"flags"`
+	Values []AttrValue `json:"values"`
+}
+
+// LeaseInfo describes one live lease.
+type LeaseInfo struct {
+	Lease     uint64 `json:"lease"`
+	Name      string `json:"name"`
+	Size      uint64 `json:"size"`
+	Placement string `json:"placement"`
+}
+
+// LeasesResponse summarizes the live lease table, including the
+// per-node byte totals that must agree with /metrics.
+type LeasesResponse struct {
+	Count     int               `json:"count"`
+	Bytes     uint64            `json:"bytes"`
+	NodeBytes map[string]uint64 `json:"node_bytes"`
+	Leases    []LeaseInfo       `json:"leases,omitempty"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeJSON strictly decodes one JSON value: unknown fields are
+// rejected, trailing garbage is rejected, and the input is bounded by
+// MaxRequestBytes.
+func decodeJSON(r io.Reader, v any) error {
+	data, err := io.ReadAll(io.LimitReader(r, MaxRequestBytes+1))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(data) > MaxRequestBytes {
+		return fmt.Errorf("%w: body over %d bytes", ErrBadRequest, MaxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON value", ErrBadRequest)
+	}
+	return nil
+}
+
+// DecodeAllocRequest parses and validates a /alloc body.
+func DecodeAllocRequest(r io.Reader) (AllocRequest, error) {
+	var req AllocRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return AllocRequest{}, err
+	}
+	if req.Name == "" {
+		return AllocRequest{}, fmt.Errorf("%w: missing name", ErrBadRequest)
+	}
+	if req.Size == 0 {
+		return AllocRequest{}, fmt.Errorf("%w: size must be > 0", ErrBadRequest)
+	}
+	if req.Attr == "" {
+		return AllocRequest{}, fmt.Errorf("%w: missing attr", ErrBadRequest)
+	}
+	switch req.Policy {
+	case "", "preferred", "bind":
+	default:
+		return AllocRequest{}, fmt.Errorf("%w: unknown policy %q", ErrBadRequest, req.Policy)
+	}
+	if _, err := parseInitiator(req.Initiator); err != nil {
+		return AllocRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeFreeRequest parses and validates a /free body.
+func DecodeFreeRequest(r io.Reader) (FreeRequest, error) {
+	var req FreeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return FreeRequest{}, err
+	}
+	if req.Lease == 0 {
+		return FreeRequest{}, fmt.Errorf("%w: missing lease", ErrBadRequest)
+	}
+	return req, nil
+}
+
+// DecodeMigrateRequest parses and validates a /migrate body.
+func DecodeMigrateRequest(r io.Reader) (MigrateRequest, error) {
+	var req MigrateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return MigrateRequest{}, err
+	}
+	if req.Lease == 0 {
+		return MigrateRequest{}, fmt.Errorf("%w: missing lease", ErrBadRequest)
+	}
+	if req.Attr == "" {
+		return MigrateRequest{}, fmt.Errorf("%w: missing attr", ErrBadRequest)
+	}
+	if _, err := parseInitiator(req.Initiator); err != nil {
+		return MigrateRequest{}, err
+	}
+	return req, nil
+}
+
+// parseInitiator turns a cpuset list into a bitmap; empty means "the
+// caller did not say", which handlers widen to the whole machine.
+func parseInitiator(s string) (*bitmap.Bitmap, error) {
+	if s == "" {
+		return nil, nil
+	}
+	b, err := bitmap.ParseList(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: initiator: %v", ErrBadRequest, err)
+	}
+	if b.IsZero() {
+		return nil, fmt.Errorf("%w: empty initiator cpuset", ErrBadRequest)
+	}
+	return b, nil
+}
