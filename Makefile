@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench repro cover fuzz clean
+.PHONY: all build vet test race bench repro cover fuzz chaos clean
 
 all: build vet test
 
@@ -32,6 +32,10 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/hmat/
 	$(GO) test -fuzz=FuzzParseList -fuzztime=$(FUZZTIME) ./internal/bitmap/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal/
+
+chaos:
+	$(GO) run ./cmd/hetmemd chaostest -clients 16 -requests 50 -steps 40
 
 clean:
 	$(GO) clean ./...

@@ -7,24 +7,32 @@
 // Usage:
 //
 //	hetmemd serve -addr :7077 -p xeon          # run the daemon
+//	hetmemd serve -journal /var/lib/hetmemd.wal  # survive restarts
 //	hetmemd loadtest -clients 64               # self-hosted load test
 //	hetmemd loadtest -addr http://host:7077    # load-test a running daemon
+//	hetmemd chaostest -steps 60                # fault-inject a daemon under load
 //	hetmemd platforms                          # list available platforms
 //
 // Try it:
 //
 //	curl localhost:7077/attrs?format=text
 //	curl -d '{"name":"hot","size":1073741824,"attr":"Bandwidth","initiator":"0-19"}' localhost:7077/alloc
+//	curl localhost:7077/health
 //	curl localhost:7077/metrics
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hetmem/internal/core"
 	"hetmem/internal/platform"
@@ -40,13 +48,15 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetmemd <serve|loadtest|platforms> [flags] (-h for flags)")
+		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|platforms> [flags] (-h for flags)")
 	}
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:], out)
 	case "loadtest":
 		return runLoadtest(args[1:], out)
+	case "chaostest":
+		return runChaostest(args[1:], out)
 	case "platforms":
 		for _, n := range platform.Names() {
 			p, err := platform.Get(n)
@@ -57,26 +67,45 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, or platforms)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, chaostest, or platforms)", args[0])
 	}
 }
 
 // buildServer discovers the platform and wraps it in the daemon core.
-func buildServer(platName string, forceBench bool, out io.Writer) (*server.Server, error) {
+func buildServer(platName string, forceBench bool, cfg server.Config, out io.Writer) (*server.Server, error) {
 	sys, err := core.NewSystem(platName, core.Options{ForceBenchmark: forceBench})
 	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(out, "hetmemd: platform %s, %d NUMA nodes, attributes from %s\n",
 		platName, len(sys.Topology().NUMANodes()), sys.Source)
-	return server.New(sys), nil
+	srv, err := server.NewWithConfig(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.JournalPath != "" {
+		fmt.Fprintf(out, "hetmemd: journal %s, %d leases restored\n", cfg.JournalPath, srv.LeaseCount())
+	}
+	return srv, nil
+}
+
+// newHTTPServer wraps a handler with the timeouts a daemon facing
+// untrusted clients needs: slow-loris headers and bodies cannot hold
+// connections open forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // startServer binds the daemon to addr and serves it in the
 // background; the returned base URL is ready for clients, and stop
-// closes the listener.
+// shuts the listener and daemon down.
 func startServer(addr, platName string, forceBench bool, out io.Writer) (base string, stop func(), err error) {
-	srv, err := buildServer(platName, forceBench, out)
+	srv, err := buildServer(platName, forceBench, server.Config{}, out)
 	if err != nil {
 		return "", nil, err
 	}
@@ -86,8 +115,9 @@ func startServer(addr, platName string, forceBench bool, out io.Writer) (base st
 	}
 	base = "http://" + ln.Addr().String()
 	fmt.Fprintf(out, "hetmemd: listening on %s\n", base)
-	go http.Serve(ln, srv.Handler())
-	return base, func() { ln.Close() }, nil
+	hs := newHTTPServer(srv.Handler())
+	go hs.Serve(ln)
+	return base, func() { hs.Close(); srv.Close() }, nil
 }
 
 func runServe(args []string, out io.Writer) error {
@@ -96,20 +126,60 @@ func runServe(args []string, out io.Writer) error {
 		addr       = fs.String("addr", "127.0.0.1:7077", "listen address")
 		platName   = fs.String("p", "xeon", "platform to serve (see `hetmemd platforms`)")
 		forceBench = fs.Bool("force-bench", false, "benchmark attributes even when the firmware has an HMAT")
+		journal    = fs.String("journal", "", "write-ahead lease journal path (empty: no durability)")
+		syncEvery  = fs.Bool("journal-sync", false, "fsync the journal after every record")
+		shed       = fs.Float64("shed", 0.95, "admission-control watermark in (0,1]; 0 disables shedding")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := buildServer(*platName, *forceBench, out)
+	return serveUntilSignal(*addr, *platName, *forceBench, server.Config{
+		JournalPath:     *journal,
+		SyncEveryAppend: *syncEvery,
+		ShedWatermark:   *shed,
+	}, out)
+}
+
+// serveUntilSignal runs the daemon until SIGINT/SIGTERM, then shuts
+// down gracefully: in-flight requests drain and the journal flushes.
+func serveUntilSignal(addr, platName string, forceBench bool, cfg server.Config, out io.Writer) error {
+	// Register for signals before announcing the listener, so anything
+	// that saw "listening" can already shut us down cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := buildServer(platName, forceBench, cfg, out)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	fmt.Fprintf(out, "hetmemd: listening on http://%s\n", ln.Addr())
-	return http.Serve(ln, srv.Handler())
+
+	hs := newHTTPServer(srv.Handler())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "hetmemd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("journal close: %w", err)
+	}
+	fmt.Fprintln(out, "hetmemd: journal flushed, bye")
+	return nil
 }
 
 func runLoadtest(args []string, out io.Writer) error {
@@ -128,6 +198,7 @@ func runLoadtest(args []string, out io.Writer) error {
 		return err
 	}
 
+	ctx := context.Background()
 	base := *addr
 	if base == "" {
 		var stop func()
@@ -139,7 +210,7 @@ func runLoadtest(args []string, out io.Writer) error {
 		defer stop()
 	}
 
-	stats, err := server.LoadTest(base, server.LoadOptions{
+	stats, err := server.LoadTest(ctx, base, server.LoadOptions{
 		Clients:           *clients,
 		RequestsPerClient: *requests,
 		MaxLive:           *maxLive,
@@ -151,11 +222,60 @@ func runLoadtest(args []string, out io.Writer) error {
 		return err
 	}
 	if *verify {
-		desc, err := server.VerifyConsistency(base)
+		desc, err := server.VerifyConsistency(ctx, base)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	}
+	return nil
+}
+
+func runChaostest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd chaostest", flag.ContinueOnError)
+	var (
+		platName = fs.String("p", "xeon", "platform for the daemon under test")
+		seed     = fs.Int64("seed", 1, "seed for the fault plan and traffic mix")
+		steps    = fs.Int("steps", 40, "fault steps in the plan")
+		interval = fs.Duration("interval", 10*time.Millisecond, "pause between fault steps")
+		clients  = fs.Int("clients", 16, "concurrent client goroutines")
+		requests = fs.Int("requests", 50, "operations per client")
+		journal  = fs.String("journal", "", "journal path for the daemon under test (empty: none)")
+		shed     = fs.Float64("shed", 0.95, "admission-control watermark")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "overall run timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(*platName, core.Options{})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := server.ChaosRun(ctx, sys, server.ChaosOptions{
+		Seed:         *seed,
+		Steps:        *steps,
+		StepInterval: *interval,
+		Load: server.LoadOptions{
+			Clients:           *clients,
+			RequestsPerClient: *requests,
+		},
+		Server: server.Config{JournalPath: *journal, ShedWatermark: *shed},
+	})
+	fmt.Fprintf(out, "hetmemd: chaos load %s\n", rep.Load)
+	fmt.Fprintf(out, "hetmemd: %d fault events injected\n", rep.FaultEvents)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hetmemd: auto-migrated %.0f leases off dying nodes (%.0f stranded), shed %.0f allocs, %.0f health transitions\n",
+		server.SumSeries(rep.Metrics, "hetmemd_auto_migrate_total"),
+		server.SumSeries(rep.Metrics, "hetmemd_auto_migrate_failed_total"),
+		server.SumSeries(rep.Metrics, "hetmemd_shed_total"),
+		server.SumSeries(rep.Metrics, "hetmemd_health_transitions_total"))
+	fmt.Fprintf(out, "hetmemd: books %s\n", rep.Consistency)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("chaostest timed out after %s", *timeout)
 	}
 	return nil
 }

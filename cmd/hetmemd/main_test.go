@@ -1,11 +1,19 @@
 package main
 
 import (
+	"context"
 	"io"
+	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
+	"hetmem/internal/core"
 	"hetmem/internal/server"
 )
 
@@ -29,14 +37,15 @@ func boot(t *testing.T, platform string) string {
 func TestDaemonEndToEnd(t *testing.T) {
 	base := boot(t, "xeon")
 	cl := server.NewClient(base)
+	ctx := context.Background()
 
-	before, err := cl.Metrics()
+	before, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// GET /topology
-	topo, err := cl.Topology()
+	topo, err := cl.Topology(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +54,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// GET /attrs
-	attrs, err := cl.Attrs()
+	attrs, err := cl.Attrs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,18 +63,18 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// POST /alloc
-	ar, err := cl.Alloc(server.AllocRequest{Name: "e2e", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"})
+	ar, err := cl.Alloc(ctx, server.AllocRequest{Name: "e2e", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// POST /migrate
-	if _, err := cl.Migrate(server.MigrateRequest{Lease: ar.Lease, Attr: "Capacity", Initiator: "0-19"}); err != nil {
+	if _, err := cl.Migrate(ctx, server.MigrateRequest{Lease: ar.Lease, Attr: "Capacity", Initiator: "0-19"}); err != nil {
 		t.Fatal(err)
 	}
 
 	// GET /leases
-	leases, err := cl.Leases(true)
+	leases, err := cl.Leases(ctx, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +83,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	// POST /free
-	if err := cl.Free(ar.Lease); err != nil {
+	if err := cl.Free(ctx, ar.Lease); err != nil {
 		t.Fatal(err)
 	}
 
 	// GET /metrics: every exercised endpoint's counter moved.
-	after, err := cl.Metrics()
+	after, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,4 +171,112 @@ func TestLoadtestAgainstRunningDaemon(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics after load: HTTP %d", resp.StatusCode)
 	}
+}
+
+// TestChaostestSubcommand runs a scaled-down chaos scenario end to
+// end: faults injected under client load, then a clean audit.
+func TestChaostestSubcommand(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"chaostest", "-clients", "8", "-requests", "10",
+		"-steps", "10", "-interval", "1ms", "-seed", "5",
+		"-journal", filepath.Join(t.TempDir(), "wal"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fault events injected") {
+		t.Fatalf("no fault report: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "books consistent") {
+		t.Fatalf("no consistency check: %q", out.String())
+	}
+}
+
+// TestServeGracefulShutdown boots the real serve path with a journal,
+// drives one allocation, sends SIGTERM, and expects a clean drain with
+// the journal flushed.
+func TestServeGracefulShutdown(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "wal")
+	addr := "127.0.0.1:0"
+	// Pick a concrete free port first so the client knows where to go.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr = ln.Addr().String()
+	ln.Close()
+
+	var mu sync.Mutex
+	var out strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntilSignal(addr, "xeon", false, server.Config{JournalPath: journal}, w)
+	}()
+
+	// Wait for the daemon to come up, then do real work over the wire.
+	base := "http://" + addr
+	cl := server.NewClient(base)
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cl.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not come up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := cl.Alloc(ctx, server.AllocRequest{Name: "g", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registered NotifyContext turns our SIGTERM into a graceful
+	// drain instead of killing the test process.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
+	}
+	mu.Lock()
+	logText := out.String()
+	mu.Unlock()
+	if !strings.Contains(logText, "journal flushed") {
+		t.Fatalf("no flush confirmation: %q", logText)
+	}
+
+	// The journal is intact: a restart restores the lease.
+	srv, err := server.NewWithConfig(mustSystem(t), server.Config{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.LeaseCount() != 1 {
+		t.Fatalf("restored %d leases, want 1", srv.LeaseCount())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func mustSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
 }

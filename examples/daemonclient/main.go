@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -39,9 +40,10 @@ func main() {
 		fmt.Printf("booted an in-process daemon on %s (platform xeon)\n\n", base)
 	}
 	cl := server.NewClient(base)
+	ctx := context.Background()
 
 	// What machine is on the other side?
-	topo, err := cl.Topology()
+	topo, err := cl.Topology(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 		len(topo.NUMANodes()), topo.Root().CPUSet.Weight())
 
 	// The Figure-5-style attribute dump, as data.
-	attrs, err := cl.Attrs()
+	attrs, err := cl.Attrs(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 		{Name: "index", Size: 1 << 30, Attr: "Latency", Initiator: "0-19"},
 		{Name: "log", Size: 200 << 30, Attr: "Capacity", Initiator: "0-19"},
 	} {
-		resp, err := cl.Alloc(req)
+		resp, err := cl.Alloc(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,7 +79,7 @@ func main() {
 	}
 
 	// A phase change: the frontier becomes capacity-bound.
-	mig, err := cl.Migrate(server.MigrateRequest{Lease: leases[0], Attr: "Capacity", Initiator: "0-19"})
+	mig, err := cl.Migrate(ctx, server.MigrateRequest{Lease: leases[0], Attr: "Capacity", Initiator: "0-19"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func main() {
 		mig.Placement, mig.CostSeconds)
 
 	// The daemon's books.
-	metrics, err := cl.Metrics()
+	metrics, err := cl.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func main() {
 		metrics["hetmemd_bytes_placed_total"], metrics["hetmemd_leases_active"])
 
 	for _, l := range leases {
-		if err := cl.Free(l); err != nil {
+		if err := cl.Free(ctx, l); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -85,6 +85,7 @@ type config struct {
 	policy       Policy
 	allowPartial bool
 	allowRemote  bool
+	avoid        func(*topology.Object) bool
 }
 
 // WithPolicy sets the fallback policy.
@@ -98,6 +99,40 @@ func WithPartial() Option { return func(c *config) { c.allowPartial = true } }
 // WithRemote extends the candidate set to non-local nodes (ranked
 // after local ones) when local targets are exhausted.
 func WithRemote() Option { return func(c *config) { c.allowRemote = true } }
+
+// WithAvoid deprioritizes targets for which pred returns true: they
+// move to the end of the ranking (in their original relative order)
+// instead of being excluded, so a degraded tier is still a last resort
+// when everything healthy is full. The placement daemon uses this to
+// steer traffic away from unhealthy nodes.
+func WithAvoid(pred func(*topology.Object) bool) Option {
+	return func(c *config) { c.avoid = pred }
+}
+
+// demote stable-partitions ranked targets: preferred first, avoided
+// last.
+func demote(ranked []memattr.TargetValue, avoid func(*topology.Object) bool) []memattr.TargetValue {
+	if avoid == nil {
+		return ranked
+	}
+	out := make([]memattr.TargetValue, 0, len(ranked))
+	var tail []memattr.TargetValue
+	for _, tv := range ranked {
+		if avoid(tv.Target) {
+			tail = append(tail, tv)
+		} else {
+			out = append(out, tv)
+		}
+	}
+	return append(out, tail...)
+}
+
+// skippable reports whether an allocation error should make the
+// allocator fall down the ranking (full or offline target) rather than
+// fail the request (transient faults, programming errors).
+func skippable(err error) bool {
+	return errors.Is(err, memsim.ErrNoCapacity) || errors.Is(err, memsim.ErrNodeOffline)
+}
 
 // Allocator binds a simulated machine to an attribute registry.
 //
@@ -174,6 +209,7 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 	if len(ranked) == 0 {
 		return nil, Decision{}, fmt.Errorf("%w: no candidate has attribute %s", ErrExhausted, a.reg.Name(used))
 	}
+	ranked = demote(ranked, c.avoid)
 	dec := Decision{Requested: attr, Used: used, AttrFellBack: fell}
 	isRemote := func(t *topology.Object) bool {
 		return !bitmap.Intersects(t.CPUSet, initiator)
@@ -192,7 +228,7 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 			dec.Remote = isRemote(t)
 			return buf, dec, nil
 		}
-		if !errors.Is(err, memsim.ErrNoCapacity) {
+		if !skippable(err) {
 			return nil, Decision{}, err
 		}
 	}
@@ -224,7 +260,7 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 				break
 			}
 			buf, err := a.m.AllocSplit(name, parts)
-			if errors.Is(err, memsim.ErrNoCapacity) {
+			if skippable(err) {
 				continue
 			}
 			if err != nil {
@@ -253,6 +289,7 @@ func (a *Allocator) MigrateToBest(buf *memsim.Buffer, attr memattr.ID, initiator
 	if err != nil {
 		return 0, Decision{}, err
 	}
+	ranked = demote(ranked, c.avoid)
 	dec := Decision{Requested: attr, Used: used, AttrFellBack: fell}
 	for i, tv := range ranked {
 		n := a.m.Node(tv.Target)
@@ -268,8 +305,9 @@ func (a *Allocator) MigrateToBest(buf *memsim.Buffer, attr memattr.ID, initiator
 			return 0, dec, nil
 		}
 		cost, err := a.m.Migrate(buf, n)
-		if errors.Is(err, memsim.ErrNoCapacity) {
-			// Lost a capacity race; try the next candidate.
+		if skippable(err) {
+			// Lost a capacity race or the node just went down; try the
+			// next candidate.
 			continue
 		}
 		return cost, dec, err

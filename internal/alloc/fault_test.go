@@ -1,0 +1,137 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+
+	"hetmem/internal/memattr"
+	"hetmem/internal/memsim"
+	"hetmem/internal/topology"
+)
+
+func TestAllocSkipsOfflineNodes(t *testing.T) {
+	a, ini := knlAlloc(t)
+
+	// Bandwidth from cluster 0 normally lands on its MCDRAM. Take that
+	// node offline: the allocator must fall down the ranking instead of
+	// failing.
+	buf, dec, err := a.Alloc("probe", gib, memattr.Bandwidth, ini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := buf.SegmentsSnapshot()[0].Node
+	if err := a.Machine().Free(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	best.SetOffline(true)
+	buf2, dec2, err := a.Alloc("probe2", gib, memattr.Bandwidth, ini)
+	if err != nil {
+		t.Fatalf("alloc with best node offline: %v", err)
+	}
+	if got := buf2.SegmentsSnapshot()[0].Node; got == best {
+		t.Fatalf("allocation landed on the offline node %s#%d", got.Kind(), got.OSIndex())
+	}
+	if dec2.RankPosition <= dec.RankPosition {
+		t.Fatalf("rank %d with node offline, want below rank %d", dec2.RankPosition, dec.RankPosition)
+	}
+
+	// Back online: placement returns to the best target.
+	best.SetOffline(false)
+	buf3, dec3, err := a.Alloc("probe3", gib, memattr.Bandwidth, ini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf3.SegmentsSnapshot()[0].Node != best || dec3.RankPosition != 0 {
+		t.Fatalf("after recovery rank=%d node=%s, want rank 0 on the original best",
+			dec3.RankPosition, buf3.NodeNames())
+	}
+}
+
+func TestWithAvoidDemotesButKeepsLastResort(t *testing.T) {
+	a, ini := knlAlloc(t)
+
+	buf, _, err := a.Alloc("probe", gib, memattr.Bandwidth, ini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := buf.SegmentsSnapshot()[0].Node
+	if err := a.Machine().Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	avoidBest := func(o *topology.Object) bool { return o.OSIndex == best.OSIndex() }
+
+	// Avoided: the best node is demoted, another target wins.
+	buf2, _, err := a.Alloc("avoided", gib, memattr.Bandwidth, ini, WithAvoid(avoidBest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf2.SegmentsSnapshot()[0].Node == best {
+		t.Fatal("avoided node still chosen while alternatives exist")
+	}
+
+	// Avoided nodes stay available as last resort: avoid everything
+	// except the best node, and the best node must win.
+	avoidOthers := func(o *topology.Object) bool { return o.OSIndex != best.OSIndex() }
+	buf3, _, err := a.Alloc("lastresort", gib, memattr.Bandwidth, ini, WithAvoid(avoidOthers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf3.SegmentsSnapshot()[0].Node != best {
+		t.Fatalf("placement %s, want the single non-avoided node", buf3.NodeNames())
+	}
+
+	// Avoiding every node must still allocate somewhere (graceful
+	// degradation, not hard failure).
+	all := func(*topology.Object) bool { return true }
+	if _, _, err := a.Alloc("everyoneavoided", gib, memattr.Bandwidth, ini, WithAvoid(all)); err != nil {
+		t.Fatalf("alloc with all nodes avoided: %v", err)
+	}
+}
+
+func TestMigrateToBestSkipsOfflineDestination(t *testing.T) {
+	a, ini := knlAlloc(t)
+
+	buf, _, err := a.Alloc("mover", gib, memattr.Capacity, ini)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the best bandwidth target and kill it; migration must land
+	// elsewhere.
+	ranked, _, _, err := a.Candidates(memattr.Bandwidth, ini, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := a.Machine().Node(ranked[0].Target)
+	best.SetOffline(true)
+	defer best.SetOffline(false)
+
+	_, dec, err := a.MigrateToBest(buf, memattr.Bandwidth, ini)
+	if err != nil {
+		t.Fatalf("migrate with best target offline: %v", err)
+	}
+	if dec.Target.OSIndex == best.OSIndex() {
+		t.Fatal("migration chose the offline node")
+	}
+}
+
+func TestTransientFaultPropagates(t *testing.T) {
+	a, ini := knlAlloc(t)
+
+	ranked, _, _, err := a.Candidates(memattr.Bandwidth, ini, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Machine().Node(ranked[0].Target).InjectAllocFailures(1)
+
+	// A transient fault is not silently absorbed by ranked fallback: the
+	// caller (the daemon) surfaces it as retryable.
+	if _, _, err := a.Alloc("x", gib, memattr.Bandwidth, ini); !errors.Is(err, memsim.ErrTransient) {
+		t.Fatalf("alloc with injected fault: %v, want ErrTransient", err)
+	}
+	// The fault drained with that attempt; the retry succeeds on the
+	// best node.
+	if _, dec, err := a.Alloc("x", gib, memattr.Bandwidth, ini); err != nil || dec.RankPosition != 0 {
+		t.Fatalf("retry: dec=%+v err=%v", dec, err)
+	}
+}

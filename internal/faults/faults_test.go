@@ -1,0 +1,146 @@
+package faults_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hetmem/internal/faults"
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+func xeonMachine(t *testing.T) *memsim.Machine {
+	t.Helper()
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInjectorDrivesMachine(t *testing.T) {
+	m := xeonMachine(t)
+	in := faults.NewInjector(faults.NewMachineTarget(m))
+	os := m.Nodes()[0].OSIndex()
+
+	var seen []faults.Kind
+	in.Subscribe(func(ev faults.Event) { seen = append(seen, ev.Kind) })
+
+	steps := []struct {
+		ev    faults.Event
+		check func() bool
+	}{
+		{faults.Event{NodeOS: os, Kind: faults.Offline}, func() bool { return m.NodeByOS(os).Offline() }},
+		{faults.Event{NodeOS: os, Kind: faults.Online}, func() bool { return !m.NodeByOS(os).Offline() }},
+		{faults.Event{NodeOS: os, Kind: faults.Degrade, BWFactor: 0.5, LatFactor: 2}, func() bool { return m.NodeByOS(os).Degraded() }},
+		{faults.Event{NodeOS: os, Kind: faults.Restore}, func() bool { return !m.NodeByOS(os).Degraded() }},
+		{faults.Event{NodeOS: os, Kind: faults.Shrink, CapacityLimit: 4096}, func() bool { return m.NodeByOS(os).EffectiveCapacity() == 4096 }},
+		{faults.Event{NodeOS: os, Kind: faults.Shrink, CapacityLimit: 0}, func() bool { return m.NodeByOS(os).EffectiveCapacity() == m.NodeByOS(os).Capacity() }},
+	}
+	for i, s := range steps {
+		if err := in.Apply(s.ev); err != nil {
+			t.Fatalf("step %d (%s): %v", i, s.ev, err)
+		}
+		if !s.check() {
+			t.Fatalf("step %d (%s): machine state not applied", i, s.ev)
+		}
+	}
+	if len(seen) != len(steps) {
+		t.Fatalf("subscriber saw %d events, want %d", len(seen), len(steps))
+	}
+	if len(in.Log()) != len(steps) {
+		t.Fatalf("log holds %d events, want %d", len(in.Log()), len(steps))
+	}
+
+	if err := in.Apply(faults.Event{NodeOS: 9999, Kind: faults.Offline}); !errors.Is(err, faults.ErrUnknownNode) {
+		t.Fatalf("unknown node: %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTransientEventArmsFailures(t *testing.T) {
+	m := xeonMachine(t)
+	in := faults.NewInjector(faults.NewMachineTarget(m))
+	n := m.Nodes()[0]
+
+	if err := in.Apply(faults.Event{NodeOS: n.OSIndex(), Kind: faults.Transient, Failures: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc("x", 4096, n); !errors.Is(err, memsim.ErrTransient) {
+		t.Fatalf("alloc = %v, want ErrTransient", err)
+	}
+	if _, err := m.Alloc("x", 4096, n); err != nil {
+		t.Fatalf("alloc after fault drained: %v", err)
+	}
+}
+
+func TestRandomPlanDeterministicAndSafe(t *testing.T) {
+	m := xeonMachine(t)
+	var nodes []int
+	caps := map[int]uint64{}
+	for _, n := range m.Nodes() {
+		nodes = append(nodes, n.OSIndex())
+		caps[n.OSIndex()] = n.Capacity()
+	}
+
+	p1 := faults.RandomPlan(42, 200, nodes, faults.RandomOptions{Capacities: caps})
+	p2 := faults.RandomPlan(42, 200, nodes, faults.RandomOptions{Capacities: caps})
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different plans")
+	}
+	p3 := faults.RandomPlan(43, 200, nodes, faults.RandomOptions{Capacities: caps})
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	// Replaying the plan never offlines every node, and ends nominal.
+	offline := map[int]bool{}
+	for _, ev := range p1.Events {
+		switch ev.Kind {
+		case faults.Offline:
+			offline[ev.NodeOS] = true
+			if len(offline) >= len(nodes) {
+				t.Fatalf("plan offlined every node at %s", ev)
+			}
+		case faults.Online:
+			delete(offline, ev.NodeOS)
+		}
+	}
+
+	// Run it for real: afterwards the machine must be fully healed.
+	in := faults.NewInjector(faults.NewMachineTarget(m))
+	if err := in.Run(p1); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes() {
+		if n.Offline() || n.Degraded() || n.EffectiveCapacity() != n.Capacity() {
+			t.Fatalf("node %s#%d not nominal after full plan", n.Kind(), n.OSIndex())
+		}
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	m := xeonMachine(t)
+	in := faults.NewInjector(faults.NewMachineTarget(m))
+	for _, n := range m.Nodes() {
+		os := n.OSIndex()
+		if err := in.Apply(faults.Event{NodeOS: os, Kind: faults.Offline}); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Apply(faults.Event{NodeOS: os, Kind: faults.Degrade, BWFactor: 0.1, LatFactor: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.HealAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes() {
+		if n.Offline() || n.Degraded() {
+			t.Fatalf("node %s#%d not healed", n.Kind(), n.OSIndex())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Plan is an ordered fault script. Build one programmatically, or let
+// RandomPlan generate a reproducible chaos scenario from a seed.
+type Plan struct {
+	Events []Event
+}
+
+// Steps returns the highest step number in the plan (-1 when empty).
+func (p Plan) Steps() int {
+	max := -1
+	for _, ev := range p.Events {
+		if ev.Step > max {
+			max = ev.Step
+		}
+	}
+	return max
+}
+
+// StepEvents returns the events of one step, in plan order.
+func (p Plan) StepEvents(step int) []Event {
+	var out []Event
+	for _, ev := range p.Events {
+		if ev.Step == step {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RandomOptions tunes RandomPlan.
+type RandomOptions struct {
+	// MaxConcurrentOffline bounds how many nodes may be down at once;
+	// RandomPlan additionally never offlines the last online node, so
+	// the machine always has somewhere to place or evacuate to.
+	// Default: half the nodes.
+	MaxConcurrentOffline int
+	// TransientBurst is the failure count armed by a Transient event.
+	// Default 3.
+	TransientBurst int
+	// Capacities maps node OS index to capacity in bytes; when set,
+	// Shrink events draw a limit in 30–90% of the node's capacity.
+	// Without it the planner cannot size shrinks and emits transient
+	// faults instead.
+	Capacities map[int]uint64
+}
+
+// RandomPlan generates a deterministic chaos scenario: steps fault
+// events over the given nodes, drawn from a seeded source. Every fault
+// it opens (offline, degrade, shrink) it eventually closes, and the
+// final steps heal everything, so a full run ends with a nominal
+// machine. At least one node stays online at every point.
+func RandomPlan(seed int64, steps int, nodeOS []int, opts RandomOptions) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := append([]int(nil), nodeOS...)
+	sort.Ints(nodes)
+
+	maxOff := opts.MaxConcurrentOffline
+	if maxOff <= 0 {
+		maxOff = len(nodes) / 2
+	}
+	if maxOff >= len(nodes) {
+		maxOff = len(nodes) - 1
+	}
+	burst := opts.TransientBurst
+	if burst <= 0 {
+		burst = 3
+	}
+
+	offline := map[int]bool{}
+	degraded := map[int]bool{}
+	shrunk := map[int]bool{}
+	var p Plan
+	add := func(step int, ev Event) {
+		ev.Step = step
+		p.Events = append(p.Events, ev)
+	}
+
+	for step := 0; step < steps; step++ {
+		node := nodes[rng.Intn(len(nodes))]
+		switch choice := rng.Intn(10); {
+		case choice < 3: // offline / online toggle
+			if offline[node] {
+				add(step, Event{NodeOS: node, Kind: Online})
+				delete(offline, node)
+			} else if len(offline) < maxOff {
+				add(step, Event{NodeOS: node, Kind: Offline})
+				offline[node] = true
+			} else {
+				// At the offline budget: recover the longest-down node
+				// instead (deterministic: smallest OS index).
+				victim := -1
+				for os := range offline {
+					if victim < 0 || os < victim {
+						victim = os
+					}
+				}
+				add(step, Event{NodeOS: victim, Kind: Online})
+				delete(offline, victim)
+			}
+		case choice < 6: // degrade / restore toggle
+			if degraded[node] {
+				add(step, Event{NodeOS: node, Kind: Restore})
+				delete(degraded, node)
+			} else {
+				add(step, Event{
+					NodeOS:    node,
+					Kind:      Degrade,
+					BWFactor:  0.2 + 0.6*rng.Float64(), // 0.2–0.8 of nominal bandwidth
+					LatFactor: 1.5 + 2.5*rng.Float64(), // 1.5–4× nominal latency
+				})
+				degraded[node] = true
+			}
+		case choice < 8: // capacity shrink / restore toggle
+			if shrunk[node] {
+				add(step, Event{NodeOS: node, Kind: Shrink, CapacityLimit: 0})
+				delete(shrunk, node)
+			} else if cap, ok := opts.Capacities[node]; ok && cap > 0 {
+				frac := 0.3 + 0.6*rng.Float64() // keep 30–90% of capacity
+				add(step, Event{NodeOS: node, Kind: Shrink, CapacityLimit: uint64(frac * float64(cap))})
+				shrunk[node] = true
+			} else {
+				add(step, Event{NodeOS: node, Kind: Transient, Failures: burst})
+			}
+		default: // transient alloc faults
+			add(step, Event{NodeOS: node, Kind: Transient, Failures: burst})
+		}
+	}
+
+	// Close every open fault so the plan ends nominal.
+	heal := steps
+	for _, os := range nodes {
+		if offline[os] {
+			add(heal, Event{NodeOS: os, Kind: Online})
+		}
+		if degraded[os] {
+			add(heal, Event{NodeOS: os, Kind: Restore})
+		}
+		if shrunk[os] {
+			add(heal, Event{NodeOS: os, Kind: Shrink, CapacityLimit: 0})
+		}
+	}
+	return p
+}

@@ -1,0 +1,299 @@
+// Package journal is the placement daemon's write-ahead lease log: an
+// append-only file of framed, checksummed records from which a
+// restarted daemon reconstructs its lease table and per-node byte
+// accounting exactly.
+//
+// # Format
+//
+// A journal starts with the 6-byte magic "HMWJ1\n" followed by zero or
+// more frames:
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
+//
+// The payload is one JSON-encoded Record. The CRC covers only the
+// payload, so a torn write (a crash mid-append) is detected as a
+// length/checksum mismatch on the final frame.
+//
+// # Recovery
+//
+// Replay never panics on corrupt input. It decodes frames until the
+// first truncated or corrupt one, returns every record before it, and
+// reports the clean recovery point (the byte offset up to which the
+// file is intact). Open truncates the file to that point, so the daemon
+// appends after the last good record — a crash costs at most the
+// in-flight record, never the journal.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Magic identifies a journal file.
+var Magic = []byte("HMWJ1\n")
+
+// MaxRecordBytes bounds a single record's payload; larger lengths in a
+// frame header are treated as corruption.
+const MaxRecordBytes = 1 << 20
+
+// Errors returned by the journal.
+var (
+	// ErrNotJournal means the file does not start with the magic.
+	ErrNotJournal = errors.New("journal: not a journal file (bad magic)")
+	// ErrClosed means the journal was already closed.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// Op is a record's operation.
+type Op uint8
+
+// The journaled operations.
+const (
+	OpAlloc Op = iota + 1
+	OpFree
+	OpMigrate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpMigrate:
+		return "migrate"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Segment is one placed part of a lease: bytes resident on a node.
+type Segment struct {
+	NodeOS int    `json:"node"`
+	Bytes  uint64 `json:"bytes"`
+}
+
+// Record is one journaled lease event. Alloc records carry the full
+// lease state; Migrate records carry the new placement; Free records
+// carry only the lease ID.
+type Record struct {
+	Op    Op     `json:"op"`
+	Lease uint64 `json:"lease"`
+	// Name, Attr, Initiator, and Key describe an allocation: the
+	// buffer's label, the requested attribute, the requester's cpuset,
+	// and the client's idempotency key (if any).
+	Name      string `json:"name,omitempty"`
+	Attr      string `json:"attr,omitempty"`
+	Initiator string `json:"initiator,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Size      uint64 `json:"size,omitempty"`
+	// Segments is the placement (alloc and migrate records).
+	Segments []Segment `json:"segments,omitempty"`
+}
+
+// Recovery describes what Replay found.
+type Recovery struct {
+	// Records is how many intact records were recovered.
+	Records int
+	// GoodBytes is the clean recovery point: the offset up to which
+	// the file is intact (magic plus whole frames).
+	GoodBytes int64
+	// Truncated is true when data past GoodBytes was dropped (torn
+	// write or corruption).
+	Truncated bool
+	// Reason describes the corruption when Truncated.
+	Reason string
+}
+
+func (r Recovery) String() string {
+	s := fmt.Sprintf("%d records, %d clean bytes", r.Records, r.GoodBytes)
+	if r.Truncated {
+		s += fmt.Sprintf(" (tail dropped: %s)", r.Reason)
+	}
+	return s
+}
+
+// Replay decodes a journal stream. It returns the records up to the
+// first corruption and a Recovery describing the clean prefix; it never
+// panics on corrupt or truncated input. A stream not starting with the
+// magic returns ErrNotJournal (with a zero recovery point).
+func Replay(r io.Reader) ([]Record, Recovery, error) {
+	br := newByteCounter(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if errors.Is(err, io.EOF) && br.n == 0 {
+			// Empty stream: a fresh journal.
+			return nil, Recovery{}, nil
+		}
+		return nil, Recovery{}, ErrNotJournal
+	}
+	if !bytes.Equal(magic, Magic) {
+		return nil, Recovery{}, ErrNotJournal
+	}
+
+	rec := Recovery{GoodBytes: int64(len(Magic))}
+	var out []Record
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, rec, nil // clean end
+			}
+			rec.Truncated, rec.Reason = true, "truncated frame header"
+			return out, rec, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecordBytes {
+			rec.Truncated, rec.Reason = true, fmt.Sprintf("frame length %d over limit", length)
+			return out, rec, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			rec.Truncated, rec.Reason = true, "truncated payload"
+			return out, rec, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			rec.Truncated, rec.Reason = true, "payload checksum mismatch"
+			return out, rec, nil
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			rec.Truncated, rec.Reason = true, fmt.Sprintf("payload decode: %v", err)
+			return out, rec, nil
+		}
+		if r.Op < OpAlloc || r.Op > OpMigrate || r.Lease == 0 {
+			rec.Truncated, rec.Reason = true, fmt.Sprintf("invalid record (op=%d lease=%d)", r.Op, r.Lease)
+			return out, rec, nil
+		}
+		out = append(out, r)
+		rec.Records++
+		rec.GoodBytes = br.n
+	}
+}
+
+// byteCounter counts bytes consumed from the underlying reader.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// Journal is an open, appendable lease log. Append is safe for
+// concurrent use; records are written directly to the file (no
+// userspace buffering), so a killed process loses at most the record
+// being written — the OS still holds everything already appended.
+type Journal struct {
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// Open opens (or creates) the journal at path, replays any existing
+// records, truncates a corrupt tail back to the clean recovery point,
+// and returns the journal positioned for appending.
+func Open(path string) (*Journal, []Record, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, Recovery{}, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, Recovery{}, err
+	}
+	if st.Size() == 0 {
+		// Fresh journal: write the magic.
+		if _, err := f.Write(Magic); err != nil {
+			f.Close()
+			return nil, nil, Recovery{}, err
+		}
+		return &Journal{path: path, f: f}, nil, Recovery{GoodBytes: int64(len(Magic))}, nil
+	}
+
+	recs, rec, err := Replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, rec, fmt.Errorf("journal: replaying %s: %w", path, err)
+	}
+	// Drop any corrupt tail and position at the clean end.
+	if err := f.Truncate(rec.GoodBytes); err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	if _, err := f.Seek(rec.GoodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, rec, err
+	}
+	return &Journal{path: path, f: f}, recs, rec, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append frames and writes one record. The write reaches the OS before
+// Append returns (process-crash durable); call Sync for power-failure
+// durability.
+func (j *Journal) Append(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("journal: record over %d bytes", MaxRecordBytes)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	_, err = j.f.Write(frame)
+	return err
+}
+
+// Sync flushes the journal to stable storage (fsync).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal. Further appends fail with
+// ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,161 @@
+package journal_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hetmem/internal/journal"
+)
+
+func sampleRecords() []journal.Record {
+	return []journal.Record{
+		{Op: journal.OpAlloc, Lease: 1, Name: "hot", Attr: "Bandwidth", Initiator: "0-15", Key: "k1",
+			Size: 1 << 30, Segments: []journal.Segment{{NodeOS: 4, Bytes: 1 << 30}}},
+		{Op: journal.OpAlloc, Lease: 2, Name: "big", Attr: "Capacity",
+			Size: 3 << 30, Segments: []journal.Segment{{NodeOS: 0, Bytes: 1 << 30}, {NodeOS: 1, Bytes: 2 << 30}}},
+		{Op: journal.OpMigrate, Lease: 1, Segments: []journal.Segment{{NodeOS: 0, Bytes: 1 << 30}}},
+		{Op: journal.OpFree, Lease: 2},
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, recs, rec, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || rec.Records != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journal.Record{Op: journal.OpFree, Lease: 1}); !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	_, got, rec2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if rec2.Records != len(want) || rec2.Truncated {
+		t.Fatalf("recovery: %+v", rec2)
+	}
+}
+
+func TestTornTailIsDroppedCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn final write: chop bytes off the end.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, rec, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatalf("recovery not marked truncated: %+v", rec)
+	}
+	if len(recs) != len(sampleRecords())-1 {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(sampleRecords())-1)
+	}
+	// The journal must be appendable again after tail truncation, and
+	// the new record must survive a reopen.
+	extra := journal.Record{Op: journal.OpFree, Lease: 1}
+	if err := j2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs3, rec3, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Truncated || len(recs3) != len(sampleRecords()) {
+		t.Fatalf("after repair+append: %d records, recovery %+v", len(recs3), rec3)
+	}
+	if !reflect.DeepEqual(recs3[len(recs3)-1], extra) {
+		t.Fatalf("last record = %+v, want %+v", recs3[len(recs3)-1], extra)
+	}
+}
+
+func TestCorruptPayloadStopsReplayAtCleanPoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _, _, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the last record's payload.
+	data[len(data)-2] ^= 0xff
+	recs, rec, err := journal.Replay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || rec.Reason == "" {
+		t.Fatalf("corruption not reported: %+v", rec)
+	}
+	if len(recs) != len(sampleRecords())-1 {
+		t.Fatalf("replayed %d records past corruption, want %d", len(recs), len(sampleRecords())-1)
+	}
+	// Replaying just the clean prefix must be... clean.
+	recs2, rec2, err := journal.Replay(bytes.NewReader(data[:rec.GoodBytes]))
+	if err != nil || rec2.Truncated || len(recs2) != len(recs) {
+		t.Fatalf("clean prefix replay: %d records, %+v, err %v", len(recs2), rec2, err)
+	}
+}
+
+func TestNotAJournal(t *testing.T) {
+	if _, _, err := journal.Replay(bytes.NewReader([]byte("GARBAGE FILE"))); !errors.Is(err, journal.ErrNotJournal) {
+		t.Fatalf("garbage replay: %v, want ErrNotJournal", err)
+	}
+	// Empty input is a fresh journal, not an error.
+	recs, rec, err := journal.Replay(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 || rec.Truncated {
+		t.Fatalf("empty replay: %v %+v", err, rec)
+	}
+}

@@ -1,0 +1,134 @@
+package memsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"hetmem/internal/memsim"
+	"hetmem/internal/platform"
+)
+
+func faultMachine(t *testing.T) *memsim.Machine {
+	t.Helper()
+	p, err := platform.Get("xeon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOfflineNodeRejectsAllocAllowsFree(t *testing.T) {
+	m := faultMachine(t)
+	n := m.Nodes()[0]
+
+	buf, err := m.Alloc("victim", 1<<20, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetOffline(true)
+	if !n.Offline() {
+		t.Fatal("node not offline after SetOffline(true)")
+	}
+	if n.Available() != 0 {
+		t.Fatalf("offline node reports %d available, want 0", n.Available())
+	}
+	if _, err := m.Alloc("x", 1<<20, n); !errors.Is(err, memsim.ErrNodeOffline) {
+		t.Fatalf("alloc on offline node: %v, want ErrNodeOffline", err)
+	}
+	// Freeing memory on a dead node must still work (evacuation path).
+	if err := m.Free(buf); err != nil {
+		t.Fatalf("free on offline node: %v", err)
+	}
+	if got := n.Allocated(); got != 0 {
+		t.Fatalf("allocated = %d after free, want 0", got)
+	}
+
+	n.SetOffline(false)
+	if _, err := m.Alloc("y", 1<<20, n); err != nil {
+		t.Fatalf("alloc after recovery: %v", err)
+	}
+}
+
+func TestCapacityShrink(t *testing.T) {
+	m := faultMachine(t)
+	n := m.Nodes()[0]
+
+	buf, err := m.Alloc("base", 1<<30, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink below current usage: nothing new fits, existing stays.
+	n.SetCapacityLimit(1 << 20)
+	if got := n.EffectiveCapacity(); got != 1<<20 {
+		t.Fatalf("effective capacity = %d, want %d", got, 1<<20)
+	}
+	if n.Available() != 0 {
+		t.Fatalf("available = %d over a shrunk node, want 0", n.Available())
+	}
+	if _, err := m.Alloc("x", 1, n); !errors.Is(err, memsim.ErrNoCapacity) {
+		t.Fatalf("alloc on shrunk node: %v, want ErrNoCapacity", err)
+	}
+	if got := n.Allocated(); got != 1<<30 {
+		t.Fatalf("allocated = %d after shrink, want %d", got, uint64(1)<<30)
+	}
+
+	// Restore: the full capacity is back.
+	n.SetCapacityLimit(0)
+	if got := n.EffectiveCapacity(); got != n.Capacity() {
+		t.Fatalf("effective capacity = %d after restore, want %d", got, n.Capacity())
+	}
+	if err := m.Free(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedTransientFailures(t *testing.T) {
+	m := faultMachine(t)
+	n := m.Nodes()[0]
+
+	n.InjectAllocFailures(2)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Alloc("x", 1<<20, n); !errors.Is(err, memsim.ErrTransient) {
+			t.Fatalf("attempt %d: %v, want ErrTransient", i, err)
+		}
+	}
+	// Faults drained: the next attempt succeeds.
+	if _, err := m.Alloc("x", 1<<20, n); err != nil {
+		t.Fatalf("alloc after faults drained: %v", err)
+	}
+}
+
+func TestPerfFactorsDegradeMigrationCost(t *testing.T) {
+	m := faultMachine(t)
+	nodes := m.Nodes()
+	src, dst := nodes[0], nodes[1]
+
+	buf, err := m.Alloc("mover", 1<<30, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := m.MigrationCost(buf, dst)
+
+	src.SetPerfFactors(0.25, 4)
+	if !src.Degraded() {
+		t.Fatal("node not degraded after SetPerfFactors")
+	}
+	degraded := m.MigrationCost(buf, dst)
+	if degraded <= nominal {
+		t.Fatalf("degraded migration cost %g not above nominal %g", degraded, nominal)
+	}
+
+	src.SetPerfFactors(0, 0) // reset
+	if src.Degraded() {
+		t.Fatal("node still degraded after reset")
+	}
+	if got := m.MigrationCost(buf, dst); got != nominal {
+		t.Fatalf("cost after reset = %g, want %g", got, nominal)
+	}
+}

@@ -14,6 +14,14 @@ var (
 	ErrNoCapacity = errors.New("memsim: node capacity exhausted")
 	ErrNoModel    = errors.New("memsim: node has no performance model")
 	ErrFreed      = errors.New("memsim: buffer already freed")
+	// ErrNodeOffline means the node is administratively or fault-wise
+	// down: no new reservations are admitted, but releases (frees,
+	// evacuation migrations) still succeed so live data can leave.
+	ErrNodeOffline = errors.New("memsim: node offline")
+	// ErrTransient is an injected transient allocation fault (a DIMM
+	// hiccup, an EDAC event): the request failed but the node is fine,
+	// so the caller should retry rather than fall down the ranking.
+	ErrTransient = errors.New("memsim: transient allocation fault")
 )
 
 // Node is the runtime state of one NUMA node: its model plus capacity
@@ -28,8 +36,16 @@ type Node struct {
 	Obj   *topology.Object
 	Model NodeModel
 
-	mu        sync.Mutex // guards allocated
+	mu        sync.Mutex // guards allocated and the fault state below
 	allocated uint64
+
+	// Fault-injection state (see internal/faults). All of it is guarded
+	// by mu, like the capacity accounting it perturbs.
+	offline   bool
+	capLimit  uint64  // 0 = full capacity; otherwise an injected shrink
+	bwFactor  float64 // 0 or 1 = nominal; <1 = degraded bandwidth
+	latFactor float64 // 0 or 1 = nominal; >1 = degraded latency
+	failNext  uint64  // pending injected transient alloc failures
 
 	// Counters, accumulated by the engine.
 	BytesRead    uint64
@@ -50,21 +66,122 @@ func (n *Node) Allocated() uint64 {
 	return n.allocated
 }
 
-// Available returns the bytes still allocatable on the node.
+// effectiveCapacityLocked is the capacity after any injected shrink.
+// Callers must hold n.mu.
+func (n *Node) effectiveCapacityLocked() uint64 {
+	if n.capLimit > 0 && n.capLimit < n.Obj.Memory {
+		return n.capLimit
+	}
+	return n.Obj.Memory
+}
+
+// EffectiveCapacity returns the node capacity after any injected
+// capacity shrink (EffectiveCapacity <= Capacity).
+func (n *Node) EffectiveCapacity() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.effectiveCapacityLocked()
+}
+
+// Available returns the bytes still allocatable on the node: zero when
+// the node is offline or an injected shrink put it over capacity.
 func (n *Node) Available() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.Obj.Memory - n.allocated
+	cap := n.effectiveCapacityLocked()
+	if n.offline || n.allocated >= cap {
+		return 0
+	}
+	return cap - n.allocated
+}
+
+// SetOffline marks the node offline (no new reservations) or back
+// online. Releases always succeed, so buffers can be freed or migrated
+// off a dead node.
+func (n *Node) SetOffline(off bool) {
+	n.mu.Lock()
+	n.offline = off
+	n.mu.Unlock()
+}
+
+// Offline reports whether the node is offline.
+func (n *Node) Offline() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.offline
+}
+
+// SetCapacityLimit injects a capacity shrink: the node behaves as if it
+// had limit bytes (0 restores the full capacity). Bytes already
+// allocated above the limit stay allocated; new reservations fail until
+// usage drops below the limit.
+func (n *Node) SetCapacityLimit(limit uint64) {
+	n.mu.Lock()
+	n.capLimit = limit
+	n.mu.Unlock()
+}
+
+// SetPerfFactors injects performance degradation: delivered bandwidth
+// is scaled by bw (1 = nominal, 0.25 = severely degraded) and latency
+// by lat (1 = nominal, 4 = severely degraded). Zero values reset to
+// nominal.
+func (n *Node) SetPerfFactors(bw, lat float64) {
+	n.mu.Lock()
+	n.bwFactor, n.latFactor = bw, lat
+	n.mu.Unlock()
+}
+
+// PerfFactors returns the current degradation multipliers (1, 1 when
+// nominal).
+func (n *Node) PerfFactors() (bw, lat float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bw, lat = n.bwFactor, n.latFactor
+	if bw == 0 {
+		bw = 1
+	}
+	if lat == 0 {
+		lat = 1
+	}
+	return bw, lat
+}
+
+// Degraded reports whether the node currently runs below nominal
+// performance.
+func (n *Node) Degraded() bool {
+	bw, lat := n.PerfFactors()
+	return bw < 1 || lat > 1
+}
+
+// InjectAllocFailures makes the next count reservations on this node
+// fail with ErrTransient, simulating transient allocation faults.
+func (n *Node) InjectAllocFailures(count uint64) {
+	n.mu.Lock()
+	n.failNext += count
+	n.mu.Unlock()
 }
 
 // reserve atomically claims size bytes on the node, failing with
-// ErrNoCapacity when they do not fit.
+// ErrNodeOffline when the node is down, ErrTransient when a fault was
+// injected, and ErrNoCapacity when the bytes do not fit.
 func (n *Node) reserve(size uint64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.Obj.Memory-n.allocated < size {
+	if n.offline {
+		return fmt.Errorf("%w: %s#%d", ErrNodeOffline, n.Kind(), n.OSIndex())
+	}
+	if n.failNext > 0 {
+		n.failNext--
+		return fmt.Errorf("%w: %s#%d", ErrTransient, n.Kind(), n.OSIndex())
+	}
+	cap := n.effectiveCapacityLocked()
+	avail := uint64(0)
+	if cap > n.allocated {
+		avail = cap - n.allocated
+	}
+	if avail < size {
 		return fmt.Errorf("%w: %s#%d needs %d, has %d", ErrNoCapacity,
-			n.Kind(), n.OSIndex(), size, n.Obj.Memory-n.allocated)
+			n.Kind(), n.OSIndex(), size, avail)
 	}
 	n.allocated += size
 	return nil
@@ -306,9 +423,11 @@ func migrationCostLocked(b *Buffer, dst *Node) float64 {
 		if seg.Node == dst {
 			continue
 		}
-		bw := seg.Node.Model.ReadBW
-		if dst.Model.WriteBW < bw {
-			bw = dst.Model.WriteBW
+		srcF, _ := seg.Node.PerfFactors()
+		dstF, _ := dst.PerfFactors()
+		bw := seg.Node.Model.ReadBW * srcF
+		if w := dst.Model.WriteBW * dstF; w < bw {
+			bw = w
 		}
 		if bw <= 0 {
 			bw = 1

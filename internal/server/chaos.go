@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hetmem/internal/core"
+	"hetmem/internal/faults"
+)
+
+// ChaosOptions configures a ChaosRun.
+type ChaosOptions struct {
+	// Seed drives both the fault plan and the client traffic mix.
+	Seed int64
+	// Steps is the number of fault steps in the plan.
+	Steps int
+	// StepInterval is the pause between fault steps (default 10ms), so
+	// client traffic interleaves with the faults.
+	StepInterval time.Duration
+	// Load shapes the client traffic (Tolerate and Retry are set by the
+	// harness).
+	Load LoadOptions
+	// Server configures the daemon under test; set JournalPath to make
+	// the run durable.
+	Server Config
+}
+
+// ChaosReport is the outcome of a ChaosRun.
+type ChaosReport struct {
+	Load        LoadStats
+	FaultEvents int
+	// Consistency is VerifyConsistency's description of the final
+	// state.
+	Consistency string
+	// Metrics is the final parsed /metrics snapshot.
+	Metrics map[string]float64
+}
+
+// TolerateDegraded accepts the errors a correctly degrading daemon is
+// allowed to return while faults are active: 503 (shedding, offline,
+// transient) and 507 (capacity shrunk under the workload). Anything
+// else — 500s, bad JSON, accounting errors — still fails the run.
+func TolerateDegraded(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusServiceUnavailable ||
+			apiErr.StatusCode == http.StatusInsufficientStorage
+	}
+	return false
+}
+
+// ChaosRun boots a daemon on a loopback listener, drives concurrent
+// client load against it while a seeded fault plan kills, degrades,
+// shrinks, and trips the machine's nodes, heals everything, and then
+// audits the daemon's books: the lease table, /metrics per-node bytes,
+// and (when a journal is configured) the journaled state must all
+// agree. It is the engine of both the chaos tests and the `hetmemd
+// chaostest` subcommand.
+func ChaosRun(ctx context.Context, sys *core.System, opts ChaosOptions) (ChaosReport, error) {
+	var rep ChaosReport
+	if opts.Steps <= 0 {
+		opts.Steps = 40
+	}
+	if opts.StepInterval <= 0 {
+		opts.StepInterval = 10 * time.Millisecond
+	}
+	srv, err := NewWithConfig(sys, opts.Server)
+	if err != nil {
+		return rep, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	injector := faults.NewInjector(faults.NewMachineTarget(sys.Machine))
+	injector.Subscribe(srv.ApplyFault)
+
+	var nodeOS []int
+	caps := map[int]uint64{}
+	for _, n := range sys.Machine.Nodes() {
+		nodeOS = append(nodeOS, n.OSIndex())
+		caps[n.OSIndex()] = n.Capacity()
+	}
+	plan := faults.RandomPlan(opts.Seed, opts.Steps, nodeOS, faults.RandomOptions{Capacities: caps})
+
+	load := opts.Load
+	load.Seed = opts.Seed
+	load.Tolerate = TolerateDegraded
+
+	// Faults and load run concurrently; the plan's built-in heal step
+	// runs last, so the daemon always finishes the run nominal.
+	faultErr := make(chan error, 1)
+	go func() {
+		defer close(faultErr)
+		for step := 0; step <= plan.Steps(); step++ {
+			select {
+			case <-ctx.Done():
+				// Heal before bailing so the audit below still runs
+				// against a nominal machine.
+				if err := injector.HealAll(); err != nil {
+					faultErr <- err
+				}
+				return
+			case <-time.After(opts.StepInterval):
+			}
+			for _, ev := range plan.StepEvents(step) {
+				if err := injector.Apply(ev); err != nil {
+					faultErr <- err
+					return
+				}
+			}
+		}
+	}()
+
+	stats, loadErr := LoadTest(ctx, base, load)
+	rep.Load = stats
+	if err := <-faultErr; err != nil {
+		return rep, fmt.Errorf("server: fault injection failed: %w", err)
+	}
+	rep.FaultEvents = len(injector.Log())
+	if loadErr != nil {
+		return rep, loadErr
+	}
+
+	// The plan healed the machine; every node must have found its way
+	// back to healthy through the daemon's state machine.
+	auditCtx := context.Background()
+	cl := NewClient(base)
+	health, err := cl.Health(auditCtx)
+	if err != nil {
+		return rep, err
+	}
+	for _, n := range health.Nodes {
+		if n.State != Healthy.String() {
+			return rep, fmt.Errorf("server: node %s still %s after heal", n.Node, n.State)
+		}
+	}
+
+	desc, err := VerifyConsistency(auditCtx, base)
+	if err != nil {
+		return rep, err
+	}
+	rep.Consistency = desc
+	rep.Metrics, err = cl.Metrics(auditCtx)
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

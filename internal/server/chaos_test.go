@@ -1,0 +1,99 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hetmem/internal/core"
+	"hetmem/internal/server"
+)
+
+// TestChaosUnderLoad is the headline robustness test: 32 concurrent
+// clients allocate, free, and migrate while a seeded fault plan kills
+// and restarts nodes, degrades tiers, shrinks capacity, and trips
+// transient faults. The run must end with every node healthy and the
+// books balanced, and a daemon restarted from the journal must rebuild
+// the per-node byte accounting exactly. Run with -race.
+func TestChaosUnderLoad(t *testing.T) {
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wal")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	rep, err := server.ChaosRun(ctx, sys, server.ChaosOptions{
+		Seed:         7,
+		Steps:        24,
+		StepInterval: 2 * time.Millisecond,
+		Load: server.LoadOptions{
+			Clients:           32,
+			RequestsPerClient: 20,
+			MaxSizeBytes:      16 << 20,
+		},
+		Server: server.Config{JournalPath: path, ShedWatermark: 0.9},
+	})
+	if err != nil {
+		t.Fatalf("%v (load %s)", err, rep.Load)
+	}
+	if rep.FaultEvents == 0 {
+		t.Fatal("plan injected no faults")
+	}
+	if rep.Load.Allocs == 0 || rep.Load.Frees == 0 {
+		t.Fatalf("load did no work: %s", rep.Load)
+	}
+	t.Logf("chaos: %d fault events, load %s, %s", rep.FaultEvents, rep.Load, rep.Consistency)
+
+	// Restart from the journal with a fresh machine: the lease count
+	// and every node's bytes must come back byte-for-byte.
+	sys2, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := server.NewWithConfig(sys2, server.Config{JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got, want := srv2.LeaseCount(), int(rep.Metrics["hetmemd_leases_active"]); got != want {
+		t.Fatalf("restarted lease count %d, pre-shutdown %d", got, want)
+	}
+	for _, n := range sys2.Machine.Nodes() {
+		key := fmt.Sprintf("hetmemd_node_bytes_in_use{node=%q}", fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()))
+		if got, want := float64(n.Allocated()), rep.Metrics[key]; got != want {
+			t.Errorf("node %s#%d: restarted %v bytes, pre-shutdown %v", n.Kind(), n.OSIndex(), got, want)
+		}
+	}
+}
+
+// TestChaosSeedsAreDeterministic runs a small plan twice and expects
+// the same fault sequence both times (the load is timing-dependent,
+// the plan must not be).
+func TestChaosSeedsAreDeterministic(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counts := make([]int, 2)
+	for i := range counts {
+		sys, err := core.NewSystem("knl-snc4-flat", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := server.ChaosRun(ctx, sys, server.ChaosOptions{
+			Seed:         3,
+			Steps:        10,
+			StepInterval: time.Millisecond,
+			Load:         server.LoadOptions{Clients: 4, RequestsPerClient: 10, MaxSizeBytes: 8 << 20},
+		})
+		if err != nil {
+			t.Fatalf("run %d: %v (load %s)", i, err, rep.Load)
+		}
+		counts[i] = rep.FaultEvents
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("same seed injected %d then %d fault events", counts[0], counts[1])
+	}
+}

@@ -2,85 +2,265 @@ package server
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"hetmem/internal/topology"
 )
 
+// RetryPolicy controls the client's resilience to transient failures:
+// transport errors and 502/503/504 responses are retried with
+// exponential backoff and jitter, honoring any Retry-After hint the
+// daemon sends. Other statuses (400, 404, 507, ...) are never retried
+// — they mean the same request will fail the same way.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; <= 1 disables retry.
+	MaxAttempts int
+	// BaseDelay is the first backoff, doubled each retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (and any Retry-After hint).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the retry policy NewClient installs.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+// NoRetry disables retrying entirely.
+var NoRetry = RetryPolicy{MaxAttempts: 1}
+
 // Client is the Go API for a running hetmemd daemon. The zero value is
 // not usable; create one with NewClient. A Client is safe for
 // concurrent use (it shares one http.Client).
+//
+// Every method takes a context; retries stop when it is done. Alloc
+// stamps requests with an idempotency key when the caller did not, so
+// a retry of a request whose response was lost returns the original
+// lease instead of allocating twice.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy overrides the retry policy (use NoRetry to fail
+// fast).
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithHTTPClient substitutes the underlying http.Client.
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
 }
 
 // NewClient returns a client for the daemon at base, e.g.
 // "http://127.0.0.1:7077".
-func NewClient(base string) *Client {
-	return &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  &http.Client{Timeout: 30 * time.Second},
+		retry: DefaultRetry,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.retry.MaxAttempts < 1 {
+		c.retry.MaxAttempts = 1
+	}
+	return c
 }
 
-// apiError turns a non-2xx response into an error carrying the
-// server's message.
-func apiError(resp *http.Response, body []byte) error {
-	var e ErrorResponse
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
-	}
-	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+// APIError is a non-2xx daemon response. Use errors.As to get the
+// status code, e.g. to distinguish 503 (retry later) from 507 (the
+// machine is full).
+type APIError struct {
+	StatusCode int
+	Message    string
 }
 
-func (c *Client) get(path string) ([]byte, error) {
-	resp, err := c.http.Get(c.base + path)
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+}
+
+// retryableStatus reports whether a response status is worth retrying.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the attempt'th delay (attempt counts from 0) with
+// half-jitter: the delay doubles each attempt and the actual sleep is
+// drawn from [delay/2, delay], so synchronized clients spread out.
+func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(mrand.Int63n(int64(half)+1))
+}
+
+// parseRetryAfter reads a Retry-After header in seconds (the only form
+// the daemon emits).
+func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
+}
+
+// doResult is one completed exchange plus how bumpy the road there
+// was.
+type doResult struct {
+	status     int
+	body       []byte
+	retryAfter time.Duration // the daemon's Retry-After hint, if any
+	// transportRetries counts attempts lost to transport errors before
+	// this response arrived — i.e. attempts the server may have
+	// processed without us seeing the answer.
+	transportRetries int
+}
+
+// do sends one request with the retry policy. body may be nil (GET).
+func (c *Client) do(ctx context.Context, method, path string, payload []byte) (doResult, error) {
+	var res doResult
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var retryAfter time.Duration
+			if lastErr == nil {
+				// Previous attempt was a retryable HTTP status.
+				retryAfter = res.retryAfter
+			}
+			t := time.NewTimer(c.retry.backoff(attempt-1, retryAfter))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return res, ctx.Err()
+			case <-t.C:
+			}
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return res, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			res.transportRetries++
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			res.transportRetries++
+			lastErr = err
+			continue
+		}
+		res.status = resp.StatusCode
+		res.body = data
+		res.retryAfter = parseRetryAfter(resp.Header)
+		if retryableStatus(resp.StatusCode) {
+			lastErr = nil
+			continue
+		}
+		return res, nil
+	}
+	if lastErr != nil {
+		return res, fmt.Errorf("server: %d attempts failed, last: %w", c.retry.MaxAttempts, lastErr)
+	}
+	// Out of attempts on a retryable status: surface it as an APIError.
+	return res, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	res, err := c.do(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
+	if res.status != http.StatusOK {
+		return nil, apiErrorFrom(res)
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp, body)
-	}
-	return body, nil
+	return res.body, nil
 }
 
-func (c *Client) post(path string, req, out any) error {
+func (c *Client) post(ctx context.Context, path string, req, out any) error {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	res, err := c.do(ctx, http.MethodPost, path, payload)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp, body)
+	if res.status != http.StatusOK {
+		return apiErrorFrom(res)
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(body, out)
+	return json.Unmarshal(res.body, out)
+}
+
+// apiErrorFrom rebuilds the *APIError from a buffered exchange.
+func apiErrorFrom(res doResult) error {
+	var e ErrorResponse
+	if json.Unmarshal(res.body, &e) == nil && e.Error != "" {
+		return &APIError{StatusCode: res.status, Message: e.Error}
+	}
+	return &APIError{StatusCode: res.status, Message: strings.TrimSpace(string(res.body))}
+}
+
+// newIdempotencyKey draws a random key for an /alloc retry family.
+func newIdempotencyKey() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; fall back
+		// to math/rand rather than crash a client.
+		return fmt.Sprintf("k%016x", mrand.Int63())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Topology fetches and rebuilds the daemon's machine topology.
-func (c *Client) Topology() (*topology.Topology, error) {
-	body, err := c.get("/topology")
+func (c *Client) Topology(ctx context.Context) (*topology.Topology, error) {
+	body, err := c.get(ctx, "/topology")
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +268,8 @@ func (c *Client) Topology() (*topology.Topology, error) {
 }
 
 // Attrs fetches the attribute dump (the Figure 5 report).
-func (c *Client) Attrs() ([]AttrReport, error) {
-	body, err := c.get("/attrs")
+func (c *Client) Attrs(ctx context.Context) ([]AttrReport, error) {
+	body, err := c.get(ctx, "/attrs")
 	if err != nil {
 		return nil, err
 	}
@@ -100,33 +280,53 @@ func (c *Client) Attrs() ([]AttrReport, error) {
 	return out, nil
 }
 
-// Alloc places a buffer on the daemon and returns its lease.
-func (c *Client) Alloc(req AllocRequest) (AllocResponse, error) {
+// Alloc places a buffer on the daemon and returns its lease. When the
+// request carries no idempotency key and retry is enabled, the client
+// stamps one, so a retried alloc can never double-allocate.
+func (c *Client) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, error) {
+	if req.IdempotencyKey == "" && c.retry.MaxAttempts > 1 {
+		req.IdempotencyKey = newIdempotencyKey()
+	}
 	var out AllocResponse
-	err := c.post("/alloc", req, &out)
+	err := c.post(ctx, "/alloc", req, &out)
 	return out, err
 }
 
-// Free releases a lease.
-func (c *Client) Free(lease uint64) error {
-	return c.post("/free", FreeRequest{Lease: lease}, nil)
+// Free releases a lease. A 404 after a lost response is success: the
+// daemon freed the lease on an attempt whose answer never arrived.
+func (c *Client) Free(ctx context.Context, lease uint64) error {
+	payload, err := json.Marshal(FreeRequest{Lease: lease})
+	if err != nil {
+		return err
+	}
+	res, err := c.do(ctx, http.MethodPost, "/free", payload)
+	if err != nil {
+		return err
+	}
+	if res.status == http.StatusNotFound && res.transportRetries > 0 {
+		return nil
+	}
+	if res.status != http.StatusOK {
+		return apiErrorFrom(res)
+	}
+	return nil
 }
 
 // Migrate re-places a leased buffer for a new attribute.
-func (c *Client) Migrate(req MigrateRequest) (MigrateResponse, error) {
+func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrateResponse, error) {
 	var out MigrateResponse
-	err := c.post("/migrate", req, &out)
+	err := c.post(ctx, "/migrate", req, &out)
 	return out, err
 }
 
 // Leases fetches the live lease table summary (with the per-lease list
 // when list is true).
-func (c *Client) Leases(list bool) (LeasesResponse, error) {
+func (c *Client) Leases(ctx context.Context, list bool) (LeasesResponse, error) {
 	path := "/leases"
 	if list {
 		path += "?list=1"
 	}
-	body, err := c.get(path)
+	body, err := c.get(ctx, path)
 	if err != nil {
 		return LeasesResponse{}, err
 	}
@@ -135,15 +335,26 @@ func (c *Client) Leases(list bool) (LeasesResponse, error) {
 	return out, err
 }
 
+// Health fetches the daemon's health report.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	body, err := c.get(ctx, "/health")
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	var out HealthResponse
+	err = json.Unmarshal(body, &out)
+	return out, err
+}
+
 // MetricsRaw fetches the /metrics text.
-func (c *Client) MetricsRaw() (string, error) {
-	body, err := c.get("/metrics")
+func (c *Client) MetricsRaw(ctx context.Context) (string, error) {
+	body, err := c.get(ctx, "/metrics")
 	return string(body), err
 }
 
 // Metrics fetches and parses /metrics into a series→value map.
-func (c *Client) Metrics() (map[string]float64, error) {
-	text, err := c.MetricsRaw()
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	text, err := c.MetricsRaw(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/faults"
+	"hetmem/internal/journal"
+	"hetmem/internal/topology"
+)
+
+// HealthState is a node's position in the daemon's health state
+// machine: healthy → degraded → offline (and back, as faults clear).
+type HealthState int
+
+// The health states. The daemon re-ranks placements away from any
+// non-healthy node; offline nodes additionally trigger auto-migration
+// of the leases living on them.
+const (
+	Healthy HealthState = iota
+	DegradedState
+	OfflineState
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case DegradedState:
+		return "degraded"
+	case OfflineState:
+		return "offline"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(h))
+}
+
+// healthTracker holds the per-node health states.
+type healthTracker struct {
+	mu    sync.RWMutex
+	nodes map[int]HealthState // by OS index
+}
+
+func newHealthTracker(osIndexes []int) *healthTracker {
+	h := &healthTracker{nodes: make(map[int]HealthState, len(osIndexes))}
+	for _, os := range osIndexes {
+		h.nodes[os] = Healthy
+	}
+	return h
+}
+
+// state returns a node's health (unknown nodes read as Healthy).
+func (h *healthTracker) state(os int) HealthState {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.nodes[os]
+}
+
+// set updates a node's health, reporting whether it changed.
+func (h *healthTracker) set(os int, st HealthState) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.nodes[os] == st {
+		return false
+	}
+	h.nodes[os] = st
+	return true
+}
+
+// snapshot copies the state map.
+func (h *healthTracker) snapshot() map[int]HealthState {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make(map[int]HealthState, len(h.nodes))
+	for os, st := range h.nodes {
+		out[os] = st
+	}
+	return out
+}
+
+// avoidUnhealthy is the allocator predicate that demotes non-healthy
+// nodes in placement rankings.
+func (s *Server) avoidUnhealthy(o *topology.Object) bool {
+	return s.health.state(o.OSIndex) != Healthy
+}
+
+// ApplyFault feeds one fault event into the daemon's health state
+// machine. Wire it to a faults.Injector with Subscribe; the injector
+// mutates the machine before notifying, so the health state is derived
+// from the machine's ground truth (offline dominates degraded). A node
+// entering the offline state has its live leases auto-migrated to the
+// next-best healthy targets.
+func (s *Server) ApplyFault(ev faults.Event) {
+	n := s.sys.Machine.NodeByOS(ev.NodeOS)
+	if n == nil {
+		return
+	}
+	st := Healthy
+	switch {
+	case n.Offline():
+		st = OfflineState
+	case n.Degraded():
+		st = DegradedState
+	}
+	changed := s.health.set(ev.NodeOS, st)
+	if changed {
+		s.metrics.HealthTransitions.Add(1)
+	}
+	if changed && st == OfflineState {
+		s.evacuate(ev.NodeOS)
+	}
+}
+
+// evacuate auto-migrates every live lease with bytes on the offline
+// node to the next-best target, preferring healthy nodes and allowing
+// remote ones — survival beats locality. Leases that cannot move (the
+// rest of the machine is full) stay put and are counted; they migrate
+// on a later free or by hand.
+func (s *Server) evacuate(nodeOS int) {
+	for _, l := range s.leases.snapshot() {
+		onNode := false
+		for _, seg := range l.buf.SegmentsSnapshot() {
+			if seg.Node.OSIndex() == nodeOS {
+				onNode = true
+				break
+			}
+		}
+		if !onNode {
+			continue
+		}
+		l.jmu.Lock()
+		if l.buf.Freed() {
+			l.jmu.Unlock()
+			continue
+		}
+		_, _, err := s.migrateLocked(l, l.attr, l.initiator, true)
+		l.jmu.Unlock()
+		if err != nil {
+			s.metrics.AutoMigrateFailed.Add(1)
+		} else {
+			s.metrics.AutoMigrateTotal.Add(1)
+		}
+	}
+}
+
+// migrateLocked re-places a lease's buffer for the given attribute and
+// journals the move. The caller must hold l.jmu, so the journal's
+// record order matches the buffer's placement history.
+func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) (float64, alloc.Decision, error) {
+	id, ok := s.sys.Registry.ByName(attrName)
+	if !ok {
+		// Replayed lease with an attribute this platform no longer
+		// registers; fall back to Capacity, the universal attribute.
+		if id, ok = s.sys.Registry.ByName("Capacity"); !ok {
+			return 0, alloc.Decision{}, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, attrName)
+		}
+	}
+	ini, err := s.resolveInitiator(iniList)
+	if err != nil {
+		return 0, alloc.Decision{}, err
+	}
+	opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
+	if remote {
+		opts = append(opts, alloc.WithRemote())
+	}
+	cost, dec, err := s.sys.Allocator.MigrateToBest(l.buf, id, ini, opts...)
+	if err != nil {
+		return 0, alloc.Decision{}, err
+	}
+	if err := s.appendJournal(journal.Record{
+		Op:       journal.OpMigrate,
+		Lease:    l.id,
+		Segments: segmentsOf(l.buf),
+	}); err != nil {
+		return cost, dec, err
+	}
+	return cost, dec, nil
+}

@@ -1,0 +1,73 @@
+package server
+
+import "sync"
+
+// idemEntry is one idempotency key's outcome. done closes when the
+// owning request finishes; waiters then read resp/err.
+type idemEntry struct {
+	done chan struct{}
+	resp AllocResponse
+	err  error
+}
+
+// idemTable coalesces /alloc requests that share an idempotency key:
+// the first request with a key owns the allocation, concurrent and
+// later duplicates wait on it and replay its response. Failed attempts
+// are dropped from the table so a retry can try again for real.
+type idemTable struct {
+	mu sync.Mutex
+	m  map[string]*idemEntry
+}
+
+func newIdemTable() *idemTable {
+	return &idemTable{m: make(map[string]*idemEntry)}
+}
+
+// begin claims a key. The second return is true when the caller owns
+// the key and must run the allocation (then call succeed or fail);
+// false means another request owns it — wait on entry.done and replay.
+func (t *idemTable) begin(key string) (*idemEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	t.m[key] = e
+	return e, true
+}
+
+// succeed publishes the owner's successful response to all waiters.
+func (t *idemTable) succeed(e *idemEntry, resp AllocResponse) {
+	e.resp = resp
+	close(e.done)
+}
+
+// fail publishes the owner's error and releases the key so a fresh
+// retry can allocate.
+func (t *idemTable) fail(key string, e *idemEntry, err error) {
+	t.mu.Lock()
+	delete(t.m, key)
+	t.mu.Unlock()
+	e.err = err
+	close(e.done)
+}
+
+// forget drops a key (its lease was freed); a reused key allocates
+// anew.
+func (t *idemTable) forget(key string) {
+	t.mu.Lock()
+	delete(t.m, key)
+	t.mu.Unlock()
+}
+
+// restoreDone seeds a completed entry during journal replay, so
+// post-restart retries of a pre-crash request still replay the
+// original lease.
+func (t *idemTable) restoreDone(key string, resp AllocResponse) {
+	e := &idemEntry{done: make(chan struct{}), resp: resp}
+	close(e.done)
+	t.mu.Lock()
+	t.m[key] = e
+	t.mu.Unlock()
+}

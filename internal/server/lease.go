@@ -13,12 +13,23 @@ import (
 // different shards with high probability.
 const leaseShards = 64
 
-// lease ties a lease ID to its live buffer.
+// lease ties a lease ID to its live buffer, plus the request context
+// (attribute, initiator, idempotency key) the daemon needs to re-place
+// it after a node failure and to replay it from the journal.
 type lease struct {
-	id   uint64
-	name string
-	size uint64
-	buf  *memsim.Buffer
+	id        uint64
+	name      string
+	size      uint64
+	attr      string
+	initiator string
+	key       string
+	buf       *memsim.Buffer
+
+	// jmu orders a lease's placement mutations against their journal
+	// appends: whoever mutates the buffer (migrate, evacuation) holds
+	// jmu across the mutation and the append, so the journal's record
+	// order matches the buffer's state history.
+	jmu sync.Mutex
 }
 
 // leaseTable is a sharded map from lease ID to buffer. IDs come from a
@@ -49,12 +60,34 @@ func (t *leaseTable) shard(id uint64) *struct {
 
 // put registers a buffer and returns its fresh lease ID (never 0).
 func (t *leaseTable) put(name string, buf *memsim.Buffer) uint64 {
+	return t.putFull(&lease{name: name, size: buf.Size, buf: buf})
+}
+
+// putFull registers a lease with full request context, assigning its
+// ID.
+func (t *leaseTable) putFull(l *lease) uint64 {
 	id := t.next.Add(1)
+	l.id = id
 	s := t.shard(id)
 	s.mu.Lock()
-	s.m[id] = &lease{id: id, name: name, size: buf.Size, buf: buf}
+	s.m[id] = l
 	s.mu.Unlock()
 	return id
+}
+
+// restore registers a lease under its pre-assigned ID (journal replay)
+// and keeps the ID counter past it so fresh IDs never collide.
+func (t *leaseTable) restore(l *lease) {
+	s := t.shard(l.id)
+	s.mu.Lock()
+	s.m[l.id] = l
+	s.mu.Unlock()
+	for {
+		cur := t.next.Load()
+		if cur >= l.id || t.next.CompareAndSwap(cur, l.id) {
+			return
+		}
+	}
 }
 
 // get looks a lease up without removing it.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +26,12 @@ type LoadOptions struct {
 	// Initiator is the cpuset list requests carry; empty lets the
 	// daemon use the whole machine.
 	Initiator string
+	// Tolerate, when set, classifies errors the run accepts as part of
+	// the experiment (e.g. 503s while a chaos plan has nodes down):
+	// tolerated errors are counted but do not fail the run.
+	Tolerate func(error) bool
+	// Retry overrides the clients' retry policy (nil = DefaultRetry).
+	Retry *RetryPolicy
 }
 
 // withDefaults fills unset options with sane load-test values.
@@ -47,7 +54,8 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // LoadStats summarizes a load-generation run.
 type LoadStats struct {
 	Requests   uint64  // operations issued (allocs, frees, migrates, queries)
-	Failed     uint64  // operations that returned an error
+	Failed     uint64  // operations that returned an unexpected error
+	Tolerated  uint64  // operations that failed in a way Tolerate accepts
 	Allocs     uint64  // successful allocations
 	Frees      uint64  // successful frees
 	Migrates   uint64  // successful migrations
@@ -60,8 +68,8 @@ type LoadStats struct {
 }
 
 func (s LoadStats) String() string {
-	return fmt.Sprintf("%d requests in %.2fs (%.0f req/s): %d allocs, %d frees, %d migrates, %d queries, %d failed, %d leases left",
-		s.Requests, s.Seconds, s.Throughput, s.Allocs, s.Frees, s.Migrates, s.Queries, s.Failed, s.LeasesLeft)
+	return fmt.Sprintf("%d requests in %.2fs (%.0f req/s): %d allocs, %d frees, %d migrates, %d queries, %d failed, %d tolerated, %d leases left",
+		s.Requests, s.Seconds, s.Throughput, s.Allocs, s.Frees, s.Migrates, s.Queries, s.Failed, s.Tolerated, s.LeasesLeft)
 }
 
 // attrMix is the attribute distribution of generated allocations: the
@@ -73,11 +81,12 @@ var attrMix = []string{"Bandwidth", "Latency", "Capacity"}
 // Roughly half the operations are allocations, a third frees, and the
 // rest migrations and read-only queries. Each client frees all but its
 // last few leases at the end, so the daemon is left with a small live
-// table the caller can verify against /metrics.
-func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
+// table the caller can verify against /metrics. Canceling the context
+// stops the run early (clients still drain their leases).
+func LoadTest(ctx context.Context, base string, opts LoadOptions) (LoadStats, error) {
 	opts = opts.withDefaults()
 	var stats LoadStats
-	var requests, failed, allocs, frees, migrates, queries atomic.Uint64
+	var requests, failed, tolerated, allocs, frees, migrates, queries atomic.Uint64
 	var leasesLeft atomic.Int64
 
 	start := time.Now()
@@ -87,22 +96,30 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cl := NewClient(base)
+			var copts []ClientOption
+			if opts.Retry != nil {
+				copts = append(copts, WithRetryPolicy(*opts.Retry))
+			}
+			cl := NewClient(base, copts...)
 			rng := rand.New(rand.NewSource(opts.Seed + int64(id)))
 			var leases []uint64
 			fail := func(err error) {
+				if opts.Tolerate != nil && opts.Tolerate(err) {
+					tolerated.Add(1)
+					return
+				}
 				failed.Add(1)
 				select {
 				case errCh <- err:
 				default:
 				}
 			}
-			for i := 0; i < opts.RequestsPerClient; i++ {
+			for i := 0; i < opts.RequestsPerClient && ctx.Err() == nil; i++ {
 				requests.Add(1)
 				switch op := rng.Intn(12); {
 				case op < 6 || len(leases) == 0: // alloc
 					size := 1<<20 + uint64(rng.Int63n(int64(opts.MaxSizeBytes-1<<20+1)))
-					resp, err := cl.Alloc(AllocRequest{
+					resp, err := cl.Alloc(ctx, AllocRequest{
 						Name:      fmt.Sprintf("load-%d-%d", id, i),
 						Size:      size,
 						Attr:      attrMix[rng.Intn(len(attrMix))],
@@ -119,7 +136,7 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 					// Stay under the live-lease cap.
 					for len(leases) > opts.MaxLive {
 						requests.Add(1)
-						if err := cl.Free(leases[0]); err != nil {
+						if err := cl.Free(ctx, leases[0]); err != nil {
 							fail(err)
 						} else {
 							frees.Add(1)
@@ -128,7 +145,7 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 					}
 				case op < 9: // free
 					j := rng.Intn(len(leases))
-					if err := cl.Free(leases[j]); err != nil {
+					if err := cl.Free(ctx, leases[j]); err != nil {
 						fail(err)
 					} else {
 						frees.Add(1)
@@ -136,7 +153,7 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 					leases = append(leases[:j], leases[j+1:]...)
 				case op < 10: // migrate
 					j := rng.Intn(len(leases))
-					_, err := cl.Migrate(MigrateRequest{
+					_, err := cl.Migrate(ctx, MigrateRequest{
 						Lease:     leases[j],
 						Attr:      attrMix[rng.Intn(len(attrMix))],
 						Initiator: opts.Initiator,
@@ -151,11 +168,11 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 					var err error
 					switch rng.Intn(3) {
 					case 0:
-						_, err = cl.Attrs()
+						_, err = cl.Attrs(ctx)
 					case 1:
-						_, err = cl.Leases(false)
+						_, err = cl.Leases(ctx, false)
 					default:
-						_, err = cl.Metrics()
+						_, err = cl.Metrics(ctx)
 					}
 					if err != nil {
 						fail(err)
@@ -165,10 +182,13 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 				}
 			}
 			// Drain down to at most one survivor per client so the
-			// verification workload is non-trivial but small.
+			// verification workload is non-trivial but small. Draining
+			// outlives ctx cancellation: use a fresh context so an early
+			// stop still leaves clean books.
+			drainCtx := context.Background()
 			for len(leases) > 1 {
 				requests.Add(1)
-				if err := cl.Free(leases[0]); err != nil {
+				if err := cl.Free(drainCtx, leases[0]); err != nil {
 					fail(err)
 				} else {
 					frees.Add(1)
@@ -182,6 +202,7 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 
 	stats.Requests = requests.Load()
 	stats.Failed = failed.Load()
+	stats.Tolerated = tolerated.Load()
 	stats.Allocs = allocs.Load()
 	stats.Frees = frees.Load()
 	stats.Migrates = migrates.Load()
@@ -206,13 +227,13 @@ func LoadTest(base string, opts LoadOptions) (LoadStats, error) {
 // live lease table reported by /leases, and the per-node breakdowns
 // must match node for node. It returns a description of the state on
 // success.
-func VerifyConsistency(base string) (string, error) {
+func VerifyConsistency(ctx context.Context, base string) (string, error) {
 	cl := NewClient(base)
-	leases, err := cl.Leases(false)
+	leases, err := cl.Leases(ctx, false)
 	if err != nil {
 		return "", err
 	}
-	metrics, err := cl.Metrics()
+	metrics, err := cl.Metrics(ctx)
 	if err != nil {
 		return "", err
 	}

@@ -22,11 +22,12 @@ const (
 	EpMigrate
 	EpLeases
 	EpMetrics
+	EpHealth
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	"topology", "attrs", "alloc", "free", "migrate", "leases", "metrics",
+	"topology", "attrs", "alloc", "free", "migrate", "leases", "metrics", "health",
 }
 
 func (e Endpoint) String() string { return endpointNames[e] }
@@ -57,6 +58,15 @@ type Metrics struct {
 	FreeTotal     atomic.Uint64
 	MigrateTotal  atomic.Uint64
 	BytesPlaced   atomic.Uint64 // cumulative bytes ever placed
+
+	// Robustness counters.
+	ShedTotal          atomic.Uint64 // allocations refused by admission control
+	AutoMigrateTotal   atomic.Uint64 // leases evacuated off offline nodes
+	AutoMigrateFailed  atomic.Uint64 // evacuations that found no healthy target
+	HealthTransitions  atomic.Uint64 // node health state changes
+	IdemReplays        atomic.Uint64 // /alloc responses served from the idempotency table
+	JournalRecords     atomic.Uint64 // records appended or replayed
+	JournalTailDropped atomic.Uint64 // startups that truncated a corrupt tail
 }
 
 // NewMetrics creates an empty metrics set.
@@ -88,6 +98,7 @@ type NodeUsage struct {
 	Node     string // e.g. "DRAM#0"
 	Capacity uint64
 	InUse    uint64
+	Health   int // HealthState as an integer gauge (0 healthy, 1 degraded, 2 offline)
 }
 
 // Render writes the metrics in the flat Prometheus-style text format
@@ -108,11 +119,19 @@ func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
 	counter("hetmemd_free_total", m.FreeTotal.Load())
 	counter("hetmemd_migrate_total", m.MigrateTotal.Load())
 	counter("hetmemd_bytes_placed_total", m.BytesPlaced.Load())
+	counter("hetmemd_shed_total", m.ShedTotal.Load())
+	counter("hetmemd_auto_migrate_total", m.AutoMigrateTotal.Load())
+	counter("hetmemd_auto_migrate_failed_total", m.AutoMigrateFailed.Load())
+	counter("hetmemd_health_transitions_total", m.HealthTransitions.Load())
+	counter("hetmemd_idempotent_replays_total", m.IdemReplays.Load())
+	counter("hetmemd_journal_records_total", m.JournalRecords.Load())
+	counter("hetmemd_journal_tail_dropped_total", m.JournalTailDropped.Load())
 	fmt.Fprintf(&sb, "hetmemd_leases_active %d\n", leases)
 
 	for _, n := range nodes {
 		fmt.Fprintf(&sb, "hetmemd_node_capacity_bytes{node=%q} %d\n", n.Node, n.Capacity)
 		fmt.Fprintf(&sb, "hetmemd_node_bytes_in_use{node=%q} %d\n", n.Node, n.InUse)
+		fmt.Fprintf(&sb, "hetmemd_node_health{node=%q} %d\n", n.Node, n.Health)
 	}
 
 	for e := Endpoint(0); e < numEndpoints; e++ {

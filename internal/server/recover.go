@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"hetmem/internal/journal"
+	"hetmem/internal/memsim"
+)
+
+// restoreFromJournal folds replayed records into the lease table and
+// re-reserves each live lease's bytes on the machine, reconstructing
+// per-node accounting exactly as it was journaled. The records come
+// from journal.Open, which has already truncated any torn tail, so
+// every record here is internally consistent — but the sequence can
+// still be semantically invalid (a free without an alloc), which is an
+// error: it means the file was tampered with, not torn.
+func (s *Server) restoreFromJournal(recs []journal.Record) error {
+	type pending struct {
+		rec   journal.Record // the alloc record, segments updated by migrates
+		keyed bool
+	}
+	live := make(map[uint64]*pending)
+	for i, r := range recs {
+		switch r.Op {
+		case journal.OpAlloc:
+			if _, dup := live[r.Lease]; dup {
+				return fmt.Errorf("server: journal record %d: duplicate alloc of lease %d", i, r.Lease)
+			}
+			var sum uint64
+			for _, seg := range r.Segments {
+				sum += seg.Bytes
+			}
+			if sum != r.Size {
+				return fmt.Errorf("server: journal record %d: lease %d segments sum to %d, size %d",
+					i, r.Lease, sum, r.Size)
+			}
+			live[r.Lease] = &pending{rec: r, keyed: r.Key != ""}
+		case journal.OpFree:
+			if _, ok := live[r.Lease]; !ok {
+				return fmt.Errorf("server: journal record %d: free of unknown lease %d", i, r.Lease)
+			}
+			delete(live, r.Lease)
+		case journal.OpMigrate:
+			p, ok := live[r.Lease]
+			if !ok {
+				return fmt.Errorf("server: journal record %d: migrate of unknown lease %d", i, r.Lease)
+			}
+			var sum uint64
+			for _, seg := range r.Segments {
+				sum += seg.Bytes
+			}
+			if sum != p.rec.Size {
+				return fmt.Errorf("server: journal record %d: migrated lease %d segments sum to %d, size %d",
+					i, r.Lease, sum, p.rec.Size)
+			}
+			p.rec.Segments = r.Segments
+		default:
+			return fmt.Errorf("server: journal record %d: unknown op %d", i, r.Op)
+		}
+	}
+
+	// Materialize survivors in lease-ID order so buffer and ID ordering
+	// are deterministic across restarts.
+	ids := make([]uint64, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := live[id]
+		parts := make([]memsim.Segment, len(p.rec.Segments))
+		for i, seg := range p.rec.Segments {
+			n := s.sys.Machine.NodeByOS(seg.NodeOS)
+			if n == nil {
+				return fmt.Errorf("server: journal lease %d references unknown node %d", id, seg.NodeOS)
+			}
+			parts[i] = memsim.Segment{Node: n, Bytes: seg.Bytes}
+		}
+		buf, err := s.sys.Machine.AllocSplit(p.rec.Name, parts)
+		if err != nil {
+			return fmt.Errorf("server: journal lease %d does not fit the machine: %w", id, err)
+		}
+		l := &lease{
+			id:        id,
+			name:      p.rec.Name,
+			size:      p.rec.Size,
+			attr:      p.rec.Attr,
+			initiator: p.rec.Initiator,
+			key:       p.rec.Key,
+			buf:       buf,
+		}
+		s.leases.restore(l)
+		if p.keyed {
+			s.idem.restoreDone(p.rec.Key, AllocResponse{
+				Lease:     id,
+				Placement: buf.NodeNames(),
+				AttrUsed:  p.rec.Attr,
+			})
+		}
+	}
+	return nil
+}

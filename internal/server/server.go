@@ -17,6 +17,34 @@
 //	GET  /leases    — the live lease table with per-node byte totals
 //	GET  /metrics   — counters, fallback rates, per-node bytes in use,
 //	                  and request latency histograms (plain text)
+//	GET  /health    — per-node health states and capacity pressure
+//
+// # Failure model
+//
+// Each NUMA node moves through a health state machine — healthy →
+// degraded → offline — fed by fault events (see internal/faults and
+// Server.ApplyFault). Placements are re-ranked away from any
+// non-healthy node (it remains a last resort); when a node goes
+// offline the daemon auto-migrates the leases living on it to the
+// next-best healthy targets and counts the moves in /metrics.
+//
+// Admission control sheds load when capacity pressure crosses the
+// configured watermark: /alloc answers 503 Service Unavailable with a
+// Retry-After header instead of grinding the machine into exhaustion.
+// Transient allocation faults surface the same way — 503 + Retry-After
+// — telling clients the request is retryable, while genuine capacity
+// exhaustion stays 507 Insufficient Storage (retrying won't help;
+// free, shrink, or ask for partial/remote).
+//
+// # Durability
+//
+// With Config.JournalPath set, every lease event (alloc, migrate,
+// free) is appended to a write-ahead journal before the response is
+// sent; a restarted daemon replays the journal and reconstructs its
+// lease table and per-node byte accounting exactly. Clients may tag
+// /alloc requests with an idempotency key: retries of a request whose
+// response was lost return the original lease instead of
+// double-allocating.
 //
 // Concurrency: request handling is lock-free except for the per-node
 // capacity locks in internal/memsim and the sharded lease table, so
@@ -28,36 +56,100 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hetmem/internal/alloc"
 	"hetmem/internal/bitmap"
 	"hetmem/internal/core"
+	"hetmem/internal/journal"
 	"hetmem/internal/lstopo"
 	"hetmem/internal/memsim"
 	"hetmem/internal/topology"
 )
 
-// Server is the placement daemon's HTTP core. Create one with New and
-// mount Handler on any net/http server.
+// Config tunes the daemon's robustness machinery. The zero value is a
+// journal-less, non-shedding daemon (the PR-1 behaviour).
+type Config struct {
+	// JournalPath enables the write-ahead lease journal at this path.
+	// Opening replays any existing journal into the lease table.
+	JournalPath string
+	// SyncEveryAppend fsyncs the journal after every record
+	// (power-failure durability). Appends are always process-crash
+	// durable; syncing each one trades throughput for media safety.
+	SyncEveryAppend bool
+	// ShedWatermark in (0, 1]: /alloc sheds load with 503 +
+	// Retry-After once (bytes in use + request size) would cross this
+	// fraction of the online capacity. 0 disables shedding.
+	ShedWatermark float64
+	// RetryAfterSeconds is the Retry-After hint on 503 responses
+	// (default 1).
+	RetryAfterSeconds int
+}
+
+// Server is the placement daemon's HTTP core. Create one with New or
+// NewWithConfig and mount Handler on any net/http server.
 type Server struct {
 	sys     *core.System
+	cfg     Config
 	leases  *leaseTable
 	metrics *Metrics
 	mux     *http.ServeMux
+	health  *healthTracker
+	idem    *idemTable
+	journal *journal.Journal
 
 	// defaultInitiator is used when a request does not name one: the
 	// whole machine's cpuset.
 	defaultInitiator *bitmap.Bitmap
 }
 
-// New builds a server around a discovered system.
+// New builds a server around a discovered system with the zero Config
+// (no journal, no load shedding).
 func New(sys *core.System) *Server {
+	s, err := NewWithConfig(sys, Config{})
+	if err != nil {
+		// Without a journal nothing in construction can fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithConfig builds a server with robustness options. When the
+// config names a journal, any existing records are replayed first: the
+// lease table, per-node accounting, and idempotency results come back
+// exactly as the previous incarnation journaled them.
+func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	var osIdx []int
+	for _, n := range sys.Machine.Nodes() {
+		osIdx = append(osIdx, n.OSIndex())
+	}
 	s := &Server{
 		sys:              sys,
+		cfg:              cfg,
 		leases:           newLeaseTable(),
 		metrics:          NewMetrics(),
+		health:           newHealthTracker(osIdx),
+		idem:             newIdemTable(),
 		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
+	}
+	if cfg.JournalPath != "" {
+		j, recs, rec, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		if err := s.restoreFromJournal(recs); err != nil {
+			j.Close()
+			return nil, err
+		}
+		s.metrics.JournalRecords.Add(uint64(rec.Records))
+		if rec.Truncated {
+			s.metrics.JournalTailDropped.Add(1)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /topology", s.instrument(EpTopology, s.handleTopology))
@@ -67,7 +159,8 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("POST /migrate", s.instrument(EpMigrate, s.handleMigrate))
 	s.mux.HandleFunc("GET /leases", s.instrument(EpLeases, s.handleLeases))
 	s.mux.HandleFunc("GET /metrics", s.instrument(EpMetrics, s.handleMetrics))
-	return s
+	s.mux.HandleFunc("GET /health", s.instrument(EpHealth, s.handleHealth))
+	return s, nil
 }
 
 // System returns the system the daemon serves.
@@ -76,8 +169,48 @@ func (s *Server) System() *core.System { return s.sys }
 // Metrics returns the daemon's live metrics.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// LeaseCount returns the number of live leases (restored ones
+// included).
+func (s *Server) LeaseCount() int { return s.leases.count() }
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close flushes and closes the journal (if any). Call it after the
+// HTTP server has drained — the graceful-shutdown path; abandoning the
+// Server without Close models a crash, which the journal tolerates by
+// design.
+func (s *Server) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
+}
+
+// appendJournal writes one record to the journal, if one is open.
+func (s *Server) appendJournal(r journal.Record) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal.Append(r); err != nil {
+		return fmt.Errorf("server: journal append: %w", err)
+	}
+	s.metrics.JournalRecords.Add(1)
+	if s.cfg.SyncEveryAppend {
+		return s.journal.Sync()
+	}
+	return nil
+}
+
+// segmentsOf snapshots a buffer's placement as journal segments.
+func segmentsOf(b *memsim.Buffer) []journal.Segment {
+	segs := b.SegmentsSnapshot()
+	out := make([]journal.Segment, len(segs))
+	for i, seg := range segs {
+		out[i] = journal.Segment{NodeOS: seg.Node.OSIndex(), Bytes: seg.Bytes}
+	}
+	return out
+}
 
 // statusWriter records the status code for instrumentation.
 type statusWriter struct {
@@ -107,17 +240,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// ErrOverloaded is returned (as a 503) when admission control sheds an
+// allocation to protect the machine's remaining headroom.
+var ErrOverloaded = errors.New("server: overloaded, shedding load")
+
+// statusFor maps an error to its HTTP status. 503 means "retry later"
+// (shed load, transient fault, node just went down); 507 means the
+// machine is genuinely full and retrying will not help.
+func (s *Server) statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, errNoSuchLease):
-		status = http.StatusNotFound
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded), errors.Is(err, memsim.ErrTransient), errors.Is(err, memsim.ErrNodeOffline):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
 		// The daemon is healthy; the machine is full. 507 tells the
 		// client to free, shrink, or retry with partial/remote.
-		status = http.StatusInsufficientStorage
+		return http.StatusInsufficientStorage
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := s.statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
@@ -127,7 +276,7 @@ var errNoSuchLease = errors.New("server: no such lease")
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	data, err := topology.Export(s.sys.Topology())
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -146,14 +295,14 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 	for _, id := range reg.IDs() {
 		flags, err := reg.Flags(id)
 		if err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		rep := AttrReport{Name: reg.Name(id), Flags: flags.String()}
 		for _, tgt := range reg.Targets(id) {
 			ivs, err := reg.Initiators(id, tgt)
 			if err != nil {
-				writeError(w, err)
+				s.writeError(w, err)
 				return
 			}
 			for _, iv := range ivs {
@@ -185,23 +334,94 @@ func (s *Server) resolveInitiator(list string) (*bitmap.Bitmap, error) {
 	return ini, nil
 }
 
+// pressure reports the online capacity and the bytes in use on it.
+// Offline nodes are out of the pool: their capacity cannot take new
+// bytes and their usage is unreachable anyway.
+func (s *Server) pressure() (used, total uint64) {
+	for _, n := range s.sys.Machine.Nodes() {
+		if n.Offline() {
+			continue
+		}
+		total += n.EffectiveCapacity()
+		used += n.Allocated()
+	}
+	return used, total
+}
+
+// admit applies the shed watermark to an allocation of size bytes.
+func (s *Server) admit(size uint64) error {
+	if s.cfg.ShedWatermark <= 0 {
+		return nil
+	}
+	used, total := s.pressure()
+	if total == 0 || float64(used)+float64(size) > s.cfg.ShedWatermark*float64(total) {
+		s.metrics.ShedTotal.Add(1)
+		return fmt.Errorf("%w: %d of %d online bytes in use, watermark %.2f",
+			ErrOverloaded, used, total, s.cfg.ShedWatermark)
+	}
+	return nil
+}
+
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeAllocRequest(r.Body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
+	if req.IdempotencyKey == "" {
+		resp, err := s.doAlloc(req)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	e, owner := s.idem.begin(req.IdempotencyKey)
+	if !owner {
+		// A request with this key already ran (or is running): wait for
+		// its outcome and replay it instead of allocating twice.
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			s.writeError(w, fmt.Errorf("%w: canceled waiting for idempotent result", ErrOverloaded))
+			return
+		}
+		s.metrics.IdemReplays.Add(1)
+		if e.err != nil {
+			s.writeError(w, e.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, e.resp)
+		return
+	}
+	resp, err := s.doAlloc(req)
+	if err != nil {
+		// Failed attempts are forgotten so a later retry can succeed.
+		s.idem.fail(req.IdempotencyKey, e, err)
+		s.writeError(w, err)
+		return
+	}
+	s.idem.succeed(e, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// doAlloc performs the placement, journals it, and registers the
+// lease.
+func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 	id, ok := s.sys.Registry.ByName(req.Attr)
 	if !ok {
-		writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
-		return
+		return AllocResponse{}, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr)
 	}
 	ini, err := s.resolveInitiator(req.Initiator)
 	if err != nil {
-		writeError(w, err)
-		return
+		return AllocResponse{}, err
 	}
-	var opts []alloc.Option
+	if err := s.admit(req.Size); err != nil {
+		return AllocResponse{}, err
+	}
+	opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
 	if req.Policy == "bind" {
 		opts = append(opts, alloc.WithPolicy(alloc.Bind))
 	}
@@ -214,9 +434,36 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	buf, dec, err := s.sys.Allocator.Alloc(req.Name, req.Size, id, ini, opts...)
 	if err != nil {
 		s.metrics.AllocFailed.Add(1)
-		writeError(w, err)
-		return
+		return AllocResponse{}, err
 	}
+
+	l := &lease{
+		name:      req.Name,
+		size:      req.Size,
+		attr:      req.Attr,
+		initiator: req.Initiator,
+		key:       req.IdempotencyKey,
+		buf:       buf,
+	}
+	l.id = s.leases.next.Add(1)
+	// Journal before the lease becomes visible: a lease a client can
+	// see (and free) is always in the log, so replay never meets a
+	// free without its alloc.
+	if err := s.appendJournal(journal.Record{
+		Op:        journal.OpAlloc,
+		Lease:     l.id,
+		Name:      req.Name,
+		Attr:      req.Attr,
+		Initiator: req.Initiator,
+		Key:       req.IdempotencyKey,
+		Size:      req.Size,
+		Segments:  segmentsOf(buf),
+	}); err != nil {
+		s.sys.Machine.Free(buf)
+		return AllocResponse{}, err
+	}
+	s.leases.restore(l)
+
 	s.metrics.AllocTotal.Add(1)
 	s.metrics.BytesPlaced.Add(req.Size)
 	if dec.RankPosition > 0 {
@@ -231,31 +478,40 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if dec.Remote {
 		s.metrics.RemoteTotal.Add(1)
 	}
-	writeJSON(w, http.StatusOK, AllocResponse{
-		Lease:        s.leases.put(req.Name, buf),
+	return AllocResponse{
+		Lease:        l.id,
 		Placement:    buf.NodeNames(),
 		AttrUsed:     s.sys.Registry.Name(dec.Used),
 		AttrFellBack: dec.AttrFellBack,
 		Rank:         dec.RankPosition,
 		Partial:      dec.Partial,
 		Remote:       dec.Remote,
-	})
+	}, nil
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeFreeRequest(r.Body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	l, ok := s.leases.take(req.Lease)
 	if !ok {
-		writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
-	if err := s.sys.Machine.Free(l.buf); err != nil {
-		writeError(w, err)
+	l.jmu.Lock()
+	err = s.sys.Machine.Free(l.buf)
+	if err == nil {
+		err = s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
+	}
+	l.jmu.Unlock()
+	if err != nil {
+		s.writeError(w, err)
 		return
+	}
+	if l.key != "" {
+		s.idem.forget(l.key)
 	}
 	s.metrics.FreeTotal.Add(1)
 	writeJSON(w, http.StatusOK, struct {
@@ -267,31 +523,23 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeMigrateRequest(r.Body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	id, ok := s.sys.Registry.ByName(req.Attr)
-	if !ok {
-		writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
-		return
-	}
-	ini, err := s.resolveInitiator(req.Initiator)
-	if err != nil {
-		writeError(w, err)
+	if _, ok := s.sys.Registry.ByName(req.Attr); !ok {
+		s.writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
 		return
 	}
 	l, ok := s.leases.get(req.Lease)
 	if !ok {
-		writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
-	var opts []alloc.Option
-	if req.Remote {
-		opts = append(opts, alloc.WithRemote())
-	}
-	cost, dec, err := s.sys.Allocator.MigrateToBest(l.buf, id, ini, opts...)
+	l.jmu.Lock()
+	cost, dec, err := s.migrateLocked(l, req.Attr, req.Initiator, req.Remote)
+	l.jmu.Unlock()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.metrics.MigrateTotal.Add(1)
@@ -331,13 +579,39 @@ func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.leasesResponse(r.URL.Query().Get("list") != ""))
 }
 
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	states := s.health.snapshot()
+	resp := HealthResponse{Status: "ok", ShedWatermark: s.cfg.ShedWatermark}
+	if s.journal != nil {
+		resp.Journal = s.journal.Path()
+	}
+	used, total := s.pressure()
+	if total > 0 {
+		resp.Pressure = float64(used) / float64(total)
+	}
+	for _, n := range s.sys.Machine.Nodes() {
+		st := states[n.OSIndex()]
+		if st != Healthy {
+			resp.Status = "degraded"
+		}
+		resp.Nodes = append(resp.Nodes, NodeHealth{
+			Node:  fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()),
+			OS:    n.OSIndex(),
+			State: st.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := s.health.snapshot()
 	nodes := make([]NodeUsage, 0, len(s.sys.Machine.Nodes()))
 	for _, n := range s.sys.Machine.Nodes() {
 		nodes = append(nodes, NodeUsage{
 			Node:     fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()),
-			Capacity: n.Capacity(),
+			Capacity: n.EffectiveCapacity(),
 			InUse:    n.Allocated(),
+			Health:   int(states[n.OSIndex()]),
 		})
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

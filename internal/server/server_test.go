@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -24,8 +25,9 @@ func startDaemon(t testing.TB, platform string) (*httptest.Server, *server.Clien
 }
 
 func TestTopologyEndpoint(t *testing.T) {
+	ctx := context.Background()
 	_, cl := startDaemon(t, "xeon")
-	topo, err := cl.Topology()
+	topo, err := cl.Topology(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,8 +37,9 @@ func TestTopologyEndpoint(t *testing.T) {
 }
 
 func TestAttrsEndpoint(t *testing.T) {
+	ctx := context.Background()
 	ts, cl := startDaemon(t, "xeon")
-	attrs, err := cl.Attrs()
+	attrs, err := cl.Attrs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +73,11 @@ func TestAttrsEndpoint(t *testing.T) {
 }
 
 func TestAllocFreeMigrateRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	_, cl := startDaemon(t, "xeon")
 
 	// Bandwidth from package 0 should land on its local DRAM.
-	resp, err := cl.Alloc(server.AllocRequest{
+	resp, err := cl.Alloc(ctx, server.AllocRequest{
 		Name: "hot", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19",
 	})
 	if err != nil {
@@ -84,7 +88,7 @@ func TestAllocFreeMigrateRoundTrip(t *testing.T) {
 	}
 
 	// Capacity should pick an NVDIMM.
-	big, err := cl.Alloc(server.AllocRequest{
+	big, err := cl.Alloc(ctx, server.AllocRequest{
 		Name: "big", Size: 200 << 30, Attr: "Capacity", Initiator: "0-19",
 	})
 	if err != nil {
@@ -95,7 +99,7 @@ func TestAllocFreeMigrateRoundTrip(t *testing.T) {
 	}
 
 	// Migrating the hot buffer for Capacity moves it with a real cost.
-	mig, err := cl.Migrate(server.MigrateRequest{Lease: resp.Lease, Attr: "Capacity", Initiator: "0-19"})
+	mig, err := cl.Migrate(ctx, server.MigrateRequest{Lease: resp.Lease, Attr: "Capacity", Initiator: "0-19"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestAllocFreeMigrateRoundTrip(t *testing.T) {
 	}
 
 	// The lease table sees both buffers.
-	leases, err := cl.Leases(true)
+	leases, err := cl.Leases(ctx, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,19 +116,20 @@ func TestAllocFreeMigrateRoundTrip(t *testing.T) {
 		t.Fatalf("leases: %+v", leases)
 	}
 
-	if err := cl.Free(resp.Lease); err != nil {
+	if err := cl.Free(ctx, resp.Lease); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Free(big.Lease); err != nil {
+	if err := cl.Free(ctx, big.Lease); err != nil {
 		t.Fatal(err)
 	}
 	// Double free over the API is a clean 404, not corruption.
-	if err := cl.Free(resp.Lease); err == nil || !strings.Contains(err.Error(), "404") {
+	if err := cl.Free(ctx, resp.Lease); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("double free error = %v, want 404", err)
 	}
 }
 
 func TestAllocErrors(t *testing.T) {
+	ctx := context.Background()
 	ts, cl := startDaemon(t, "xeon")
 
 	cases := []struct {
@@ -138,7 +143,7 @@ func TestAllocErrors(t *testing.T) {
 		{"too big", server.AllocRequest{Name: "x", Size: 1 << 62, Attr: "Bandwidth", Remote: true}, "507"},
 	}
 	for _, c := range cases {
-		if _, err := cl.Alloc(c.req); err == nil || !strings.Contains(err.Error(), c.code) {
+		if _, err := cl.Alloc(ctx, c.req); err == nil || !strings.Contains(err.Error(), c.code) {
 			t.Errorf("%s: err = %v, want HTTP %s", c.name, err, c.code)
 		}
 	}
@@ -167,16 +172,17 @@ func TestAllocErrors(t *testing.T) {
 }
 
 func TestMetricsTrackAllocations(t *testing.T) {
+	ctx := context.Background()
 	_, cl := startDaemon(t, "knl-snc4-flat")
 
-	before, err := cl.Metrics()
+	before, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var leases []uint64
 	for i := 0; i < 5; i++ {
-		resp, err := cl.Alloc(server.AllocRequest{
+		resp, err := cl.Alloc(ctx, server.AllocRequest{
 			Name: "m", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-15",
 		})
 		if err != nil {
@@ -184,11 +190,11 @@ func TestMetricsTrackAllocations(t *testing.T) {
 		}
 		leases = append(leases, resp.Lease)
 	}
-	if err := cl.Free(leases[0]); err != nil {
+	if err := cl.Free(ctx, leases[0]); err != nil {
 		t.Fatal(err)
 	}
 
-	after, err := cl.Metrics()
+	after, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,6 +223,7 @@ func TestMetricsTrackAllocations(t *testing.T) {
 // TestConcurrentClients hammers one daemon from many goroutines and
 // then checks the books balance. Run with -race.
 func TestConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	ts, cl := startDaemon(t, "xeon")
 
 	const clients = 16
@@ -228,7 +235,7 @@ func TestConcurrentClients(t *testing.T) {
 			cc := server.NewClient(ts.URL)
 			var leases []uint64
 			for i := 0; i < 30; i++ {
-				resp, err := cc.Alloc(server.AllocRequest{
+				resp, err := cc.Alloc(ctx, server.AllocRequest{
 					Name: "c", Size: 32 << 20, Attr: attrFor(id + i), Partial: true, Remote: true,
 				})
 				if err != nil {
@@ -237,14 +244,14 @@ func TestConcurrentClients(t *testing.T) {
 				}
 				leases = append(leases, resp.Lease)
 				if len(leases) > 4 {
-					if err := cc.Free(leases[0]); err != nil {
+					if err := cc.Free(ctx, leases[0]); err != nil {
 						t.Error(err)
 					}
 					leases = leases[1:]
 				}
 			}
 			for _, l := range leases {
-				if err := cc.Free(l); err != nil {
+				if err := cc.Free(ctx, l); err != nil {
 					t.Error(err)
 				}
 			}
@@ -252,7 +259,7 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 
-	metrics, err := cl.Metrics()
+	metrics, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,8 +286,9 @@ func attrFor(i int) string {
 }
 
 func TestLoadTestAndConsistency(t *testing.T) {
+	ctx := context.Background()
 	ts, _ := startDaemon(t, "xeon")
-	stats, err := server.LoadTest(ts.URL, server.LoadOptions{
+	stats, err := server.LoadTest(ctx, ts.URL, server.LoadOptions{
 		Clients:           8,
 		RequestsPerClient: 40,
 		Seed:              1,
@@ -291,7 +299,7 @@ func TestLoadTestAndConsistency(t *testing.T) {
 	if stats.Failed != 0 || stats.Allocs == 0 || stats.Frees == 0 {
 		t.Fatalf("stats: %s", stats)
 	}
-	desc, err := server.VerifyConsistency(ts.URL)
+	desc, err := server.VerifyConsistency(ctx, ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}

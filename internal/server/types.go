@@ -41,6 +41,10 @@ type AllocRequest struct {
 	Partial bool `json:"partial,omitempty"`
 	// Remote extends candidates to non-local nodes.
 	Remote bool `json:"remote,omitempty"`
+	// IdempotencyKey, when set, makes the request safe to retry: a
+	// second /alloc with the same key returns the first one's lease
+	// instead of allocating again. Keys live until the lease is freed.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // AllocResponse reports a placement and the lease that owns it.
@@ -113,6 +117,29 @@ type LeasesResponse struct {
 	Bytes     uint64            `json:"bytes"`
 	NodeBytes map[string]uint64 `json:"node_bytes"`
 	Leases    []LeaseInfo       `json:"leases,omitempty"`
+}
+
+// NodeHealth is one node's entry in the /health report.
+type NodeHealth struct {
+	Node  string `json:"node"` // e.g. "DRAM#0"
+	OS    int    `json:"os"`
+	State string `json:"state"` // "healthy", "degraded", or "offline"
+}
+
+// HealthResponse is the daemon's /health report: overall status,
+// per-node health states, and capacity pressure against the shed
+// watermark.
+type HealthResponse struct {
+	// Status is "ok" when every node is healthy, else "degraded".
+	Status string `json:"status"`
+	// Pressure is bytes-in-use over online capacity, 0..1.
+	Pressure float64 `json:"pressure"`
+	// ShedWatermark is the configured admission-control watermark
+	// (0 = shedding disabled).
+	ShedWatermark float64 `json:"shed_watermark,omitempty"`
+	// Journal is the WAL path, when durability is enabled.
+	Journal string       `json:"journal,omitempty"`
+	Nodes   []NodeHealth `json:"nodes"`
 }
 
 // ErrorResponse is the JSON error envelope.
