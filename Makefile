@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench repro cover fuzz chaos clean
+.PHONY: all build vet test race bench repro cover fuzz chaos reapstress clean
 
 all: build vet test
 
@@ -33,9 +33,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseList -fuzztime=$(FUZZTIME) ./internal/bitmap/
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -fuzz=FuzzSnapshotRecovery -fuzztime=$(FUZZTIME) ./internal/journal/
 
 chaos:
 	$(GO) run ./cmd/hetmemd chaostest -clients 16 -requests 50 -steps 40
+
+reapstress:
+	$(GO) run ./cmd/hetmemd reapstress -ttl 1s -crashers 32 -holders 16
 
 clean:
 	$(GO) clean ./...

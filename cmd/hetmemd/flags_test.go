@@ -1,0 +1,50 @@
+package main
+
+// Startup validation of the lease-lifecycle and checkpoint flags: bad
+// combinations must be rejected before platform discovery, with the
+// flag names in the error.
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"hetmem/internal/server"
+)
+
+func TestServeFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"ttl-without-reaper", []string{"serve", "-lease-ttl", "30s"}, "-reap-interval"},
+		{"reaper-slower-than-ttl", []string{"serve", "-lease-ttl", "10s", "-reap-interval", "30s"}, "must not exceed"},
+		{"checkpoint-without-journal", []string{"serve", "-checkpoint-every", "1m"}, "-journal"},
+		{"checkpoint-bytes-without-journal", []string{"serve", "-checkpoint-bytes", "1048576"}, "-journal"},
+		{"negative-ttl", []string{"serve", "-lease-ttl", "-5s", "-reap-interval", "1s"}, "negative"},
+	} {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Sane combinations pass the front-run validation (checked directly
+	// so the test does not boot a daemon).
+	for _, cfg := range []server.Config{
+		{},
+		{DefaultLeaseTTL: 30 * time.Second, ReapInterval: 5 * time.Second},
+		{JournalPath: "wal", CheckpointEvery: time.Minute, CheckpointMaxWAL: 1 << 20},
+		{JournalPath: "wal", SyncEveryAppend: true, CheckpointMaxWAL: 8 << 10},
+	} {
+		if err := validateServeConfig(cfg); err != nil {
+			t.Errorf("config %+v rejected: %v", cfg, err)
+		}
+	}
+}

@@ -8,9 +8,11 @@
 //
 //	hetmemd serve -addr :7077 -p xeon          # run the daemon
 //	hetmemd serve -journal /var/lib/hetmemd.wal  # survive restarts
+//	hetmemd serve -journal d.wal -lease-ttl 5m -reap-interval 1m  # TTL leases
 //	hetmemd loadtest -clients 64               # self-hosted load test
 //	hetmemd loadtest -addr http://host:7077    # load-test a running daemon
 //	hetmemd chaostest -steps 60                # fault-inject a daemon under load
+//	hetmemd reapstress -ttl 1s                 # orphan-reaper acceptance run
 //	hetmemd platforms                          # list available platforms
 //
 // Try it:
@@ -48,7 +50,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|platforms> [flags] (-h for flags)")
+		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|reapstress|platforms> [flags] (-h for flags)")
 	}
 	switch args[0] {
 	case "serve":
@@ -57,6 +59,8 @@ func run(args []string, out io.Writer) error {
 		return runLoadtest(args[1:], out)
 	case "chaostest":
 		return runChaostest(args[1:], out)
+	case "reapstress":
+		return runReapstress(args[1:], out)
 	case "platforms":
 		for _, n := range platform.Names() {
 			p, err := platform.Get(n)
@@ -129,15 +133,52 @@ func runServe(args []string, out io.Writer) error {
 		journal    = fs.String("journal", "", "write-ahead lease journal path (empty: no durability)")
 		syncEvery  = fs.Bool("journal-sync", false, "fsync the journal after every record")
 		shed       = fs.Float64("shed", 0.95, "admission-control watermark in (0,1]; 0 disables shedding")
+		leaseTTL   = fs.Duration("lease-ttl", 0, "default lease TTL (0: leases never expire)")
+		maxTTL     = fs.Duration("max-lease-ttl", 0, "ceiling for client-requested TTLs (0: 1h)")
+		reapEvery  = fs.Duration("reap-interval", 0, "orphan-reaper scan interval (0: no reaper; must be <= -lease-ttl)")
+		ckptEvery  = fs.Duration("checkpoint-every", 0, "journal checkpoint/compaction interval (0: no periodic checkpoints)")
+		ckptBytes  = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL exceeds this many bytes (0: no size trigger)")
+		rebalEvery = fs.Duration("rebalance-every", 0, "pause between healed-node rebalance batches (0: no rebalancing)")
+		rebalBytes = fs.Uint64("rebalance-budget", 0, "bytes migrated per rebalance batch (0: 256 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return serveUntilSignal(*addr, *platName, *forceBench, server.Config{
-		JournalPath:     *journal,
-		SyncEveryAppend: *syncEvery,
-		ShedWatermark:   *shed,
-	}, out)
+	cfg := server.Config{
+		JournalPath:       *journal,
+		SyncEveryAppend:   *syncEvery,
+		ShedWatermark:     *shed,
+		DefaultLeaseTTL:   *leaseTTL,
+		MaxLeaseTTL:       *maxTTL,
+		ReapInterval:      *reapEvery,
+		CheckpointEvery:   *ckptEvery,
+		CheckpointMaxWAL:  *ckptBytes,
+		RebalanceInterval: *rebalEvery,
+		RebalanceBudget:   *rebalBytes,
+	}
+	if err := validateServeConfig(cfg); err != nil {
+		return err
+	}
+	return serveUntilSignal(*addr, *platName, *forceBench, cfg, out)
+}
+
+// validateServeConfig front-runs server.NewWithConfig's validation so
+// a bad flag combination fails before the (slow) platform discovery,
+// with the flag names in the message.
+func validateServeConfig(cfg server.Config) error {
+	if cfg.DefaultLeaseTTL > 0 && cfg.ReapInterval == 0 {
+		return fmt.Errorf("-lease-ttl %v needs -reap-interval > 0, or expired leases are never reclaimed", cfg.DefaultLeaseTTL)
+	}
+	if cfg.DefaultLeaseTTL > 0 && cfg.ReapInterval > cfg.DefaultLeaseTTL {
+		return fmt.Errorf("-reap-interval %v must not exceed -lease-ttl %v", cfg.ReapInterval, cfg.DefaultLeaseTTL)
+	}
+	if (cfg.CheckpointEvery > 0 || cfg.CheckpointMaxWAL > 0) && cfg.JournalPath == "" {
+		return fmt.Errorf("-checkpoint-every/-checkpoint-bytes need -journal: there is nothing to compact without a WAL")
+	}
+	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 {
+		return fmt.Errorf("duration and byte flags must not be negative")
+	}
+	return nil
 }
 
 // serveUntilSignal runs the daemon until SIGINT/SIGTERM, then shuts
@@ -229,6 +270,57 @@ func runLoadtest(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
 	}
 	return nil
+}
+
+func runReapstress(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd reapstress", flag.ContinueOnError)
+	var (
+		platName = fs.String("p", "xeon", "platform for the daemon under test")
+		ttl      = fs.Duration("ttl", time.Second, "lease TTL requested by every client")
+		reap     = fs.Duration("reap-interval", 0, "daemon reaper interval (0: ttl/4)")
+		crashers = fs.Int("crashers", 16, "clients that allocate and vanish")
+		holders  = fs.Int("holders", 8, "clients that allocate and keep heartbeating")
+		size     = fs.Uint64("size", 1<<20, "bytes per lease")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "overall run timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ri := *reap
+	if ri == 0 {
+		ri = *ttl / 4
+	}
+	sys, err := core.NewSystem(*platName, core.Options{})
+	if err != nil {
+		return err
+	}
+	srv, err := server.NewWithConfig(sys, server.Config{
+		DefaultLeaseTTL: *ttl,
+		MinLeaseTTL:     ri,
+		ReapInterval:    ri,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := newHTTPServer(srv.Handler())
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := server.ReapStress(ctx, "http://"+ln.Addr().String(), server.ReapStressOptions{
+		Crashers:  *crashers,
+		Holders:   *holders,
+		LeaseTTL:  *ttl,
+		SizeBytes: *size,
+	})
+	fmt.Fprintf(out, "hetmemd: reapstress %s\n", rep)
+	return err
 }
 
 func runChaostest(args []string, out io.Writer) error {

@@ -1,0 +1,206 @@
+package faults
+
+// This file extends the fault vocabulary from memory hardware to the
+// disk under the daemon's durable state: an FS interface the journal
+// and snapshot writer route every byte through, plus a fault-injecting
+// implementation that returns fsync errors, tears writes short, and
+// flips bits on reads. Chaos tests arm these against the write-ahead
+// log and checkpoint files to prove recovery never loses an
+// acknowledged allocation and never resurrects a freed lease.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the durable-state layer needs. Writes
+// and reads go through it so faults can be injected between the
+// journal and the disk.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Stat reports the file's metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface of the durable-state layer: everything
+// internal/journal does to disk goes through one of these. OS is the
+// real thing; NewFaultFS wraps any FS with injectable disk faults.
+type FS interface {
+	// OpenFile opens name like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically renames oldpath to newpath (both on the same
+	// filesystem), the primitive checkpoint publication relies on.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; removing a missing file is the caller's
+	// error to classify (os.IsNotExist).
+	Remove(name string) error
+	// Stat reports a file's metadata.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS is the passthrough FS backed by package os.
+var OS FS = osFS{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error) {
+	return os.Stat(name)
+}
+
+// The injected error values. They are distinct sentinels so tests can
+// tell an injected fault apart from a real one.
+var (
+	// ErrInjectedSync is returned by Sync when a sync fault is armed;
+	// the data may or may not have reached the media — exactly the
+	// ambiguity a real fsync failure leaves.
+	ErrInjectedSync = errors.New("faults: injected fsync failure")
+	// ErrInjectedShortWrite is returned by Write after persisting only
+	// a prefix of the buffer — a torn write.
+	ErrInjectedShortWrite = errors.New("faults: injected short write")
+	// ErrInjectedWrite is returned by Write with nothing persisted.
+	ErrInjectedWrite = errors.New("faults: injected write failure")
+)
+
+// FaultFS wraps an FS with armable disk faults. Arm methods take a
+// count: the next n matching operations misbehave, then the FS is
+// transparent again. All methods are safe for concurrent use; the
+// fault stream is deterministic for a given seed and operation order.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	syncFails   int // next n Syncs fail (without syncing)
+	shortWrites int // next n Writes persist only a prefix
+	writeFails  int // next n Writes fail outright
+	readFlips   int // next n non-empty Reads have one bit flipped
+
+	// Counters of faults actually delivered.
+	syncsFailed   int
+	writesShorted int
+	writesFailed  int
+	readsFlipped  int
+}
+
+// NewFaultFS wraps inner with a fault controller seeded for
+// deterministic bit-flip positions and tear points.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	return &FaultFS{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailSyncs arms n fsync failures.
+func (f *FaultFS) FailSyncs(n int) { f.mu.Lock(); f.syncFails += n; f.mu.Unlock() }
+
+// ShortWrites arms n torn writes: each persists a strict prefix (at
+// least one byte short) and returns ErrInjectedShortWrite.
+func (f *FaultFS) ShortWrites(n int) { f.mu.Lock(); f.shortWrites += n; f.mu.Unlock() }
+
+// FailWrites arms n writes that fail without persisting anything.
+func (f *FaultFS) FailWrites(n int) { f.mu.Lock(); f.writeFails += n; f.mu.Unlock() }
+
+// FlipReadBits arms n reads that each return the real data with one
+// bit flipped — silent media corruption the CRC layer must catch.
+func (f *FaultFS) FlipReadBits(n int) { f.mu.Lock(); f.readFlips += n; f.mu.Unlock() }
+
+// Clear disarms every pending fault.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	f.syncFails, f.shortWrites, f.writeFails, f.readFlips = 0, 0, 0, 0
+	f.mu.Unlock()
+}
+
+// Delivered reports how many faults of each kind actually fired.
+func (f *FaultFS) Delivered() (syncs, shortWrites, writeFails, readFlips int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncsFailed, f.writesShorted, f.writesFailed, f.readsFlipped
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{ctl: f, File: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	return f.inner.Stat(name)
+}
+
+// faultFile consults the shared controller on every operation.
+type faultFile struct {
+	ctl *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.ctl
+	f.mu.Lock()
+	switch {
+	case f.writeFails > 0:
+		f.writeFails--
+		f.writesFailed++
+		f.mu.Unlock()
+		return 0, ErrInjectedWrite
+	case f.shortWrites > 0 && len(p) > 0:
+		f.shortWrites--
+		f.writesShorted++
+		cut := f.rng.Intn(len(p)) // strict prefix: 0..len-1 bytes land
+		f.mu.Unlock()
+		n, err := ff.File.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedShortWrite
+	}
+	f.mu.Unlock()
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, err := ff.File.Read(p)
+	if n > 0 {
+		f := ff.ctl
+		f.mu.Lock()
+		if f.readFlips > 0 {
+			f.readFlips--
+			f.readsFlipped++
+			bit := f.rng.Intn(n * 8)
+			p[bit/8] ^= 1 << (bit % 8)
+		}
+		f.mu.Unlock()
+	}
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.ctl
+	f.mu.Lock()
+	if f.syncFails > 0 {
+		f.syncFails--
+		f.syncsFailed++
+		f.mu.Unlock()
+		return ErrInjectedSync
+	}
+	f.mu.Unlock()
+	return ff.File.Sync()
+}

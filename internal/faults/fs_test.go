@@ -1,0 +1,163 @@
+package faults_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetmem/internal/faults"
+)
+
+func openRW(t *testing.T, fs faults.FS, path string) faults.File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestOSPassthrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, faults.OS, path)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	renamed := path + ".2"
+	if err := faults.OS.Rename(path, renamed); err != nil {
+		t.Fatal(err)
+	}
+	st, err := faults.OS.Stat(renamed)
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("stat after rename: %v, size %v", err, st)
+	}
+	if err := faults.OS.Remove(renamed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectedSyncFailure(t *testing.T) {
+	ffs := faults.NewFaultFS(faults.OS, 1)
+	f := openRW(t, ffs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+
+	ffs.FailSyncs(2)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); !errors.Is(err, faults.ErrInjectedSync) {
+			t.Fatalf("sync %d: %v, want ErrInjectedSync", i, err)
+		}
+	}
+	// Disarmed: the third sync is real.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after faults drained: %v", err)
+	}
+	if syncs, _, _, _ := ffs.Delivered(); syncs != 2 {
+		t.Fatalf("delivered %d sync faults, want 2", syncs)
+	}
+}
+
+func TestInjectedShortWriteTearsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.OS, 42)
+	path := filepath.Join(dir, "f")
+	f := openRW(t, ffs, path)
+	defer f.Close()
+
+	payload := []byte("0123456789abcdef")
+	ffs.ShortWrites(1)
+	n, err := f.Write(payload)
+	if !errors.Is(err, faults.ErrInjectedShortWrite) {
+		t.Fatalf("torn write: n=%d err=%v, want ErrInjectedShortWrite", n, err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes; want a strict prefix", n, len(payload))
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != int64(n) {
+		t.Fatalf("on-disk size %v after torn write of %d bytes", st.Size(), n)
+	}
+	// The next write is whole again.
+	if n, err := f.Write(payload); err != nil || n != len(payload) {
+		t.Fatalf("write after fault drained: n=%d err=%v", n, err)
+	}
+}
+
+func TestInjectedWriteFailurePersistsNothing(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.OS, 3)
+	path := filepath.Join(dir, "f")
+	f := openRW(t, ffs, path)
+	defer f.Close()
+
+	ffs.FailWrites(1)
+	if n, err := f.Write([]byte("doomed")); n != 0 || !errors.Is(err, faults.ErrInjectedWrite) {
+		t.Fatalf("failed write: n=%d err=%v", n, err)
+	}
+	if st, _ := os.Stat(path); st.Size() != 0 {
+		t.Fatalf("failed write left %d bytes on disk", st.Size())
+	}
+}
+
+func TestInjectedReadBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	want := []byte("the quick brown fox jumps over the lazy dog")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs := faults.NewFaultFS(faults.OS, 7)
+	f := openRW(t, ffs, path)
+	defer f.Close()
+
+	ffs.FlipReadBits(1)
+	got := make([]byte, len(want))
+	if _, err := f.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range want {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip corrupted %d bytes, want exactly 1", diff)
+	}
+	// Subsequent reads are clean.
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, len(want))
+	if _, err := f.Read(got2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != string(want) {
+		t.Fatal("read after fault drained still corrupt")
+	}
+}
+
+func TestClearDisarmsEverything(t *testing.T) {
+	ffs := faults.NewFaultFS(faults.OS, 1)
+	ffs.FailSyncs(5)
+	ffs.ShortWrites(5)
+	ffs.FailWrites(5)
+	ffs.FlipReadBits(5)
+	ffs.Clear()
+
+	f := openRW(t, ffs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+}

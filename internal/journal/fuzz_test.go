@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hetmem/internal/journal"
@@ -27,6 +29,16 @@ func FuzzJournalReplay(f *testing.F) {
 	valid = append(valid, frame([]byte(`{"op":1,"lease":1,"name":"a","size":4096,"segments":[{"node":0,"bytes":4096}]}`))...)
 	valid = append(valid, frame([]byte(`{"op":2,"lease":1}`))...)
 
+	// A compacted WAL: checkpoint anchor record, then a suffix.
+	compacted := append([]byte(nil), journal.Magic...)
+	compacted = append(compacted, frame([]byte(`{"op":4,"seq":3}`))...)
+	compacted = append(compacted, frame([]byte(`{"op":2,"lease":7}`))...)
+	// A snapshot stream: checkpoint header with count and lease floor,
+	// then the live-lease alloc records it promises.
+	snapshot := append([]byte(nil), journal.Magic...)
+	snapshot = append(snapshot, frame([]byte(`{"op":4,"seq":3,"count":1,"next":9}`))...)
+	snapshot = append(snapshot, frame([]byte(`{"op":1,"lease":7,"size":4096,"segments":[{"node":0,"bytes":4096}]}`))...)
+
 	f.Add([]byte{})
 	f.Add(append([]byte(nil), journal.Magic...))
 	f.Add(valid)
@@ -36,6 +48,12 @@ func FuzzJournalReplay(f *testing.F) {
 	huge := append([]byte(nil), journal.Magic...)
 	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0) // absurd length
 	f.Add(huge)
+	f.Add(compacted)
+	f.Add(compacted[:len(compacted)-3]) // torn compacted suffix
+	f.Add(snapshot)
+	badCkpt := append([]byte(nil), journal.Magic...)
+	badCkpt = append(badCkpt, frame([]byte(`{"op":4}`))...) // checkpoint without a sequence
+	f.Add(badCkpt)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, rec, err := journal.Replay(bytes.NewReader(data))
@@ -63,6 +81,69 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 		if rec2.Truncated || len(recs2) != len(recs) || rec2.GoodBytes != rec.GoodBytes {
 			t.Fatalf("clean prefix replay diverged: %+v vs %+v", rec2, rec)
+		}
+	})
+}
+
+// FuzzSnapshotRecovery throws arbitrary snapshot and WAL byte pairs at
+// OpenStore. Opening must never panic, and whenever it succeeds, the
+// open itself must have normalized the files: closing and reopening
+// yields the same state with nothing left to repair.
+func FuzzSnapshotRecovery(f *testing.F) {
+	wal := func(frames ...[]byte) []byte {
+		out := append([]byte(nil), journal.Magic...)
+		for _, fr := range frames {
+			out = append(out, frame(fr)...)
+		}
+		return out
+	}
+	allocJSON := []byte(`{"op":1,"lease":7,"size":4096,"segments":[{"node":0,"bytes":4096}]}`)
+	snap := wal([]byte(`{"op":4,"seq":2,"count":1,"next":9}`), allocJSON)
+	anchored := wal([]byte(`{"op":4,"seq":2}`), []byte(`{"op":2,"lease":7}`))
+	plain := wal(allocJSON)
+
+	f.Add([]byte{}, []byte{})
+	f.Add(snap, anchored)
+	f.Add(snap, anchored[:len(anchored)-4])      // torn WAL tail
+	f.Add(snap[:len(snap)-6], anchored)          // torn snapshot
+	f.Add([]byte{}, plain)                       // no snapshot at all
+	f.Add(snap, plain)                           // stale snapshot beside an unanchored WAL
+	f.Add(snap, wal([]byte(`{"op":4,"seq":9}`))) // anchor naming a missing sequence
+	f.Add([]byte("garbage"), []byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, ckpt, walBytes []byte) {
+		base := filepath.Join(t.TempDir(), "wal")
+		if err := os.WriteFile(base, walBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if len(ckpt) > 0 {
+			if err := os.WriteFile(base+".ckpt", ckpt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, res, err := journal.OpenStore(base, nil)
+		if err != nil {
+			return // rejected is fine; panicking or succeeding inconsistently is not
+		}
+		seq, n, next := res.Seq, len(res.Records), res.NextLease
+		if err := s.Close(); err != nil {
+			t.Fatalf("close after successful open: %v", err)
+		}
+
+		s2, res2, err := journal.OpenStore(base, nil)
+		if err != nil {
+			t.Fatalf("reopen after successful open: %v", err)
+		}
+		defer s2.Close()
+		if res2.WAL.Truncated {
+			t.Fatal("first open left a torn tail behind")
+		}
+		if res2.UsedFallback {
+			t.Fatal("first open left the fallback unpromoted")
+		}
+		if res2.Seq != seq || len(res2.Records) != n || res2.NextLease != next {
+			t.Fatalf("reopen diverged: seq %d/%d, records %d/%d, next %d/%d",
+				res2.Seq, seq, len(res2.Records), n, res2.NextLease, next)
 		}
 	})
 }

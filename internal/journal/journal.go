@@ -34,6 +34,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"hetmem/internal/faults"
 )
 
 // Magic identifies a journal file.
@@ -59,6 +61,13 @@ const (
 	OpAlloc Op = iota + 1
 	OpFree
 	OpMigrate
+	// OpCheckpoint anchors a WAL to a snapshot: as the first record of
+	// a WAL it names the snapshot sequence the following records build
+	// on. Snapshot files reuse the same record as their header (with
+	// Count and NextLease filled in). Replay treats checkpoint records
+	// appearing mid-stream as no-ops, so a crash between writing a
+	// snapshot and rotating the WAL never changes replay semantics.
+	OpCheckpoint
 )
 
 func (o Op) String() string {
@@ -69,6 +78,8 @@ func (o Op) String() string {
 		return "free"
 	case OpMigrate:
 		return "migrate"
+	case OpCheckpoint:
+		return "checkpoint"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -93,8 +104,20 @@ type Record struct {
 	Initiator string `json:"initiator,omitempty"`
 	Key       string `json:"key,omitempty"`
 	Size      uint64 `json:"size,omitempty"`
+	// TTLMillis is the lease's granted time-to-live in milliseconds
+	// (alloc records; 0 means the lease never expires).
+	TTLMillis uint64 `json:"ttl_ms,omitempty"`
 	// Segments is the placement (alloc and migrate records).
 	Segments []Segment `json:"segments,omitempty"`
+
+	// Checkpoint-record fields. Seq is the snapshot sequence number
+	// (always > 0 on a valid checkpoint record); Count is the number of
+	// live-lease records that follow in a snapshot file; NextLease is
+	// the lease-ID counter floor, so freed high IDs are never reissued
+	// after a restart.
+	Seq       uint64 `json:"seq,omitempty"`
+	Count     int    `json:"count,omitempty"`
+	NextLease uint64 `json:"next,omitempty"`
 }
 
 // Recovery describes what Replay found.
@@ -168,7 +191,12 @@ func Replay(r io.Reader) ([]Record, Recovery, error) {
 			rec.Truncated, rec.Reason = true, fmt.Sprintf("payload decode: %v", err)
 			return out, rec, nil
 		}
-		if r.Op < OpAlloc || r.Op > OpMigrate || r.Lease == 0 {
+		if r.Op == OpCheckpoint {
+			if r.Seq == 0 || r.Count < 0 {
+				rec.Truncated, rec.Reason = true, fmt.Sprintf("invalid checkpoint record (seq=%d count=%d)", r.Seq, r.Count)
+				return out, rec, nil
+			}
+		} else if r.Op < OpAlloc || r.Op > OpMigrate || r.Lease == 0 {
 			rec.Truncated, rec.Reason = true, fmt.Sprintf("invalid record (op=%d lease=%d)", r.Op, r.Lease)
 			return out, rec, nil
 		}
@@ -192,6 +220,22 @@ func (b *byteCounter) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// encodeFrame frames one record: length, CRC, JSON payload.
+func encodeFrame(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("journal: record over %d bytes", MaxRecordBytes)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
 // Journal is an open, appendable lease log. Append is safe for
 // concurrent use; records are written directly to the file (no
 // userspace buffering), so a killed process loses at most the record
@@ -200,7 +244,7 @@ type Journal struct {
 	path string
 
 	mu     sync.Mutex
-	f      *os.File
+	f      faults.File
 	closed bool
 }
 
@@ -208,7 +252,13 @@ type Journal struct {
 // records, truncates a corrupt tail back to the clean recovery point,
 // and returns the journal positioned for appending.
 func Open(path string) (*Journal, []Record, Recovery, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(path, faults.OS)
+}
+
+// OpenFS is Open with the file I/O routed through an injectable
+// filesystem, so tests can serve the journal disk faults.
+func OpenFS(path string, fsys faults.FS) (*Journal, []Record, Recovery, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, Recovery{}, err
 	}
@@ -250,17 +300,10 @@ func (j *Journal) Path() string { return j.path }
 // Append returns (process-crash durable); call Sync for power-failure
 // durability.
 func (j *Journal) Append(r Record) error {
-	payload, err := json.Marshal(r)
+	frame, err := encodeFrame(r)
 	if err != nil {
 		return err
 	}
-	if len(payload) > MaxRecordBytes {
-		return fmt.Errorf("journal: record over %d bytes", MaxRecordBytes)
-	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[8:], payload)
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

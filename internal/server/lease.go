@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetmem/internal/memsim"
 )
@@ -25,11 +26,41 @@ type lease struct {
 	key       string
 	buf       *memsim.Buffer
 
+	// ttlNS is the granted time-to-live in nanoseconds (0 = never
+	// expires); deadlineNS is the unix-nano expiry the reaper checks.
+	// Both are atomics so renewals never contend with the reaper scan.
+	ttlNS      atomic.Int64
+	deadlineNS atomic.Int64
+
 	// jmu orders a lease's placement mutations against their journal
 	// appends: whoever mutates the buffer (migrate, evacuation) holds
 	// jmu across the mutation and the append, so the journal's record
 	// order matches the buffer's state history.
 	jmu sync.Mutex
+}
+
+// getTTL returns the lease's granted TTL (0 = never expires).
+func (l *lease) getTTL() time.Duration { return time.Duration(l.ttlNS.Load()) }
+
+// setTTL changes the granted TTL; the new value takes effect at the
+// next renew.
+func (l *lease) setTTL(d time.Duration) { l.ttlNS.Store(int64(d)) }
+
+// renew pushes the expiry one TTL past now. A lease without a TTL has
+// no deadline.
+func (l *lease) renew(now time.Time) {
+	ttl := l.ttlNS.Load()
+	if ttl <= 0 {
+		l.deadlineNS.Store(0)
+		return
+	}
+	l.deadlineNS.Store(now.UnixNano() + ttl)
+}
+
+// expiredAt reports whether the lease's deadline has passed.
+func (l *lease) expiredAt(now time.Time) bool {
+	d := l.deadlineNS.Load()
+	return d != 0 && now.UnixNano() > d
 }
 
 // leaseTable is a sharded map from lease ID to buffer. IDs come from a
@@ -82,9 +113,16 @@ func (t *leaseTable) restore(l *lease) {
 	s.mu.Lock()
 	s.m[l.id] = l
 	s.mu.Unlock()
+	t.floor(l.id)
+}
+
+// floor raises the ID counter to at least id, so fresh IDs never
+// collide with restored ones — including IDs freed before a
+// checkpoint, which survive only as the snapshot's NextLease.
+func (t *leaseTable) floor(id uint64) {
 	for {
 		cur := t.next.Load()
-		if cur >= l.id || t.next.CompareAndSwap(cur, l.id) {
+		if cur >= id || t.next.CompareAndSwap(cur, id) {
 			return
 		}
 	}

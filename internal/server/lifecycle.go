@@ -1,0 +1,242 @@
+package server
+
+// Lease lifecycle and durable-state maintenance: the background
+// goroutines NewWithConfig starts (and Close stops) plus their
+// manually-invokable cores, which tests and the reapstress harness
+// drive directly.
+//
+//   - The orphan reaper reclaims leases whose clients stopped
+//     heartbeating: an expired lease is taken from the table, its
+//     bytes freed, and the free journaled exactly like a client free —
+//     so a restart never resurrects a reaped lease.
+//   - The checkpointer snapshots the lease table and compacts the WAL,
+//     on a timer and whenever the WAL outgrows CheckpointMaxWAL.
+//   - The rebalancer re-admits a healed node: leases evacuated while
+//     it was offline migrate back in byte-budgeted, paced batches.
+
+import (
+	"time"
+
+	"hetmem/internal/journal"
+)
+
+// startBackground launches the goroutines the config asks for.
+func (s *Server) startBackground() {
+	if s.cfg.ReapInterval > 0 {
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
+	if s.store != nil && (s.cfg.CheckpointEvery > 0 || s.cfg.CheckpointMaxWAL > 0) {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+}
+
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.ReapNow()
+		}
+	}
+}
+
+// ReapNow scans the lease table once and reclaims every expired lease,
+// returning how many it reaped. Exported so tests and the reapstress
+// harness can force a scan without waiting out the ReapInterval.
+func (s *Server) ReapNow() int {
+	now := time.Now()
+	reaped := 0
+	for _, l := range s.leases.snapshot() {
+		if !l.expiredAt(now) {
+			continue
+		}
+		taken, ok := s.leases.take(l.id)
+		if !ok {
+			continue // freed concurrently
+		}
+		// A renewal may have slipped in between the scan and the take;
+		// put a refreshed lease back instead of reaping it under the
+		// client's feet.
+		if !taken.expiredAt(time.Now()) {
+			s.leases.restore(taken)
+			continue
+		}
+		s.ckmu.RLock()
+		taken.jmu.Lock()
+		err := s.sys.Machine.Free(taken.buf)
+		if err == nil {
+			// Journaled exactly like a client free. If the append
+			// fails, the restart replays the alloc, regrants one TTL of
+			// grace, and reaps again — self-healing, so no rollback.
+			s.appendJournal(journal.Record{Op: journal.OpFree, Lease: taken.id})
+		}
+		taken.jmu.Unlock()
+		s.ckmu.RUnlock()
+		if err != nil {
+			continue
+		}
+		if taken.key != "" {
+			s.idem.forget(taken.key)
+		}
+		reaped++
+		s.metrics.LeasesReaped.Add(1)
+	}
+	return reaped
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	every := s.cfg.CheckpointEvery
+	if every <= 0 {
+		// Size-triggered only: the ticker is just a liveness backstop.
+		every = time.Minute
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		case <-s.ckptKick:
+		}
+		s.CheckpointNow()
+	}
+}
+
+// CheckpointNow snapshots the lease table and compacts the WAL. It
+// holds the checkpoint lock's write side, freezing every mutator for
+// the capture+swap, so the snapshot and the compacted WAL describe the
+// same instant. A no-op without a journal.
+func (s *Server) CheckpointNow() error {
+	if s.store == nil {
+		return nil
+	}
+	s.ckmu.Lock()
+	defer s.ckmu.Unlock()
+	err := s.store.Checkpoint(func() ([]journal.Record, uint64, error) {
+		leases := s.leases.snapshot()
+		live := make([]journal.Record, 0, len(leases))
+		for _, l := range leases {
+			live = append(live, journal.Record{
+				Op:        journal.OpAlloc,
+				Lease:     l.id,
+				Name:      l.name,
+				Attr:      l.attr,
+				Initiator: l.initiator,
+				Key:       l.key,
+				Size:      l.size,
+				TTLMillis: uint64(l.getTTL() / time.Millisecond),
+				Segments:  segmentsOf(l.buf),
+			})
+		}
+		return live, s.leases.next.Load(), nil
+	})
+	if err != nil {
+		s.metrics.CheckpointFailed.Add(1)
+		return err
+	}
+	s.metrics.CheckpointTotal.Add(1)
+	return nil
+}
+
+// maybeRebalance starts one paced rebalance toward a node that just
+// returned to healthy, unless one is already running for it.
+func (s *Server) maybeRebalance(nodeOS int) {
+	if s.cfg.RebalanceInterval <= 0 {
+		return
+	}
+	s.rebalMu.Lock()
+	if s.rebalancing[nodeOS] {
+		s.rebalMu.Unlock()
+		return
+	}
+	s.rebalancing[nodeOS] = true
+	s.rebalMu.Unlock()
+	s.wg.Add(1)
+	go s.rebalance(nodeOS)
+}
+
+// rebalance migrates leases whose best-ranked target is the healed
+// node (and which have no bytes on it) back onto it, at most
+// RebalanceBudget bytes per batch with RebalanceInterval pauses in
+// between — re-admission must not stampede a node that just recovered.
+// It bails out if the node leaves the healthy state mid-walk.
+func (s *Server) rebalance(nodeOS int) {
+	defer s.wg.Done()
+	defer func() {
+		s.rebalMu.Lock()
+		delete(s.rebalancing, nodeOS)
+		s.rebalMu.Unlock()
+	}()
+	var batch uint64
+	for _, l := range s.leases.snapshot() {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.health.state(nodeOS) != Healthy {
+			return // relapsed; stop sending load at it
+		}
+		if !s.wantsNode(l, nodeOS) {
+			continue
+		}
+		s.ckmu.RLock()
+		l.jmu.Lock()
+		var err error
+		if l.buf.Freed() {
+			err = errNoSuchLease
+		} else {
+			_, _, err = s.migrateLocked(l, l.attr, l.initiator, false)
+		}
+		l.jmu.Unlock()
+		s.ckmu.RUnlock()
+		if err != nil {
+			s.metrics.RebalanceFailed.Add(1)
+			continue
+		}
+		s.metrics.RebalanceTotal.Add(1)
+		s.metrics.RebalanceBytes.Add(l.size)
+		batch += l.size
+		if s.cfg.RebalanceBudget > 0 && batch >= s.cfg.RebalanceBudget {
+			batch = 0
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.RebalanceInterval):
+			}
+		}
+	}
+}
+
+// wantsNode reports whether the lease's best-ranked placement is the
+// given node while the lease holds no bytes there — the signature of a
+// lease that was evacuated (or allocated elsewhere) while the node was
+// down.
+func (s *Server) wantsNode(l *lease, nodeOS int) bool {
+	for _, seg := range l.buf.SegmentsSnapshot() {
+		if seg.Node.OSIndex() == nodeOS {
+			return false
+		}
+	}
+	id, ok := s.sys.Registry.ByName(l.attr)
+	if !ok {
+		return false
+	}
+	ini, err := s.resolveInitiator(l.initiator)
+	if err != nil {
+		return false
+	}
+	cands, _, _, err := s.sys.Allocator.Candidates(id, ini, true)
+	if err != nil || len(cands) == 0 {
+		return false
+	}
+	return cands[0].Target.OSIndex == nodeOS
+}

@@ -19,6 +19,7 @@ const (
 	EpAttrs
 	EpAlloc
 	EpFree
+	EpRenew
 	EpMigrate
 	EpLeases
 	EpMetrics
@@ -27,7 +28,7 @@ const (
 )
 
 var endpointNames = [numEndpoints]string{
-	"topology", "attrs", "alloc", "free", "migrate", "leases", "metrics", "health",
+	"topology", "attrs", "alloc", "free", "renew", "migrate", "leases", "metrics", "health",
 }
 
 func (e Endpoint) String() string { return endpointNames[e] }
@@ -67,6 +68,16 @@ type Metrics struct {
 	IdemReplays        atomic.Uint64 // /alloc responses served from the idempotency table
 	JournalRecords     atomic.Uint64 // records appended or replayed
 	JournalTailDropped atomic.Uint64 // startups that truncated a corrupt tail
+
+	// Lease-lifecycle and durable-state counters.
+	RenewTotal        atomic.Uint64 // /renew heartbeats served
+	LeasesReaped      atomic.Uint64 // expired leases reclaimed by the reaper
+	CheckpointTotal   atomic.Uint64 // completed checkpoint/compactions
+	CheckpointFailed  atomic.Uint64 // checkpoints aborted by an I/O error
+	SnapshotFallbacks atomic.Uint64 // recoveries that used the previous snapshot
+	RebalanceTotal    atomic.Uint64 // leases migrated back onto healed nodes
+	RebalanceFailed   atomic.Uint64 // rebalance migrations that failed
+	RebalanceBytes    atomic.Uint64 // bytes moved by the rebalancer
 }
 
 // NewMetrics creates an empty metrics set.
@@ -126,6 +137,14 @@ func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
 	counter("hetmemd_idempotent_replays_total", m.IdemReplays.Load())
 	counter("hetmemd_journal_records_total", m.JournalRecords.Load())
 	counter("hetmemd_journal_tail_dropped_total", m.JournalTailDropped.Load())
+	counter("hetmemd_renew_total", m.RenewTotal.Load())
+	counter("hetmemd_leases_reaped_total", m.LeasesReaped.Load())
+	counter("hetmemd_checkpoint_total", m.CheckpointTotal.Load())
+	counter("hetmemd_checkpoint_failed_total", m.CheckpointFailed.Load())
+	counter("hetmemd_snapshot_fallback_total", m.SnapshotFallbacks.Load())
+	counter("hetmemd_rebalance_total", m.RebalanceTotal.Load())
+	counter("hetmemd_rebalance_failed_total", m.RebalanceFailed.Load())
+	counter("hetmemd_rebalance_bytes_total", m.RebalanceBytes.Load())
 	fmt.Fprintf(&sb, "hetmemd_leases_active %d\n", leases)
 
 	for _, n := range nodes {

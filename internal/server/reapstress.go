@@ -1,0 +1,167 @@
+package server
+
+// ReapStress is the lease-lifecycle acceptance harness: it aims a
+// crowd of crasher clients (allocate TTL leases, then vanish without
+// freeing or heartbeating) and holder clients (allocate and keep
+// heartbeating) at a daemon, waits out the reaping window, and checks
+// the two invariants the orphan reaper promises:
+//
+//   - every abandoned lease is reclaimed within 2×TTL, and
+//   - no heartbeating client ever loses a live lease.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ReapStressOptions configures the harness.
+type ReapStressOptions struct {
+	// Crashers is the number of leases allocated and then abandoned.
+	Crashers int
+	// Holders is the number of leases allocated and heartbeat-renewed
+	// for the whole run.
+	Holders int
+	// LeaseTTL is the TTL requested for every lease. The daemon must
+	// be configured so this survives clamping (MinLeaseTTL <= LeaseTTL
+	// <= MaxLeaseTTL) and with a ReapInterval well under it.
+	LeaseTTL time.Duration
+	// SizeBytes is each lease's size (default 1 MiB).
+	SizeBytes uint64
+}
+
+// ReapStressReport is the outcome.
+type ReapStressReport struct {
+	Orphaned    int           // leases abandoned
+	Reaped      int           // of those, reclaimed by the deadline
+	ReapedIn    time.Duration // when the last orphan disappeared
+	HoldersKept int           // holder leases still alive at the end
+	HoldersLost int           // holder leases the reaper wrongly took
+}
+
+func (r ReapStressReport) String() string {
+	return fmt.Sprintf("%d/%d orphans reaped in %s, %d/%d heartbeating leases kept",
+		r.Reaped, r.Orphaned, r.ReapedIn.Round(time.Millisecond),
+		r.HoldersKept, r.HoldersKept+r.HoldersLost)
+}
+
+// ReapStress runs the harness against the daemon at base. It returns
+// an error (with the report still filled in) if any orphan outlives
+// 2×TTL or any heartbeating client loses a lease.
+func ReapStress(ctx context.Context, base string, opts ReapStressOptions) (ReapStressReport, error) {
+	if opts.SizeBytes == 0 {
+		opts.SizeBytes = 1 << 20
+	}
+	var rep ReapStressReport
+	ttl := opts.LeaseTTL
+	if ttl <= 0 {
+		return rep, fmt.Errorf("reapstress: LeaseTTL must be > 0")
+	}
+
+	// Crashers: allocate, never heartbeat, never free — the client-side
+	// heartbeater is disabled so the leases are true orphans.
+	crasher := NewClient(base, WithoutHeartbeat())
+	orphans := make(map[uint64]bool, opts.Crashers)
+	for i := 0; i < opts.Crashers; i++ {
+		resp, err := crasher.Alloc(ctx, AllocRequest{
+			Name: fmt.Sprintf("orphan-%d", i), Size: opts.SizeBytes,
+			Attr: "Capacity", Partial: true, Remote: true,
+			TTLSeconds: ttl.Seconds(),
+		})
+		if err != nil {
+			return rep, fmt.Errorf("reapstress: orphan alloc %d: %w", i, err)
+		}
+		if resp.TTLSeconds <= 0 {
+			return rep, fmt.Errorf("reapstress: orphan alloc %d granted no TTL — is the daemon's lease lifecycle on?", i)
+		}
+		orphans[resp.Lease] = true
+	}
+	rep.Orphaned = len(orphans)
+
+	// Holders: same TTL, but the client heartbeats them automatically.
+	holder := NewClient(base)
+	defer holder.Close()
+	held := make([]uint64, 0, opts.Holders)
+	for i := 0; i < opts.Holders; i++ {
+		resp, err := holder.Alloc(ctx, AllocRequest{
+			Name: fmt.Sprintf("holder-%d", i), Size: opts.SizeBytes,
+			Attr: "Capacity", Partial: true, Remote: true,
+			TTLSeconds: ttl.Seconds(),
+		})
+		if err != nil {
+			return rep, fmt.Errorf("reapstress: holder alloc %d: %w", i, err)
+		}
+		held = append(held, resp.Lease)
+	}
+
+	// Watch the lease table until every orphan is gone or 2×TTL is up.
+	start := time.Now()
+	deadline := start.Add(2 * ttl)
+	poll := ttl / 10
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	liveOrphans := func() (int, error) {
+		lr, err := crasher.Leases(ctx, true)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, l := range lr.Leases {
+			if orphans[l.Lease] {
+				n++
+			}
+		}
+		return n, nil
+	}
+	remaining := len(orphans)
+	for time.Now().Before(deadline) {
+		var err error
+		if remaining, err = liveOrphans(); err != nil {
+			return rep, fmt.Errorf("reapstress: polling leases: %w", err)
+		}
+		if remaining == 0 {
+			rep.ReapedIn = time.Since(start)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+	if remaining > 0 {
+		// One last look exactly at the deadline.
+		var err error
+		if remaining, err = liveOrphans(); err != nil {
+			return rep, fmt.Errorf("reapstress: polling leases: %w", err)
+		}
+		rep.ReapedIn = time.Since(start)
+	}
+	rep.Reaped = rep.Orphaned - remaining
+
+	// The holders must all still be renewable — the reaper may never
+	// take a lease whose client is heartbeating.
+	var lost []string
+	for _, id := range held {
+		if _, err := holder.Renew(ctx, id, 0); err != nil {
+			rep.HoldersLost++
+			lost = append(lost, fmt.Sprintf("%d (%v)", id, err))
+			continue
+		}
+		rep.HoldersKept++
+		holder.Free(ctx, id)
+	}
+
+	switch {
+	case remaining > 0 && rep.HoldersLost > 0:
+		return rep, fmt.Errorf("reapstress: %d orphans outlived 2×TTL AND lost heartbeating leases: %s",
+			remaining, strings.Join(lost, ", "))
+	case remaining > 0:
+		return rep, fmt.Errorf("reapstress: %d of %d orphans still alive after 2×TTL (%s)", remaining, rep.Orphaned, 2*ttl)
+	case rep.HoldersLost > 0:
+		return rep, fmt.Errorf("reapstress: reaper took %d heartbeating leases: %s", rep.HoldersLost, strings.Join(lost, ", "))
+	}
+	return rep, nil
+}

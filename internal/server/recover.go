@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hetmem/internal/journal"
 	"hetmem/internal/memsim"
@@ -11,11 +12,16 @@ import (
 // restoreFromJournal folds replayed records into the lease table and
 // re-reserves each live lease's bytes on the machine, reconstructing
 // per-node accounting exactly as it was journaled. The records come
-// from journal.Open, which has already truncated any torn tail, so
-// every record here is internally consistent — but the sequence can
-// still be semantically invalid (a free without an alloc), which is an
-// error: it means the file was tampered with, not torn.
-func (s *Server) restoreFromJournal(recs []journal.Record) error {
+// from journal.OpenStore, which has already truncated any torn tail
+// and stitched the snapshot onto the WAL suffix, so every record here
+// is internally consistent — but the sequence can still be
+// semantically invalid (a free without an alloc), which is an error:
+// it means the file was tampered with, not torn.
+//
+// Restored TTL leases get a fresh full TTL of grace from now: their
+// clients' heartbeats were lost with the crash, and reaping a live
+// client's lease is worse than carrying an orphan one extra TTL.
+func (s *Server) restoreFromJournal(recs []journal.Record, nextLease uint64) error {
 	type pending struct {
 		rec   journal.Record // the alloc record, segments updated by migrates
 		keyed bool
@@ -90,6 +96,8 @@ func (s *Server) restoreFromJournal(recs []journal.Record) error {
 			key:       p.rec.Key,
 			buf:       buf,
 		}
+		l.setTTL(time.Duration(p.rec.TTLMillis) * time.Millisecond)
+		l.renew(time.Now())
 		s.leases.restore(l)
 		if p.keyed {
 			s.idem.restoreDone(p.rec.Key, AllocResponse{
@@ -99,5 +107,6 @@ func (s *Server) restoreFromJournal(recs []journal.Record) error {
 			})
 		}
 	}
+	s.leases.floor(nextLease)
 	return nil
 }

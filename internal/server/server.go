@@ -57,11 +57,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"hetmem/internal/alloc"
 	"hetmem/internal/bitmap"
 	"hetmem/internal/core"
+	"hetmem/internal/faults"
 	"hetmem/internal/journal"
 	"hetmem/internal/lstopo"
 	"hetmem/internal/memsim"
@@ -72,7 +74,8 @@ import (
 // journal-less, non-shedding daemon (the PR-1 behaviour).
 type Config struct {
 	// JournalPath enables the write-ahead lease journal at this path.
-	// Opening replays any existing journal into the lease table.
+	// Opening replays any existing journal (and its checkpoint
+	// snapshots) into the lease table.
 	JournalPath string
 	// SyncEveryAppend fsyncs the journal after every record
 	// (power-failure durability). Appends are always process-crash
@@ -85,6 +88,79 @@ type Config struct {
 	// RetryAfterSeconds is the Retry-After hint on 503 responses
 	// (default 1).
 	RetryAfterSeconds int
+
+	// DefaultLeaseTTL is granted to allocations that do not request a
+	// TTL. 0 means such leases never expire.
+	DefaultLeaseTTL time.Duration
+	// MinLeaseTTL and MaxLeaseTTL clamp client-requested TTLs
+	// (defaults: 1s and 1h). A request below the floor is raised, one
+	// above the ceiling is lowered — never rejected.
+	MinLeaseTTL time.Duration
+	MaxLeaseTTL time.Duration
+	// ReapInterval is how often the orphan reaper scans for expired
+	// leases. 0 disables the reaper (required to be > 0 and no larger
+	// than DefaultLeaseTTL when a default TTL is set, so an orphan is
+	// reclaimed within 2×TTL of its last heartbeat).
+	ReapInterval time.Duration
+
+	// CheckpointEvery runs journal checkpoint/compaction on a timer; 0
+	// disables periodic checkpoints.
+	CheckpointEvery time.Duration
+	// CheckpointMaxWAL additionally triggers a checkpoint whenever the
+	// WAL grows past this many bytes; 0 disables the size trigger.
+	CheckpointMaxWAL int64
+
+	// RebalanceInterval enables healed-node re-admission: when a node
+	// returns to healthy, a paced rebalancer migrates leases whose
+	// best-ranked target is that node back onto it, sleeping this long
+	// between budget-sized batches. 0 disables rebalancing.
+	RebalanceInterval time.Duration
+	// RebalanceBudget caps the bytes migrated per rebalance batch
+	// (default 256 MiB when rebalancing is on).
+	RebalanceBudget uint64
+
+	// FS routes all journal and snapshot I/O; nil means the real
+	// filesystem. Chaos tests install a faults.FaultFS here.
+	FS faults.FS
+}
+
+// validate rejects nonsensical lifecycle configurations at startup,
+// when the operator can still fix them — not hours later when the
+// reaper silently never runs.
+func (c Config) validate() error {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"DefaultLeaseTTL", c.DefaultLeaseTTL},
+		{"MinLeaseTTL", c.MinLeaseTTL},
+		{"MaxLeaseTTL", c.MaxLeaseTTL},
+		{"ReapInterval", c.ReapInterval},
+		{"CheckpointEvery", c.CheckpointEvery},
+		{"RebalanceInterval", c.RebalanceInterval},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("server: config: %s must not be negative (got %v)", d.name, d.v)
+		}
+	}
+	if c.CheckpointMaxWAL < 0 {
+		return fmt.Errorf("server: config: CheckpointMaxWAL must not be negative (got %d)", c.CheckpointMaxWAL)
+	}
+	if c.MinLeaseTTL > 0 && c.MaxLeaseTTL > 0 && c.MinLeaseTTL > c.MaxLeaseTTL {
+		return fmt.Errorf("server: config: MinLeaseTTL %v exceeds MaxLeaseTTL %v", c.MinLeaseTTL, c.MaxLeaseTTL)
+	}
+	if c.DefaultLeaseTTL > 0 {
+		if c.ReapInterval == 0 {
+			return fmt.Errorf("server: config: DefaultLeaseTTL %v without a ReapInterval: expired leases would never be reclaimed", c.DefaultLeaseTTL)
+		}
+		if c.ReapInterval > c.DefaultLeaseTTL {
+			return fmt.Errorf("server: config: ReapInterval %v exceeds DefaultLeaseTTL %v: orphans would outlive 2×TTL", c.ReapInterval, c.DefaultLeaseTTL)
+		}
+	}
+	if (c.ShedWatermark < 0) || (c.ShedWatermark > 1) {
+		return fmt.Errorf("server: config: ShedWatermark %v outside [0, 1]", c.ShedWatermark)
+	}
+	return nil
 }
 
 // Server is the placement daemon's HTTP core. Create one with New or
@@ -97,7 +173,27 @@ type Server struct {
 	mux     *http.ServeMux
 	health  *healthTracker
 	idem    *idemTable
-	journal *journal.Journal
+	store   *journal.Store
+
+	// ckmu orders lease-state mutations against checkpoints: every
+	// path that changes the lease table or journals a record holds the
+	// read side across both steps, and CheckpointNow holds the write
+	// side while capturing the snapshot. The captured table and the
+	// WAL therefore always agree — no alloc can land in the table but
+	// miss both the snapshot and the compacted WAL.
+	ckmu sync.RWMutex
+
+	// Background lifecycle: the reaper, checkpointer, and rebalancer
+	// goroutines park on stop and are waited for in Close.
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+	ckptKick  chan struct{}
+
+	// rebalancing guards one in-flight rebalance per healed node.
+	rebalMu     sync.Mutex
+	rebalancing map[int]bool
 
 	// defaultInitiator is used when a request does not name one: the
 	// whole machine's cpuset.
@@ -120,8 +216,20 @@ func New(sys *core.System) *Server {
 // lease table, per-node accounting, and idempotency results come back
 // exactly as the previous incarnation journaled them.
 func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.RetryAfterSeconds <= 0 {
 		cfg.RetryAfterSeconds = 1
+	}
+	if cfg.MinLeaseTTL == 0 {
+		cfg.MinLeaseTTL = time.Second
+	}
+	if cfg.MaxLeaseTTL == 0 {
+		cfg.MaxLeaseTTL = time.Hour
+	}
+	if cfg.RebalanceInterval > 0 && cfg.RebalanceBudget == 0 {
+		cfg.RebalanceBudget = 256 << 20
 	}
 	var osIdx []int
 	for _, n := range sys.Machine.Nodes() {
@@ -134,21 +242,27 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		metrics:          NewMetrics(),
 		health:           newHealthTracker(osIdx),
 		idem:             newIdemTable(),
+		stop:             make(chan struct{}),
+		ckptKick:         make(chan struct{}, 1),
+		rebalancing:      make(map[int]bool),
 		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
 	}
 	if cfg.JournalPath != "" {
-		j, recs, rec, err := journal.Open(cfg.JournalPath)
+		st, res, err := journal.OpenStore(cfg.JournalPath, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
-		s.journal = j
-		if err := s.restoreFromJournal(recs); err != nil {
-			j.Close()
+		s.store = st
+		if err := s.restoreFromJournal(res.Records, res.NextLease); err != nil {
+			st.Close()
 			return nil, err
 		}
-		s.metrics.JournalRecords.Add(uint64(rec.Records))
-		if rec.Truncated {
+		s.metrics.JournalRecords.Add(uint64(len(res.Records)))
+		if res.WAL.Truncated {
 			s.metrics.JournalTailDropped.Add(1)
+		}
+		if res.UsedFallback {
+			s.metrics.SnapshotFallbacks.Add(1)
 		}
 	}
 	s.mux = http.NewServeMux()
@@ -156,10 +270,12 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /attrs", s.instrument(EpAttrs, s.handleAttrs))
 	s.mux.HandleFunc("POST /alloc", s.instrument(EpAlloc, s.handleAlloc))
 	s.mux.HandleFunc("POST /free", s.instrument(EpFree, s.handleFree))
+	s.mux.HandleFunc("POST /renew", s.instrument(EpRenew, s.handleRenew))
 	s.mux.HandleFunc("POST /migrate", s.instrument(EpMigrate, s.handleMigrate))
 	s.mux.HandleFunc("GET /leases", s.instrument(EpLeases, s.handleLeases))
 	s.mux.HandleFunc("GET /metrics", s.instrument(EpMetrics, s.handleMetrics))
 	s.mux.HandleFunc("GET /health", s.instrument(EpHealth, s.handleHealth))
+	s.startBackground()
 	return s, nil
 }
 
@@ -176,30 +292,53 @@ func (s *Server) LeaseCount() int { return s.leases.count() }
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close flushes and closes the journal (if any). Call it after the
-// HTTP server has drained — the graceful-shutdown path; abandoning the
-// Server without Close models a crash, which the journal tolerates by
-// design.
+// Close stops the background reaper, checkpointer, and rebalancer,
+// then flushes and closes the journal store (if any). Call it after
+// the HTTP server has drained — the graceful-shutdown path; abandoning
+// the Server without Close models a crash, which the journal tolerates
+// by design.
 func (s *Server) Close() error {
-	if s.journal == nil {
-		return nil
-	}
-	return s.journal.Close()
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		if s.store != nil {
+			s.closeErr = s.store.Close()
+		}
+	})
+	return s.closeErr
 }
 
-// appendJournal writes one record to the journal, if one is open.
-func (s *Server) appendJournal(r journal.Record) error {
-	if s.journal == nil {
-		return nil
+// appendJournal writes one record to the journal, if one is open. The
+// caller must hold s.ckmu (read side) across the lease-table mutation
+// and this append. A size-triggered checkpoint is kicked, never run
+// inline: Checkpoint needs the write side of ckmu.
+//
+// appended reports whether the record reached the WAL: false when the
+// write failed (the Store rolls a torn tail back, so nothing
+// persisted), true when only a subsequent fsync failed — the record is
+// in the file and will replay, even though its durability is
+// unconfirmed. Callers that roll back in-memory state on error use
+// this to decide whether a compensating record is needed.
+func (s *Server) appendJournal(r journal.Record) (appended bool, err error) {
+	if s.store == nil {
+		return false, nil
 	}
-	if err := s.journal.Append(r); err != nil {
-		return fmt.Errorf("server: journal append: %w", err)
+	if err := s.store.Append(r); err != nil {
+		return false, fmt.Errorf("server: journal append: %w", err)
 	}
 	s.metrics.JournalRecords.Add(1)
-	if s.cfg.SyncEveryAppend {
-		return s.journal.Sync()
+	if s.cfg.CheckpointMaxWAL > 0 && s.store.WALBytes() > s.cfg.CheckpointMaxWAL {
+		select {
+		case s.ckptKick <- struct{}{}:
+		default:
+		}
 	}
-	return nil
+	if s.cfg.SyncEveryAppend {
+		if err := s.store.Sync(); err != nil {
+			return true, fmt.Errorf("server: journal sync: %w", err)
+		}
+	}
+	return true, nil
 }
 
 // segmentsOf snapshots a buffer's placement as journal segments.
@@ -437,6 +576,7 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		return AllocResponse{}, err
 	}
 
+	ttl := s.grantTTL(req.TTLSeconds)
 	l := &lease{
 		name:      req.Name,
 		size:      req.Size,
@@ -445,11 +585,16 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		key:       req.IdempotencyKey,
 		buf:       buf,
 	}
+	l.setTTL(ttl)
+	l.renew(time.Now())
 	l.id = s.leases.next.Add(1)
 	// Journal before the lease becomes visible: a lease a client can
 	// see (and free) is always in the log, so replay never meets a
-	// free without its alloc.
-	if err := s.appendJournal(journal.Record{
+	// free without its alloc. The checkpoint lock spans the append and
+	// the table insert, so a concurrent snapshot either misses both
+	// (the record lands in the compacted WAL) or sees both.
+	s.ckmu.RLock()
+	appended, err := s.appendJournal(journal.Record{
 		Op:        journal.OpAlloc,
 		Lease:     l.id,
 		Name:      req.Name,
@@ -457,12 +602,24 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		Initiator: req.Initiator,
 		Key:       req.IdempotencyKey,
 		Size:      req.Size,
+		TTLMillis: uint64(ttl / time.Millisecond),
 		Segments:  segmentsOf(buf),
-	}); err != nil {
+	})
+	if err != nil {
+		if appended {
+			// The alloc record is in the WAL but its fsync failed, and
+			// the client is about to see an error. A compensating free
+			// keeps replay from resurrecting a lease nobody was granted;
+			// if even this best effort fails, the orphan carries a TTL
+			// and the reaper collects it after restart.
+			s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
+		}
+		s.ckmu.RUnlock()
 		s.sys.Machine.Free(buf)
 		return AllocResponse{}, err
 	}
 	s.leases.restore(l)
+	s.ckmu.RUnlock()
 
 	s.metrics.AllocTotal.Add(1)
 	s.metrics.BytesPlaced.Add(req.Size)
@@ -486,7 +643,50 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		Rank:         dec.RankPosition,
 		Partial:      dec.Partial,
 		Remote:       dec.Remote,
+		TTLSeconds:   ttl.Seconds(),
 	}, nil
+}
+
+// grantTTL clamps a requested TTL (seconds; 0 = "daemon's choice")
+// into the configured [min, max] window.
+func (s *Server) grantTTL(reqSeconds float64) time.Duration {
+	d := time.Duration(reqSeconds * float64(time.Second))
+	if d <= 0 {
+		return s.cfg.DefaultLeaseTTL
+	}
+	if d < s.cfg.MinLeaseTTL {
+		d = s.cfg.MinLeaseTTL
+	}
+	if d > s.cfg.MaxLeaseTTL {
+		d = s.cfg.MaxLeaseTTL
+	}
+	return d
+}
+
+// handleRenew is the lease heartbeat: it pushes the expiry another TTL
+// into the future. Renewals are deliberately not journaled — a restart
+// grants every restored lease a fresh TTL of grace, so the WAL stays
+// free of high-frequency heartbeat traffic.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeRenewRequest(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	l, ok := s.leases.get(req.Lease)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		return
+	}
+	if req.TTLSeconds > 0 {
+		l.setTTL(s.grantTTL(req.TTLSeconds))
+	}
+	l.renew(time.Now())
+	s.metrics.RenewTotal.Add(1)
+	writeJSON(w, http.StatusOK, RenewResponse{
+		Lease:      l.id,
+		TTLSeconds: l.getTTL().Seconds(),
+	})
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
@@ -495,17 +695,27 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	// The checkpoint lock spans removal, free, and journal append: a
+	// snapshot either still holds the lease (and its free lands in the
+	// fresh WAL) or holds neither.
+	s.ckmu.RLock()
 	l, ok := s.leases.take(req.Lease)
 	if !ok {
+		s.ckmu.RUnlock()
 		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
 	l.jmu.Lock()
 	err = s.sys.Machine.Free(l.buf)
 	if err == nil {
-		err = s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
+		// On failure here the memory is already released but the WAL may
+		// still say the lease is alive; restart resurrects it as an
+		// orphan with a fresh TTL and the reaper collects it. The client
+		// sees an error, so the free was never acknowledged.
+		_, err = s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
 	}
 	l.jmu.Unlock()
+	s.ckmu.RUnlock()
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -535,9 +745,11 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
+	s.ckmu.RLock()
 	l.jmu.Lock()
 	cost, dec, err := s.migrateLocked(l, req.Attr, req.Initiator, req.Remote)
 	l.jmu.Unlock()
+	s.ckmu.RUnlock()
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -582,8 +794,8 @@ func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	states := s.health.snapshot()
 	resp := HealthResponse{Status: "ok", ShedWatermark: s.cfg.ShedWatermark}
-	if s.journal != nil {
-		resp.Journal = s.journal.Path()
+	if s.store != nil {
+		resp.Journal = s.store.Base()
 	}
 	used, total := s.pressure()
 	if total > 0 {
@@ -616,4 +828,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.metrics.Render(sortedNodeUsage(nodes), s.leases.count()))
+	if s.store != nil {
+		fmt.Fprintf(w, "hetmemd_wal_bytes %d\n", s.store.WALBytes())
+		fmt.Fprintf(w, "hetmemd_checkpoint_seq %d\n", s.store.Seq())
+	}
 }

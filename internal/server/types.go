@@ -45,6 +45,12 @@ type AllocRequest struct {
 	// second /alloc with the same key returns the first one's lease
 	// instead of allocating again. Keys live until the lease is freed.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// TTLSeconds asks for a lease time-to-live (fractional seconds;
+	// the daemon clamps it into its configured window). 0 defers to
+	// the daemon's default, which may be "never expires". A TTL lease
+	// must be renewed via /renew before it expires, or the orphan
+	// reaper frees it.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
 // AllocResponse reports a placement and the lease that owns it.
@@ -61,6 +67,23 @@ type AllocResponse struct {
 	Rank    int  `json:"rank"`
 	Partial bool `json:"partial,omitempty"`
 	Remote  bool `json:"remote,omitempty"`
+	// TTLSeconds is the granted time-to-live (possibly clamped from
+	// the request); 0 means the lease never expires.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// RenewRequest is a lease heartbeat: it pushes the lease's expiry one
+// TTL into the future. TTLSeconds optionally changes the TTL (clamped
+// like an alloc's); 0 keeps the granted one.
+type RenewRequest struct {
+	Lease      uint64  `json:"lease"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// RenewResponse acknowledges a heartbeat with the TTL now in force.
+type RenewResponse struct {
+	Lease      uint64  `json:"lease"`
+	TTLSeconds float64 `json:"ttl_seconds"`
 }
 
 // FreeRequest releases a lease.
@@ -189,6 +212,9 @@ func DecodeAllocRequest(r io.Reader) (AllocRequest, error) {
 	default:
 		return AllocRequest{}, fmt.Errorf("%w: unknown policy %q", ErrBadRequest, req.Policy)
 	}
+	if req.TTLSeconds < 0 {
+		return AllocRequest{}, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
+	}
 	if _, err := parseInitiator(req.Initiator); err != nil {
 		return AllocRequest{}, err
 	}
@@ -203,6 +229,21 @@ func DecodeFreeRequest(r io.Reader) (FreeRequest, error) {
 	}
 	if req.Lease == 0 {
 		return FreeRequest{}, fmt.Errorf("%w: missing lease", ErrBadRequest)
+	}
+	return req, nil
+}
+
+// DecodeRenewRequest parses and validates a /renew body.
+func DecodeRenewRequest(r io.Reader) (RenewRequest, error) {
+	var req RenewRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return RenewRequest{}, err
+	}
+	if req.Lease == 0 {
+		return RenewRequest{}, fmt.Errorf("%w: missing lease", ErrBadRequest)
+	}
+	if req.TTLSeconds < 0 {
+		return RenewRequest{}, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
 	}
 	return req, nil
 }
