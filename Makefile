@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench repro cover fuzz chaos reapstress clean
+.PHONY: all build vet test race bench bench-alloc repro cover fuzz chaos reapstress clean
 
 all: build vet test
 
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The /alloc fast-path acceptance run: baseline (fsync per record, no
+# candidate cache) vs fast (group commit + cache) at 32 clients,
+# recorded in BENCH_alloc.json.
+bench-alloc:
+	$(GO) run ./cmd/hetmemd bench -clients 32 -out BENCH_alloc.json
 
 repro:
 	$(GO) run ./cmd/repro

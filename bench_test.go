@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	"hetmem/internal/alloc"
@@ -299,6 +300,123 @@ func BenchmarkServerAlloc(b *testing.B) {
 	b.StopTimer()
 	// Two HTTP requests per iteration.
 	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// benchClients is the concurrency the journal benchmarks model: the
+// PR-4 acceptance criterion is measured at 32 concurrent clients,
+// where group commit amortizes its linger across a full batch. (At 1
+// client the linger is pure overhead — group commit trades a little
+// latency for a lot of throughput.)
+const benchClients = 32
+
+// benchServerAllocConfig runs the BenchmarkServerAlloc loop against a
+// daemon with the given durability configuration, so the journal
+// strategies can be compared on the same harness.
+func benchServerAllocConfig(b *testing.B, cfg server.Config) {
+	b.Helper()
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.NewWithConfig(sys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		cl := server.NewClient(ts.URL, server.WithRetryPolicy(server.NoRetry))
+		for pb.Next() {
+			resp, err := cl.Alloc(ctx, server.AllocRequest{
+				Name: "bench", Size: 1 << 20, Attr: "Bandwidth", Initiator: "0-19",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cl.Free(ctx, resp.Lease); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerAllocJournalSyncEach is the durable pre-fast-path
+// daemon: one fsync per journaled record, candidate cache off. This is
+// the baseline the PR-4 speedup is measured against.
+func BenchmarkServerAllocJournalSyncEach(b *testing.B) {
+	benchServerAllocConfig(b, server.Config{
+		JournalPath:           b.TempDir() + "/bench.wal",
+		SyncEveryAppend:       true,
+		DisableCandidateCache: true,
+	})
+}
+
+// BenchmarkServerAllocJournalGroupCommit is the fast path: concurrent
+// appends share one fsync and placements hit the ranked-candidate
+// cache, with the same durability guarantee as SyncEveryAppend.
+func BenchmarkServerAllocJournalGroupCommit(b *testing.B) {
+	benchServerAllocConfig(b, server.Config{
+		JournalPath: b.TempDir() + "/bench.wal",
+		GroupCommit: true,
+	})
+}
+
+// BenchmarkServerAllocBatch drives the same load through
+// /v1/alloc/batch: 16 placements per round trip, one journal batch
+// each.
+func BenchmarkServerAllocBatch(b *testing.B) {
+	const perBatch = 16
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.NewWithConfig(sys, server.Config{
+		JournalPath: b.TempDir() + "/bench.wal",
+		GroupCommit: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reqs := make([]server.AllocRequest, perBatch)
+	for i := range reqs {
+		reqs[i] = server.AllocRequest{
+			Name: "bench", Size: 1 << 20, Attr: "Bandwidth", Initiator: "0-19",
+		}
+	}
+	b.SetParallelism((benchClients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		cl := server.NewClient(ts.URL, server.WithRetryPolicy(server.NoRetry))
+		for pb.Next() {
+			resp, err := cl.AllocBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, it := range resp.Results {
+				if it.Error != nil {
+					b.Fatalf("batch item failed: %s", it.Error.Message)
+				}
+				if err := cl.Free(ctx, it.Alloc.Lease); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	// perBatch allocations per iteration.
+	b.ReportMetric(float64(perBatch*b.N)/b.Elapsed().Seconds(), "allocs/s")
 }
 
 // BenchmarkAblation_AllocatorOverhead measures the cost of one

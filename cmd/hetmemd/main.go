@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -50,7 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|reapstress|platforms> [flags] (-h for flags)")
+		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|reapstress|bench|platforms> [flags] (-h for flags)")
 	}
 	switch args[0] {
 	case "serve":
@@ -61,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		return runChaostest(args[1:], out)
 	case "reapstress":
 		return runReapstress(args[1:], out)
+	case "bench":
+		return runBench(args[1:], out)
 	case "platforms":
 		for _, n := range platform.Names() {
 			p, err := platform.Get(n)
@@ -71,7 +76,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, chaostest, or platforms)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, chaostest, reapstress, bench, or platforms)", args[0])
 	}
 }
 
@@ -132,6 +137,10 @@ func runServe(args []string, out io.Writer) error {
 		forceBench = fs.Bool("force-bench", false, "benchmark attributes even when the firmware has an HMAT")
 		journal    = fs.String("journal", "", "write-ahead lease journal path (empty: no durability)")
 		syncEvery  = fs.Bool("journal-sync", false, "fsync the journal after every record")
+		groupC     = fs.Bool("group-commit", false, "coalesce concurrent journal appends into one fsync (needs -journal)")
+		groupBatch = fs.Int("group-commit-batch", 0, "max records per coalesced fsync (0: 64)")
+		groupWait  = fs.Duration("group-commit-linger", 0, "how long the batch leader waits for followers (0: 1ms, max 10ms)")
+		noCache    = fs.Bool("no-candidate-cache", false, "disable the ranked-candidate cache (re-rank every placement)")
 		shed       = fs.Float64("shed", 0.95, "admission-control watermark in (0,1]; 0 disables shedding")
 		leaseTTL   = fs.Duration("lease-ttl", 0, "default lease TTL (0: leases never expire)")
 		maxTTL     = fs.Duration("max-lease-ttl", 0, "ceiling for client-requested TTLs (0: 1h)")
@@ -145,16 +154,20 @@ func runServe(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := server.Config{
-		JournalPath:       *journal,
-		SyncEveryAppend:   *syncEvery,
-		ShedWatermark:     *shed,
-		DefaultLeaseTTL:   *leaseTTL,
-		MaxLeaseTTL:       *maxTTL,
-		ReapInterval:      *reapEvery,
-		CheckpointEvery:   *ckptEvery,
-		CheckpointMaxWAL:  *ckptBytes,
-		RebalanceInterval: *rebalEvery,
-		RebalanceBudget:   *rebalBytes,
+		JournalPath:           *journal,
+		SyncEveryAppend:       *syncEvery,
+		GroupCommit:           *groupC,
+		GroupCommitBatch:      *groupBatch,
+		GroupCommitLinger:     *groupWait,
+		DisableCandidateCache: *noCache,
+		ShedWatermark:         *shed,
+		DefaultLeaseTTL:       *leaseTTL,
+		MaxLeaseTTL:           *maxTTL,
+		ReapInterval:          *reapEvery,
+		CheckpointEvery:       *ckptEvery,
+		CheckpointMaxWAL:      *ckptBytes,
+		RebalanceInterval:     *rebalEvery,
+		RebalanceBudget:       *rebalBytes,
 	}
 	if err := validateServeConfig(cfg); err != nil {
 		return err
@@ -174,6 +187,9 @@ func validateServeConfig(cfg server.Config) error {
 	}
 	if (cfg.CheckpointEvery > 0 || cfg.CheckpointMaxWAL > 0) && cfg.JournalPath == "" {
 		return fmt.Errorf("-checkpoint-every/-checkpoint-bytes need -journal: there is nothing to compact without a WAL")
+	}
+	if cfg.GroupCommit && cfg.JournalPath == "" {
+		return fmt.Errorf("-group-commit needs -journal: there is nothing to commit without a WAL")
 	}
 	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 {
 		return fmt.Errorf("duration and byte flags must not be negative")
@@ -268,6 +284,109 @@ func runLoadtest(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	}
+	return nil
+}
+
+// runBench is the PR-4 acceptance measurement: the same alloc/free
+// load against the durable daemon in its pre-fast-path configuration
+// (fsync per record, no candidate cache) and in the fast-path one
+// (group commit + cache), plus the batched endpoint. Results land in a
+// JSON artifact (BENCH_alloc.json) for CI to archive.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd bench", flag.ContinueOnError)
+	var (
+		platName = fs.String("p", "xeon", "platform for the daemon under test")
+		clients  = fs.Int("clients", 32, "concurrent client goroutines")
+		requests = fs.Int("requests", 200, "allocations per client")
+		size     = fs.Uint64("size", 1<<20, "bytes per allocation")
+		batch    = fs.Int("batch", 16, "items per /v1/alloc/batch round trip in the batch run (0: skip)")
+		trials   = fs.Int("trials", 3, "interleaved trials per configuration; the median throughput is reported")
+		outPath  = fs.String("out", "BENCH_alloc.json", "JSON artifact path (empty: stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hetmemd-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The bench process hosts daemon and clients together, so GC runs
+	// steal cycles from both sides of every configuration equally; a
+	// laxer GC target keeps the measurement about the request path.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	ctx := context.Background()
+	runs := []struct {
+		name string
+		opts server.BenchOptions
+	}{
+		{"baseline", server.BenchOptions{Server: server.Config{
+			JournalPath:           filepath.Join(dir, "baseline.wal"),
+			SyncEveryAppend:       true,
+			DisableCandidateCache: true,
+		}}},
+		{"fast", server.BenchOptions{Server: server.Config{
+			JournalPath: filepath.Join(dir, "fast.wal"),
+			GroupCommit: true,
+		}}},
+	}
+	if *batch > 1 {
+		runs = append(runs, struct {
+			name string
+			opts server.BenchOptions
+		}{"fast_batch", server.BenchOptions{Batch: *batch, Server: server.Config{
+			JournalPath: filepath.Join(dir, "batch.wal"),
+			GroupCommit: true,
+		}}})
+	}
+
+	report := server.BenchReport{
+		Benchmark: "server_alloc",
+		Platform:  *platName,
+		Clients:   *clients,
+	}
+	if *trials < 1 {
+		*trials = 1
+	}
+	// Interleave the trials (baseline, fast, ... then again) instead of
+	// running each configuration back to back, so slow-disk phases and
+	// page-cache warmth spread evenly across configurations; the median
+	// trial per configuration is what lands in the report.
+	samples := make([][]server.BenchResult, len(runs))
+	for trial := 0; trial < *trials; trial++ {
+		for i, r := range runs {
+			r.opts.Platform = *platName
+			r.opts.Clients = *clients
+			r.opts.Requests = *requests
+			r.opts.SizeBytes = *size
+			res, err := server.RunAllocBench(ctx, r.name, r.opts)
+			if err != nil {
+				return fmt.Errorf("bench %s: %w", r.name, err)
+			}
+			samples[i] = append(samples[i], res)
+		}
+	}
+	for _, trials := range samples {
+		res := server.MedianResult(trials)
+		fmt.Fprintf(out, "hetmemd: bench %s\n", res)
+		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) >= 2 {
+		report.Speedup = report.Results[1].AllocsPerSec / report.Results[0].AllocsPerSec
+		fmt.Fprintf(out, "hetmemd: bench fast/baseline speedup %.2fx\n", report.Speedup)
+	}
+	if *outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hetmemd: bench report written to %s\n", *outPath)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -62,20 +63,40 @@ func main() {
 	}
 
 	// Three buffers, three needs — the daemon picks the technology.
-	fmt.Println("\nallocating by attribute (initiator: PUs 0-19):")
-	var leases []uint64
-	for _, req := range []server.AllocRequest{
+	// One /v1/alloc/batch round trip places them all: one HTTP
+	// request, one journal write on the daemon side.
+	fmt.Println("\nallocating by attribute (initiator: PUs 0-19, one batch):")
+	batch, err := cl.AllocBatch(ctx, []server.AllocRequest{
 		{Name: "frontier", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"},
 		{Name: "index", Size: 1 << 30, Attr: "Latency", Initiator: "0-19"},
 		{Name: "log", Size: 200 << 30, Attr: "Capacity", Initiator: "0-19"},
-	} {
-		resp, err := cl.Alloc(ctx, req)
-		if err != nil {
-			log.Fatal(err)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var leases []uint64
+	for _, item := range batch.Results {
+		if item.Error != nil {
+			log.Fatalf("batch item failed: %s: %s", item.Error.Code, item.Error.Message)
 		}
-		fmt.Printf("  %-9s %-9s -> %-10s (lease %d, rank %d)\n",
-			req.Name, req.Attr, resp.Placement, resp.Lease, resp.Rank)
-		leases = append(leases, resp.Lease)
+		fmt.Printf("  -> %-10s (lease %d, rank %d)\n",
+			item.Alloc.Placement, item.Alloc.Lease, item.Alloc.Rank)
+		leases = append(leases, item.Alloc.Lease)
+	}
+
+	// v1 errors are typed: switch on the code with errors.Is/As, not
+	// on message text.
+	_, err = cl.Alloc(ctx, server.AllocRequest{Name: "typo", Size: 1, Attr: "Bandwdith", Initiator: "0-19"})
+	switch {
+	case errors.Is(err, server.ErrCodeBadRequest):
+		var apiErr *server.APIError
+		errors.As(err, &apiErr)
+		fmt.Printf("\ntyped error demo: HTTP %d, code %q, retryable=%v\n",
+			apiErr.StatusCode, apiErr.Code, apiErr.Retryable)
+	case err == nil:
+		log.Fatal("alloc of a misspelled attribute should have failed")
+	default:
+		log.Fatal(err)
 	}
 
 	// A phase change: the frontier becomes capacity-bound.

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"hetmem/internal/bitmap"
 	"hetmem/internal/memattr"
@@ -148,11 +149,18 @@ func skippable(err error) bool {
 type Allocator struct {
 	m   *memsim.Machine
 	reg *memattr.Registry
+
+	// cache memoizes Candidates rankings (see cache.go); localGen is
+	// the allocator's own invalidation counter, added to the machine's
+	// placement generation.
+	cache    *candCache
+	localGen atomic.Uint64
 }
 
-// New creates an allocator.
+// New creates an allocator. The ranked-candidate cache is on by
+// default; see DisableCandidateCache and InvalidateCandidates.
 func New(m *memsim.Machine, reg *memattr.Registry) *Allocator {
-	return &Allocator{m: m, reg: reg}
+	return &Allocator{m: m, reg: reg, cache: newCandCache()}
 }
 
 // Machine returns the underlying machine.
@@ -165,7 +173,40 @@ func (a *Allocator) Registry() *memattr.Registry { return a.reg }
 // the initiator optimizing attr: local nodes in attribute order,
 // followed — when remote is set — by the remaining nodes in attribute
 // order. It also reports the attribute actually used after fallback.
+//
+// Results are memoized per (attribute, initiator, remote) until the
+// machine's placement generation moves, so the returned slice may be
+// shared with the cache and other callers: treat it as read-only.
 func (a *Allocator) Candidates(attr memattr.ID, initiator *bitmap.Bitmap, remote bool) ([]memattr.TargetValue, memattr.ID, bool, error) {
+	cache := a.cache
+	if initiator == nil {
+		cache = nil // nothing to key on; rank uncached
+	}
+	var key candKey
+	var gen uint64
+	if cache != nil {
+		gen = a.cacheGen()
+		key = candKey{attr: attr, ini: initiator.Hash(), remote: remote}
+		if e, ok := cache.lookup(key, gen, initiator); ok {
+			cache.hits.Add(1)
+			return e.ranked, e.used, e.fell, nil
+		}
+		cache.misses.Add(1)
+	}
+	ranked, used, fell, err := a.rankCandidates(attr, initiator, remote)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if cache != nil {
+		cache.store(key, &candEntry{
+			gen: gen, ini: initiator.Copy(), ranked: ranked, used: used, fell: fell,
+		})
+	}
+	return ranked, used, fell, nil
+}
+
+// rankCandidates is the uncached ranking Candidates memoizes.
+func (a *Allocator) rankCandidates(attr memattr.ID, initiator *bitmap.Bitmap, remote bool) ([]memattr.TargetValue, memattr.ID, bool, error) {
 	used, fell, err := a.reg.ResolveWithFallback(attr)
 	if err != nil {
 		return nil, 0, false, err

@@ -358,3 +358,26 @@ func BenchmarkNextIteration(b *testing.B) {
 		}
 	}
 }
+
+func TestHash(t *testing.T) {
+	a := NewFromRange(0, 15)
+	b := NewFromRange(0, 15)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("equal bitmaps must hash equally: %x vs %x", a.Hash(), b.Hash())
+	}
+	c := NewFromRange(0, 16)
+	if a.Hash() == c.Hash() {
+		t.Fatalf("different bitmaps should (almost always) hash differently")
+	}
+	// Trailing zero words must not change the hash: a bitmap that grew
+	// and shrank hashes like one that never grew.
+	d := New()
+	d.Set(1000)
+	d.Clr(1000)
+	d.Set(3)
+	e := New()
+	e.Set(3)
+	if d.Hash() != e.Hash() {
+		t.Fatalf("trailing zero words changed the hash: %x vs %x", d.Hash(), e.Hash())
+	}
+}

@@ -1,0 +1,196 @@
+package journal
+
+// Group commit: concurrent durable appends coalesce into one
+// write+fsync. N racing /alloc requests each need their record on
+// stable storage before the daemon may answer; paying N fsyncs
+// serializes the hot path on the disk. Instead, the first arrival
+// becomes the batch leader, lingers briefly so followers can pile in
+// (bounded by the batch size), then writes every pending frame in a
+// single contiguous write and fsyncs once. All waiters share the
+// outcome.
+//
+// The WAL invariants survive unchanged: frames from one flush are one
+// contiguous write, a failed write is rolled back to the last whole
+// frame exactly like Append, and a torn tail is still truncated on
+// replay. Journal-before-visible holds because AppendDurable returns
+// only after the shared fsync.
+
+import (
+	"sync"
+	"time"
+)
+
+// Group-commit tuning bounds. Lingers outside (0, maxLinger] and batch
+// sizes < 1 are clamped, so a misconfigured daemon degrades to
+// per-record commits instead of stalling.
+const (
+	DefaultGroupBatch  = 64
+	DefaultGroupLinger = time.Millisecond
+	maxGroupLinger     = 10 * time.Millisecond
+)
+
+// gcWaiter is one enqueued record waiting for the shared flush.
+type gcWaiter struct {
+	frame    []byte
+	appended bool
+	err      error
+	done     chan struct{}
+}
+
+// groupCommit is the leader/follower batcher attached to a Store.
+type groupCommit struct {
+	maxBatch int
+	linger   time.Duration
+	onFlush  func(batched int) // observability hook (metrics histogram)
+
+	mu      sync.Mutex
+	pending []*gcWaiter
+	leader  bool
+	full    chan struct{} // kicked when pending reaches maxBatch
+}
+
+// EnableGroupCommit turns on group commit for AppendDurable: up to
+// maxBatch records (default 64) are coalesced per fsync, with the
+// leader lingering up to linger (default 1ms, capped at 10ms) for
+// followers. onFlush, if non-nil, observes every flush's batch size.
+// Call before serving traffic; not safe to toggle concurrently with
+// appends.
+func (s *Store) EnableGroupCommit(maxBatch int, linger time.Duration, onFlush func(batched int)) {
+	if maxBatch < 1 {
+		maxBatch = DefaultGroupBatch
+	}
+	if linger <= 0 {
+		linger = DefaultGroupLinger
+	}
+	if linger > maxGroupLinger {
+		linger = maxGroupLinger
+	}
+	s.gc = &groupCommit{
+		maxBatch: maxBatch,
+		linger:   linger,
+		onFlush:  onFlush,
+		full:     make(chan struct{}, 1),
+	}
+}
+
+// GroupCommitEnabled reports whether AppendDurable coalesces fsyncs.
+func (s *Store) GroupCommitEnabled() bool { return s.gc != nil }
+
+// AppendDurable appends one record and returns once it is on stable
+// storage. With group commit enabled the fsync is shared with every
+// concurrently appending goroutine; without it this is Append+Sync.
+//
+// Like Server-facing Append semantics: appended=false means the record
+// never reached the WAL (the write was rolled back), appended=true
+// with a non-nil error means the record is in the file but its
+// durability is unconfirmed (the fsync failed) — it will replay.
+func (s *Store) AppendDurable(r Record) (appended bool, err error) {
+	frame, err := encodeFrame(r)
+	if err != nil {
+		return false, err
+	}
+	gc := s.gc
+	if gc == nil {
+		if _, err := s.appendFrames([][]byte{frame}, true); err != nil {
+			return s.frameInFile(err), err
+		}
+		return true, nil
+	}
+
+	w := &gcWaiter{frame: frame, done: make(chan struct{})}
+	gc.mu.Lock()
+	gc.pending = append(gc.pending, w)
+	if !gc.leader {
+		gc.leader = true
+		gc.mu.Unlock()
+		s.lead(gc)
+	} else {
+		if len(gc.pending) >= gc.maxBatch {
+			select {
+			case gc.full <- struct{}{}:
+			default:
+			}
+		}
+		gc.mu.Unlock()
+	}
+	<-w.done
+	return w.appended, w.err
+}
+
+// lead runs one group-commit round: linger (unless the batch is
+// already full), claim the pending batch, flush it, wake everyone.
+func (s *Store) lead(gc *groupCommit) {
+	gc.mu.Lock()
+	full := len(gc.pending) >= gc.maxBatch
+	gc.mu.Unlock()
+	if !full {
+		t := time.NewTimer(gc.linger)
+		select {
+		case <-t.C:
+		case <-gc.full:
+			t.Stop()
+		}
+	}
+
+	gc.mu.Lock()
+	batch := gc.pending
+	gc.pending = nil
+	gc.leader = false
+	select { // drop a stale full-kick meant for this round
+	case <-gc.full:
+	default:
+	}
+	gc.mu.Unlock()
+
+	frames := make([][]byte, len(batch))
+	for i, w := range batch {
+		frames[i] = w.frame
+	}
+	_, err := s.appendFrames(frames, true)
+	if gc.onFlush != nil {
+		gc.onFlush(len(batch))
+	}
+	appended := err == nil || s.frameInFile(err)
+	for _, w := range batch {
+		w.appended, w.err = appended, err
+		close(w.done)
+	}
+}
+
+// frameInFile reports whether a failed appendFrames left the frames in
+// the WAL (only the fsync failed) rather than rolled back.
+func (s *Store) frameInFile(err error) bool {
+	_, ok := err.(*syncError)
+	return ok
+}
+
+// syncError marks an appendFrames failure where the write landed but
+// the fsync did not: the records are in the file and will replay.
+type syncError struct{ err error }
+
+func (e *syncError) Error() string { return "journal: sync: " + e.err.Error() }
+func (e *syncError) Unwrap() error { return e.err }
+
+// AppendBatch frames and writes many records as one contiguous write,
+// optionally followed by a single fsync — the journal side of the
+// /v1/alloc/batch endpoint: one batch, one write, one fsync, no matter
+// how many placements it carries. Same appended semantics as
+// AppendDurable; all-or-nothing on the write (a failed write rolls the
+// whole batch back).
+func (s *Store) AppendBatch(recs []Record, sync bool) (appended bool, err error) {
+	if len(recs) == 0 {
+		return false, nil
+	}
+	frames := make([][]byte, len(recs))
+	for i, r := range recs {
+		f, err := encodeFrame(r)
+		if err != nil {
+			return false, err
+		}
+		frames[i] = f
+	}
+	if _, err := s.appendFrames(frames, sync); err != nil {
+		return s.frameInFile(err), err
+	}
+	return true, nil
+}

@@ -83,6 +83,9 @@ type Store struct {
 	base string
 	fs   faults.FS
 
+	// gc, when set, coalesces AppendDurable fsyncs (see groupcommit.go).
+	gc *groupCommit
+
 	mu       sync.Mutex
 	f        faults.File
 	seq      uint64 // snapshot sequence the live WAL is anchored to
@@ -285,26 +288,49 @@ func (s *Store) Append(r Record) error {
 	if err != nil {
 		return err
 	}
+	_, err = s.appendFrames([][]byte{frame}, false)
+	return err
+}
+
+// appendFrames writes the given frames as one contiguous write under
+// the append lock, with the same rollback-on-failure contract as
+// Append, optionally followed by an fsync. An fsync failure is
+// reported as a *syncError so callers can tell "in the file but
+// unconfirmed" from "rolled back".
+func (s *Store) appendFrames(frames [][]byte, sync bool) (int, error) {
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	buf := make([]byte, 0, total)
+	for _, f := range frames {
+		buf = append(buf, f...)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
-	n, err := s.f.Write(frame)
+	n, err := s.f.Write(buf)
 	if err != nil {
 		if n > 0 {
 			if terr := s.f.Truncate(s.walBytes); terr != nil {
 				s.walBytes += int64(n)
-				return fmt.Errorf("journal: torn append not rolled back (%v): %w", terr, err)
+				return n, fmt.Errorf("journal: torn append not rolled back (%v): %w", terr, err)
 			}
 			if _, serr := s.f.Seek(s.walBytes, io.SeekStart); serr != nil {
-				return fmt.Errorf("journal: seek after rollback (%v): %w", serr, err)
+				return 0, fmt.Errorf("journal: seek after rollback (%v): %w", serr, err)
 			}
 		}
-		return err
+		return 0, err
 	}
 	s.walBytes += int64(n)
-	return nil
+	if sync {
+		if err := s.f.Sync(); err != nil {
+			return n, &syncError{err}
+		}
+	}
+	return n, nil
 }
 
 // Sync flushes the WAL to stable storage.

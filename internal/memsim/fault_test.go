@@ -132,3 +132,53 @@ func TestPerfFactorsDegradeMigrationCost(t *testing.T) {
 		t.Fatalf("cost after reset = %g, want %g", got, nominal)
 	}
 }
+
+// TestGenerationBumpsOnFaultState: every placement-relevant fault
+// setter must advance the machine's placement generation (the
+// allocator's candidate cache keys on it), while plain alloc/free
+// traffic must not.
+func TestGenerationBumpsOnFaultState(t *testing.T) {
+	m := faultMachine(t)
+	n := m.Nodes()[0]
+	g := m.Generation()
+
+	n.SetOffline(true)
+	if m.Generation() <= g {
+		t.Fatalf("SetOffline did not bump the generation")
+	}
+	g = m.Generation()
+	n.SetOffline(false)
+	if m.Generation() <= g {
+		t.Fatalf("clearing offline did not bump the generation")
+	}
+	g = m.Generation()
+	n.SetCapacityLimit(1 << 30)
+	if m.Generation() <= g {
+		t.Fatalf("SetCapacityLimit did not bump the generation")
+	}
+	g = m.Generation()
+	n.SetPerfFactors(0.5, 2)
+	if m.Generation() <= g {
+		t.Fatalf("SetPerfFactors did not bump the generation")
+	}
+
+	// Byte-level use is not a ranking input: alloc/free must not
+	// invalidate cached rankings.
+	g = m.Generation()
+	buf, err := m.Alloc("gen", 1<<20, m.Nodes()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() != g {
+		t.Fatalf("alloc/free moved the generation from %d to %d", g, m.Generation())
+	}
+
+	g = m.Generation()
+	m.BumpGeneration()
+	if m.Generation() != g+1 {
+		t.Fatalf("BumpGeneration: got %d, want %d", m.Generation(), g+1)
+	}
+}

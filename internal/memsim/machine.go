@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hetmem/internal/topology"
 )
@@ -35,6 +36,12 @@ var (
 type Node struct {
 	Obj   *topology.Object
 	Model NodeModel
+
+	// gen points at the owning machine's placement generation; fault
+	// setters bump it so ranked-candidate caches above (internal/alloc)
+	// know the machine's placement inputs changed. Nil for a Node built
+	// outside NewMachine.
+	gen *atomic.Uint64
 
 	mu        sync.Mutex // guards allocated and the fault state below
 	allocated uint64
@@ -95,6 +102,14 @@ func (n *Node) Available() uint64 {
 	return cap - n.allocated
 }
 
+// bumpGen advances the owning machine's placement generation, if this
+// node belongs to one.
+func (n *Node) bumpGen() {
+	if n.gen != nil {
+		n.gen.Add(1)
+	}
+}
+
 // SetOffline marks the node offline (no new reservations) or back
 // online. Releases always succeed, so buffers can be freed or migrated
 // off a dead node.
@@ -102,6 +117,7 @@ func (n *Node) SetOffline(off bool) {
 	n.mu.Lock()
 	n.offline = off
 	n.mu.Unlock()
+	n.bumpGen()
 }
 
 // Offline reports whether the node is offline.
@@ -119,6 +135,7 @@ func (n *Node) SetCapacityLimit(limit uint64) {
 	n.mu.Lock()
 	n.capLimit = limit
 	n.mu.Unlock()
+	n.bumpGen()
 }
 
 // SetPerfFactors injects performance degradation: delivered bandwidth
@@ -129,6 +146,7 @@ func (n *Node) SetPerfFactors(bw, lat float64) {
 	n.mu.Lock()
 	n.bwFactor, n.latFactor = bw, lat
 	n.mu.Unlock()
+	n.bumpGen()
 }
 
 // PerfFactors returns the current degradation multipliers (1, 1 when
@@ -283,6 +301,16 @@ type Machine struct {
 	model MachineModel
 	nodes map[int]*Node // by OS index
 
+	// gen is the machine's placement generation: it advances on every
+	// change that can alter a placement ranking or a node's
+	// admissibility (offline/online, capacity shrink, performance
+	// degradation). Caches of ranked candidates (internal/alloc) compare
+	// generations instead of re-ranking on every allocation. Byte-level
+	// capacity accounting deliberately does NOT bump it: rankings are by
+	// attribute value, and a full node is discovered by the capacity
+	// check at placement time.
+	gen atomic.Uint64
+
 	bufMu   sync.Mutex // guards buffers
 	buffers []*Buffer
 }
@@ -299,7 +327,7 @@ func NewMachine(topo *topology.Topology, model MachineModel) (*Machine, error) {
 		if nm.Kind == "" {
 			nm.Kind = KindOf(obj)
 		}
-		m.nodes[obj.OSIndex] = &Node{Obj: obj, Model: nm}
+		m.nodes[obj.OSIndex] = &Node{Obj: obj, Model: nm, gen: &m.gen}
 	}
 	if m.model.FreqGHz == 0 {
 		m.model.FreqGHz = 2.1
@@ -312,6 +340,16 @@ func NewMachine(topo *topology.Topology, model MachineModel) (*Machine, error) {
 
 // Topology returns the machine's topology.
 func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Generation returns the machine's placement generation (see the field
+// doc). It only ever grows.
+func (m *Machine) Generation() uint64 { return m.gen.Load() }
+
+// BumpGeneration invalidates any ranked-candidate cache built on this
+// machine. The fault setters call it implicitly; callers that mutate
+// placement inputs out-of-band (e.g. editing attribute values on a live
+// registry) bump explicitly.
+func (m *Machine) BumpGeneration() { m.gen.Add(1) }
 
 // Model returns the machine model.
 func (m *Machine) Model() MachineModel { return m.model }

@@ -1,0 +1,200 @@
+package server
+
+// The batch allocation fast path: /v1/alloc/batch places many buffers
+// and journals them as ONE WAL batch — one contiguous write, one fsync
+// — instead of paying a journal round-trip per item. Items are
+// independent: each succeeds or fails on its own, and the response
+// reports per-item outcomes in request order. Only the journal write
+// is all-or-nothing (a failed write rolls the whole batch back and
+// every placed item is unwound).
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/journal"
+)
+
+// batchItem tracks one successfully placed item between placement and
+// journal commit.
+type batchItem struct {
+	idx  int // index into the request (and response) slice
+	l    *lease
+	dec  alloc.Decision
+	resp AllocResponse
+}
+
+func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeBatchAllocRequest(r.Body)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+
+	resp := BatchAllocResponse{Results: make([]BatchAllocItem, len(req.Requests))}
+	fail := func(i int, err error) {
+		_, body := s.errorBody(err)
+		resp.Results[i].Error = &body
+		s.metrics.AllocFailed.Add(1)
+	}
+
+	// Phase 1: place every item. Capacity is claimed under the per-node
+	// locks as each placement lands, so items in the same batch see each
+	// other's usage — a batch cannot oversubscribe a node.
+	var placed []batchItem
+	for i, item := range req.Requests {
+		if err := validateAllocRequest(item); err != nil {
+			fail(i, err)
+			continue
+		}
+		if item.IdempotencyKey != "" {
+			// Idempotency is a single-/alloc contract: replaying "the
+			// batch minus the items that succeeded last time" has no
+			// sound meaning, so batches refuse keyed items outright.
+			fail(i, fmt.Errorf("%w: idempotency_key is not supported in batches", ErrBadRequest))
+			continue
+		}
+		id, ok := s.sys.Registry.ByName(item.Attr)
+		if !ok {
+			fail(i, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, item.Attr))
+			continue
+		}
+		ini, err := s.resolveInitiator(item.Initiator)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		if err := s.admit(item.Size); err != nil {
+			fail(i, err)
+			continue
+		}
+		opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
+		if item.Policy == "bind" {
+			opts = append(opts, alloc.WithPolicy(alloc.Bind))
+		}
+		if item.Partial {
+			opts = append(opts, alloc.WithPartial())
+		}
+		if item.Remote {
+			opts = append(opts, alloc.WithRemote())
+		}
+		buf, dec, err := s.sys.Allocator.Alloc(item.Name, item.Size, id, ini, opts...)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		ttl := s.grantTTL(item.TTLSeconds)
+		l := &lease{
+			name:      item.Name,
+			size:      item.Size,
+			attr:      item.Attr,
+			initiator: item.Initiator,
+			buf:       buf,
+		}
+		l.setTTL(ttl)
+		l.renew(time.Now())
+		l.id = s.leases.next.Add(1)
+		placed = append(placed, batchItem{
+			idx: i, l: l, dec: dec,
+			resp: AllocResponse{
+				Lease:        l.id,
+				Placement:    buf.NodeNames(),
+				AttrUsed:     s.sys.Registry.Name(dec.Used),
+				AttrFellBack: dec.AttrFellBack,
+				Rank:         dec.RankPosition,
+				Partial:      dec.Partial,
+				Remote:       dec.Remote,
+				TTLSeconds:   ttl.Seconds(),
+			},
+		})
+	}
+
+	// Phase 2: one journal batch for every placement, then make the
+	// leases visible. Journal-before-visible holds batch-wide; the
+	// checkpoint lock spans both so a snapshot sees all or none.
+	if len(placed) > 0 {
+		s.ckmu.RLock()
+		if err := s.journalBatch(placed); err != nil {
+			s.ckmu.RUnlock()
+			// The batch write failed (or its fsync did, compensated
+			// inside journalBatch): nothing becomes visible; every
+			// placement is unwound.
+			for _, it := range placed {
+				s.sys.Machine.Free(it.l.buf)
+				fail(it.idx, err)
+			}
+			placed = nil
+		} else {
+			for _, it := range placed {
+				s.leases.restore(it.l)
+			}
+			s.ckmu.RUnlock()
+		}
+	}
+
+	for _, it := range placed {
+		resp.Results[it.idx].Alloc = &it.resp
+		s.metrics.AllocTotal.Add(1)
+		s.metrics.BytesPlaced.Add(it.l.size)
+		if it.dec.RankPosition > 0 {
+			s.metrics.FallbackTotal.Add(1)
+		}
+		if it.dec.AttrFellBack {
+			s.metrics.AttrFallback.Add(1)
+		}
+		if it.dec.Partial {
+			s.metrics.PartialTotal.Add(1)
+		}
+		if it.dec.Remote {
+			s.metrics.RemoteTotal.Add(1)
+		}
+	}
+	for _, it := range resp.Results {
+		if it.Error != nil {
+			resp.Failed++
+		} else {
+			resp.Succeeded++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// journalBatch appends one OpAlloc record per placed item as a single
+// contiguous write plus (when durability is configured) one fsync. The
+// caller holds s.ckmu (read side). On a fsync-only failure the records
+// are in the WAL, so compensating frees keep replay from resurrecting
+// leases nobody was granted.
+func (s *Server) journalBatch(placed []batchItem) error {
+	if s.store == nil {
+		return nil
+	}
+	recs := make([]journal.Record, len(placed))
+	for i, it := range placed {
+		recs[i] = journal.Record{
+			Op:        journal.OpAlloc,
+			Lease:     it.l.id,
+			Name:      it.l.name,
+			Attr:      it.l.attr,
+			Initiator: it.l.initiator,
+			Size:      it.l.size,
+			TTLMillis: uint64(it.l.getTTL() / time.Millisecond),
+			Segments:  segmentsOf(it.l.buf),
+		}
+	}
+	sync := s.cfg.GroupCommit || s.cfg.SyncEveryAppend
+	appended, err := s.store.AppendBatch(recs, sync)
+	if err != nil {
+		if appended {
+			frees := make([]journal.Record, len(placed))
+			for i, it := range placed {
+				frees[i] = journal.Record{Op: journal.OpFree, Lease: it.l.id}
+			}
+			s.store.AppendBatch(frees, sync)
+		}
+		return fmt.Errorf("server: journal batch append: %w", err)
+	}
+	s.journalHousekeeping(len(recs))
+	return nil
+}

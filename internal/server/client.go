@@ -85,10 +85,17 @@ func WithoutHeartbeat() ClientOption {
 
 // NewClient returns a client for the daemon at base, e.g.
 // "http://127.0.0.1:7077".
+//
+// The client keeps its own connection pool sized for talking to one
+// host: http.DefaultTransport caps idle connections per host at 2,
+// which makes every concurrent caller beyond two re-dial TCP on each
+// request — a syscall storm that dominates the daemon's fast path.
 func NewClient(base string, opts ...ClientOption) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 128
 	c := &Client{
 		base:  strings.TrimRight(base, "/"),
-		http:  &http.Client{Timeout: 30 * time.Second},
+		http:  &http.Client{Timeout: 30 * time.Second, Transport: tr},
 		retry: DefaultRetry,
 	}
 	for _, o := range opts {
@@ -109,12 +116,23 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// APIError is a non-2xx daemon response. Use errors.As to get the
-// status code, e.g. to distinguish 503 (retry later) from 507 (the
-// machine is full).
+// APIError is a non-2xx daemon response. Use errors.As to get the full
+// envelope, or errors.Is against the code sentinels —
+//
+//	errors.Is(err, server.ErrCapacityExhausted)
+//	errors.Is(err, server.ErrShedding)
+//
+// — to branch on the stable v1 error code without string matching.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the stable v1 error code ("capacity_exhausted",
+	// "shedding", ...); empty when the daemon predates v1.
+	Code      string
+	Message   string
+	Retryable bool
+	// RetryAfterSeconds is the daemon's retry hint on retryable errors
+	// (0: client's choice).
+	RetryAfterSeconds int
 }
 
 func (e *APIError) Error() string {
@@ -122,6 +140,13 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
 	}
 	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+}
+
+// Is matches an APIError against the v1 code sentinels, so
+// errors.Is(err, server.ErrLeaseExpired) works through the client.
+func (e *APIError) Is(target error) bool {
+	c, ok := target.(codeSentinel)
+	return ok && e.Code == string(c)
 }
 
 // retryableStatus reports whether a response status is worth retrying.
@@ -237,7 +262,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) (d
 		// Any HTTP response — even an error status — means the daemon
 		// is reachable and talking: the breaker records success.
 		c.breaker.record(true)
-		data, err := io.ReadAll(resp.Body)
+		data, err := readBody(resp)
 		resp.Body.Close()
 		if err != nil {
 			res.transportRetries++
@@ -289,13 +314,41 @@ func (c *Client) post(ctx context.Context, path string, req, out any) error {
 	return json.Unmarshal(res.body, out)
 }
 
-// apiErrorFrom rebuilds the *APIError from a buffered exchange.
+// apiErrorFrom rebuilds the *APIError from a buffered exchange: the v1
+// envelope when present, falling back to the legacy {"error": ...}
+// body for pre-v1 daemons.
 func apiErrorFrom(res doResult) error {
+	var v1 ErrorBody
+	if json.Unmarshal(res.body, &v1) == nil && v1.Code != "" {
+		return &APIError{
+			StatusCode:        res.status,
+			Code:              v1.Code,
+			Message:           v1.Message,
+			Retryable:         v1.Retryable,
+			RetryAfterSeconds: v1.RetryAfterSeconds,
+		}
+	}
 	var e ErrorResponse
 	if json.Unmarshal(res.body, &e) == nil && e.Error != "" {
 		return &APIError{StatusCode: res.status, Message: e.Error}
 	}
 	return &APIError{StatusCode: res.status, Message: strings.TrimSpace(string(res.body))}
+}
+
+// readBody drains a response body into one right-sized buffer.
+// io.ReadAll starts at 512 bytes and regrows; the daemon always sends
+// Content-Length, so the exact size is known up front.
+func readBody(resp *http.Response) ([]byte, error) {
+	// Only trust a positive length: a hand-built Response (tests, fakes)
+	// leaves ContentLength 0 even with a non-empty body.
+	if n := resp.ContentLength; n > 0 && n < 1<<20 {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // newIdempotencyKey draws a random key for an /alloc retry family.
@@ -311,7 +364,7 @@ func newIdempotencyKey() string {
 
 // Topology fetches and rebuilds the daemon's machine topology.
 func (c *Client) Topology(ctx context.Context) (*topology.Topology, error) {
-	body, err := c.get(ctx, "/topology")
+	body, err := c.get(ctx, "/v1/topology")
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +373,7 @@ func (c *Client) Topology(ctx context.Context) (*topology.Topology, error) {
 
 // Attrs fetches the attribute dump (the Figure 5 report).
 func (c *Client) Attrs(ctx context.Context) ([]AttrReport, error) {
-	body, err := c.get(ctx, "/attrs")
+	body, err := c.get(ctx, "/v1/attrs")
 	if err != nil {
 		return nil, err
 	}
@@ -341,18 +394,69 @@ func (c *Client) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, er
 		req.IdempotencyKey = newIdempotencyKey()
 	}
 	var out AllocResponse
-	err := c.post(ctx, "/alloc", req, &out)
+	err := c.post(ctx, "/v1/alloc", req, &out)
 	if err == nil && out.TTLSeconds > 0 && !c.noHB {
 		c.hb.track(out.Lease, time.Duration(out.TTLSeconds*float64(time.Second)))
 	}
 	return out, err
 }
 
+// AllocBatch places many buffers in one round-trip: the daemon
+// journals the whole batch as a single write+fsync and returns
+// per-item outcomes in request order. Items are independent — inspect
+// each BatchAllocItem for its lease or error.
+//
+// Batches do not support idempotency keys, so the client does not
+// stamp any and does not retry transport failures for this call (a
+// blind retry could double-allocate the items that succeeded). Use
+// Alloc for retry-safe single placements. TTL leases granted by a
+// batch are heartbeat-renewed like Alloc's.
+func (c *Client) AllocBatch(ctx context.Context, reqs []AllocRequest) (BatchAllocResponse, error) {
+	payload, err := json.Marshal(BatchAllocRequest{Requests: reqs})
+	if err != nil {
+		return BatchAllocResponse{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/alloc/batch", bytes.NewReader(payload))
+	if err != nil {
+		return BatchAllocResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if err := c.breaker.allow(); err != nil {
+		return BatchAllocResponse{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.breaker.record(false)
+		return BatchAllocResponse{}, err
+	}
+	c.breaker.record(true)
+	data, err := readBody(resp)
+	resp.Body.Close()
+	if err != nil {
+		return BatchAllocResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return BatchAllocResponse{}, apiErrorFrom(doResult{status: resp.StatusCode, body: data})
+	}
+	var out BatchAllocResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return BatchAllocResponse{}, err
+	}
+	if !c.noHB {
+		for _, it := range out.Results {
+			if it.Alloc != nil && it.Alloc.TTLSeconds > 0 {
+				c.hb.track(it.Alloc.Lease, time.Duration(it.Alloc.TTLSeconds*float64(time.Second)))
+			}
+		}
+	}
+	return out, nil
+}
+
 // Renew heartbeats a lease, pushing its expiry one TTL into the
 // future. A zero ttl keeps the lease's granted TTL.
 func (c *Client) Renew(ctx context.Context, lease uint64, ttl time.Duration) (RenewResponse, error) {
 	var out RenewResponse
-	err := c.post(ctx, "/renew", RenewRequest{Lease: lease, TTLSeconds: ttl.Seconds()}, &out)
+	err := c.post(ctx, "/v1/renew", RenewRequest{Lease: lease, TTLSeconds: ttl.Seconds()}, &out)
 	return out, err
 }
 
@@ -364,7 +468,7 @@ func (c *Client) Free(ctx context.Context, lease uint64) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.do(ctx, http.MethodPost, "/free", payload)
+	res, err := c.do(ctx, http.MethodPost, "/v1/free", payload)
 	if err != nil {
 		return err
 	}
@@ -380,14 +484,14 @@ func (c *Client) Free(ctx context.Context, lease uint64) error {
 // Migrate re-places a leased buffer for a new attribute.
 func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrateResponse, error) {
 	var out MigrateResponse
-	err := c.post(ctx, "/migrate", req, &out)
+	err := c.post(ctx, "/v1/migrate", req, &out)
 	return out, err
 }
 
 // Leases fetches the live lease table summary (with the per-lease list
 // when list is true).
 func (c *Client) Leases(ctx context.Context, list bool) (LeasesResponse, error) {
-	path := "/leases"
+	path := "/v1/leases"
 	if list {
 		path += "?list=1"
 	}
@@ -402,7 +506,7 @@ func (c *Client) Leases(ctx context.Context, list bool) (LeasesResponse, error) 
 
 // Health fetches the daemon's health report.
 func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
-	body, err := c.get(ctx, "/health")
+	body, err := c.get(ctx, "/v1/health")
 	if err != nil {
 		return HealthResponse{}, err
 	}
@@ -413,7 +517,7 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 
 // MetricsRaw fetches the /metrics text.
 func (c *Client) MetricsRaw(ctx context.Context) (string, error) {
-	body, err := c.get(ctx, "/metrics")
+	body, err := c.get(ctx, "/v1/metrics")
 	return string(body), err
 }
 

@@ -1,0 +1,111 @@
+package server
+
+// The v1 error model: every non-2xx response under /v1/ carries a
+// uniform machine-readable envelope,
+//
+//	{"code": "capacity_exhausted", "message": "...", "retryable": false,
+//	 "retry_after_seconds": 0}
+//
+// with a small, stable code vocabulary clients can switch on instead
+// of string-matching status text. Legacy unversioned routes keep the
+// old {"error": "..."} body for one release (see the deprecation
+// policy in the README).
+
+import (
+	"errors"
+	"net/http"
+
+	"hetmem/internal/alloc"
+	"hetmem/internal/memsim"
+)
+
+// The stable v1 error codes.
+const (
+	// CodeBadRequest: the request was malformed (missing field, unknown
+	// attribute or policy, bad cpuset). Retrying unchanged cannot help.
+	CodeBadRequest = "bad_request"
+	// CodeLeaseExpired: the lease does not exist — never granted,
+	// already freed, or reclaimed by the orphan reaper after its TTL
+	// lapsed.
+	CodeLeaseExpired = "lease_expired"
+	// CodeShedding: admission control refused the allocation to protect
+	// the machine's remaining headroom. Retry after the hinted delay.
+	CodeShedding = "shedding"
+	// CodeNodeOffline: the target node went offline mid-request. Retry;
+	// the daemon re-ranks around it.
+	CodeNodeOffline = "node_offline"
+	// CodeTransientFault: an injected or hardware-transient allocation
+	// fault. The node is fine; retry.
+	CodeTransientFault = "transient_fault"
+	// CodeCapacityExhausted: no candidate target can hold the buffer.
+	// Retrying will not help — free, shrink, or ask for partial/remote.
+	CodeCapacityExhausted = "capacity_exhausted"
+	// CodeInternal: an unexpected daemon-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the uniform v1 error envelope.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	// RetryAfterSeconds hints when a retryable request is worth
+	// retrying (0: client's choice).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// classify maps a daemon error to its HTTP status, v1 code, and
+// whether the same request may succeed later. 503 means "retry later"
+// (shed load, transient fault, node just went down); 507 means the
+// machine is genuinely full and retrying will not help.
+func classify(err error) (status int, code string, retryable bool) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, CodeBadRequest, false
+	case errors.Is(err, errNoSuchLease):
+		return http.StatusNotFound, CodeLeaseExpired, false
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, CodeShedding, true
+	case errors.Is(err, memsim.ErrTransient):
+		return http.StatusServiceUnavailable, CodeTransientFault, true
+	case errors.Is(err, memsim.ErrNodeOffline):
+		return http.StatusServiceUnavailable, CodeNodeOffline, true
+	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
+		// The daemon is healthy; the machine is full. 507 tells the
+		// client to free, shrink, or retry with partial/remote.
+		return http.StatusInsufficientStorage, CodeCapacityExhausted, false
+	}
+	return http.StatusInternalServerError, CodeInternal, false
+}
+
+// errorBody builds the v1 envelope for an error.
+func (s *Server) errorBody(err error) (int, ErrorBody) {
+	status, code, retryable := classify(err)
+	body := ErrorBody{Code: code, Message: err.Error(), Retryable: retryable}
+	if status == http.StatusServiceUnavailable {
+		body.RetryAfterSeconds = s.cfg.RetryAfterSeconds
+	}
+	return status, body
+}
+
+// Sentinel errors matching the v1 codes. server.Client maps an error
+// envelope back to these, so callers write
+//
+//	errors.Is(err, server.ErrCapacityExhausted)
+//
+// instead of matching on status text; errors.As(*APIError) still
+// yields the full envelope.
+var (
+	ErrCodeBadRequest    = codeSentinel(CodeBadRequest)
+	ErrLeaseExpired      = codeSentinel(CodeLeaseExpired)
+	ErrShedding          = codeSentinel(CodeShedding)
+	ErrNodeOffline       = codeSentinel(CodeNodeOffline)
+	ErrTransientFault    = codeSentinel(CodeTransientFault)
+	ErrCapacityExhausted = codeSentinel(CodeCapacityExhausted)
+	ErrInternal          = codeSentinel(CodeInternal)
+)
+
+// codeSentinel is an error identified purely by its v1 code.
+type codeSentinel string
+
+func (c codeSentinel) Error() string { return "server: " + string(c) }

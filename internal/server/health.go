@@ -107,6 +107,11 @@ func (s *Server) ApplyFault(ev faults.Event) {
 	_, changed := s.health.set(ev.NodeOS, st)
 	if changed {
 		s.metrics.HealthTransitions.Add(1)
+		// A health transition changes what avoidUnhealthy demotes, so
+		// cached candidate rankings must not outlive it. (The memsim
+		// fault setters bump the machine generation for capacity and
+		// attribute mutations; this covers the daemon-level state.)
+		s.sys.Allocator.InvalidateCandidates()
 	}
 	if changed && st == OfflineState {
 		s.evacuate(ev.NodeOS)

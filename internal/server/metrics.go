@@ -24,11 +24,12 @@ const (
 	EpLeases
 	EpMetrics
 	EpHealth
+	EpAllocBatch
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
-	"topology", "attrs", "alloc", "free", "renew", "migrate", "leases", "metrics", "health",
+	"topology", "attrs", "alloc", "free", "renew", "migrate", "leases", "metrics", "health", "alloc_batch",
 }
 
 func (e Endpoint) String() string { return endpointNames[e] }
@@ -78,6 +79,38 @@ type Metrics struct {
 	RebalanceTotal    atomic.Uint64 // leases migrated back onto healed nodes
 	RebalanceFailed   atomic.Uint64 // rebalance migrations that failed
 	RebalanceBytes    atomic.Uint64 // bytes moved by the rebalancer
+
+	// Fast-path counters (PR 4). The cache gauges mirror
+	// alloc.Allocator.CacheStats, copied in by handleMetrics so the
+	// rendered text reflects the allocator's ground truth.
+	PlacementCacheHits   atomic.Uint64 // ranked-candidate cache hits
+	PlacementCacheMisses atomic.Uint64 // ranked-candidate cache misses (re-ranks)
+	// journal group-commit batch-size histogram: counters per bucket
+	// (upper bounds journalBatchBuckets) plus +Inf, and a record total
+	// for the _sum series.
+	journalBatch    [numBatchBuckets + 1]atomic.Uint64
+	journalBatchSum atomic.Uint64
+}
+
+// journalBatchBuckets are the group-commit batch-size histogram upper
+// bounds (records per fsync), doubling up to the default batch cap.
+const numBatchBuckets = 8
+
+var journalBatchBuckets = [numBatchBuckets]uint64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// ObserveJournalBatch records one group-commit flush of n records.
+func (m *Metrics) ObserveJournalBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	i := 0
+	for ; i < len(journalBatchBuckets); i++ {
+		if uint64(n) <= journalBatchBuckets[i] {
+			break
+		}
+	}
+	m.journalBatch[i].Add(1)
+	m.journalBatchSum.Add(uint64(n))
 }
 
 // NewMetrics creates an empty metrics set.
@@ -145,7 +178,20 @@ func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
 	counter("hetmemd_rebalance_total", m.RebalanceTotal.Load())
 	counter("hetmemd_rebalance_failed_total", m.RebalanceFailed.Load())
 	counter("hetmemd_rebalance_bytes_total", m.RebalanceBytes.Load())
+	counter("hetmemd_placement_cache_hits_total", m.PlacementCacheHits.Load())
+	counter("hetmemd_placement_cache_misses_total", m.PlacementCacheMisses.Load())
 	fmt.Fprintf(&sb, "hetmemd_leases_active %d\n", leases)
+
+	var batchCum, batchCount uint64
+	for i, ub := range journalBatchBuckets {
+		batchCum += m.journalBatch[i].Load()
+		fmt.Fprintf(&sb, "hetmemd_journal_batch_size_bucket{le=\"%d\"} %d\n", ub, batchCum)
+	}
+	batchCum += m.journalBatch[numBatchBuckets].Load()
+	batchCount = batchCum
+	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_bucket{le=\"+Inf\"} %d\n", batchCum)
+	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_sum %d\n", m.journalBatchSum.Load())
+	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_count %d\n", batchCount)
 
 	for _, n := range nodes {
 		fmt.Fprintf(&sb, "hetmemd_node_capacity_bytes{node=%q} %d\n", n.Node, n.Capacity)

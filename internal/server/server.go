@@ -57,6 +57,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,6 +89,23 @@ type Config struct {
 	// RetryAfterSeconds is the Retry-After hint on 503 responses
 	// (default 1).
 	RetryAfterSeconds int
+
+	// GroupCommit coalesces concurrent journal appends into one
+	// write+fsync (requires JournalPath): every acked alloc/free is
+	// power-failure durable, but N racing requests pay ~1 fsync instead
+	// of N. Overrides SyncEveryAppend (group commit is always durable).
+	GroupCommit bool
+	// GroupCommitBatch bounds the records per coalesced fsync
+	// (default 64).
+	GroupCommitBatch int
+	// GroupCommitLinger is how long the batch leader waits for
+	// followers before flushing (default 1ms, capped at 10ms).
+	GroupCommitLinger time.Duration
+
+	// DisableCandidateCache turns off the allocator's ranked-candidate
+	// cache, re-ranking targets on every placement — the pre-cache
+	// behaviour, kept for A/B benchmarking (`hetmemd bench` baseline).
+	DisableCandidateCache bool
 
 	// DefaultLeaseTTL is granted to allocations that do not request a
 	// TTL. 0 means such leases never expire.
@@ -159,6 +177,15 @@ func (c Config) validate() error {
 	}
 	if (c.ShedWatermark < 0) || (c.ShedWatermark > 1) {
 		return fmt.Errorf("server: config: ShedWatermark %v outside [0, 1]", c.ShedWatermark)
+	}
+	if c.GroupCommit && c.JournalPath == "" {
+		return fmt.Errorf("server: config: GroupCommit without a JournalPath: there is nothing to commit")
+	}
+	if c.GroupCommitBatch < 0 {
+		return fmt.Errorf("server: config: GroupCommitBatch must not be negative (got %d)", c.GroupCommitBatch)
+	}
+	if c.GroupCommitLinger < 0 {
+		return fmt.Errorf("server: config: GroupCommitLinger must not be negative (got %v)", c.GroupCommitLinger)
 	}
 	return nil
 }
@@ -247,12 +274,19 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		rebalancing:      make(map[int]bool),
 		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
 	}
+	if cfg.DisableCandidateCache {
+		sys.Allocator.DisableCandidateCache()
+	}
 	if cfg.JournalPath != "" {
 		st, res, err := journal.OpenStore(cfg.JournalPath, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		if cfg.GroupCommit {
+			st.EnableGroupCommit(cfg.GroupCommitBatch, cfg.GroupCommitLinger,
+				s.metrics.ObserveJournalBatch)
+		}
 		if err := s.restoreFromJournal(res.Records, res.NextLease); err != nil {
 			st.Close()
 			return nil, err
@@ -266,17 +300,34 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /topology", s.instrument(EpTopology, s.handleTopology))
-	s.mux.HandleFunc("GET /attrs", s.instrument(EpAttrs, s.handleAttrs))
-	s.mux.HandleFunc("POST /alloc", s.instrument(EpAlloc, s.handleAlloc))
-	s.mux.HandleFunc("POST /free", s.instrument(EpFree, s.handleFree))
-	s.mux.HandleFunc("POST /renew", s.instrument(EpRenew, s.handleRenew))
-	s.mux.HandleFunc("POST /migrate", s.instrument(EpMigrate, s.handleMigrate))
-	s.mux.HandleFunc("GET /leases", s.instrument(EpLeases, s.handleLeases))
-	s.mux.HandleFunc("GET /metrics", s.instrument(EpMetrics, s.handleMetrics))
-	s.mux.HandleFunc("GET /health", s.instrument(EpHealth, s.handleHealth))
+	s.route("GET", "/topology", EpTopology, s.handleTopology)
+	s.route("GET", "/attrs", EpAttrs, s.handleAttrs)
+	s.route("POST", "/alloc", EpAlloc, s.handleAlloc)
+	s.route("POST", "/free", EpFree, s.handleFree)
+	s.route("POST", "/renew", EpRenew, s.handleRenew)
+	s.route("POST", "/migrate", EpMigrate, s.handleMigrate)
+	s.route("GET", "/leases", EpLeases, s.handleLeases)
+	s.route("GET", "/metrics", EpMetrics, s.handleMetrics)
+	s.route("GET", "/health", EpHealth, s.handleHealth)
+	// Batch allocation is v1-only: it was born versioned.
+	s.mux.HandleFunc("POST /v1/alloc/batch", s.instrument(EpAllocBatch, s.handleAllocBatch))
 	s.startBackground()
 	return s, nil
+}
+
+// route mounts one endpoint twice: the canonical /v1 path, and the
+// pre-v1 unversioned path as a deprecated alias. The alias answers
+// normally (old error bodies included — see writeError) but stamps a
+// Deprecation header and a successor-version link, per RFC 9745, so
+// clients learn where to move. The deprecation policy is one release:
+// the aliases disappear in v2.
+func (s *Server) route(method, path string, ep Endpoint, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /v1"+path, s.instrument(ep, h))
+	s.mux.HandleFunc(method+" "+path, s.instrument(ep, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+path+`>; rel="successor-version"`)
+		h(w, r)
+	}))
 }
 
 // System returns the system the daemon serves.
@@ -323,22 +374,39 @@ func (s *Server) appendJournal(r journal.Record) (appended bool, err error) {
 	if s.store == nil {
 		return false, nil
 	}
-	if err := s.store.Append(r); err != nil {
-		return false, fmt.Errorf("server: journal append: %w", err)
+	if s.cfg.GroupCommit {
+		// The append blocks until the record is on stable storage —
+		// sharing its fsync with every concurrently appending request.
+		appended, err := s.store.AppendDurable(r)
+		if err != nil {
+			return appended, fmt.Errorf("server: journal append: %w", err)
+		}
+	} else {
+		if err := s.store.Append(r); err != nil {
+			return false, fmt.Errorf("server: journal append: %w", err)
+		}
+		if s.cfg.SyncEveryAppend {
+			if err := s.store.Sync(); err != nil {
+				s.journalHousekeeping(1)
+				return true, fmt.Errorf("server: journal sync: %w", err)
+			}
+		}
 	}
-	s.metrics.JournalRecords.Add(1)
+	s.journalHousekeeping(1)
+	return true, nil
+}
+
+// journalHousekeeping counts freshly appended records and kicks a
+// size-triggered checkpoint. Checkpoints are kicked, never run inline:
+// Checkpoint needs the write side of ckmu.
+func (s *Server) journalHousekeeping(records int) {
+	s.metrics.JournalRecords.Add(uint64(records))
 	if s.cfg.CheckpointMaxWAL > 0 && s.store.WALBytes() > s.cfg.CheckpointMaxWAL {
 		select {
 		case s.ckptKick <- struct{}{}:
 		default:
 		}
 	}
-	if s.cfg.SyncEveryAppend {
-		if err := s.store.Sync(); err != nil {
-			return true, fmt.Errorf("server: journal sync: %w", err)
-		}
-	}
-	return true, nil
 }
 
 // segmentsOf snapshots a buffer's placement as journal segments.
@@ -383,29 +451,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // allocation to protect the machine's remaining headroom.
 var ErrOverloaded = errors.New("server: overloaded, shedding load")
 
-// statusFor maps an error to its HTTP status. 503 means "retry later"
-// (shed load, transient fault, node just went down); 507 means the
-// machine is genuinely full and retrying will not help.
-func (s *Server) statusFor(err error) int {
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		return http.StatusBadRequest
-	case errors.Is(err, errNoSuchLease):
-		return http.StatusNotFound
-	case errors.Is(err, ErrOverloaded), errors.Is(err, memsim.ErrTransient), errors.Is(err, memsim.ErrNodeOffline):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
-		// The daemon is healthy; the machine is full. 507 tells the
-		// client to free, shrink, or retry with partial/remote.
-		return http.StatusInsufficientStorage
-	}
-	return http.StatusInternalServerError
+// isV1 reports whether a request came in on a /v1 path. Versioned
+// requests get the uniform error envelope; legacy alias requests keep
+// the pre-v1 body for one release.
+func isV1(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/v1/")
 }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := s.statusFor(err)
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, body := s.errorBody(err)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	}
+	if isV1(r) {
+		writeJSON(w, status, body)
+		return
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
@@ -415,7 +475,7 @@ var errNoSuchLease = errors.New("server: no such lease")
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	data, err := topology.Export(s.sys.Topology())
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -434,14 +494,14 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 	for _, id := range reg.IDs() {
 		flags, err := reg.Flags(id)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		rep := AttrReport{Name: reg.Name(id), Flags: flags.String()}
 		for _, tgt := range reg.Targets(id) {
 			ivs, err := reg.Initiators(id, tgt)
 			if err != nil {
-				s.writeError(w, err)
+				s.writeError(w, r, err)
 				return
 			}
 			for _, iv := range ivs {
@@ -504,13 +564,13 @@ func (s *Server) admit(size uint64) error {
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeAllocRequest(r.Body)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if req.IdempotencyKey == "" {
 		resp, err := s.doAlloc(req)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -524,12 +584,12 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-e.done:
 		case <-r.Context().Done():
-			s.writeError(w, fmt.Errorf("%w: canceled waiting for idempotent result", ErrOverloaded))
+			s.writeError(w, r, fmt.Errorf("%w: canceled waiting for idempotent result", ErrOverloaded))
 			return
 		}
 		s.metrics.IdemReplays.Add(1)
 		if e.err != nil {
-			s.writeError(w, e.err)
+			s.writeError(w, r, e.err)
 			return
 		}
 		writeJSON(w, http.StatusOK, e.resp)
@@ -539,7 +599,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Failed attempts are forgotten so a later retry can succeed.
 		s.idem.fail(req.IdempotencyKey, e, err)
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.idem.succeed(e, resp)
@@ -670,12 +730,12 @@ func (s *Server) grantTTL(reqSeconds float64) time.Duration {
 func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeRenewRequest(r.Body)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	l, ok := s.leases.get(req.Lease)
 	if !ok {
-		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
 	if req.TTLSeconds > 0 {
@@ -692,7 +752,7 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeFreeRequest(r.Body)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	// The checkpoint lock spans removal, free, and journal append: a
@@ -702,7 +762,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	l, ok := s.leases.take(req.Lease)
 	if !ok {
 		s.ckmu.RUnlock()
-		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
 	l.jmu.Lock()
@@ -717,7 +777,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	l.jmu.Unlock()
 	s.ckmu.RUnlock()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if l.key != "" {
@@ -733,16 +793,16 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeMigrateRequest(r.Body)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if _, ok := s.sys.Registry.ByName(req.Attr); !ok {
-		s.writeError(w, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
+		s.writeError(w, r, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
 		return
 	}
 	l, ok := s.leases.get(req.Lease)
 	if !ok {
-		s.writeError(w, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
+		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
 		return
 	}
 	s.ckmu.RLock()
@@ -751,7 +811,7 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	l.jmu.Unlock()
 	s.ckmu.RUnlock()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.metrics.MigrateTotal.Add(1)
@@ -826,6 +886,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Health:   int(states[n.OSIndex()]),
 		})
 	}
+	// Mirror the allocator's cache counters so the rendered text is the
+	// allocator's ground truth, not a lagging copy.
+	hits, misses := s.sys.Allocator.CacheStats()
+	s.metrics.PlacementCacheHits.Store(hits)
+	s.metrics.PlacementCacheMisses.Store(misses)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.metrics.Render(sortedNodeUsage(nodes), s.leases.count()))
 	if s.store != nil {

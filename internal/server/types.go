@@ -72,6 +72,30 @@ type AllocResponse struct {
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
+// MaxBatchAllocs bounds the items in one /v1/alloc/batch request.
+const MaxBatchAllocs = 256
+
+// BatchAllocRequest carries many placements that share one journal
+// batch: one write, one fsync, no matter how many items. Items are
+// placed independently — a failed item does not undo its siblings.
+type BatchAllocRequest struct {
+	Requests []AllocRequest `json:"requests"`
+}
+
+// BatchAllocItem is one item's outcome: exactly one of Alloc or Error
+// is set.
+type BatchAllocItem struct {
+	Alloc *AllocResponse `json:"alloc,omitempty"`
+	Error *ErrorBody     `json:"error,omitempty"`
+}
+
+// BatchAllocResponse reports per-item outcomes in request order.
+type BatchAllocResponse struct {
+	Results   []BatchAllocItem `json:"results"`
+	Succeeded int              `json:"succeeded"`
+	Failed    int              `json:"failed"`
+}
+
 // RenewRequest is a lease heartbeat: it pushes the lease's expiry one
 // TTL into the future. TTLSeconds optionally changes the TTL (clamped
 // like an alloc's); 0 keeps the granted one.
@@ -198,25 +222,53 @@ func DecodeAllocRequest(r io.Reader) (AllocRequest, error) {
 	if err := decodeJSON(r, &req); err != nil {
 		return AllocRequest{}, err
 	}
+	if err := validateAllocRequest(req); err != nil {
+		return AllocRequest{}, err
+	}
+	return req, nil
+}
+
+// validateAllocRequest applies the field checks shared by /alloc and
+// each /alloc/batch item.
+func validateAllocRequest(req AllocRequest) error {
 	if req.Name == "" {
-		return AllocRequest{}, fmt.Errorf("%w: missing name", ErrBadRequest)
+		return fmt.Errorf("%w: missing name", ErrBadRequest)
 	}
 	if req.Size == 0 {
-		return AllocRequest{}, fmt.Errorf("%w: size must be > 0", ErrBadRequest)
+		return fmt.Errorf("%w: size must be > 0", ErrBadRequest)
 	}
 	if req.Attr == "" {
-		return AllocRequest{}, fmt.Errorf("%w: missing attr", ErrBadRequest)
+		return fmt.Errorf("%w: missing attr", ErrBadRequest)
 	}
 	switch req.Policy {
 	case "", "preferred", "bind":
 	default:
-		return AllocRequest{}, fmt.Errorf("%w: unknown policy %q", ErrBadRequest, req.Policy)
+		return fmt.Errorf("%w: unknown policy %q", ErrBadRequest, req.Policy)
 	}
 	if req.TTLSeconds < 0 {
-		return AllocRequest{}, fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
+		return fmt.Errorf("%w: negative ttl_seconds", ErrBadRequest)
 	}
 	if _, err := parseInitiator(req.Initiator); err != nil {
-		return AllocRequest{}, err
+		return err
+	}
+	return nil
+}
+
+// DecodeBatchAllocRequest parses a /v1/alloc/batch body. Envelope
+// problems (bad JSON, empty, oversized) are batch-level errors; item
+// field validation is per-item and happens in the handler, so one bad
+// item cannot veto its siblings.
+func DecodeBatchAllocRequest(r io.Reader) (BatchAllocRequest, error) {
+	var req BatchAllocRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return BatchAllocRequest{}, err
+	}
+	if len(req.Requests) == 0 {
+		return BatchAllocRequest{}, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(req.Requests) > MaxBatchAllocs {
+		return BatchAllocRequest{}, fmt.Errorf("%w: batch of %d exceeds %d items",
+			ErrBadRequest, len(req.Requests), MaxBatchAllocs)
 	}
 	return req, nil
 }
