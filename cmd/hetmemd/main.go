@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -pprof-addr side listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -133,6 +134,7 @@ func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hetmemd serve", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:7077", "listen address")
+		pprofAddr  = fs.String("pprof-addr", "", "side listener for /debug/pprof profiling endpoints (empty: disabled; keep it off untrusted networks)")
 		platName   = fs.String("p", "xeon", "platform to serve (see `hetmemd platforms`)")
 		forceBench = fs.Bool("force-bench", false, "benchmark attributes even when the firmware has an HMAT")
 		journal    = fs.String("journal", "", "write-ahead lease journal path (empty: no durability)")
@@ -141,6 +143,8 @@ func runServe(args []string, out io.Writer) error {
 		groupBatch = fs.Int("group-commit-batch", 0, "max records per coalesced fsync (0: 64)")
 		groupWait  = fs.Duration("group-commit-linger", 0, "how long the batch leader waits for followers (0: 1ms, max 10ms)")
 		noCache    = fs.Bool("no-candidate-cache", false, "disable the ranked-candidate cache (re-rank every placement)")
+		legacyEnc  = fs.Bool("legacy-encoding", false, "encode hot-path responses with encoding/json instead of the zero-allocation encoders (A/B benchmarking)")
+		replayW    = fs.Int("replay-workers", 0, "journal-replay parallelism on startup (0: GOMAXPROCS, 1: sequential)")
 		shed       = fs.Float64("shed", 0.95, "admission-control watermark in (0,1]; 0 disables shedding")
 		leaseTTL   = fs.Duration("lease-ttl", 0, "default lease TTL (0: leases never expire)")
 		maxTTL     = fs.Duration("max-lease-ttl", 0, "ceiling for client-requested TTLs (0: 1h)")
@@ -160,6 +164,8 @@ func runServe(args []string, out io.Writer) error {
 		GroupCommitBatch:      *groupBatch,
 		GroupCommitLinger:     *groupWait,
 		DisableCandidateCache: *noCache,
+		LegacyEncoding:        *legacyEnc,
+		ReplayWorkers:         *replayW,
 		ShedWatermark:         *shed,
 		DefaultLeaseTTL:       *leaseTTL,
 		MaxLeaseTTL:           *maxTTL,
@@ -172,7 +178,7 @@ func runServe(args []string, out io.Writer) error {
 	if err := validateServeConfig(cfg); err != nil {
 		return err
 	}
-	return serveUntilSignal(*addr, *platName, *forceBench, cfg, out)
+	return serveUntilSignal(*addr, *pprofAddr, *platName, *forceBench, cfg, out)
 }
 
 // validateServeConfig front-runs server.NewWithConfig's validation so
@@ -199,7 +205,7 @@ func validateServeConfig(cfg server.Config) error {
 
 // serveUntilSignal runs the daemon until SIGINT/SIGTERM, then shuts
 // down gracefully: in-flight requests drain and the journal flushes.
-func serveUntilSignal(addr, platName string, forceBench bool, cfg server.Config, out io.Writer) error {
+func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg server.Config, out io.Writer) error {
 	// Register for signals before announcing the listener, so anything
 	// that saw "listening" can already shut us down cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -208,6 +214,19 @@ func serveUntilSignal(addr, platName string, forceBench bool, cfg server.Config,
 	srv, err := buildServer(platName, forceBench, cfg, out)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		// The profiler gets its own listener so the API surface stays
+		// clean: net/http/pprof registers on the default mux, which the
+		// daemon's handler never serves.
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(out, "hetmemd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, nil)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -288,21 +307,26 @@ func runLoadtest(args []string, out io.Writer) error {
 	return nil
 }
 
-// runBench is the PR-4 acceptance measurement: the same alloc/free
-// load against the durable daemon in its pre-fast-path configuration
-// (fsync per record, no candidate cache) and in the fast-path one
-// (group commit + cache), plus the batched endpoint. Results land in a
-// JSON artifact (BENCH_alloc.json) for CI to archive.
+// runBench is the fast-path acceptance measurement: the same
+// alloc/free load against the durable daemon in its pre-fast-path
+// configuration (fsync per record, no candidate cache), the PR-4
+// fast path (group commit + cache, encoding/json responses), the
+// zero-allocation fast path (pooled leases + hand-rolled encoders),
+// and the batched endpoint — then the restart-time benchmark
+// (sequential vs parallel journal replay). Results land in a JSON
+// artifact (BENCH_alloc.json) for CI to archive.
 func runBench(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hetmemd bench", flag.ContinueOnError)
 	var (
-		platName = fs.String("p", "xeon", "platform for the daemon under test")
-		clients  = fs.Int("clients", 32, "concurrent client goroutines")
-		requests = fs.Int("requests", 200, "allocations per client")
-		size     = fs.Uint64("size", 1<<20, "bytes per allocation")
-		batch    = fs.Int("batch", 16, "items per /v1/alloc/batch round trip in the batch run (0: skip)")
-		trials   = fs.Int("trials", 3, "interleaved trials per configuration; the median throughput is reported")
-		outPath  = fs.String("out", "BENCH_alloc.json", "JSON artifact path (empty: stdout only)")
+		platName    = fs.String("p", "xeon", "platform for the daemon under test")
+		clients     = fs.Int("clients", 32, "concurrent client goroutines")
+		requests    = fs.Int("requests", 200, "allocations per client")
+		size        = fs.Uint64("size", 1<<20, "bytes per allocation")
+		batch       = fs.Int("batch", 16, "items per /v1/alloc/batch round trip in the batch run (0: skip)")
+		trials      = fs.Int("trials", 3, "interleaved trials per configuration; the median throughput is reported")
+		restartRecs = fs.Int("restart-records", 120000, "journal records for the restart-time benchmark (0: skip)")
+		outPath     = fs.String("out", "BENCH_alloc.json", "JSON artifact path (empty: stdout only)")
+		restartPath = fs.String("restart-out", "BENCH_restart.json", "restart benchmark artifact path (empty: embed in -out only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -328,8 +352,17 @@ func runBench(args []string, out io.Writer) error {
 			SyncEveryAppend:       true,
 			DisableCandidateCache: true,
 		}}},
+		// "fast" pins the PR-4 daemon: group commit + candidate cache,
+		// responses through encoding/json. "fast_zeroalloc" is the same
+		// daemon on the pooled zero-allocation hot path — the default —
+		// so the A/B isolates what the allocation work was costing.
 		{"fast", server.BenchOptions{Server: server.Config{
-			JournalPath: filepath.Join(dir, "fast.wal"),
+			JournalPath:    filepath.Join(dir, "fast.wal"),
+			GroupCommit:    true,
+			LegacyEncoding: true,
+		}}},
+		{"fast_zeroalloc", server.BenchOptions{Server: server.Config{
+			JournalPath: filepath.Join(dir, "fastzero.wal"),
 			GroupCommit: true,
 		}}},
 	}
@@ -377,6 +410,27 @@ func runBench(args []string, out io.Writer) error {
 	if len(report.Results) >= 2 {
 		report.Speedup = report.Results[1].AllocsPerSec / report.Results[0].AllocsPerSec
 		fmt.Fprintf(out, "hetmemd: bench fast/baseline speedup %.2fx\n", report.Speedup)
+	}
+	if *restartRecs > 0 {
+		res, err := server.RunRestartBench(server.RestartBenchOptions{
+			Records: *restartRecs,
+			Trials:  *trials,
+		})
+		if err != nil {
+			return fmt.Errorf("bench restart: %w", err)
+		}
+		fmt.Fprintf(out, "hetmemd: bench %s\n", res)
+		report.Restart = &res
+		if *restartPath != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*restartPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "hetmemd: restart benchmark written to %s\n", *restartPath)
+		}
 	}
 	if *outPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

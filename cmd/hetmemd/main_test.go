@@ -216,7 +216,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	})
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilSignal(addr, "xeon", false, server.Config{JournalPath: journal}, w)
+		done <- serveUntilSignal(addr, "", "xeon", false, server.Config{JournalPath: journal}, w)
 	}()
 
 	// Wait for the daemon to come up, then do real work over the wire.

@@ -79,27 +79,45 @@ func (d Decision) String() string {
 	return s
 }
 
-// Option configures one allocation.
-type Option func(*config)
+// Spec is the struct form of an Option list. Hot callers (the
+// placement daemon's request path) fill one Spec and call AllocSpec or
+// MigrateToBestSpec directly, paying no per-request closure or option
+// slice allocations; the Option API remains as sugar over it.
+type Spec struct {
+	// Policy is the fallback policy (Preferred by default).
+	Policy Policy
+	// Partial allows splitting the buffer across several targets in
+	// ranking order when no single one fits.
+	Partial bool
+	// Remote extends the candidate set to non-local nodes.
+	Remote bool
+	// Avoid deprioritizes targets for which it returns true.
+	Avoid func(*topology.Object) bool
+}
 
-type config struct {
-	policy       Policy
-	allowPartial bool
-	allowRemote  bool
-	avoid        func(*topology.Object) bool
+// Option configures one allocation.
+type Option func(*Spec)
+
+// specOf folds an option list into a Spec.
+func specOf(opts []Option) Spec {
+	var sp Spec
+	for _, o := range opts {
+		o(&sp)
+	}
+	return sp
 }
 
 // WithPolicy sets the fallback policy.
-func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+func WithPolicy(p Policy) Option { return func(s *Spec) { s.Policy = p } }
 
 // WithPartial allows splitting the buffer across several targets in
 // ranking order when no single one fits (the hybrid allocations of
 // Section VII).
-func WithPartial() Option { return func(c *config) { c.allowPartial = true } }
+func WithPartial() Option { return func(s *Spec) { s.Partial = true } }
 
 // WithRemote extends the candidate set to non-local nodes (ranked
 // after local ones) when local targets are exhausted.
-func WithRemote() Option { return func(c *config) { c.allowRemote = true } }
+func WithRemote() Option { return func(s *Spec) { s.Remote = true } }
 
 // WithAvoid deprioritizes targets for which pred returns true: they
 // move to the end of the ranking (in their original relative order)
@@ -107,13 +125,24 @@ func WithRemote() Option { return func(c *config) { c.allowRemote = true } }
 // when everything healthy is full. The placement daemon uses this to
 // steer traffic away from unhealthy nodes.
 func WithAvoid(pred func(*topology.Object) bool) Option {
-	return func(c *config) { c.avoid = pred }
+	return func(s *Spec) { s.Avoid = pred }
 }
 
 // demote stable-partitions ranked targets: preferred first, avoided
-// last.
+// last. When nothing is avoided — the steady state of a healthy
+// machine — the input slice is returned as-is, allocation-free.
 func demote(ranked []memattr.TargetValue, avoid func(*topology.Object) bool) []memattr.TargetValue {
 	if avoid == nil {
+		return ranked
+	}
+	first := -1
+	for i, tv := range ranked {
+		if avoid(tv.Target) {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
 		return ranked
 	}
 	out := make([]memattr.TargetValue, 0, len(ranked))
@@ -239,25 +268,27 @@ func (a *Allocator) rankCandidates(attr memattr.ID, initiator *bitmap.Bitmap, re
 // seen from the initiator. This is the paper's mem_alloc(...,
 // attribute).
 func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *bitmap.Bitmap, opts ...Option) (*memsim.Buffer, Decision, error) {
-	var c config
-	for _, o := range opts {
-		o(&c)
-	}
-	ranked, used, fell, err := a.Candidates(attr, initiator, c.allowRemote)
+	return a.AllocSpec(name, size, attr, initiator, specOf(opts))
+}
+
+// AllocSpec is Alloc with the options as a plain struct — the
+// allocation-free form the daemon's hot path uses.
+func (a *Allocator) AllocSpec(name string, size uint64, attr memattr.ID, initiator *bitmap.Bitmap, c Spec) (*memsim.Buffer, Decision, error) {
+	ranked, used, fell, err := a.Candidates(attr, initiator, c.Remote)
 	if err != nil {
 		return nil, Decision{}, err
 	}
 	if len(ranked) == 0 {
 		return nil, Decision{}, fmt.Errorf("%w: no candidate has attribute %s", ErrExhausted, a.reg.Name(used))
 	}
-	ranked = demote(ranked, c.avoid)
+	ranked = demote(ranked, c.Avoid)
 	dec := Decision{Requested: attr, Used: used, AttrFellBack: fell}
 	isRemote := func(t *topology.Object) bool {
 		return !bitmap.Intersects(t.CPUSet, initiator)
 	}
 
 	limit := len(ranked)
-	if c.policy == Bind {
+	if c.Policy == Bind {
 		limit = 1
 	}
 	for i := 0; i < limit; i++ {
@@ -274,7 +305,7 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 		}
 	}
 
-	if c.allowPartial && c.policy != Bind {
+	if c.Partial && c.Policy != Bind {
 		// Hybrid allocation: fill targets in ranking order. The plan is
 		// built from a snapshot of per-node availability, so under
 		// concurrent allocation AllocSplit can lose the race; re-plan a
@@ -322,15 +353,17 @@ func (a *Allocator) Alloc(name string, size uint64, attr memattr.ID, initiator *
 // paper's Section VII recommends this only across application phases,
 // because the OS cost is high.
 func (a *Allocator) MigrateToBest(buf *memsim.Buffer, attr memattr.ID, initiator *bitmap.Bitmap, opts ...Option) (float64, Decision, error) {
-	var c config
-	for _, o := range opts {
-		o(&c)
-	}
-	ranked, used, fell, err := a.Candidates(attr, initiator, c.allowRemote)
+	return a.MigrateToBestSpec(buf, attr, initiator, specOf(opts))
+}
+
+// MigrateToBestSpec is MigrateToBest with the options as a plain
+// struct.
+func (a *Allocator) MigrateToBestSpec(buf *memsim.Buffer, attr memattr.ID, initiator *bitmap.Bitmap, c Spec) (float64, Decision, error) {
+	ranked, used, fell, err := a.Candidates(attr, initiator, c.Remote)
 	if err != nil {
 		return 0, Decision{}, err
 	}
-	ranked = demote(ranked, c.avoid)
+	ranked = demote(ranked, c.Avoid)
 	dec := Decision{Requested: attr, Used: used, AttrFellBack: fell}
 	for i, tv := range ranked {
 		n := a.m.Node(tv.Target)

@@ -1,0 +1,114 @@
+package journal
+
+// Zero-allocation record encoding. The WAL append sits on the daemon's
+// /alloc hot path — every acknowledged placement pays one record encode
+// — so the JSON payload and the frame around it are built by hand into
+// pooled buffers instead of through encoding/json and fresh slices.
+//
+// Replay still decodes with encoding/json: the hand encoder emits the
+// same fields in the same order with the same omitempty behaviour as
+// json.Marshal(Record) did, and TestAppendRecordJSONMatchesMarshal pins
+// that equivalence byte-for-byte, so journals written by any version
+// replay identically.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"hetmem/internal/jsonenc"
+)
+
+// framePool recycles frame build buffers across appends. Buffers start
+// at 512 bytes — enough for any single-segment alloc record — and grow
+// as records demand.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+// appendRecordJSON appends r's JSON payload, reproducing
+// json.Marshal(Record): declaration-order fields, omitempty semantics,
+// op and lease always present.
+func appendRecordJSON(dst []byte, r Record) []byte {
+	dst = append(dst, '{')
+	dst = jsonenc.AppendKey(dst, "op")
+	dst = jsonenc.AppendUint(dst, uint64(r.Op))
+	dst = jsonenc.AppendKey(dst, "lease")
+	dst = jsonenc.AppendUint(dst, r.Lease)
+	if r.Name != "" {
+		dst = jsonenc.AppendKey(dst, "name")
+		dst = jsonenc.AppendString(dst, r.Name)
+	}
+	if r.Attr != "" {
+		dst = jsonenc.AppendKey(dst, "attr")
+		dst = jsonenc.AppendString(dst, r.Attr)
+	}
+	if r.Initiator != "" {
+		dst = jsonenc.AppendKey(dst, "initiator")
+		dst = jsonenc.AppendString(dst, r.Initiator)
+	}
+	if r.Key != "" {
+		dst = jsonenc.AppendKey(dst, "key")
+		dst = jsonenc.AppendString(dst, r.Key)
+	}
+	if r.Size != 0 {
+		dst = jsonenc.AppendKey(dst, "size")
+		dst = jsonenc.AppendUint(dst, r.Size)
+	}
+	if r.TTLMillis != 0 {
+		dst = jsonenc.AppendKey(dst, "ttl_ms")
+		dst = jsonenc.AppendUint(dst, r.TTLMillis)
+	}
+	if len(r.Segments) > 0 {
+		dst = jsonenc.AppendKey(dst, "segments")
+		dst = append(dst, '[')
+		for i, seg := range r.Segments {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, '{')
+			dst = jsonenc.AppendKey(dst, "node")
+			dst = jsonenc.AppendInt(dst, int64(seg.NodeOS))
+			dst = jsonenc.AppendKey(dst, "bytes")
+			dst = jsonenc.AppendUint(dst, seg.Bytes)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if r.Seq != 0 {
+		dst = jsonenc.AppendKey(dst, "seq")
+		dst = jsonenc.AppendUint(dst, r.Seq)
+	}
+	if r.Count != 0 {
+		dst = jsonenc.AppendKey(dst, "count")
+		dst = jsonenc.AppendInt(dst, int64(r.Count))
+	}
+	if r.NextLease != 0 {
+		dst = jsonenc.AppendKey(dst, "next")
+		dst = jsonenc.AppendUint(dst, r.NextLease)
+	}
+	return append(dst, '}')
+}
+
+// appendFrame appends one framed record — length, CRC, payload — to
+// dst. The payload is encoded in place (after the 8 reserved header
+// bytes), so one buffer serves the whole frame.
+func appendFrame(dst []byte, r Record) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header, filled below
+	dst = appendRecordJSON(dst, r)
+	payload := dst[start+8:]
+	if len(payload) > MaxRecordBytes {
+		return dst[:start], fmt.Errorf("journal: record over %d bytes", MaxRecordBytes)
+	}
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst, nil
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"hetmem/internal/journal"
@@ -23,7 +24,10 @@ func frame(payload []byte) []byte {
 // FuzzJournalReplay feeds arbitrary bytes to the WAL decoder. Replay
 // must never panic, must never report a recovery point past the input,
 // and the clean prefix it reports must itself replay cleanly with the
-// same record count — the invariant crash recovery depends on.
+// same record count — the invariant crash recovery depends on. At
+// every input, ReplayParallel must agree with Replay byte for byte:
+// same records, same Recovery (GoodBytes, Truncated, Reason), same
+// error — the equivalence that lets a restart pick either decoder.
 func FuzzJournalReplay(f *testing.F) {
 	valid := append([]byte(nil), journal.Magic...)
 	valid = append(valid, frame([]byte(`{"op":1,"lease":1,"name":"a","size":4096,"segments":[{"node":0,"bytes":4096}]}`))...)
@@ -54,9 +58,36 @@ func FuzzJournalReplay(f *testing.F) {
 	badCkpt := append([]byte(nil), journal.Magic...)
 	badCkpt = append(badCkpt, frame([]byte(`{"op":4}`))...) // checkpoint without a sequence
 	f.Add(badCkpt)
+	// Mid-checkpoint crash: a compaction that died between snapshot
+	// publication and WAL truncation leaves a checkpoint marker
+	// mid-stream with live frames after it.
+	midCkpt := append(append([]byte(nil), valid...), frame([]byte(`{"op":4,"seq":5}`))...)
+	midCkpt = append(midCkpt, frame([]byte(`{"op":1,"lease":9,"size":64,"segments":[{"node":1,"bytes":64}]}`))...)
+	f.Add(midCkpt)
+	// Corruption followed by VALID frames: a parallel decoder decodes
+	// the tail frames happily, and only the in-order merge may keep
+	// them out of the result.
+	corruptMid := append([]byte(nil), midCkpt...)
+	corruptMid[len(valid)+10] ^= 0x01
+	f.Add(corruptMid)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, rec, err := journal.Replay(bytes.NewReader(data))
+
+		// Parallel replay must agree exactly, at more than one width.
+		for _, workers := range []int{2, 5} {
+			precs, prec, perr := journal.ReplayParallel(data, workers)
+			if (perr == nil) != (err == nil) {
+				t.Fatalf("workers=%d error %v, sequential error %v", workers, perr, err)
+			}
+			if !reflect.DeepEqual(precs, recs) {
+				t.Fatalf("workers=%d records diverged: %d vs %d", workers, len(precs), len(recs))
+			}
+			if prec != rec {
+				t.Fatalf("workers=%d recovery diverged: %+v vs %+v", workers, prec, rec)
+			}
+		}
+
 		if err != nil {
 			// Only the not-a-journal error is allowed, and it must come
 			// with an empty result.

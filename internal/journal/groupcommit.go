@@ -85,18 +85,24 @@ func (s *Store) GroupCommitEnabled() bool { return s.gc != nil }
 // with a non-nil error means the record is in the file but its
 // durability is unconfirmed (the fsync failed) — it will replay.
 func (s *Store) AppendDurable(r Record) (appended bool, err error) {
-	frame, err := encodeFrame(r)
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	frame, err := appendFrame(*bp, r)
+	*bp = frame[:0]
 	if err != nil {
 		return false, err
 	}
 	gc := s.gc
 	if gc == nil {
-		if _, err := s.appendFrames([][]byte{frame}, true); err != nil {
+		if _, err := s.writeBuf(frame, true); err != nil {
 			return s.frameInFile(err), err
 		}
 		return true, nil
 	}
 
+	// The waiter's frame aliases this goroutine's pooled buffer; the
+	// leader is done reading it before it closes w.done, so returning
+	// the buffer to the pool after the wait is safe.
 	w := &gcWaiter{frame: frame, done: make(chan struct{})}
 	gc.mu.Lock()
 	gc.pending = append(gc.pending, w)
@@ -142,11 +148,14 @@ func (s *Store) lead(gc *groupCommit) {
 	}
 	gc.mu.Unlock()
 
-	frames := make([][]byte, len(batch))
-	for i, w := range batch {
-		frames[i] = w.frame
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	buf := *bp
+	for _, w := range batch {
+		buf = append(buf, w.frame...)
 	}
-	_, err := s.appendFrames(frames, true)
+	*bp = buf[:0]
+	_, err := s.writeBuf(buf, true)
 	if gc.onFlush != nil {
 		gc.onFlush(len(batch))
 	}
@@ -181,15 +190,19 @@ func (s *Store) AppendBatch(recs []Record, sync bool) (appended bool, err error)
 	if len(recs) == 0 {
 		return false, nil
 	}
-	frames := make([][]byte, len(recs))
-	for i, r := range recs {
-		f, err := encodeFrame(r)
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	buf := *bp
+	for _, r := range recs {
+		var err error
+		buf, err = appendFrame(buf, r)
 		if err != nil {
+			*bp = buf[:0]
 			return false, err
 		}
-		frames[i] = f
 	}
-	if _, err := s.appendFrames(frames, sync); err != nil {
+	*bp = buf[:0]
+	if _, err := s.writeBuf(buf, sync); err != nil {
 		return s.frameInFile(err), err
 	}
 	return true, nil

@@ -220,22 +220,6 @@ func (b *byteCounter) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// encodeFrame frames one record: length, CRC, JSON payload.
-func encodeFrame(r Record) ([]byte, error) {
-	payload, err := json.Marshal(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(payload) > MaxRecordBytes {
-		return nil, fmt.Errorf("journal: record over %d bytes", MaxRecordBytes)
-	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[8:], payload)
-	return frame, nil
-}
-
 // Journal is an open, appendable lease log. Append is safe for
 // concurrent use; records are written directly to the file (no
 // userspace buffering), so a killed process loses at most the record
@@ -300,7 +284,10 @@ func (j *Journal) Path() string { return j.path }
 // Append returns (process-crash durable); call Sync for power-failure
 // durability.
 func (j *Journal) Append(r Record) error {
-	frame, err := encodeFrame(r)
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	frame, err := appendFrame(*bp, r)
+	*bp = frame[:0]
 	if err != nil {
 		return err
 	}

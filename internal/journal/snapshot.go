@@ -33,11 +33,11 @@ package journal
 // whose sequence matches the WAL's anchor, falling back from .ckpt to
 // .ckpt.1, and normalizes the files so the invariant holds again.
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 
 	"hetmem/internal/faults"
@@ -109,9 +109,11 @@ func readFile(fsys faults.FS, path string) ([]byte, error) {
 
 // parseSnapshot validates snapshot bytes: a clean journal stream whose
 // first record is a checkpoint header and whose body is exactly the
-// promised number of alloc records.
-func parseSnapshot(data []byte) (header Record, body []Record, err error) {
-	recs, rec, err := Replay(bytes.NewReader(data))
+// promised number of alloc records. A big snapshot (one record per
+// live lease) decodes across workers; ReplayParallel is byte-for-byte
+// equivalent to sequential Replay, so the validation is too.
+func parseSnapshot(data []byte, workers int) (header Record, body []Record, err error) {
+	recs, rec, err := ReplayParallel(data, workers)
 	if err != nil {
 		return Record{}, nil, err
 	}
@@ -135,12 +137,12 @@ func parseSnapshot(data []byte) (header Record, body []Record, err error) {
 
 // loadSnapshot reads and validates the snapshot at path against the
 // wanted sequence.
-func loadSnapshot(fsys faults.FS, path string, wantSeq uint64) (Record, []Record, error) {
+func loadSnapshot(fsys faults.FS, path string, wantSeq uint64, workers int) (Record, []Record, error) {
 	data, err := readFile(fsys, path)
 	if err != nil {
 		return Record{}, nil, err
 	}
-	header, body, err := parseSnapshot(data)
+	header, body, err := parseSnapshot(data, workers)
 	if err != nil {
 		return Record{}, nil, err
 	}
@@ -155,8 +157,19 @@ func loadSnapshot(fsys faults.FS, path string, wantSeq uint64) (Record, []Record
 // Torn WAL tails are truncated; a torn or stale .ckpt falls back to
 // .ckpt.1. The returned store is positioned for appending.
 func OpenStore(base string, fsys faults.FS) (*Store, Restored, error) {
+	return OpenStoreWorkers(base, fsys, 1)
+}
+
+// OpenStoreWorkers is OpenStore with the WAL and snapshot replay
+// spread across workers goroutines (see ReplayParallel). workers <= 0
+// means GOMAXPROCS; workers == 1 is the sequential streaming path.
+// Recovery semantics are identical at any width.
+func OpenStoreWorkers(base string, fsys faults.FS, workers int) (*Store, Restored, error) {
 	if fsys == nil {
 		fsys = faults.OS
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	var res Restored
 
@@ -179,7 +192,7 @@ func OpenStore(base string, fsys faults.FS) (*Store, Restored, error) {
 		return s, res, nil
 	}
 
-	walRecs, walRec, err := Replay(f)
+	walRecs, walRec, err := replayFile(f, st.Size(), workers)
 	if err != nil {
 		f.Close()
 		return nil, res, fmt.Errorf("journal: replaying %s: %w", base, err)
@@ -206,9 +219,9 @@ func OpenStore(base string, fsys faults.FS) (*Store, Restored, error) {
 	suffix = clean
 
 	if baseSeq > 0 {
-		header, body, cerr := loadSnapshot(fsys, s.ckptPath(), baseSeq)
+		header, body, cerr := loadSnapshot(fsys, s.ckptPath(), baseSeq, workers)
 		if cerr != nil {
-			header, body, err = loadSnapshot(fsys, s.prevPath(), baseSeq)
+			header, body, err = loadSnapshot(fsys, s.prevPath(), baseSeq, workers)
 			if err != nil {
 				f.Close()
 				return nil, res, fmt.Errorf("%w: seq %d (.ckpt: %v; .ckpt.1: %v)",
@@ -234,7 +247,7 @@ func OpenStore(base string, fsys faults.FS) (*Store, Restored, error) {
 		// frame itself was destroyed — refuse to silently reset.
 		if len(walRecs) == 0 && walRec.Truncated {
 			if data, err := readFile(fsys, s.ckptPath()); err == nil {
-				if _, _, perr := parseSnapshot(data); perr == nil {
+				if _, _, perr := parseSnapshot(data, workers); perr == nil {
 					f.Close()
 					return nil, res, ErrWALAnchorLost
 				}
@@ -284,28 +297,23 @@ func (s *Store) WALBytes() int64 {
 // bytes stay (replay truncates them on the next open) and the error
 // reports both failures.
 func (s *Store) Append(r Record) error {
-	frame, err := encodeFrame(r)
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	buf, err := appendFrame(*bp, r)
+	*bp = buf[:0]
 	if err != nil {
 		return err
 	}
-	_, err = s.appendFrames([][]byte{frame}, false)
+	_, err = s.writeBuf(buf, false)
 	return err
 }
 
-// appendFrames writes the given frames as one contiguous write under
+// writeBuf writes one pre-framed buffer as one contiguous write under
 // the append lock, with the same rollback-on-failure contract as
 // Append, optionally followed by an fsync. An fsync failure is
 // reported as a *syncError so callers can tell "in the file but
 // unconfirmed" from "rolled back".
-func (s *Store) appendFrames(frames [][]byte, sync bool) (int, error) {
-	total := 0
-	for _, f := range frames {
-		total += len(f)
-	}
-	buf := make([]byte, 0, total)
-	for _, f := range frames {
-		buf = append(buf, f...)
-	}
+func (s *Store) writeBuf(buf []byte, sync bool) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -374,14 +382,17 @@ func (s *Store) writeStream(path string, recs []Record) (faults.File, error) {
 	if _, err := f.Write(Magic); err != nil {
 		return fail(err)
 	}
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
 	for _, r := range recs {
-		frame, err := encodeFrame(r)
+		frame, err := appendFrame((*bp)[:0], r)
 		if err != nil {
 			return fail(err)
 		}
 		if _, err := f.Write(frame); err != nil {
 			return fail(err)
 		}
+		*bp = frame[:0]
 	}
 	if err := f.Sync(); err != nil {
 		return fail(err)

@@ -43,6 +43,11 @@ type Node struct {
 	// outside NewMachine.
 	gen *atomic.Uint64
 
+	// label caches the "KIND#os" rendering — both parts are immutable,
+	// and the placement daemon stamps it on every response. Empty for a
+	// Node built outside NewMachine.
+	label string
+
 	mu        sync.Mutex // guards allocated and the fault state below
 	allocated uint64
 
@@ -215,6 +220,15 @@ func (n *Node) release(size uint64) {
 // Kind returns the node's memory kind.
 func (n *Node) Kind() string { return KindOf(n.Obj) }
 
+// Label returns the node's "KIND#os" rendering (e.g. "MCDRAM#4"),
+// cached at machine construction so hot paths pay no formatting.
+func (n *Node) Label() string {
+	if n.label != "" {
+		return n.label
+	}
+	return fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex())
+}
+
 // Segment is a part of a buffer resident on one node.
 type Segment struct {
 	Node  *Node
@@ -266,14 +280,20 @@ func (b *Buffer) Freed() bool {
 }
 
 // NodeNames describes the placement, e.g. "DRAM#0" or
-// "MCDRAM#1+DRAM#0" for a hybrid allocation.
+// "MCDRAM#1+DRAM#0" for a hybrid allocation. The common single-segment
+// case returns the node's cached label without allocating.
 func (b *Buffer) NodeNames() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.Segments) == 1 {
+		return b.Segments[0].Node.Label()
+	}
 	s := ""
-	for _, seg := range b.SegmentsSnapshot() {
+	for _, seg := range b.Segments {
 		if s != "" {
 			s += "+"
 		}
-		s += fmt.Sprintf("%s#%d", seg.Node.Kind(), seg.Node.OSIndex())
+		s += seg.Node.Label()
 	}
 	return s
 }
@@ -327,7 +347,10 @@ func NewMachine(topo *topology.Topology, model MachineModel) (*Machine, error) {
 		if nm.Kind == "" {
 			nm.Kind = KindOf(obj)
 		}
-		m.nodes[obj.OSIndex] = &Node{Obj: obj, Model: nm, gen: &m.gen}
+		m.nodes[obj.OSIndex] = &Node{
+			Obj: obj, Model: nm, gen: &m.gen,
+			label: fmt.Sprintf("%s#%d", KindOf(obj), obj.OSIndex),
+		}
 	}
 	if m.model.FreqGHz == 0 {
 		m.model.FreqGHz = 2.1

@@ -1,0 +1,152 @@
+package server
+
+// Allocation budgets for the hot request path. The zero-alloc work in
+// this package (pooled request/response buffers, pooled leases, interned
+// initiators, hand-rolled encoders, pooled journal frames) is only as
+// durable as a test that fails when someone quietly re-introduces a
+// per-request allocation — these budgets are that test. They measure
+// whole handler invocations through the real mux (routing, decode,
+// placement, journal append, encode) with a recycled ResponseWriter, so
+// the counted allocations are the ones a live daemon would pay.
+//
+// The budgets are deliberately a little above the measured steady state
+// (see the constants) to absorb Go-version noise, but far below the
+// pre-pooling numbers, so a regression of even a few allocs per request
+// trips them.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"hetmem/internal/core"
+)
+
+// Budgets, in average allocations per run. Measured steady state on
+// go1.22: alloc+free 28, renew 11 — what encoding/json's decoder and
+// net/http's connection-less ServeHTTP path force on us. The headroom
+// is ~25%: enough for toolchain noise, not enough to hide a leaked
+// per-request allocation chain.
+const (
+	allocFreeBudget = 36
+	renewBudget     = 14
+)
+
+// budgetRW is a recyclable ResponseWriter: headers survive across
+// requests (rewritten in place) and the body buffer is reused.
+type budgetRW struct {
+	h    http.Header
+	body []byte
+}
+
+func (w *budgetRW) Header() http.Header         { return w.h }
+func (w *budgetRW) Write(b []byte) (int, error) { w.body = append(w.body, b...); return len(b), nil }
+func (w *budgetRW) WriteHeader(int)             {}
+
+// budgetReq builds one reusable request whose body is rewound per run.
+func budgetReq(method, path string, body *bytes.Reader) *http.Request {
+	return &http.Request{
+		Method: method,
+		URL:    &url.URL{Path: path},
+		Proto:  "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header: make(http.Header),
+		Body:   io.NopCloser(body),
+		Host:   "budget.test",
+	}
+}
+
+// parseLeaseID pulls the lease ID out of an alloc response body
+// without allocating.
+func parseLeaseID(t *testing.T, body []byte) uint64 {
+	t.Helper()
+	i := bytes.Index(body, []byte(`"lease":`))
+	if i < 0 {
+		t.Fatalf("no lease in response %s", body)
+	}
+	var id uint64
+	for _, c := range body[i+len(`"lease":`):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+func TestAllocBudget(t *testing.T) {
+	sys, err := core.NewSystem("xeon", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithConfig(sys, Config{
+		JournalPath: filepath.Join(t.TempDir(), "wal"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	h := srv.Handler()
+
+	w := &budgetRW{h: make(http.Header), body: make([]byte, 0, 4096)}
+	serve := func(req *http.Request, body *bytes.Reader, payload []byte) {
+		body.Reset(payload)
+		w.body = w.body[:0]
+		h.ServeHTTP(w, req)
+	}
+
+	t.Run("alloc_free", func(t *testing.T) {
+		allocPayload := []byte(`{"name":"budget","size":4096,"attr":"Capacity"}`)
+		allocBody := bytes.NewReader(nil)
+		allocReq := budgetReq("POST", "/v1/alloc", allocBody)
+		freeBody := bytes.NewReader(nil)
+		freeReq := budgetReq("POST", "/v1/free", freeBody)
+		freePayload := make([]byte, 0, 64)
+
+		roundTrip := func() {
+			serve(allocReq, allocBody, allocPayload)
+			id := parseLeaseID(t, w.body)
+			freePayload = append(freePayload[:0], `{"lease":`...)
+			freePayload = strconv.AppendUint(freePayload, id, 10)
+			freePayload = append(freePayload, '}')
+			serve(freeReq, freeBody, freePayload)
+			if !bytes.Contains(w.body, []byte(`"freed":true`)) {
+				t.Fatalf("free failed: %s", w.body)
+			}
+		}
+		roundTrip() // warm pools and caches outside the measurement
+		allocs := testing.AllocsPerRun(500, roundTrip)
+		t.Logf("alloc+free: %.1f allocs/op (budget %d)", allocs, allocFreeBudget)
+		if allocs > allocFreeBudget {
+			t.Errorf("alloc+free round trip costs %.1f allocs/op, budget %d — the hot path regressed",
+				allocs, allocFreeBudget)
+		}
+	})
+
+	t.Run("renew", func(t *testing.T) {
+		allocPayload := []byte(`{"name":"budget-renew","size":4096,"attr":"Capacity","ttl_seconds":60}`)
+		allocBody := bytes.NewReader(nil)
+		allocReq := budgetReq("POST", "/v1/alloc", allocBody)
+		serve(allocReq, allocBody, allocPayload)
+		id := parseLeaseID(t, w.body)
+
+		renewPayload := []byte(`{"lease":` + strconv.FormatUint(id, 10) + `}`)
+		renewBody := bytes.NewReader(nil)
+		renewReq := budgetReq("POST", "/v1/renew", renewBody)
+
+		renew := func() { serve(renewReq, renewBody, renewPayload) }
+		renew()
+		if !bytes.Contains(w.body, []byte(`"ttl_seconds":`)) {
+			t.Fatalf("renew failed: %s", w.body)
+		}
+		allocs := testing.AllocsPerRun(500, renew)
+		t.Logf("renew: %.1f allocs/op (budget %d)", allocs, renewBudget)
+		if allocs > renewBudget {
+			t.Errorf("renew costs %.1f allocs/op, budget %d — the hot path regressed",
+				allocs, renewBudget)
+		}
+	})
+}

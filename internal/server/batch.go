@@ -18,10 +18,14 @@ import (
 )
 
 // batchItem tracks one successfully placed item between placement and
-// journal commit.
+// journal commit. size mirrors the lease's size because restore()
+// transfers our lease reference to the table — after phase 2 the
+// lease may already be freed and recycled by a concurrent client, so
+// phase 3 must not touch l.
 type batchItem struct {
 	idx  int // index into the request (and response) slice
 	l    *lease
+	size uint64
 	dec  alloc.Decision
 	resp AllocResponse
 }
@@ -70,34 +74,27 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			fail(i, err)
 			continue
 		}
-		opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
+		sp := alloc.Spec{Avoid: s.avoidFn, Partial: item.Partial, Remote: item.Remote}
 		if item.Policy == "bind" {
-			opts = append(opts, alloc.WithPolicy(alloc.Bind))
+			sp.Policy = alloc.Bind
 		}
-		if item.Partial {
-			opts = append(opts, alloc.WithPartial())
-		}
-		if item.Remote {
-			opts = append(opts, alloc.WithRemote())
-		}
-		buf, dec, err := s.sys.Allocator.Alloc(item.Name, item.Size, id, ini, opts...)
+		buf, dec, err := s.sys.Allocator.AllocSpec(item.Name, item.Size, id, ini, sp)
 		if err != nil {
 			fail(i, err)
 			continue
 		}
 		ttl := s.grantTTL(item.TTLSeconds)
-		l := &lease{
-			name:      item.Name,
-			size:      item.Size,
-			attr:      item.Attr,
-			initiator: item.Initiator,
-			buf:       buf,
-		}
+		l := newLease()
+		l.name = item.Name
+		l.size = item.Size
+		l.attr = item.Attr
+		l.initiator = item.Initiator
+		l.buf = buf
 		l.setTTL(ttl)
 		l.renew(time.Now())
 		l.id = s.leases.next.Add(1)
 		placed = append(placed, batchItem{
-			idx: i, l: l, dec: dec,
+			idx: i, l: l, size: item.Size, dec: dec,
 			resp: AllocResponse{
 				Lease:        l.id,
 				Placement:    buf.NodeNames(),
@@ -123,6 +120,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			// placement is unwound.
 			for _, it := range placed {
 				s.sys.Machine.Free(it.l.buf)
+				it.l.release()
 				fail(it.idx, err)
 			}
 			placed = nil
@@ -131,13 +129,14 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 				s.leases.restore(it.l)
 			}
 			s.ckmu.RUnlock()
+			s.bumpEpoch()
 		}
 	}
 
 	for _, it := range placed {
 		resp.Results[it.idx].Alloc = &it.resp
 		s.metrics.AllocTotal.Add(1)
-		s.metrics.BytesPlaced.Add(it.l.size)
+		s.metrics.BytesPlaced.Add(it.size)
 		if it.dec.RankPosition > 0 {
 			s.metrics.FallbackTotal.Add(1)
 		}
@@ -158,7 +157,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Succeeded++
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeBatchAllocResponse(w, &resp)
 }
 
 // journalBatch appends one OpAlloc record per placed item as a single

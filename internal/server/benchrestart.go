@@ -1,0 +1,212 @@
+package server
+
+// The restart-time benchmark behind `hetmemd bench`: how long a
+// daemon sits unavailable replaying its journal. It synthesizes a
+// store the shape a long-lived daemon leaves behind — a checkpoint
+// snapshot holding the live leases plus a WAL suffix of later
+// alloc/free traffic — then times recovery with the sequential
+// decoder against the parallel one (journal.ReplayParallel). The two
+// opens are proven byte-for-byte equivalent by FuzzJournalReplay;
+// this measures what the equivalence buys.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"hetmem/internal/journal"
+)
+
+// RestartBenchOptions configures one RunRestartBench run.
+type RestartBenchOptions struct {
+	// Records is the total journaled record count, split between the
+	// checkpoint snapshot and the WAL suffix (default 120000).
+	Records int
+	// Workers is the parallel replay width (default GOMAXPROCS, at
+	// least 2 — on a single-core box the parallel path still wins by
+	// decoding from one slurped buffer instead of two reads and a
+	// payload copy per frame).
+	Workers int
+	// Trials per decoder; the median lands in the result (default 3).
+	Trials int
+	// Dir is scratch space for the synthetic store (default: a fresh
+	// temp dir, removed afterwards).
+	Dir string
+}
+
+func (o *RestartBenchOptions) defaults() {
+	if o.Records <= 0 {
+		o.Records = 120000
+	}
+	if o.Workers <= 0 {
+		o.Workers = max(2, runtime.GOMAXPROCS(0))
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+}
+
+// RestartBenchResult is the restart section of BENCH_alloc.json.
+type RestartBenchResult struct {
+	// Records is how many records recovery replayed (snapshot + WAL).
+	Records int `json:"records"`
+	// WALBytes and SnapshotBytes are the on-disk sizes replayed.
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// Workers is the parallel replay width measured.
+	Workers int `json:"workers"`
+	// SequentialMillis and ParallelMillis are median full-recovery
+	// times (journal.OpenStoreWorkers with 1 and Workers workers).
+	SequentialMillis float64 `json:"sequential_millis"`
+	ParallelMillis   float64 `json:"parallel_millis"`
+	// Speedup is sequential over parallel recovery time.
+	Speedup float64 `json:"speedup"`
+}
+
+func (r RestartBenchResult) String() string {
+	return fmt.Sprintf("restart    %d records: sequential %6.1fms  parallel(%d) %6.1fms  speedup %.2fx",
+		r.Records, r.SequentialMillis, r.Workers, r.ParallelMillis, r.Speedup)
+}
+
+// RunRestartBench builds the synthetic store and measures recovery
+// time with both decoders, interleaving trials so page-cache warmth
+// is shared evenly.
+func RunRestartBench(opts RestartBenchOptions) (RestartBenchResult, error) {
+	opts.defaults()
+	dir := opts.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "hetmemd-restart-")
+		if err != nil {
+			return RestartBenchResult{}, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	base := filepath.Join(dir, "restart.wal")
+	if err := buildRestartStore(base, opts.Records); err != nil {
+		return RestartBenchResult{}, err
+	}
+
+	res := RestartBenchResult{Workers: opts.Workers}
+	if st, err := os.Stat(base); err == nil {
+		res.WALBytes = st.Size()
+	}
+	if st, err := os.Stat(base + ".ckpt"); err == nil {
+		res.SnapshotBytes = st.Size()
+	}
+
+	open := func(workers int) (int, time.Duration, error) {
+		t0 := time.Now()
+		s, restored, err := journal.OpenStoreWorkers(base, nil, workers)
+		if err != nil {
+			return 0, 0, err
+		}
+		d := time.Since(t0)
+		s.Close()
+		return len(restored.Records), d, nil
+	}
+
+	var seq, par []time.Duration
+	for t := 0; t < opts.Trials; t++ {
+		nSeq, dSeq, err := open(1)
+		if err != nil {
+			return res, fmt.Errorf("sequential recovery: %w", err)
+		}
+		nPar, dPar, err := open(opts.Workers)
+		if err != nil {
+			return res, fmt.Errorf("parallel recovery: %w", err)
+		}
+		if nSeq != nPar {
+			return res, fmt.Errorf("recovery diverged: %d records sequential, %d parallel", nSeq, nPar)
+		}
+		res.Records = nSeq
+		seq = append(seq, dSeq)
+		par = append(par, dPar)
+	}
+	res.SequentialMillis = medianMillis(seq)
+	res.ParallelMillis = medianMillis(par)
+	if res.ParallelMillis > 0 {
+		res.Speedup = res.SequentialMillis / res.ParallelMillis
+	}
+	return res, nil
+}
+
+// buildRestartStore synthesizes a recovered daemon's worth of state:
+// half the records live in a checkpoint snapshot, half are WAL
+// traffic after it — two allocs then a free, the shape a churning
+// lease table journals.
+func buildRestartStore(base string, records int) error {
+	s, _, err := journal.OpenStore(base, nil)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	snapRecords := records / 2
+	err = s.Checkpoint(func() ([]journal.Record, uint64, error) {
+		live := make([]journal.Record, snapRecords)
+		for i := range live {
+			live[i] = allocRecord(uint64(i + 1))
+		}
+		return live, uint64(snapRecords + 1), nil
+	})
+	if err != nil {
+		return err
+	}
+
+	next := uint64(snapRecords + 1)
+	batch := make([]journal.Record, 0, 512)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := s.AppendBatch(batch, false)
+		batch = batch[:0]
+		return err
+	}
+	for i := snapRecords; i < records; i++ {
+		switch i % 3 {
+		case 0, 1:
+			batch = append(batch, allocRecord(next))
+			next++
+		default:
+			batch = append(batch, journal.Record{Op: journal.OpFree, Lease: next - 1})
+		}
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func allocRecord(lease uint64) journal.Record {
+	return journal.Record{
+		Op:        journal.OpAlloc,
+		Lease:     lease,
+		Name:      "restart-bench",
+		Attr:      "Bandwidth",
+		Initiator: "0-19",
+		Size:      1 << 20,
+		TTLMillis: 300000,
+		Segments:  []journal.Segment{{NodeOS: int(lease % 4), Bytes: 1 << 20}},
+	}
+}
+
+// medianMillis is the median of a latency sample, in milliseconds.
+func medianMillis(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(sorted[len(sorted)/2]) / float64(time.Millisecond)
+}

@@ -1,0 +1,115 @@
+package server
+
+// Epoch-snapshot read path (RCU): the read endpoints (/v1/attrs,
+// /v1/leases, /metrics — /v1/topology is fully static, see
+// Server.topoJSON) used to pay for their answers per request — walking
+// all 64 lease shards, the machine's per-node locks, and the attribute
+// registry under a read-mostly workload where none of that state had
+// changed. Instead, reads now serve an immutable snapshot behind an
+// atomic.Pointer.
+//
+// Invalidation is generational, from two monotonic counters:
+//
+//   - epoch (daemon-level): bumped by every mutation of lease state a
+//     read endpoint can observe — alloc, batch alloc, free, migrate,
+//     evacuation, reap, rebalance, restore, and health transitions.
+//     (Renew moves only expiry deadlines, which no read endpoint
+//     reports, so the hottest write deliberately does not invalidate.)
+//   - memsim's machine generation: bumped by fault injection when it
+//     mutates capacities or attribute values — the state behind
+//     /v1/attrs and the /metrics capacity gauges.
+//
+// A reader whose current snapshot carries both counters unchanged
+// returns it with two atomic loads and no locks. Otherwise one reader
+// rebuilds (single flight, under readState.mu) while the rest keep
+// serving the previous snapshot. The generations are captured BEFORE
+// the rebuild walks any state, so a write landing mid-build leaves the
+// new snapshot already stale and the next read rebuilds again: a
+// response can lag a concurrent write by at most one epoch, never
+// more. TestEpochReadFreshness races readers against writers to hold
+// that bound.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// epochSnapshot is one immutable capture of everything the read
+// endpoints serve. Nothing in it is mutated after publication.
+// (/v1/topology is not here: the topology tree is immutable after
+// discovery, so its body is exported once at boot — Server.topoJSON.)
+type epochSnapshot struct {
+	dgen uint64 // readState.gen at capture
+	mgen uint64 // machine generation at capture
+
+	attrs      []AttrReport   // /v1/attrs response value
+	leases     LeasesResponse // /v1/leases?list=1 response value
+	nodes      []NodeUsage    // /metrics per-node gauges, sorted
+	leaseCount int
+}
+
+// readState is the RCU anchor: the published snapshot plus the
+// daemon-level write generation that invalidates it.
+type readState struct {
+	gen atomic.Uint64
+	cur atomic.Pointer[epochSnapshot]
+	mu  sync.Mutex // single-flight rebuild
+}
+
+// bumpEpoch invalidates the published snapshot. Call after any
+// mutation a read endpoint can observe; it is one atomic add, cheap
+// enough for every writer path.
+func (s *Server) bumpEpoch() { s.reads.gen.Add(1) }
+
+// epochRead returns a snapshot no staler than the epoch current when
+// the call was made.
+func (s *Server) epochRead() *epochSnapshot {
+	rs := &s.reads
+	dgen, mgen := rs.gen.Load(), s.sys.Machine.Generation()
+	if snap := rs.cur.Load(); snap != nil && snap.dgen == dgen && snap.mgen == mgen {
+		return snap
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	// Re-check: another reader may have rebuilt while we queued.
+	dgen, mgen = rs.gen.Load(), s.sys.Machine.Generation()
+	if snap := rs.cur.Load(); snap != nil && snap.dgen == dgen && snap.mgen == mgen {
+		return snap
+	}
+	snap, err := s.buildSnapshot(dgen, mgen)
+	if err != nil {
+		// Snapshot capture failed (should not happen on a live system);
+		// serve degraded rather than caching the failure.
+		return nil
+	}
+	rs.cur.Store(snap)
+	return snap
+}
+
+// buildSnapshot walks the real state once. The generations are the
+// values loaded before the walk; see the package comment for why.
+func (s *Server) buildSnapshot(dgen, mgen uint64) (*epochSnapshot, error) {
+	attrs, err := s.attrReports()
+	if err != nil {
+		return nil, err
+	}
+	snap := &epochSnapshot{
+		dgen:   dgen,
+		mgen:   mgen,
+		attrs:  attrs,
+		leases: s.leasesResponse(true),
+	}
+	snap.leaseCount = snap.leases.Count
+	states := s.health.snapshot()
+	nodes := make([]NodeUsage, 0, len(s.sys.Machine.Nodes()))
+	for _, n := range s.sys.Machine.Nodes() {
+		nodes = append(nodes, NodeUsage{
+			Node:     n.Label(),
+			Capacity: n.EffectiveCapacity(),
+			InUse:    n.Allocated(),
+			Health:   int(states[n.OSIndex()]),
+		})
+	}
+	snap.nodes = sortedNodeUsage(nodes)
+	return snap, nil
+}

@@ -107,6 +107,8 @@ func (s *Server) ApplyFault(ev faults.Event) {
 	_, changed := s.health.set(ev.NodeOS, st)
 	if changed {
 		s.metrics.HealthTransitions.Add(1)
+		// Health gauges feed /metrics; invalidate the read snapshot.
+		s.bumpEpoch()
 		// A health transition changes what avoidUnhealthy demotes, so
 		// cached candidate rankings must not outlive it. (The memsim
 		// fault setters bump the machine generation for capacity and
@@ -129,7 +131,9 @@ func (s *Server) ApplyFault(ev faults.Event) {
 // rest of the machine is full) stay put and are counted; they migrate
 // on a later free or by hand.
 func (s *Server) evacuate(nodeOS int) {
-	for _, l := range s.leases.snapshot() {
+	all := s.leases.borrowAll()
+	defer releaseAll(all)
+	for _, l := range all {
 		onNode := false
 		for _, seg := range l.buf.SegmentsSnapshot() {
 			if seg.Node.OSIndex() == nodeOS {
@@ -174,11 +178,7 @@ func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) 
 	if err != nil {
 		return 0, alloc.Decision{}, err
 	}
-	opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
-	if remote {
-		opts = append(opts, alloc.WithRemote())
-	}
-	cost, dec, err := s.sys.Allocator.MigrateToBest(l.buf, id, ini, opts...)
+	cost, dec, err := s.sys.Allocator.MigrateToBestSpec(l.buf, id, ini, alloc.Spec{Avoid: s.avoidFn, Remote: remote})
 	if err != nil {
 		return 0, alloc.Decision{}, err
 	}
@@ -189,5 +189,7 @@ func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) 
 	}); err != nil {
 		return cost, dec, err
 	}
+	// The lease moved: per-node byte totals and placements changed.
+	s.bumpEpoch()
 	return cost, dec, nil
 }

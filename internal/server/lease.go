@@ -37,6 +37,49 @@ type lease struct {
 	// jmu across the mutation and the append, so the journal's record
 	// order matches the buffer's state history.
 	jmu sync.Mutex
+
+	// refs counts who may still touch this lease: one reference owned
+	// by the table while the lease is registered, plus one per borrower
+	// (get, borrowAll). take transfers the table's reference to the
+	// caller. The last release recycles the object into leasePool — the
+	// discipline that makes pooling safe against the historical hazard
+	// of a reaper or evacuator holding a pointer to a lease a concurrent
+	// free already recycled.
+	refs atomic.Int32
+}
+
+// leasePool recycles lease objects across the alloc/free churn of a
+// loaded daemon.
+var leasePool = sync.Pool{New: func() any { return new(lease) }}
+
+// newLease returns a pooled, zeroed lease holding one reference — the
+// caller's, which restore/putFull transfer to the table.
+func newLease() *lease {
+	l := leasePool.Get().(*lease)
+	l.refs.Store(1)
+	return l
+}
+
+// acquire adds a borrowed reference. Only safe while the caller
+// already holds one, or under the shard lock of the shard that maps
+// the lease (the table's reference pins it there).
+func (l *lease) acquire() { l.refs.Add(1) }
+
+// release drops one reference; dropping the last recycles the lease.
+// Callers must not touch the lease after releasing.
+func (l *lease) release() {
+	if l.refs.Add(-1) > 0 {
+		return
+	}
+	// Zero field by field: the struct embeds mutexes, so a wholesale
+	// *l = lease{} would copy locks.
+	l.id = 0
+	l.name, l.attr, l.initiator, l.key = "", "", "", ""
+	l.size = 0
+	l.buf = nil
+	l.ttlNS.Store(0)
+	l.deadlineNS.Store(0)
+	leasePool.Put(l)
 }
 
 // getTTL returns the lease's granted TTL (0 = never expires).
@@ -91,14 +134,20 @@ func (t *leaseTable) shard(id uint64) *struct {
 
 // put registers a buffer and returns its fresh lease ID (never 0).
 func (t *leaseTable) put(name string, buf *memsim.Buffer) uint64 {
-	return t.putFull(&lease{name: name, size: buf.Size, buf: buf})
+	l := newLease()
+	l.name, l.size, l.buf = name, buf.Size, buf
+	return t.putFull(l)
 }
 
 // putFull registers a lease with full request context, assigning its
-// ID.
+// ID. The caller's reference transfers to the table: do not touch the
+// lease afterwards without re-borrowing it.
 func (t *leaseTable) putFull(l *lease) uint64 {
 	id := t.next.Add(1)
 	l.id = id
+	if l.refs.Load() == 0 {
+		l.refs.Store(1) // lease built as a literal, outside newLease
+	}
 	s := t.shard(id)
 	s.mu.Lock()
 	s.m[id] = l
@@ -106,9 +155,14 @@ func (t *leaseTable) putFull(l *lease) uint64 {
 	return id
 }
 
-// restore registers a lease under its pre-assigned ID (journal replay)
-// and keeps the ID counter past it so fresh IDs never collide.
+// restore registers a lease under its pre-assigned ID (journal replay,
+// or a reaper putting a just-renewed lease back) and keeps the ID
+// counter past it so fresh IDs never collide. Like putFull, the
+// caller's reference transfers to the table.
 func (t *leaseTable) restore(l *lease) {
+	if l.refs.Load() == 0 {
+		l.refs.Store(1)
+	}
 	s := t.shard(l.id)
 	s.mu.Lock()
 	s.m[l.id] = l
@@ -128,17 +182,23 @@ func (t *leaseTable) floor(id uint64) {
 	}
 }
 
-// get looks a lease up without removing it.
+// get borrows a lease without removing it; the caller must release()
+// it when done.
 func (t *leaseTable) get(id uint64) (*lease, bool) {
 	s := t.shard(id)
 	s.mu.Lock()
 	l, ok := s.m[id]
+	if ok {
+		l.acquire()
+	}
 	s.mu.Unlock()
 	return l, ok
 }
 
 // take removes and returns a lease; the atomic claim makes double-free
-// over the API race-free even before memsim's own check.
+// over the API race-free even before memsim's own check. The table's
+// reference transfers to the caller, who must release() (or restore)
+// the lease when done.
 func (t *leaseTable) take(id uint64) (*lease, bool) {
 	s := t.shard(id)
 	s.mu.Lock()
@@ -150,19 +210,28 @@ func (t *leaseTable) take(id uint64) (*lease, bool) {
 	return l, ok
 }
 
-// snapshot returns all live leases ordered by ID.
-func (t *leaseTable) snapshot() []*lease {
+// borrowAll returns every live lease ordered by ID, each carrying a
+// borrowed reference the caller must release().
+func (t *leaseTable) borrowAll() []*lease {
 	var out []*lease
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
 		for _, l := range s.m {
+			l.acquire()
 			out = append(out, l)
 		}
 		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
+}
+
+// releaseAll releases a borrowAll batch.
+func releaseAll(leases []*lease) {
+	for _, l := range leases {
+		l.release()
+	}
 }
 
 // count returns the number of live leases.

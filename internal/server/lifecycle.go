@@ -52,7 +52,9 @@ func (s *Server) reapLoop() {
 func (s *Server) ReapNow() int {
 	now := time.Now()
 	reaped := 0
-	for _, l := range s.leases.snapshot() {
+	all := s.leases.borrowAll()
+	defer releaseAll(all)
+	for _, l := range all {
 		if !l.expiredAt(now) {
 			continue
 		}
@@ -79,13 +81,20 @@ func (s *Server) ReapNow() int {
 		taken.jmu.Unlock()
 		s.ckmu.RUnlock()
 		if err != nil {
+			// take transferred the table's reference to us; the lease
+			// stays out of the table either way, so drop it.
+			taken.release()
 			continue
 		}
 		if taken.key != "" {
 			s.idem.forget(taken.key)
 		}
+		taken.release()
 		reaped++
 		s.metrics.LeasesReaped.Add(1)
+	}
+	if reaped > 0 {
+		s.bumpEpoch()
 	}
 	return reaped
 }
@@ -121,7 +130,8 @@ func (s *Server) CheckpointNow() error {
 	s.ckmu.Lock()
 	defer s.ckmu.Unlock()
 	err := s.store.Checkpoint(func() ([]journal.Record, uint64, error) {
-		leases := s.leases.snapshot()
+		leases := s.leases.borrowAll()
+		defer releaseAll(leases)
 		live := make([]journal.Record, 0, len(leases))
 		for _, l := range leases {
 			live = append(live, journal.Record{
@@ -176,7 +186,9 @@ func (s *Server) rebalance(nodeOS int) {
 		s.rebalMu.Unlock()
 	}()
 	var batch uint64
-	for _, l := range s.leases.snapshot() {
+	all := s.leases.borrowAll()
+	defer releaseAll(all)
+	for _, l := range all {
 		select {
 		case <-s.stop:
 			return

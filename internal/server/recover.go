@@ -87,15 +87,14 @@ func (s *Server) restoreFromJournal(recs []journal.Record, nextLease uint64) err
 		if err != nil {
 			return fmt.Errorf("server: journal lease %d does not fit the machine: %w", id, err)
 		}
-		l := &lease{
-			id:        id,
-			name:      p.rec.Name,
-			size:      p.rec.Size,
-			attr:      p.rec.Attr,
-			initiator: p.rec.Initiator,
-			key:       p.rec.Key,
-			buf:       buf,
-		}
+		l := newLease()
+		l.id = id
+		l.name = p.rec.Name
+		l.size = p.rec.Size
+		l.attr = p.rec.Attr
+		l.initiator = p.rec.Initiator
+		l.key = p.rec.Key
+		l.buf = buf
 		l.setTTL(time.Duration(p.rec.TTLMillis) * time.Millisecond)
 		l.renew(time.Now())
 		s.leases.restore(l)

@@ -107,6 +107,17 @@ type Config struct {
 	// behaviour, kept for A/B benchmarking (`hetmemd bench` baseline).
 	DisableCandidateCache bool
 
+	// LegacyEncoding routes the hot endpoints (/v1/alloc,
+	// /v1/alloc/batch, /v1/renew, /v1/free) back through encoding/json
+	// instead of the pooled zero-allocation encoders — the pre-PR-5
+	// behaviour, kept for A/B benchmarking (`hetmemd bench` fast run).
+	LegacyEncoding bool
+
+	// ReplayWorkers sets the journal-replay parallelism on startup:
+	// 0 auto-sizes to GOMAXPROCS, 1 forces the sequential decoder
+	// (kept for A/B benchmarking), >1 uses that many decode workers.
+	ReplayWorkers int
+
 	// DefaultLeaseTTL is granted to allocations that do not request a
 	// TTL. 0 means such leases never expire.
 	DefaultLeaseTTL time.Duration
@@ -187,6 +198,9 @@ func (c Config) validate() error {
 	if c.GroupCommitLinger < 0 {
 		return fmt.Errorf("server: config: GroupCommitLinger must not be negative (got %v)", c.GroupCommitLinger)
 	}
+	if c.ReplayWorkers < 0 {
+		return fmt.Errorf("server: config: ReplayWorkers must not be negative (got %d)", c.ReplayWorkers)
+	}
 	return nil
 }
 
@@ -225,6 +239,18 @@ type Server struct {
 	// defaultInitiator is used when a request does not name one: the
 	// whole machine's cpuset.
 	defaultInitiator *bitmap.Bitmap
+
+	// avoidFn is s.avoidUnhealthy bound once: a method value allocates
+	// at every use, and the alloc hot path passes it on every request.
+	avoidFn func(*topology.Object) bool
+
+	// reads is the epoch-snapshot read path (see epoch.go), and
+	// topoJSON the /v1/topology body exported once at boot: the
+	// topology tree is immutable after discovery (faults mutate memsim
+	// node state and attribute values, never the tree), so re-exporting
+	// it per epoch would only feed the garbage collector.
+	reads    readState
+	topoJSON []byte
 }
 
 // New builds a server around a discovered system with the zero Config
@@ -274,11 +300,17 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		rebalancing:      make(map[int]bool),
 		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
 	}
+	s.avoidFn = s.avoidUnhealthy
+	topoJSON, err := topology.Export(sys.Topology())
+	if err != nil {
+		return nil, err
+	}
+	s.topoJSON = topoJSON
 	if cfg.DisableCandidateCache {
 		sys.Allocator.DisableCandidateCache()
 	}
 	if cfg.JournalPath != "" {
-		st, res, err := journal.OpenStore(cfg.JournalPath, cfg.FS)
+		st, res, err := journal.OpenStoreWorkers(cfg.JournalPath, cfg.FS, cfg.ReplayWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -473,36 +505,24 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 var errNoSuchLease = errors.New("server: no such lease")
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
-	data, err := topology.Export(s.sys.Topology())
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	w.Write(s.topoJSON)
 }
 
-func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "Memory attributes (source: %s)\n", s.sys.Source)
-		fmt.Fprint(w, lstopo.RenderMemAttrs(s.sys.Registry))
-		return
-	}
+// attrReports assembles the /v1/attrs JSON view from the registry.
+func (s *Server) attrReports() ([]AttrReport, error) {
 	reg := s.sys.Registry
 	var out []AttrReport
 	for _, id := range reg.IDs() {
 		flags, err := reg.Flags(id)
 		if err != nil {
-			s.writeError(w, r, err)
-			return
+			return nil, err
 		}
 		rep := AttrReport{Name: reg.Name(id), Flags: flags.String()}
 		for _, tgt := range reg.Targets(id) {
 			ivs, err := reg.Initiators(id, tgt)
 			if err != nil {
-				s.writeError(w, r, err)
-				return
+				return nil, err
 			}
 			for _, iv := range ivs {
 				av := AttrValue{
@@ -517,6 +537,25 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "Memory attributes (source: %s)\n", s.sys.Source)
+		fmt.Fprint(w, lstopo.RenderMemAttrs(s.sys.Registry))
+		return
+	}
+	if snap := s.epochRead(); snap != nil {
+		writeJSON(w, http.StatusOK, snap.attrs)
+		return
+	}
+	out, err := s.attrReports()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -573,7 +612,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeAllocResponse(w, &resp)
 		return
 	}
 
@@ -592,7 +631,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, e.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, e.resp)
+		s.writeAllocResponse(w, &e.resp)
 		return
 	}
 	resp, err := s.doAlloc(req)
@@ -603,7 +642,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.idem.succeed(e, resp)
-	writeJSON(w, http.StatusOK, resp)
+	s.writeAllocResponse(w, &resp)
 }
 
 // doAlloc performs the placement, journals it, and registers the
@@ -620,34 +659,28 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 	if err := s.admit(req.Size); err != nil {
 		return AllocResponse{}, err
 	}
-	opts := []alloc.Option{alloc.WithAvoid(s.avoidUnhealthy)}
+	sp := alloc.Spec{Avoid: s.avoidFn, Partial: req.Partial, Remote: req.Remote}
 	if req.Policy == "bind" {
-		opts = append(opts, alloc.WithPolicy(alloc.Bind))
+		sp.Policy = alloc.Bind
 	}
-	if req.Partial {
-		opts = append(opts, alloc.WithPartial())
-	}
-	if req.Remote {
-		opts = append(opts, alloc.WithRemote())
-	}
-	buf, dec, err := s.sys.Allocator.Alloc(req.Name, req.Size, id, ini, opts...)
+	buf, dec, err := s.sys.Allocator.AllocSpec(req.Name, req.Size, id, ini, sp)
 	if err != nil {
 		s.metrics.AllocFailed.Add(1)
 		return AllocResponse{}, err
 	}
 
 	ttl := s.grantTTL(req.TTLSeconds)
-	l := &lease{
-		name:      req.Name,
-		size:      req.Size,
-		attr:      req.Attr,
-		initiator: req.Initiator,
-		key:       req.IdempotencyKey,
-		buf:       buf,
-	}
+	l := newLease()
+	l.name = req.Name
+	l.size = req.Size
+	l.attr = req.Attr
+	l.initiator = req.Initiator
+	l.key = req.IdempotencyKey
+	l.buf = buf
 	l.setTTL(ttl)
 	l.renew(time.Now())
 	l.id = s.leases.next.Add(1)
+	leaseID := l.id
 	// Journal before the lease becomes visible: a lease a client can
 	// see (and free) is always in the log, so replay never meets a
 	// free without its alloc. The checkpoint lock spans the append and
@@ -672,14 +705,18 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 			// keeps replay from resurrecting a lease nobody was granted;
 			// if even this best effort fails, the orphan carries a TTL
 			// and the reaper collects it after restart.
-			s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
+			s.appendJournal(journal.Record{Op: journal.OpFree, Lease: leaseID})
 		}
 		s.ckmu.RUnlock()
 		s.sys.Machine.Free(buf)
+		l.release()
 		return AllocResponse{}, err
 	}
+	// restore transfers our reference to the table: the lease is now
+	// visible (and freeable, hence recyclable) — no touching l below.
 	s.leases.restore(l)
 	s.ckmu.RUnlock()
+	s.bumpEpoch()
 
 	s.metrics.AllocTotal.Add(1)
 	s.metrics.BytesPlaced.Add(req.Size)
@@ -696,7 +733,7 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		s.metrics.RemoteTotal.Add(1)
 	}
 	return AllocResponse{
-		Lease:        l.id,
+		Lease:        leaseID,
 		Placement:    buf.NodeNames(),
 		AttrUsed:     s.sys.Registry.Name(dec.Used),
 		AttrFellBack: dec.AttrFellBack,
@@ -742,11 +779,10 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		l.setTTL(s.grantTTL(req.TTLSeconds))
 	}
 	l.renew(time.Now())
+	resp := RenewResponse{Lease: l.id, TTLSeconds: l.getTTL().Seconds()}
+	l.release()
 	s.metrics.RenewTotal.Add(1)
-	writeJSON(w, http.StatusOK, RenewResponse{
-		Lease:      l.id,
-		TTLSeconds: l.getTTL().Seconds(),
-	})
+	s.writeRenewResponse(w, &resp)
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
@@ -776,18 +812,18 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	}
 	l.jmu.Unlock()
 	s.ckmu.RUnlock()
+	key := l.key
+	l.release() // the table's reference, transferred by take
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	if l.key != "" {
-		s.idem.forget(l.key)
+	if key != "" {
+		s.idem.forget(key)
 	}
+	s.bumpEpoch()
 	s.metrics.FreeTotal.Add(1)
-	writeJSON(w, http.StatusOK, struct {
-		Lease uint64 `json:"lease"`
-		Freed bool   `json:"freed"`
-	}{req.Lease, true})
+	s.writeFreeResponse(w, &FreeResponse{Lease: req.Lease, Freed: true})
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
@@ -811,13 +847,16 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	l.jmu.Unlock()
 	s.ckmu.RUnlock()
 	if err != nil {
+		l.release()
 		s.writeError(w, r, err)
 		return
 	}
+	placement := l.buf.NodeNames()
+	l.release()
 	s.metrics.MigrateTotal.Add(1)
 	writeJSON(w, http.StatusOK, MigrateResponse{
 		Lease:       req.Lease,
-		Placement:   l.buf.NodeNames(),
+		Placement:   placement,
 		Rank:        dec.RankPosition,
 		CostSeconds: cost,
 	})
@@ -828,12 +867,13 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 // cross-check them against the allocator gauges in /metrics.
 func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 	resp := LeasesResponse{NodeBytes: make(map[string]uint64)}
-	for _, l := range s.leases.snapshot() {
+	leases := s.leases.borrowAll()
+	defer releaseAll(leases)
+	for _, l := range leases {
 		resp.Count++
 		resp.Bytes += l.size
 		for _, seg := range l.buf.SegmentsSnapshot() {
-			key := fmt.Sprintf("%s#%d", seg.Node.Kind(), seg.Node.OSIndex())
-			resp.NodeBytes[key] += seg.Bytes
+			resp.NodeBytes[seg.Node.Label()] += seg.Bytes
 		}
 		if includeList {
 			resp.Leases = append(resp.Leases, LeaseInfo{
@@ -848,7 +888,17 @@ func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 }
 
 func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.leasesResponse(r.URL.Query().Get("list") != ""))
+	includeList := r.URL.Query().Get("list") != ""
+	snap := s.epochRead()
+	if snap == nil {
+		writeJSON(w, http.StatusOK, s.leasesResponse(includeList))
+		return
+	}
+	resp := snap.leases // shallow copy; shared map/slice are immutable
+	if !includeList {
+		resp.Leases = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -867,7 +917,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 		}
 		resp.Nodes = append(resp.Nodes, NodeHealth{
-			Node:  fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()),
+			Node:  n.Label(),
 			OS:    n.OSIndex(),
 			State: st.String(),
 		})
@@ -876,15 +926,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	states := s.health.snapshot()
-	nodes := make([]NodeUsage, 0, len(s.sys.Machine.Nodes()))
-	for _, n := range s.sys.Machine.Nodes() {
-		nodes = append(nodes, NodeUsage{
-			Node:     fmt.Sprintf("%s#%d", n.Kind(), n.OSIndex()),
-			Capacity: n.EffectiveCapacity(),
-			InUse:    n.Allocated(),
-			Health:   int(states[n.OSIndex()]),
-		})
+	// Per-node gauges and the lease count come from the epoch snapshot
+	// (they only change when a writer bumps the epoch); the scalar
+	// counters are atomics read live, so they are exact even between
+	// epochs.
+	var nodes []NodeUsage
+	var leaseCount int
+	if snap := s.epochRead(); snap != nil {
+		nodes, leaseCount = snap.nodes, snap.leaseCount
+	} else {
+		states := s.health.snapshot()
+		raw := make([]NodeUsage, 0, len(s.sys.Machine.Nodes()))
+		for _, n := range s.sys.Machine.Nodes() {
+			raw = append(raw, NodeUsage{
+				Node:     n.Label(),
+				Capacity: n.EffectiveCapacity(),
+				InUse:    n.Allocated(),
+				Health:   int(states[n.OSIndex()]),
+			})
+		}
+		nodes, leaseCount = sortedNodeUsage(raw), s.leases.count()
 	}
 	// Mirror the allocator's cache counters so the rendered text is the
 	// allocator's ground truth, not a lagging copy.
@@ -892,7 +953,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.PlacementCacheHits.Store(hits)
 	s.metrics.PlacementCacheMisses.Store(misses)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(sortedNodeUsage(nodes), s.leases.count()))
+	fmt.Fprint(w, s.metrics.Render(nodes, leaseCount))
 	if s.store != nil {
 		fmt.Fprintf(w, "hetmemd_wal_bytes %d\n", s.store.WALBytes())
 		fmt.Fprintf(w, "hetmemd_checkpoint_seq %d\n", s.store.Seq())

@@ -115,6 +115,12 @@ type FreeRequest struct {
 	Lease uint64 `json:"lease"`
 }
 
+// FreeResponse acknowledges a release.
+type FreeResponse struct {
+	Lease uint64 `json:"lease"`
+	Freed bool   `json:"freed"`
+}
+
 // MigrateRequest re-places a leased buffer for a (possibly different)
 // attribute, e.g. across application phases.
 type MigrateRequest struct {
@@ -196,15 +202,31 @@ type ErrorResponse struct {
 
 // decodeJSON strictly decodes one JSON value: unknown fields are
 // rejected, trailing garbage is rejected, and the input is bounded by
-// MaxRequestBytes.
+// MaxRequestBytes. The body is slurped into a pooled buffer, so only
+// the decode itself allocates.
 func decodeJSON(r io.Reader, v any) error {
-	data, err := io.ReadAll(io.LimitReader(r, MaxRequestBytes+1))
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	bp := getReqBuf()
+	defer putReqBuf(bp)
+	data := *bp
+	for {
+		if len(data) == cap(data) {
+			data = append(data, 0)[:len(data)]
+		}
+		n, err := r.Read(data[len(data):cap(data)])
+		data = data[:len(data)+n]
+		if len(data) > MaxRequestBytes {
+			*bp = data[:0]
+			return fmt.Errorf("%w: body over %d bytes", ErrBadRequest, MaxRequestBytes)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = data[:0]
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
 	}
-	if len(data) > MaxRequestBytes {
-		return fmt.Errorf("%w: body over %d bytes", ErrBadRequest, MaxRequestBytes)
-	}
+	*bp = data[:0]
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -319,12 +341,15 @@ func DecodeMigrateRequest(r io.Reader) (MigrateRequest, error) {
 }
 
 // parseInitiator turns a cpuset list into a bitmap; empty means "the
-// caller did not say", which handlers widen to the whole machine.
+// caller did not say", which handlers widen to the whole machine. The
+// parse goes through a process-wide intern cache (see pool.go): each
+// distinct list string is parsed once and its immutable bitmap shared,
+// so validation and placement both read the cached value.
 func parseInitiator(s string) (*bitmap.Bitmap, error) {
 	if s == "" {
 		return nil, nil
 	}
-	b, err := bitmap.ParseList(s)
+	b, err := internInitiator(s)
 	if err != nil {
 		return nil, fmt.Errorf("%w: initiator: %v", ErrBadRequest, err)
 	}
