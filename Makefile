@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-alloc repro cover fuzz chaos reapstress clean
+.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest reapstress clean
 
 all: build vet test
 
@@ -28,6 +28,11 @@ bench:
 bench-alloc:
 	$(GO) run ./cmd/hetmemd bench -clients 32 -out BENCH_alloc.json
 
+# Router vs single-daemon throughput/latency, recorded in
+# BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/hetmemd bench -cluster -cluster-out BENCH_cluster.json
+
 repro:
 	$(GO) run ./cmd/repro
 
@@ -43,6 +48,14 @@ fuzz:
 
 chaos:
 	$(GO) run ./cmd/hetmemd chaostest -clients 16 -requests 50 -steps 40
+
+# Cluster acceptance: the federation tests (rendezvous properties,
+# router end-to-end, journal restart, member-kill chaos) under -race,
+# then the full 1000-client loadtest through the router with one
+# member killed mid-run.
+clustertest:
+	$(GO) test -race ./internal/cluster
+	$(GO) run ./cmd/hetmemd loadtest -cluster -kill 1 -kill-after 2s
 
 reapstress:
 	$(GO) run ./cmd/hetmemd reapstress -ttl 1s -crashers 32 -holders 16

@@ -1,0 +1,259 @@
+package main
+
+// The cluster-mode subcommands: `hetmemd router` fronts a fleet of
+// running daemons with the placement router, and the -cluster modes
+// of loadtest/bench boot an in-process heterogeneous fleet (router
+// plus four simulated platforms) to exercise the federation path.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hetmem/internal/cluster"
+	"hetmem/internal/server"
+)
+
+// memberFlags parses repeated -member name=url flags.
+type memberFlags []cluster.MemberSpec
+
+func (f *memberFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, m := range *f {
+		parts[i] = m.Name + "=" + m.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *memberFlags) Set(s string) error {
+	name, url, ok := strings.Cut(s, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", s)
+	}
+	*f = append(*f, cluster.MemberSpec{Name: name, URL: url})
+	return nil
+}
+
+func runRouter(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd router", flag.ContinueOnError)
+	var members memberFlags
+	fs.Var(&members, "member", "cluster member as name=url (repeat per daemon); the name is the rendezvous identity")
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7078", "router listen address")
+		journal      = fs.String("journal", "", "router lease-journal path (empty: routed leases do not survive router restarts)")
+		syncEvery    = fs.Bool("journal-sync", false, "fsync the router journal after every record")
+		pollEvery    = fs.Duration("poll-interval", 500*time.Millisecond, "member health-poll period")
+		offlineAfter = fs.Int("offline-after", 2, "consecutive failed polls before a member is offline and its leases evacuate")
+		retryAfter   = fs.Int("retry-after", 1, "Retry-After hint (seconds) on 503 responses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return errors.New("router needs at least one -member name=url")
+	}
+	cfg := cluster.Config{
+		Members:           members,
+		JournalPath:       *journal,
+		SyncEveryAppend:   *syncEvery,
+		PollInterval:      *pollEvery,
+		OfflineAfter:      *offlineAfter,
+		RetryAfterSeconds: *retryAfter,
+	}
+	return routerUntilSignal(*addr, cfg, out)
+}
+
+// routerUntilSignal runs the router until SIGINT/SIGTERM, then drains
+// and checkpoints its journal — the cluster twin of serveUntilSignal.
+func routerUntilSignal(addr string, cfg cluster.Config, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	r, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.JournalPath != "" {
+		fmt.Fprintf(out, "hetmemd: router journal %s, %d leases restored\n", cfg.JournalPath, r.LeaseCount())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		r.Close()
+		return err
+	}
+	fmt.Fprintf(out, "hetmemd: router listening on http://%s (%d members)\n", ln.Addr(), len(cfg.Members))
+
+	hs := newHTTPServer(r.Handler())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		r.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "hetmemd: router shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("router close: %w", err)
+	}
+	fmt.Fprintln(out, "hetmemd: router journal flushed, bye")
+	return nil
+}
+
+// tolerateClusterErrors accepts the failures a member death
+// legitimately surfaces mid-run: the retryable member_unavailable
+// while keys re-home, and shedding/capacity pressure.
+func tolerateClusterErrors(err error) bool {
+	return errors.Is(err, server.ErrCodeMemberUnavailable) ||
+		errors.Is(err, server.ErrShedding) ||
+		errors.Is(err, server.ErrCapacityExhausted)
+}
+
+// clusterLoadtestOptions is the -cluster branch of `hetmemd loadtest`.
+type clusterLoadtestOptions struct {
+	clients   int
+	requests  int
+	maxLive   int
+	maxSize   uint64
+	seed      int64
+	kill      int // member index to kill mid-run; -1 disables
+	killAfter time.Duration
+	verify    bool
+}
+
+// clusterLoadtest boots the in-process fleet, drives the load through
+// the router, injects one member failure mid-run, and proves zero
+// lost leases afterwards.
+func clusterLoadtest(opts clusterLoadtestOptions, out io.Writer) error {
+	sim, err := cluster.StartSim(cluster.SimOptions{Out: out})
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+	ctx := context.Background()
+
+	done := make(chan struct{})
+	var stats server.LoadStats
+	var loadErr error
+	go func() {
+		defer close(done)
+		stats, loadErr = server.LoadTest(ctx, sim.Base, server.LoadOptions{
+			Clients:           opts.clients,
+			RequestsPerClient: opts.requests,
+			MaxLive:           opts.maxLive,
+			MaxSizeBytes:      opts.maxSize,
+			Seed:              opts.seed,
+			Tolerate:          tolerateClusterErrors,
+			Retry:             &server.RetryPolicy{MaxAttempts: 6, BaseDelay: 25 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+		})
+	}()
+
+	killed := -1
+	if opts.kill >= 0 && opts.kill < len(sim.Members) {
+		select {
+		case <-time.After(opts.killAfter):
+			sim.Kill(opts.kill)
+			killed = opts.kill
+			fmt.Fprintf(out, "hetmemd: killed member %s after %s\n", sim.Members[opts.kill].Name, opts.killAfter)
+		case <-done:
+			fmt.Fprintln(out, "hetmemd: load finished before the scheduled kill; no failure injected")
+		}
+	}
+	<-done
+	fmt.Fprintf(out, "hetmemd: loadtest %s\n", stats)
+	if loadErr != nil {
+		return loadErr
+	}
+
+	if killed >= 0 {
+		// Wait for evacuation to settle: nothing may stay homed on the
+		// corpse.
+		victim := sim.Members[killed].Name
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			sim.Router.PollOnce(ctx)
+			leases, err := sim.Router.Leases(ctx, false)
+			if err != nil {
+				return err
+			}
+			if leases.NodeBytes[victim] == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%d bytes still homed on killed member %s after 30s", leases.NodeBytes[victim], victim)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		fmt.Fprintf(out, "hetmemd: all leases evacuated off %s\n", victim)
+	}
+
+	if opts.verify {
+		leases, err := sim.Router.Leases(ctx, false)
+		if err != nil {
+			return err
+		}
+		if leases.Count != stats.LeasesLeft {
+			return fmt.Errorf("router tracks %d leases, load generator left %d alive — leases lost", leases.Count, stats.LeasesLeft)
+		}
+		fmt.Fprintf(out, "hetmemd: zero lost leases (%d alive on both sides)\n", leases.Count)
+		desc, err := server.VerifyConsistency(ctx, sim.Base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	}
+	return nil
+}
+
+// clusterBench runs the router-vs-single-daemon benchmark and writes
+// the BENCH_cluster.json artifact.
+func clusterBench(clients, requests int, size uint64, outPath string, out io.Writer) error {
+	report, err := cluster.RunBench(context.Background(), cluster.BenchOptions{
+		Clients:   clients,
+		Requests:  requests,
+		SizeBytes: size,
+	}, out)
+	if err != nil {
+		return err
+	}
+	if report.RouterOverhead > 0 {
+		fmt.Fprintf(out, "hetmemd: bench router p50 overhead %.2fx over single daemon\n", report.RouterOverhead)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hetmemd: cluster bench report written to %s\n", outPath)
+	}
+	return nil
+}
+
+// flagWasSet reports whether the user passed name explicitly.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hetmem/internal/cluster"
+	"hetmem/internal/server"
+)
+
+func TestRouterFlagValidation(t *testing.T) {
+	if err := run([]string{"router"}, io.Discard); err == nil {
+		t.Fatal("router without members should fail")
+	}
+	if err := run([]string{"router", "-member", "no-equals-sign"}, io.Discard); err == nil {
+		t.Fatal("malformed -member should fail")
+	}
+}
+
+// TestRouterSubcommandEndToEnd boots two real daemons, fronts them
+// with the router subcommand's serve loop, does real work through the
+// router over the wire, and shuts it down with SIGTERM.
+func TestRouterSubcommandEndToEnd(t *testing.T) {
+	m0 := boot(t, "xeon")
+	m1 := boot(t, "fictitious")
+
+	// Pick a concrete free port for the router.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var mu sync.Mutex
+	var out strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- routerUntilSignal(addr, cluster.Config{
+			Members: []cluster.MemberSpec{
+				{Name: "m0", URL: m0},
+				{Name: "m1", URL: m1},
+			},
+			JournalPath:  filepath.Join(t.TempDir(), "router.wal"),
+			PollInterval: 50 * time.Millisecond,
+		}, w)
+	}()
+
+	base := "http://" + addr
+	cl := server.NewClient(base, server.WithoutHeartbeat())
+	defer cl.Close()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cl.Health(ctx); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router did not come up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := cl.Alloc(ctx, server.AllocRequest{Name: "fed", Size: 1 << 20, Attr: "Bandwidth"})
+	if err != nil {
+		t.Fatalf("alloc through router subcommand: %v", err)
+	}
+	if !strings.HasPrefix(resp.Placement, "m0/") && !strings.HasPrefix(resp.Placement, "m1/") {
+		t.Fatalf("placement %q not member-prefixed", resp.Placement)
+	}
+	if err := cl.Free(ctx, resp.Lease); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("router returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not shut down after SIGTERM")
+	}
+	mu.Lock()
+	logText := out.String()
+	mu.Unlock()
+	if !strings.Contains(logText, "router journal flushed") {
+		t.Fatalf("no journal flush confirmation: %q", logText)
+	}
+}
+
+// TestLoadtestClusterMode runs the -cluster loadtest (scaled down for
+// CI) with a mid-run member kill and expects the zero-lost-leases
+// verdict and consistent books.
+func TestLoadtestClusterMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"loadtest", "-cluster",
+		"-clients", "32", "-requests", "40",
+		"-kill", "1", "-kill-after", "200ms",
+		"-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+	for _, want := range []string{"0 failed", "zero lost leases", "books consistent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in: %s", want, out.String())
+		}
+	}
+}

@@ -9,8 +9,11 @@
 //	hetmemd serve -addr :7077 -p xeon          # run the daemon
 //	hetmemd serve -journal /var/lib/hetmemd.wal  # survive restarts
 //	hetmemd serve -journal d.wal -lease-ttl 5m -reap-interval 1m  # TTL leases
+//	hetmemd router -member m0=http://h0:7077 -member m1=http://h1:7077  # federate daemons
 //	hetmemd loadtest -clients 64               # self-hosted load test
 //	hetmemd loadtest -addr http://host:7077    # load-test a running daemon
+//	hetmemd loadtest -cluster                  # 1000 clients across a 4-daemon fleet, one member killed mid-run
+//	hetmemd bench -cluster                     # router-vs-single-daemon benchmark (BENCH_cluster.json)
 //	hetmemd chaostest -steps 60                # fault-inject a daemon under load
 //	hetmemd reapstress -ttl 1s                 # orphan-reaper acceptance run
 //	hetmemd platforms                          # list available platforms
@@ -54,11 +57,13 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetmemd <serve|loadtest|chaostest|reapstress|bench|platforms> [flags] (-h for flags)")
+		return fmt.Errorf("usage: hetmemd <serve|router|loadtest|chaostest|reapstress|bench|platforms> [flags] (-h for flags)")
 	}
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:], out)
+	case "router":
+		return runRouter(args[1:], out)
 	case "loadtest":
 		return runLoadtest(args[1:], out)
 	case "chaostest":
@@ -77,7 +82,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, loadtest, chaostest, reapstress, bench, or platforms)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, router, loadtest, chaostest, reapstress, bench, or platforms)", args[0])
 	}
 }
 
@@ -269,9 +274,39 @@ func runLoadtest(args []string, out io.Writer) error {
 		maxSize  = fs.Uint64("maxsize", 64<<20, "max allocation size in bytes")
 		seed     = fs.Int64("seed", 1, "traffic mix seed")
 		verify   = fs.Bool("verify", true, "cross-check /metrics against the lease table afterwards")
+		clust    = fs.Bool("cluster", false, "boot a 4-daemon fleet behind a router and load-test through it (defaults scale to 1000 clients)")
+		kill     = fs.Int("kill", 1, "with -cluster: member index to kill mid-run (-1: no failure injection)")
+		killWait = fs.Duration("kill-after", 2*time.Second, "with -cluster: how far into the run the kill lands")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clust {
+		// Cluster mode scales the defaults to the acceptance shape:
+		// 1000+ concurrent clients across the 4-daemon fleet, sized so
+		// the fleet never runs out of room. Explicit flags still win.
+		if !flagWasSet(fs, "clients") {
+			*clients = 1000
+		}
+		if !flagWasSet(fs, "requests") {
+			*requests = 20
+		}
+		if !flagWasSet(fs, "live") {
+			*maxLive = 4
+		}
+		if !flagWasSet(fs, "maxsize") {
+			*maxSize = 8 << 20
+		}
+		return clusterLoadtest(clusterLoadtestOptions{
+			clients:   *clients,
+			requests:  *requests,
+			maxLive:   *maxLive,
+			maxSize:   *maxSize,
+			seed:      *seed,
+			kill:      *kill,
+			killAfter: *killWait,
+			verify:    *verify,
+		}, out)
 	}
 
 	ctx := context.Background()
@@ -327,9 +362,14 @@ func runBench(args []string, out io.Writer) error {
 		restartRecs = fs.Int("restart-records", 120000, "journal records for the restart-time benchmark (0: skip)")
 		outPath     = fs.String("out", "BENCH_alloc.json", "JSON artifact path (empty: stdout only)")
 		restartPath = fs.String("restart-out", "BENCH_restart.json", "restart benchmark artifact path (empty: embed in -out only)")
+		clust       = fs.Bool("cluster", false, "benchmark the cluster router path against a single daemon instead of the fast-path A/B")
+		clustPath   = fs.String("cluster-out", "BENCH_cluster.json", "with -cluster: JSON artifact path (empty: stdout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clust {
+		return clusterBench(*clients, *requests, *size, *clustPath, out)
 	}
 	dir, err := os.MkdirTemp("", "hetmemd-bench-")
 	if err != nil {

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hetmem/internal/core"
+	"hetmem/internal/server"
+)
+
+// The cluster acceptance benchmark: the same keyed alloc+free round
+// trip measured against a single daemon and against the router
+// fronting the member fleet, so BENCH_cluster.json records what the
+// extra hop costs (and what the fleet buys in aggregate capacity).
+
+// BenchOptions configures RunBench.
+type BenchOptions struct {
+	// Platforms is the member mix (default DefaultSimPlatforms); the
+	// single-daemon baseline runs the first platform.
+	Platforms []string
+	// Clients is the number of concurrent benchmark clients.
+	Clients int
+	// Requests is the alloc+free round trips per client.
+	Requests int
+	// SizeBytes is the bytes per allocation.
+	SizeBytes uint64
+}
+
+// BenchReport is the BENCH_cluster.json artifact.
+type BenchReport struct {
+	Benchmark string               `json:"benchmark"` // "cluster_router"
+	Members   []string             `json:"members"`
+	Clients   int                  `json:"clients"`
+	Requests  int                  `json:"requests"`
+	Results   []server.BenchResult `json:"results"`
+	// RouterOverhead is router p50 latency over single-daemon p50 —
+	// the per-request price of the extra hop.
+	RouterOverhead float64 `json:"router_overhead,omitempty"`
+}
+
+// RunBench measures the router path against the single-daemon
+// baseline.
+func RunBench(ctx context.Context, opts BenchOptions, out io.Writer) (BenchReport, error) {
+	if out == nil {
+		out = io.Discard
+	}
+	platforms := opts.Platforms
+	if len(platforms) == 0 {
+		platforms = DefaultSimPlatforms
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 32
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 200
+	}
+	if opts.SizeBytes == 0 {
+		opts.SizeBytes = 1 << 20
+	}
+	report := BenchReport{
+		Benchmark: "cluster_router",
+		Members:   platforms,
+		Clients:   opts.Clients,
+		Requests:  opts.Requests,
+	}
+
+	// Baseline: one daemon, direct.
+	sys, err := core.NewSystem(platforms[0], core.Options{})
+	if err != nil {
+		return report, err
+	}
+	srv, err := server.NewWithConfig(sys, server.Config{})
+	if err != nil {
+		return report, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return report, err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hs.Serve(ln)
+	single, err := benchRun(ctx, "single_daemon", "http://"+ln.Addr().String(), opts)
+	hs.Close()
+	ln.Close()
+	srv.Close()
+	if err != nil {
+		return report, err
+	}
+	report.Results = append(report.Results, single)
+	fmt.Fprintf(out, "hetmemd: bench %s\n", single)
+
+	// Router: the same load through the federation.
+	sim, err := StartSim(SimOptions{Platforms: platforms, Out: out})
+	if err != nil {
+		return report, err
+	}
+	routed, err := benchRun(ctx, fmt.Sprintf("router_%d_members", len(platforms)), sim.Base, opts)
+	sim.Close()
+	if err != nil {
+		return report, err
+	}
+	report.Results = append(report.Results, routed)
+	fmt.Fprintf(out, "hetmemd: bench %s\n", routed)
+
+	if single.P50Micros > 0 {
+		report.RouterOverhead = routed.P50Micros / single.P50Micros
+	}
+	return report, nil
+}
+
+// benchRun drives Clients goroutines of keyed alloc+free round trips
+// against base and reports client-observed latency percentiles.
+func benchRun(ctx context.Context, name, base string, opts BenchOptions) (server.BenchResult, error) {
+	res := server.BenchResult{Name: name, Clients: opts.Clients}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		latsByC  = make([][]float64, opts.Clients)
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := server.NewClient(base, server.WithoutHeartbeat())
+			defer cl.Close()
+			lats := make([]float64, 0, opts.Requests)
+			for i := 0; i < opts.Requests; i++ {
+				req := server.AllocRequest{
+					Name: fmt.Sprintf("bench-%d-%d", c, i),
+					Size: opts.SizeBytes,
+					Attr: "Bandwidth",
+				}
+				t0 := time.Now()
+				resp, err := cl.Alloc(ctx, req)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster bench %s: alloc: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				lats = append(lats, float64(time.Since(t0).Microseconds()))
+				if err := cl.Free(ctx, resp.Lease); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cluster bench %s: free: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			latsByC[c] = lats
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.Seconds = time.Since(start).Seconds()
+	var all []float64
+	for _, lats := range latsByC {
+		all = append(all, lats...)
+	}
+	res.Allocs = len(all)
+	if res.Seconds > 0 {
+		res.AllocsPerSec = float64(res.Allocs) / res.Seconds
+	}
+	sort.Float64s(all)
+	res.P50Micros = percentile(all, 0.50)
+	res.P99Micros = percentile(all, 0.99)
+	return res, nil
+}
+
+// percentile reads the p-quantile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,66 @@
+// Package cluster federates many hetmemd daemons behind one router
+// that presents the single-daemon /v1 API unchanged. The lease
+// keyspace is sharded over the healthy members with rendezvous
+// hashing, so clients keep using server.Client against one base URL
+// while placements spread across machines; when a member dies, the
+// router re-homes its leases onto survivors (see evacuate.go) and
+// every affected request fails with a retryable v1 error in the
+// meantime — never a silent loss.
+package cluster
+
+import "sort"
+
+// Rendezvous (highest-random-weight) hashing: each (key, member) pair
+// gets a pseudo-random score, and the key lives on the member with
+// the highest score. Unlike modulo sharding, removing a member moves
+// ONLY the keys that lived on it — every other key keeps its maximum
+// — and adding one steals only the keys it now wins. No ring state,
+// no token tables: membership is just the list of names.
+
+// fnv1a64 hashes key then member with FNV-1a, mixing the two through
+// the same state so score(k, m) is a 64-bit pseudo-random function of
+// the pair.
+func fnv1a64(key, member string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// A separator byte keeps ("ab","c") and ("a","bc") from colliding.
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(member); i++ {
+		h ^= uint64(member[i])
+		h *= prime64
+	}
+	return h
+}
+
+// pick returns the index into members of the highest-scoring member
+// for key, or -1 when members is empty. Ties (vanishingly rare) break
+// toward the lower index, deterministically.
+func pick(key string, members []string) int {
+	best, bestScore := -1, uint64(0)
+	for i, m := range members {
+		if s := fnv1a64(key, m); best == -1 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// rank returns members ordered by descending score for key: rank[0]
+// is where the key lives, rank[1] is where it moves if rank[0]
+// leaves, and so on. Used by evacuation to pick a deterministic
+// fallback target.
+func rank(key string, members []string) []string {
+	out := append([]string(nil), members...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return fnv1a64(key, out[i]) > fnv1a64(key, out[j])
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The two properties the sharding scheme is chosen for: keys spread
+// evenly over the membership, and membership changes move only the
+// keys they must.
+
+func TestRendezvousBalance(t *testing.T) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%d", i)
+	}
+	const keys = 40000
+	counts := make(map[int]int)
+	for k := 0; k < keys; k++ {
+		counts[pick(fmt.Sprintf("lease-%d", k), members)]++
+	}
+	ideal := float64(keys) / float64(len(members))
+	for i, n := range counts {
+		dev := (float64(n) - ideal) / ideal
+		if dev > 0.10 || dev < -0.10 {
+			t.Errorf("member %d owns %d keys, %.1f%% off the ideal %.0f (want within 10%%)",
+				i, n, dev*100, ideal)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Errorf("only %d of %d members own keys", len(counts), len(members))
+	}
+}
+
+func TestRendezvousRemovalMovesOnlyTheVictimsKeys(t *testing.T) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%d", i)
+	}
+	const victim = 3
+	survivors := append(append([]string(nil), members[:victim]...), members[victim+1:]...)
+
+	const keys = 20000
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("lease-%d", k)
+		before := members[pick(key, members)]
+		after := survivors[pick(key, survivors)]
+		if before == members[victim] {
+			moved++
+			continue // this key HAD to move
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %s to %s although %s is still a member",
+				key, before, after, before)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; the test proved nothing")
+	}
+}
+
+func TestRendezvousRankHeadMatchesPick(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("k%d", k)
+		if got, want := rank(key, members)[0], members[pick(key, members)]; got != want {
+			t.Fatalf("key %q: rank[0]=%s, pick=%s", key, got, want)
+		}
+	}
+}
+
+func TestRendezvousEmptyMembership(t *testing.T) {
+	if got := pick("k", nil); got != -1 {
+		t.Fatalf("pick over no members = %d, want -1", got)
+	}
+}

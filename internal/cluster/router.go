@@ -1,0 +1,849 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetmem/internal/journal"
+	"hetmem/internal/server"
+	"hetmem/internal/topology"
+)
+
+// Config describes the cluster a Router fronts.
+type Config struct {
+	// Members are the daemons behind the router. Order defines each
+	// member's slot index — the NodeOS field of the router's journal
+	// records — so a journaled router must keep member order stable
+	// across restarts (renames and reorders strand restored leases).
+	Members []MemberSpec
+	// JournalPath enables the router's own write-ahead lease journal:
+	// the routerLease -> (member, member lease) mapping survives router
+	// restarts. Empty disables durability.
+	JournalPath string
+	// SyncEveryAppend fsyncs the router journal after every record.
+	SyncEveryAppend bool
+	// PollInterval is the member health-poll period (default 500ms).
+	PollInterval time.Duration
+	// OfflineAfter is how many consecutive failed polls mark a member
+	// offline and start evacuating its leases (default 2).
+	OfflineAfter int
+	// RetryAfterSeconds is the Retry-After hint on the router's 503
+	// responses (default 1).
+	RetryAfterSeconds int
+	// MemberRetry overrides the retry policy of the member-facing
+	// clients (nil: server.DefaultRetry). Tests tighten it so a dead
+	// member fails fast.
+	MemberRetry *server.RetryPolicy
+}
+
+// rlease is one routed lease: the router-scoped lease ID the client
+// holds, and the (member slot, member-local lease) pair it currently
+// maps to. The triple is exactly what the router journals.
+type rlease struct {
+	id          uint64
+	slot        int
+	memberLease uint64
+
+	// The original request, kept so evacuation can re-place the buffer
+	// on a survivor with the same constraints.
+	name      string
+	attr      string
+	initiator string
+	key       string // client idempotency key, "" if none
+	size      uint64
+	ttlMillis uint64
+
+	// resp is the response the client saw, replayed verbatim on
+	// idempotent retries.
+	resp server.AllocResponse
+}
+
+// Router shards the lease keyspace over a fleet of hetmemd daemons
+// with rendezvous hashing and presents the single-daemon /v1 API
+// unchanged: it implements server.Backend, so server.NewAPI gives it
+// the same routes, error envelope, and request metrics as a daemon.
+// Every client-visible lease ID is router-scoped; the mapping to the
+// owning member's lease is journaled, and when a member dies the
+// router re-homes its leases onto survivors (evacuate.go).
+type Router struct {
+	cfg        Config
+	members    []*member
+	byName     map[string]*member
+	instanceID string
+	api        *server.API
+
+	mu        sync.Mutex
+	leases    map[uint64]*rlease
+	idem      map[string]uint64 // client idempotency key -> router lease
+	nextLease uint64
+	store     *journal.Store // nil without -journal
+
+	// Cluster-level counters surfaced in the /metrics rollup.
+	idemReplays      atomic.Uint64
+	forwardErrors    atomic.Uint64
+	migrations       atomic.Uint64
+	migrationsFailed atomic.Uint64
+	evacuations      atomic.Uint64
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Router over the configured members, replaying its
+// journal (if any) into the lease map, and starts the health poller.
+// Close stops the poller, compacts the journal, and closes the member
+// clients.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("cluster: no members configured")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.OfflineAfter <= 0 {
+		cfg.OfflineAfter = 2
+	}
+	r := &Router{
+		cfg:        cfg,
+		byName:     make(map[string]*member, len(cfg.Members)),
+		instanceID: server.NewInstanceID(),
+		leases:     make(map[uint64]*rlease),
+		idem:       make(map[string]uint64),
+		nextLease:  1,
+		stopCh:     make(chan struct{}),
+	}
+	for i, spec := range cfg.Members {
+		if spec.Name == "" || spec.URL == "" {
+			return nil, fmt.Errorf("cluster: member %d needs both name and url", i)
+		}
+		if _, dup := r.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", spec.Name)
+		}
+		opts := []server.ClientOption{server.WithoutHeartbeat()}
+		if cfg.MemberRetry != nil {
+			opts = append(opts, server.WithRetryPolicy(*cfg.MemberRetry))
+		}
+		m := &member{name: spec.Name, url: spec.URL, slot: i, cl: server.NewClient(spec.URL, opts...)}
+		r.members = append(r.members, m)
+		r.byName[spec.Name] = m
+	}
+	if cfg.JournalPath != "" {
+		st, restored, err := journal.OpenStore(cfg.JournalPath, nil)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: journal: %w", err)
+		}
+		r.store = st
+		r.replay(restored)
+	}
+	r.api = server.NewAPI(r, server.APIOptions{RetryAfterSeconds: cfg.RetryAfterSeconds})
+
+	r.wg.Add(1)
+	go r.pollLoop()
+	return r, nil
+}
+
+// replay folds the journal history back into the lease map. Records
+// pointing at slots outside the current membership (the cluster
+// shrank across a restart) are dropped — their members are gone, and
+// keeping them would route requests nowhere.
+func (r *Router) replay(restored journal.Restored) {
+	for _, rec := range restored.Records {
+		switch rec.Op {
+		case journal.OpAlloc:
+			if len(rec.Segments) != 1 || rec.Segments[0].NodeOS < 0 || rec.Segments[0].NodeOS >= len(r.members) {
+				continue
+			}
+			rl := &rlease{
+				id:          rec.Lease,
+				slot:        rec.Segments[0].NodeOS,
+				memberLease: rec.Segments[0].Bytes,
+				name:        rec.Name,
+				attr:        rec.Attr,
+				initiator:   rec.Initiator,
+				key:         rec.Key,
+				size:        rec.Size,
+				ttlMillis:   rec.TTLMillis,
+			}
+			// The member-reported placement string is not journaled;
+			// after a restart the replayed response names the member.
+			rl.resp = server.AllocResponse{
+				Lease:      rec.Lease,
+				Placement:  r.members[rl.slot].name,
+				AttrUsed:   rec.Attr,
+				TTLSeconds: float64(rec.TTLMillis) / 1000,
+			}
+			r.leases[rec.Lease] = rl
+			if rec.Key != "" {
+				r.idem[rec.Key] = rec.Lease
+			}
+			if rec.Lease >= r.nextLease {
+				r.nextLease = rec.Lease + 1
+			}
+		case journal.OpMigrate:
+			rl, ok := r.leases[rec.Lease]
+			if !ok || len(rec.Segments) != 1 || rec.Segments[0].NodeOS < 0 || rec.Segments[0].NodeOS >= len(r.members) {
+				continue
+			}
+			rl.slot = rec.Segments[0].NodeOS
+			rl.memberLease = rec.Segments[0].Bytes
+			rl.resp.Placement = r.members[rl.slot].name
+		case journal.OpFree:
+			if rl, ok := r.leases[rec.Lease]; ok {
+				if rl.key != "" {
+					delete(r.idem, rl.key)
+				}
+				delete(r.leases, rec.Lease)
+			}
+		}
+	}
+	if restored.NextLease > r.nextLease {
+		r.nextLease = restored.NextLease
+	}
+}
+
+// appendLocked journals one record. Caller holds r.mu — the lock
+// orders journal appends with map mutations, the same
+// journal-before-visible discipline the daemon uses.
+func (r *Router) appendLocked(rec journal.Record) error {
+	if r.store == nil {
+		return nil
+	}
+	if err := r.store.Append(rec); err != nil {
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	if r.cfg.SyncEveryAppend {
+		if err := r.store.Sync(); err != nil {
+			return fmt.Errorf("cluster: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler returns the router's HTTP surface: the full /v1 API plus
+// the deprecated legacy aliases, identical to a daemon's.
+func (r *Router) Handler() http.Handler { return r.api.Handler() }
+
+// Metrics returns the router's live request metrics.
+func (r *Router) Metrics() *server.Metrics { return r.api.Metrics() }
+
+// InstanceID returns the router's per-boot instance ID.
+func (r *Router) InstanceID() string { return r.instanceID }
+
+// LeaseCount returns the live routed-lease count.
+func (r *Router) LeaseCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leases)
+}
+
+// Close stops the poller, checkpoints and closes the journal, and
+// closes the member clients.
+func (r *Router) Close() error {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+	var firstErr error
+	if r.store != nil {
+		if err := r.Checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := r.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, m := range r.members {
+		m.cl.Close()
+	}
+	return firstErr
+}
+
+// Checkpoint compacts the router journal to a snapshot of the live
+// lease map.
+func (r *Router) Checkpoint() error {
+	if r.store == nil {
+		return nil
+	}
+	return r.store.Checkpoint(func() ([]journal.Record, uint64, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		recs := make([]journal.Record, 0, len(r.leases))
+		for _, rl := range r.leases {
+			recs = append(recs, allocRecord(rl))
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Lease < recs[j].Lease })
+		return recs, r.nextLease, nil
+	})
+}
+
+func allocRecord(rl *rlease) journal.Record {
+	return journal.Record{
+		Op:        journal.OpAlloc,
+		Lease:     rl.id,
+		Name:      rl.name,
+		Attr:      rl.attr,
+		Initiator: rl.initiator,
+		Key:       rl.key,
+		Size:      rl.size,
+		TTLMillis: rl.ttlMillis,
+		Segments:  []journal.Segment{{NodeOS: rl.slot, Bytes: rl.memberLease}},
+	}
+}
+
+// pollLoop drives the membership view: each tick polls every member,
+// evacuates the ones that died or restarted, and drains queued frees
+// on the ones that recovered.
+func (r *Router) pollLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			r.PollOnce(context.Background())
+		}
+	}
+}
+
+// PollOnce runs one health sweep over all members. Exported so tests
+// (and the sim harness) can advance the membership view without
+// waiting for the ticker.
+func (r *Router) PollOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range r.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			wentOffline, restarted, _ := m.poll(ctx, r.cfg.OfflineAfter)
+			state, _, _ := m.snapshotState()
+			if wentOffline || restarted || state == memberOffline {
+				// Evacuate on the transition AND on every later tick while
+				// leases remain stranded: an evacuation that failed for
+				// capacity retries until the fleet has room.
+				r.evacuateMember(ctx, m)
+			}
+			if state != memberOffline && m.pendingFreeDepth() > 0 {
+				r.drainPendingFrees(ctx, m)
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+// eligible returns the members that may receive new placements:
+// healthy ones, or — when nothing is healthy — degraded ones, so a
+// uniformly-degraded fleet keeps serving rather than failing every
+// request. Offline members are never eligible.
+func (r *Router) eligible() []*member {
+	var healthy, degraded []*member
+	for _, m := range r.members {
+		switch state, _, _ := m.snapshotState(); state {
+		case memberHealthy:
+			healthy = append(healthy, m)
+		case memberDegraded:
+			degraded = append(degraded, m)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return degraded
+}
+
+// routingKey is the rendezvous input for an allocation: the
+// idempotency key when the client set one (so a retried request
+// re-routes identically even if the name repeats across buffers),
+// else the buffer name.
+func routingKey(req server.AllocRequest) string {
+	if req.IdempotencyKey != "" {
+		return req.IdempotencyKey
+	}
+	return req.Name
+}
+
+// routeKey picks the owning member for a key among the currently
+// eligible members.
+func (r *Router) routeKey(key string) (*member, error) {
+	elig := r.eligible()
+	if len(elig) == 0 {
+		return nil, fmt.Errorf("%w: no reachable members", server.ErrMemberUnavailable)
+	}
+	names := make([]string, len(elig))
+	for i, m := range elig {
+		names[i] = m.name
+	}
+	return elig[pick(key, names)], nil
+}
+
+// forwardErr shapes a member-call failure for the client: a member's
+// own API error passes through verbatim (it already carries the right
+// v1 code), while transport-level failures become the retryable
+// member_unavailable — the poller will notice the member shortly and
+// re-home its keys.
+func (r *Router) forwardErr(m *member, err error) error {
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		return err
+	}
+	r.forwardErrors.Add(1)
+	return fmt.Errorf("%w: member %s: %v", server.ErrMemberUnavailable, m.name, err)
+}
+
+// errNoLease is the router's 404: shaped as an APIError so the shared
+// error envelope passes it through with the daemon's exact code.
+func errNoLease(id uint64) error {
+	return &server.APIError{
+		StatusCode: http.StatusNotFound,
+		Code:       server.CodeLeaseExpired,
+		Message:    fmt.Sprintf("cluster: no such lease %d", id),
+	}
+}
+
+// ---- server.Backend ----
+
+// Alloc routes the request to the owning member, forwards it with the
+// client's idempotency key intact, then journals the mapping before
+// making it visible. If the router crashes between the member's grant
+// and the journal append, the client's retry (same key) re-forwards
+// to the same member, which replays the same lease — nothing is
+// allocated twice, and the retry's append lands the mapping.
+func (r *Router) Alloc(ctx context.Context, req server.AllocRequest) (server.AllocResponse, error) {
+	if req.IdempotencyKey != "" {
+		r.mu.Lock()
+		if id, ok := r.idem[req.IdempotencyKey]; ok {
+			resp := r.leases[id].resp
+			r.mu.Unlock()
+			r.idemReplays.Add(1)
+			return resp, nil
+		}
+		r.mu.Unlock()
+	}
+	m, err := r.routeKey(routingKey(req))
+	if err != nil {
+		return server.AllocResponse{}, err
+	}
+	mresp, err := m.cl.Alloc(ctx, req)
+	if err != nil {
+		return server.AllocResponse{}, r.forwardErr(m, err)
+	}
+	return r.commitAlloc(ctx, m, req, mresp)
+}
+
+// commitAlloc registers a member grant under a fresh router lease ID:
+// journal first, map second. On a journal failure the member-side
+// lease is freed so nothing leaks.
+func (r *Router) commitAlloc(ctx context.Context, m *member, req server.AllocRequest, mresp server.AllocResponse) (server.AllocResponse, error) {
+	r.mu.Lock()
+	if req.IdempotencyKey != "" {
+		if id, ok := r.idem[req.IdempotencyKey]; ok {
+			// A concurrent duplicate won the race. Same key, same member
+			// (rendezvous is deterministic), same member lease (the member
+			// deduped) — return the winner's response, free nothing.
+			resp := r.leases[id].resp
+			r.mu.Unlock()
+			r.idemReplays.Add(1)
+			return resp, nil
+		}
+	}
+	id := r.nextLease
+	r.nextLease++
+	rl := &rlease{
+		id:          id,
+		slot:        m.slot,
+		memberLease: mresp.Lease,
+		name:        req.Name,
+		attr:        req.Attr,
+		initiator:   req.Initiator,
+		key:         req.IdempotencyKey,
+		size:        req.Size,
+		ttlMillis:   uint64(mresp.TTLSeconds * 1000),
+	}
+	resp := mresp
+	resp.Lease = id
+	resp.Placement = m.name + "/" + mresp.Placement
+	rl.resp = resp
+	if err := r.appendLocked(allocRecord(rl)); err != nil {
+		r.mu.Unlock()
+		if ferr := m.cl.Free(context.WithoutCancel(ctx), mresp.Lease); ferr != nil {
+			m.queueFree(mresp.Lease)
+		}
+		return server.AllocResponse{}, err
+	}
+	r.leases[id] = rl
+	if rl.key != "" {
+		r.idem[rl.key] = id
+	}
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// AllocBatch splits the batch by owning member, forwards the
+// per-member sub-batches concurrently, and reassembles the outcomes
+// in request order. Items whose member cannot be reached fail with
+// the retryable member_unavailable envelope; sibling items are
+// unaffected.
+func (r *Router) AllocBatch(ctx context.Context, reqs []server.AllocRequest) (server.BatchAllocResponse, error) {
+	out := server.BatchAllocResponse{Results: make([]server.BatchAllocItem, len(reqs))}
+	groups := make(map[*member][]int)
+	for i, req := range reqs {
+		m, err := r.routeKey(routingKey(req))
+		if err != nil {
+			out.Results[i] = errItem(r, err)
+			continue
+		}
+		groups[m] = append(groups[m], i)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards out.Results slots across member goroutines
+	for m, idxs := range groups {
+		wg.Add(1)
+		go func(m *member, idxs []int) {
+			defer wg.Done()
+			sub := make([]server.AllocRequest, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
+			mresp, err := m.cl.AllocBatch(ctx, sub)
+			if err != nil || len(mresp.Results) != len(idxs) {
+				if err == nil {
+					err = fmt.Errorf("%w: member %s returned %d results for %d items",
+						server.ErrMemberUnavailable, m.name, len(mresp.Results), len(idxs))
+				}
+				item := errItem(r, r.forwardErr(m, err))
+				mu.Lock()
+				for _, i := range idxs {
+					out.Results[i] = item
+				}
+				mu.Unlock()
+				return
+			}
+			for j, i := range idxs {
+				item := mresp.Results[j]
+				if item.Error != nil {
+					mu.Lock()
+					out.Results[i] = item
+					mu.Unlock()
+					continue
+				}
+				resp, err := r.commitAlloc(ctx, m, reqs[i], *item.Alloc)
+				mu.Lock()
+				if err != nil {
+					out.Results[i] = errItem(r, err)
+				} else {
+					out.Results[i] = server.BatchAllocItem{Alloc: &resp}
+				}
+				mu.Unlock()
+			}
+		}(m, idxs)
+	}
+	wg.Wait()
+	for _, item := range out.Results {
+		if item.Alloc != nil {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	return out, nil
+}
+
+// errItem shapes an error as a batch item outcome using the shared
+// envelope rules (APIError passthrough included).
+func errItem(r *Router, err error) server.BatchAllocItem {
+	body := server.ErrorBodyFor(err, r.cfg.RetryAfterSeconds)
+	return server.BatchAllocItem{Error: &body}
+}
+
+// Free removes the routed lease first (journal, then map — a free
+// acked to the client stays freed across a router crash), then
+// releases the member-side lease. An unreachable member gets the free
+// queued and drained when it returns; a member that already dropped
+// the lease (reaper, evacuation race) is already done.
+func (r *Router) Free(ctx context.Context, req server.FreeRequest) (server.FreeResponse, error) {
+	r.mu.Lock()
+	rl, ok := r.leases[req.Lease]
+	if !ok {
+		r.mu.Unlock()
+		return server.FreeResponse{}, errNoLease(req.Lease)
+	}
+	if err := r.appendLocked(journal.Record{Op: journal.OpFree, Lease: req.Lease}); err != nil {
+		r.mu.Unlock()
+		return server.FreeResponse{}, err
+	}
+	delete(r.leases, req.Lease)
+	if rl.key != "" {
+		delete(r.idem, rl.key)
+	}
+	m, memberLease := r.members[rl.slot], rl.memberLease
+	r.mu.Unlock()
+
+	if err := m.cl.Free(ctx, memberLease); err != nil && !errors.Is(err, server.ErrLeaseExpired) {
+		m.queueFree(memberLease)
+	}
+	return server.FreeResponse{Lease: req.Lease, Freed: true}, nil
+}
+
+// Renew forwards the heartbeat to the owning member. A member that no
+// longer knows the lease (its reaper won) retires the routed lease
+// too, so the client's next call sees the same lease_expired a single
+// daemon would give.
+func (r *Router) Renew(ctx context.Context, req server.RenewRequest) (server.RenewResponse, error) {
+	r.mu.Lock()
+	rl, ok := r.leases[req.Lease]
+	if !ok {
+		r.mu.Unlock()
+		return server.RenewResponse{}, errNoLease(req.Lease)
+	}
+	m, memberLease := r.members[rl.slot], rl.memberLease
+	r.mu.Unlock()
+
+	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
+	mresp, err := m.cl.Renew(ctx, memberLease, ttl)
+	if err != nil {
+		if errors.Is(err, server.ErrLeaseExpired) {
+			r.dropLease(req.Lease, rl.slot, memberLease)
+		}
+		return server.RenewResponse{}, r.forwardErr(m, err)
+	}
+	return server.RenewResponse{Lease: req.Lease, TTLSeconds: mresp.TTLSeconds}, nil
+}
+
+// dropLease retires a routed lease whose member-side lease is gone,
+// if it still maps to that exact (slot, member lease) pair — an
+// evacuation may have re-homed it concurrently, in which case it
+// stays.
+func (r *Router) dropLease(id uint64, slot int, memberLease uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rl, ok := r.leases[id]
+	if !ok || rl.slot != slot || rl.memberLease != memberLease {
+		return
+	}
+	if err := r.appendLocked(journal.Record{Op: journal.OpFree, Lease: id}); err != nil {
+		return // keep the stale entry; the next touch retries the drop
+	}
+	delete(r.leases, id)
+	if rl.key != "" {
+		delete(r.idem, rl.key)
+	}
+}
+
+// Migrate forwards the re-placement to the owning member (the buffer
+// stays on that machine; cross-member moves happen only on member
+// failure, via evacuation).
+func (r *Router) Migrate(ctx context.Context, req server.MigrateRequest) (server.MigrateResponse, error) {
+	r.mu.Lock()
+	rl, ok := r.leases[req.Lease]
+	if !ok {
+		r.mu.Unlock()
+		return server.MigrateResponse{}, errNoLease(req.Lease)
+	}
+	m, memberLease, slot := r.members[rl.slot], rl.memberLease, rl.slot
+	r.mu.Unlock()
+
+	fwd := req
+	fwd.Lease = memberLease
+	mresp, err := m.cl.Migrate(ctx, fwd)
+	if err != nil {
+		if errors.Is(err, server.ErrLeaseExpired) {
+			r.dropLease(req.Lease, slot, memberLease)
+		}
+		return server.MigrateResponse{}, r.forwardErr(m, err)
+	}
+	r.mu.Lock()
+	if cur, ok := r.leases[req.Lease]; ok && cur.slot == slot && cur.memberLease == memberLease {
+		cur.attr = req.Attr
+		cur.resp.Placement = m.name + "/" + mresp.Placement
+	}
+	r.mu.Unlock()
+	return server.MigrateResponse{
+		Lease:       req.Lease,
+		Placement:   m.name + "/" + mresp.Placement,
+		Rank:        mresp.Rank,
+		CostSeconds: mresp.CostSeconds,
+	}, nil
+}
+
+// Leases summarizes the routed lease table; NodeBytes is keyed by
+// member name, so the cluster-wide books cross-check against the
+// /metrics rollup exactly like a daemon's.
+func (r *Router) Leases(ctx context.Context, list bool) (server.LeasesResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	resp := server.LeasesResponse{NodeBytes: make(map[string]uint64, len(r.members))}
+	for _, rl := range r.leases {
+		resp.Count++
+		resp.Bytes += rl.size
+		resp.NodeBytes[r.members[rl.slot].name] += rl.size
+		if list {
+			resp.Leases = append(resp.Leases, server.LeaseInfo{
+				Lease: rl.id, Name: rl.name, Size: rl.size, Placement: rl.resp.Placement,
+			})
+		}
+	}
+	if list {
+		sort.Slice(resp.Leases, func(i, j int) bool { return resp.Leases[i].Lease < resp.Leases[j].Lease })
+	}
+	return resp, nil
+}
+
+// Health reports the cluster view: one row per member daemon (state
+// from the last poll, with the member's instance ID), overall status
+// "ok" only when every member is healthy, and pressure as the mean of
+// the members' last-reported pressures.
+func (r *Router) Health(ctx context.Context) (server.HealthResponse, error) {
+	resp := server.HealthResponse{Status: "ok", InstanceID: r.instanceID}
+	if r.store != nil {
+		resp.Journal = r.store.Base()
+	}
+	var pressure float64
+	for _, m := range r.members {
+		row := m.healthRow()
+		resp.Nodes = append(resp.Nodes, row)
+		if row.State != "healthy" {
+			resp.Status = "degraded"
+		}
+		_, _, p := m.snapshotState()
+		pressure += p
+	}
+	resp.Pressure = pressure / float64(len(r.members))
+	return resp, nil
+}
+
+// TopologyJSON aggregates the member topologies into one document:
+// the member list with state, and each reachable member's full
+// topology under its name.
+func (r *Router) TopologyJSON(ctx context.Context) ([]byte, error) {
+	type memberTopo struct {
+		Name     string             `json:"name"`
+		URL      string             `json:"url"`
+		State    string             `json:"state"`
+		Topology *topology.Topology `json:"topology,omitempty"`
+		Error    string             `json:"error,omitempty"`
+	}
+	out := struct {
+		Cluster bool         `json:"cluster"`
+		Members []memberTopo `json:"members"`
+	}{Cluster: true, Members: make([]memberTopo, len(r.members))}
+
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		state, _, _ := m.snapshotState()
+		out.Members[i] = memberTopo{Name: m.name, URL: m.url, State: memberStateName(state)}
+		if state == memberOffline {
+			out.Members[i].Error = "member offline"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			topo, err := m.cl.Topology(ctx)
+			if err != nil {
+				out.Members[i].Error = err.Error()
+				return
+			}
+			out.Members[i].Topology = topo
+		}(i, m)
+	}
+	wg.Wait()
+	return json.Marshal(out)
+}
+
+// Attrs merges the members' attribute dumps: one report per attribute
+// name, each value's target prefixed with the member that owns it
+// ("m0/MCDRAM#4").
+func (r *Router) Attrs(ctx context.Context) ([]server.AttrReport, error) {
+	type result struct {
+		m       *member
+		reports []server.AttrReport
+	}
+	results := make([]result, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		if state, _, _ := m.snapshotState(); state == memberOffline {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			reports, err := m.cl.Attrs(ctx)
+			if err == nil {
+				results[i] = result{m: m, reports: reports}
+			}
+		}(i, m)
+	}
+	wg.Wait()
+
+	merged := make(map[string]*server.AttrReport)
+	var order []string
+	for _, res := range results {
+		if res.m == nil {
+			continue
+		}
+		for _, rep := range res.reports {
+			dst, ok := merged[rep.Name]
+			if !ok {
+				dst = &server.AttrReport{Name: rep.Name, Flags: rep.Flags}
+				merged[rep.Name] = dst
+				order = append(order, rep.Name)
+			}
+			for _, v := range rep.Values {
+				v.Target = res.m.name + "/" + v.Target
+				dst.Values = append(dst.Values, v)
+			}
+		}
+	}
+	out := make([]server.AttrReport, 0, len(order))
+	for _, name := range order {
+		out = append(out, *merged[name])
+	}
+	return out, nil
+}
+
+// WriteMetrics renders the cluster rollup: the router's own identity
+// and per-member gauges (state, pressure, queued frees), the
+// migration counters, then the standard daemon series — request
+// counts and forwarded-latency histograms from the shared metrics
+// plumbing, per-member bytes-in-use as the node gauges, and the live
+// routed-lease count — so the single-daemon consistency checks and
+// dashboards work against the router unchanged.
+func (r *Router) WriteMetrics(ctx context.Context, w io.Writer) error {
+	fmt.Fprintf(w, "hetmemd_instance_info{instance_id=%q} 1\n", r.instanceID)
+	fmt.Fprintf(w, "hetmemd_cluster_members %d\n", len(r.members))
+	fmt.Fprintf(w, "hetmemd_cluster_forward_errors_total %d\n", r.forwardErrors.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_migrations_total %d\n", r.migrations.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_migrations_failed_total %d\n", r.migrationsFailed.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_evacuations_total %d\n", r.evacuations.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_idempotent_replays_total %d\n", r.idemReplays.Load())
+
+	r.mu.Lock()
+	bytesBySlot := make([]uint64, len(r.members))
+	leaseCount := len(r.leases)
+	for _, rl := range r.leases {
+		bytesBySlot[rl.slot] += rl.size
+	}
+	r.mu.Unlock()
+
+	nodes := make([]server.NodeUsage, len(r.members))
+	for i, m := range r.members {
+		state, id, pressure := m.snapshotState()
+		fmt.Fprintf(w, "hetmemd_cluster_member_state{member=%q} %d\n", m.name, state)
+		fmt.Fprintf(w, "hetmemd_cluster_member_pressure{member=%q} %g\n", m.name, pressure)
+		fmt.Fprintf(w, "hetmemd_cluster_member_pending_free{member=%q} %d\n", m.name, m.pendingFreeDepth())
+		if id != "" {
+			fmt.Fprintf(w, "hetmemd_cluster_member_info{member=%q,instance_id=%q} 1\n", m.name, id)
+		}
+		nodes[i] = server.NodeUsage{Node: m.name, InUse: bytesBySlot[i], Health: state}
+	}
+	_, err := io.WriteString(w, r.api.Metrics().Render(nodes, leaseCount))
+	return err
+}

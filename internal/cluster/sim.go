@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"hetmem/internal/core"
+	"hetmem/internal/server"
+)
+
+// The in-process cluster harness: N simulated daemons on loopback
+// listeners with a router in front, used by `hetmemd loadtest
+// -cluster`, `hetmemd bench -cluster`, and the chaos tests. Each
+// member gets its own memsim Machine, so the fleet is heterogeneous
+// by construction.
+
+// DefaultSimPlatforms is the default member mix: the paper's two
+// testbeds, the synthetic Figure-3 platform, and the sub-NUMA Xeon.
+var DefaultSimPlatforms = []string{"xeon", "knl-snc4-flat", "fictitious", "xeon-snc2"}
+
+// SimOptions configures an in-process cluster.
+type SimOptions struct {
+	// Platforms lists one memsim platform per member (default
+	// DefaultSimPlatforms). Member i is named "m<i>".
+	Platforms []string
+	// Member is the per-member daemon config (journal paths get the
+	// member name appended when set).
+	Member server.Config
+	// Router is the router config; Members is filled in by the sim.
+	Router Config
+	// Out receives progress lines (nil: discarded).
+	Out io.Writer
+}
+
+// SimMember is one in-process daemon of the simulated cluster.
+type SimMember struct {
+	Name     string
+	Platform string
+	URL      string
+
+	srv    *server.Server
+	hs     *http.Server
+	ln     net.Listener
+	killed bool
+}
+
+// Sim is a running in-process cluster: members, router, and the
+// router's HTTP listener.
+type Sim struct {
+	Members []*SimMember
+	Router  *Router
+	// Base is the router's base URL — point server.Client (or the
+	// loadtest) at it.
+	Base string
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// StartSim boots the members and the router. Callers own Close.
+func StartSim(opts SimOptions) (*Sim, error) {
+	platforms := opts.Platforms
+	if len(platforms) == 0 {
+		platforms = DefaultSimPlatforms
+	}
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	sim := &Sim{}
+	fail := func(err error) (*Sim, error) {
+		sim.Close()
+		return nil, err
+	}
+	var specs []MemberSpec
+	for i, plat := range platforms {
+		name := fmt.Sprintf("m%d", i)
+		cfg := opts.Member
+		if cfg.JournalPath != "" {
+			cfg.JournalPath = cfg.JournalPath + "." + name
+		}
+		sys, err := core.NewSystem(plat, core.Options{})
+		if err != nil {
+			return fail(fmt.Errorf("cluster: member %s platform %s: %w", name, plat, err))
+		}
+		srv, err := server.NewWithConfig(sys, cfg)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: member %s: %w", name, err))
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return fail(err)
+		}
+		hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go hs.Serve(ln)
+		m := &SimMember{
+			Name: name, Platform: plat, URL: "http://" + ln.Addr().String(),
+			srv: srv, hs: hs, ln: ln,
+		}
+		sim.Members = append(sim.Members, m)
+		specs = append(specs, MemberSpec{Name: name, URL: m.URL})
+		fmt.Fprintf(out, "hetmemd: cluster member %s (%s) on %s\n", name, plat, m.URL)
+	}
+
+	rcfg := opts.Router
+	rcfg.Members = specs
+	router, err := New(rcfg)
+	if err != nil {
+		return fail(err)
+	}
+	sim.Router = router
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	sim.ln = ln
+	sim.hs = &http.Server{Handler: router.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go sim.hs.Serve(ln)
+	sim.Base = "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "hetmemd: cluster router on %s (%d members)\n", sim.Base, len(specs))
+	return sim, nil
+}
+
+// Kill hard-stops member i: the listener closes, in-flight requests
+// die, and every later connection is refused — exactly what a crashed
+// daemon looks like to the router.
+func (s *Sim) Kill(i int) {
+	m := s.Members[i]
+	if m.killed {
+		return
+	}
+	m.killed = true
+	m.hs.Close()
+	m.ln.Close()
+	m.srv.Close()
+}
+
+// Close tears the cluster down: router first (stops the poller), then
+// the members.
+func (s *Sim) Close() {
+	if s.hs != nil {
+		s.hs.Close()
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.Router != nil {
+		s.Router.Close()
+	}
+	for _, m := range s.Members {
+		if !m.killed {
+			m.hs.Close()
+			m.ln.Close()
+			m.srv.Close()
+		}
+	}
+}

@@ -6,12 +6,14 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	mrand "math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hetmem/internal/topology"
@@ -201,6 +203,18 @@ func parseRetryAfter(h http.Header) time.Duration {
 	return 0
 }
 
+// connRefused reports whether a transport error is a refused
+// connection. A refused dial is the one transport failure that proves
+// the server never saw the request — the kernel bounced the SYN (or
+// the socket never existed) before a byte of HTTP left the client —
+// so it is safe to retry even for non-idempotent requests. Every
+// other transport error (reset mid-exchange, EOF on the response) is
+// ambiguous: the server may have processed the request without us
+// seeing the answer.
+func connRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
 // doResult is one completed exchange plus how bumpy the road there
 // was.
 type doResult struct {
@@ -214,7 +228,15 @@ type doResult struct {
 }
 
 // do sends one request with the retry policy. body may be nil (GET).
-func (c *Client) do(ctx context.Context, method, path string, payload []byte) (doResult, error) {
+//
+// idempotent declares that repeating the request cannot change the
+// outcome (GETs, renews, frees, allocs carrying an idempotency key):
+// such requests retry every transport error with backoff. A
+// non-idempotent request retries a transport error only when it was a
+// refused connection — provably never processed — so a member daemon
+// restarting under a router does not turn into duplicated work, and
+// an ambiguous mid-exchange failure is surfaced instead of replayed.
+func (c *Client) do(ctx context.Context, method, path string, payload []byte, idempotent bool) (doResult, error) {
 	var res doResult
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
@@ -255,6 +277,11 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) (d
 				return res, ctx.Err()
 			}
 			c.breaker.record(false)
+			if !idempotent && !connRefused(err) {
+				// The server may have seen this one; replaying it blind
+				// could double its effect. Let the caller decide.
+				return res, fmt.Errorf("server: transport error on non-idempotent request: %w", err)
+			}
 			res.transportRetries++
 			lastErr = err
 			continue
@@ -286,7 +313,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte) (d
 }
 
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
-	res, err := c.do(ctx, http.MethodGet, path, nil)
+	res, err := c.do(ctx, http.MethodGet, path, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -296,12 +323,12 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 	return res.body, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, req, out any) error {
+func (c *Client) post(ctx context.Context, path string, req, out any, idempotent bool) error {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	res, err := c.do(ctx, http.MethodPost, path, payload)
+	res, err := c.do(ctx, http.MethodPost, path, payload, idempotent)
 	if err != nil {
 		return err
 	}
@@ -394,7 +421,7 @@ func (c *Client) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, er
 		req.IdempotencyKey = newIdempotencyKey()
 	}
 	var out AllocResponse
-	err := c.post(ctx, "/v1/alloc", req, &out)
+	err := c.post(ctx, "/v1/alloc", req, &out, req.IdempotencyKey != "")
 	if err == nil && out.TTLSeconds > 0 && !c.noHB {
 		c.hb.track(out.Lease, time.Duration(out.TTLSeconds*float64(time.Second)))
 	}
@@ -407,39 +434,16 @@ func (c *Client) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, er
 // each BatchAllocItem for its lease or error.
 //
 // Batches do not support idempotency keys, so the client does not
-// stamp any and does not retry transport failures for this call (a
-// blind retry could double-allocate the items that succeeded). Use
-// Alloc for retry-safe single placements. TTL leases granted by a
-// batch are heartbeat-renewed like Alloc's.
+// stamp any and does not replay ambiguous transport failures (a blind
+// retry could double-allocate the items that succeeded). The one
+// transport failure that IS retried, with backoff, is a refused
+// connection — the daemon provably never saw the batch, e.g. a member
+// restarting behind a router. Use Alloc for fully retry-safe single
+// placements. TTL leases granted by a batch are heartbeat-renewed
+// like Alloc's.
 func (c *Client) AllocBatch(ctx context.Context, reqs []AllocRequest) (BatchAllocResponse, error) {
-	payload, err := json.Marshal(BatchAllocRequest{Requests: reqs})
-	if err != nil {
-		return BatchAllocResponse{}, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/alloc/batch", bytes.NewReader(payload))
-	if err != nil {
-		return BatchAllocResponse{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if err := c.breaker.allow(); err != nil {
-		return BatchAllocResponse{}, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		c.breaker.record(false)
-		return BatchAllocResponse{}, err
-	}
-	c.breaker.record(true)
-	data, err := readBody(resp)
-	resp.Body.Close()
-	if err != nil {
-		return BatchAllocResponse{}, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return BatchAllocResponse{}, apiErrorFrom(doResult{status: resp.StatusCode, body: data})
-	}
 	var out BatchAllocResponse
-	if err := json.Unmarshal(data, &out); err != nil {
+	if err := c.post(ctx, "/v1/alloc/batch", BatchAllocRequest{Requests: reqs}, &out, false); err != nil {
 		return BatchAllocResponse{}, err
 	}
 	if !c.noHB {
@@ -456,7 +460,7 @@ func (c *Client) AllocBatch(ctx context.Context, reqs []AllocRequest) (BatchAllo
 // future. A zero ttl keeps the lease's granted TTL.
 func (c *Client) Renew(ctx context.Context, lease uint64, ttl time.Duration) (RenewResponse, error) {
 	var out RenewResponse
-	err := c.post(ctx, "/v1/renew", RenewRequest{Lease: lease, TTLSeconds: ttl.Seconds()}, &out)
+	err := c.post(ctx, "/v1/renew", RenewRequest{Lease: lease, TTLSeconds: ttl.Seconds()}, &out, true)
 	return out, err
 }
 
@@ -468,7 +472,7 @@ func (c *Client) Free(ctx context.Context, lease uint64) error {
 	if err != nil {
 		return err
 	}
-	res, err := c.do(ctx, http.MethodPost, "/v1/free", payload)
+	res, err := c.do(ctx, http.MethodPost, "/v1/free", payload, true)
 	if err != nil {
 		return err
 	}
@@ -481,10 +485,12 @@ func (c *Client) Free(ctx context.Context, lease uint64) error {
 	return nil
 }
 
-// Migrate re-places a leased buffer for a new attribute.
+// Migrate re-places a leased buffer for a new attribute. A migrate is
+// not idempotent (each replay re-ranks and may move the buffer
+// again), so only connection-refused transport errors are retried.
 func (c *Client) Migrate(ctx context.Context, req MigrateRequest) (MigrateResponse, error) {
 	var out MigrateResponse
-	err := c.post(ctx, "/v1/migrate", req, &out)
+	err := c.post(ctx, "/v1/migrate", req, &out, false)
 	return out, err
 }
 

@@ -42,6 +42,11 @@ const (
 	CodeCapacityExhausted = "capacity_exhausted"
 	// CodeInternal: an unexpected daemon-side failure.
 	CodeInternal = "internal"
+	// CodeMemberUnavailable: a cluster router could not reach the
+	// member daemon that owns (or would receive) the lease. Retry; the
+	// router migrates the member's leases to survivors in the
+	// background, after which the same request lands on a live member.
+	CodeMemberUnavailable = "member_unavailable"
 )
 
 // ErrorBody is the uniform v1 error envelope.
@@ -70,6 +75,8 @@ func classify(err error) (status int, code string, retryable bool) {
 		return http.StatusServiceUnavailable, CodeTransientFault, true
 	case errors.Is(err, memsim.ErrNodeOffline):
 		return http.StatusServiceUnavailable, CodeNodeOffline, true
+	case errors.Is(err, ErrMemberUnavailable):
+		return http.StatusServiceUnavailable, CodeMemberUnavailable, true
 	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
 		// The daemon is healthy; the machine is full. 507 tells the
 		// client to free, shrink, or retry with partial/remote.
@@ -78,15 +85,12 @@ func classify(err error) (status int, code string, retryable bool) {
 	return http.StatusInternalServerError, CodeInternal, false
 }
 
-// errorBody builds the v1 envelope for an error.
-func (s *Server) errorBody(err error) (int, ErrorBody) {
-	status, code, retryable := classify(err)
-	body := ErrorBody{Code: code, Message: err.Error(), Retryable: retryable}
-	if status == http.StatusServiceUnavailable {
-		body.RetryAfterSeconds = s.cfg.RetryAfterSeconds
-	}
-	return status, body
-}
+// ErrMemberUnavailable is the cluster router's "the owning member is
+// down" error: retryable, because the router re-homes the member's
+// leases onto survivors in the background. It lives here, next to the
+// rest of the v1 error vocabulary, so classify can map it without the
+// server importing the cluster package.
+var ErrMemberUnavailable = errors.New("server: cluster member unavailable")
 
 // Sentinel errors matching the v1 codes. server.Client maps an error
 // envelope back to these, so callers write
@@ -96,13 +100,14 @@ func (s *Server) errorBody(err error) (int, ErrorBody) {
 // instead of matching on status text; errors.As(*APIError) still
 // yields the full envelope.
 var (
-	ErrCodeBadRequest    = codeSentinel(CodeBadRequest)
-	ErrLeaseExpired      = codeSentinel(CodeLeaseExpired)
-	ErrShedding          = codeSentinel(CodeShedding)
-	ErrNodeOffline       = codeSentinel(CodeNodeOffline)
-	ErrTransientFault    = codeSentinel(CodeTransientFault)
-	ErrCapacityExhausted = codeSentinel(CodeCapacityExhausted)
-	ErrInternal          = codeSentinel(CodeInternal)
+	ErrCodeBadRequest        = codeSentinel(CodeBadRequest)
+	ErrLeaseExpired          = codeSentinel(CodeLeaseExpired)
+	ErrShedding              = codeSentinel(CodeShedding)
+	ErrNodeOffline           = codeSentinel(CodeNodeOffline)
+	ErrTransientFault        = codeSentinel(CodeTransientFault)
+	ErrCapacityExhausted     = codeSentinel(CodeCapacityExhausted)
+	ErrInternal              = codeSentinel(CodeInternal)
+	ErrCodeMemberUnavailable = codeSentinel(CodeMemberUnavailable)
 )
 
 // codeSentinel is an error identified purely by its v1 code.

@@ -494,7 +494,13 @@ func TestChaosDiskFaultRecovery(t *testing.T) {
 		t.Fatal("no disk faults delivered; test proved nothing")
 	}
 	t.Logf("delivered %d fsync failures, %d torn writes", syncs, shorts)
-	if err := srv.Close(); err != nil {
+	// The pump may leave one armed fault for Close's final checkpoint to
+	// trip over; that error is the injection working, and recovery below
+	// must still hold.
+	if err := srv.Close(); err != nil &&
+		!errors.Is(err, faults.ErrInjectedSync) &&
+		!errors.Is(err, faults.ErrInjectedShortWrite) &&
+		!errors.Is(err, faults.ErrInjectedWrite) {
 		t.Fatal(err)
 	}
 

@@ -56,7 +56,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -207,14 +206,20 @@ func (c Config) validate() error {
 // Server is the placement daemon's HTTP core. Create one with New or
 // NewWithConfig and mount Handler on any net/http server.
 type Server struct {
-	sys     *core.System
-	cfg     Config
-	leases  *leaseTable
-	metrics *Metrics
-	mux     *http.ServeMux
-	health  *healthTracker
-	idem    *idemTable
-	store   *journal.Store
+	// apiBase is the HTTP plumbing (mux, request metrics, error
+	// envelope) shared with the machine-less API surface — see api.go.
+	apiBase
+	sys    *core.System
+	cfg    Config
+	leases *leaseTable
+	health *healthTracker
+	idem   *idemTable
+	store  *journal.Store
+
+	// instanceID is drawn at boot and surfaced in /v1/health and
+	// /metrics, so a cluster router (or an operator) can tell members
+	// apart across restarts behind the same address.
+	instanceID string
 
 	// ckmu orders lease-state mutations against checkpoints: every
 	// path that changes the lease table or journals a record holds the
@@ -289,12 +294,13 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		osIdx = append(osIdx, n.OSIndex())
 	}
 	s := &Server{
+		apiBase:          newAPIBase(cfg.RetryAfterSeconds),
 		sys:              sys,
 		cfg:              cfg,
 		leases:           newLeaseTable(),
-		metrics:          NewMetrics(),
 		health:           newHealthTracker(osIdx),
 		idem:             newIdemTable(),
+		instanceID:       NewInstanceID(),
 		stop:             make(chan struct{}),
 		ckptKick:         make(chan struct{}, 1),
 		rebalancing:      make(map[int]bool),
@@ -331,7 +337,6 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 			s.metrics.SnapshotFallbacks.Add(1)
 		}
 	}
-	s.mux = http.NewServeMux()
 	s.route("GET", "/topology", EpTopology, s.handleTopology)
 	s.route("GET", "/attrs", EpAttrs, s.handleAttrs)
 	s.route("POST", "/alloc", EpAlloc, s.handleAlloc)
@@ -345,21 +350,6 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/alloc/batch", s.instrument(EpAllocBatch, s.handleAllocBatch))
 	s.startBackground()
 	return s, nil
-}
-
-// route mounts one endpoint twice: the canonical /v1 path, and the
-// pre-v1 unversioned path as a deprecated alias. The alias answers
-// normally (old error bodies included — see writeError) but stamps a
-// Deprecation header and a successor-version link, per RFC 9745, so
-// clients learn where to move. The deprecation policy is one release:
-// the aliases disappear in v2.
-func (s *Server) route(method, path string, ep Endpoint, h http.HandlerFunc) {
-	s.mux.HandleFunc(method+" /v1"+path, s.instrument(ep, h))
-	s.mux.HandleFunc(method+" "+path, s.instrument(ep, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "</v1"+path+`>; rel="successor-version"`)
-		h(w, r)
-	}))
 }
 
 // System returns the system the daemon serves.
@@ -462,17 +452,6 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation.
-func (s *Server) instrument(e Endpoint, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h(sw, r)
-		s.metrics.Observe(e, time.Since(start), sw.status >= 400)
-	}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -488,18 +467,6 @@ var ErrOverloaded = errors.New("server: overloaded, shedding load")
 // the pre-v1 body for one release.
 func isV1(r *http.Request) bool {
 	return strings.HasPrefix(r.URL.Path, "/v1/")
-}
-
-func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
-	status, body := s.errorBody(err)
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
-	}
-	if isV1(r) {
-		writeJSON(w, status, body)
-		return
-	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
 var errNoSuchLease = errors.New("server: no such lease")
@@ -903,7 +870,7 @@ func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	states := s.health.snapshot()
-	resp := HealthResponse{Status: "ok", ShedWatermark: s.cfg.ShedWatermark}
+	resp := HealthResponse{Status: "ok", InstanceID: s.instanceID, ShedWatermark: s.cfg.ShedWatermark}
 	if s.store != nil {
 		resp.Journal = s.store.Base()
 	}
@@ -953,6 +920,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.PlacementCacheHits.Store(hits)
 	s.metrics.PlacementCacheMisses.Store(misses)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "hetmemd_instance_info{instance_id=%q} 1\n", s.instanceID)
 	fmt.Fprint(w, s.metrics.Render(nodes, leaseCount))
 	if s.store != nil {
 		fmt.Fprintf(w, "hetmemd_wal_bytes %d\n", s.store.WALBytes())

@@ -172,11 +172,17 @@ type LeasesResponse struct {
 	Leases    []LeaseInfo       `json:"leases,omitempty"`
 }
 
-// NodeHealth is one node's entry in the /health report.
+// NodeHealth is one node's entry in the /health report. On a cluster
+// router the "nodes" are whole member daemons: Node carries the
+// member name, OS its slot index, and InstanceID the member's
+// per-boot instance ID.
 type NodeHealth struct {
-	Node  string `json:"node"` // e.g. "DRAM#0"
+	Node  string `json:"node"` // e.g. "DRAM#0", or a member name
 	OS    int    `json:"os"`
 	State string `json:"state"` // "healthy", "degraded", or "offline"
+	// InstanceID is set on cluster-member rows: the member's per-boot
+	// instance ID as of the router's last successful health poll.
+	InstanceID string `json:"instance_id,omitempty"`
 }
 
 // HealthResponse is the daemon's /health report: overall status,
@@ -185,6 +191,11 @@ type NodeHealth struct {
 type HealthResponse struct {
 	// Status is "ok" when every node is healthy, else "degraded".
 	Status string `json:"status"`
+	// InstanceID is the daemon's per-boot instance ID: random on every
+	// start, stable until the process exits. A router polling /health
+	// uses it to tell a restarted member from the one it was talking
+	// to behind the same address.
+	InstanceID string `json:"instance_id,omitempty"`
 	// Pressure is bytes-in-use over online capacity, 0..1.
 	Pressure float64 `json:"pressure"`
 	// ShedWatermark is the configured admission-control watermark
