@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest reapstress clean
+.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest netchaos reapstress clean
 
 all: build vet test
 
@@ -56,6 +56,15 @@ chaos:
 clustertest:
 	$(GO) test -race ./internal/cluster
 	$(GO) run ./cmd/hetmemd loadtest -cluster -kill 1 -kill-after 2s
+
+# Partition tolerance: the chaos-proxy and scrubber tests under -race,
+# then the full suite — seeded network faults on every router->member
+# link, a wiped-journal member restart mid-load, and anti-entropy
+# scrub convergence, with the per-cycle report in SCRUB_report.json.
+netchaos:
+	$(GO) test -race ./internal/netfaults
+	$(GO) test -race -run 'TestScrub|TestFlapping|TestAsymmetric' ./internal/cluster
+	$(GO) run ./cmd/hetmemd chaostest -cluster -net-seed 7 -restart 1 -scrub-report SCRUB_report.json
 
 reapstress:
 	$(GO) run ./cmd/hetmemd reapstress -ttl 1s -crashers 32 -holders 16

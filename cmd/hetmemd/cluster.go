@@ -54,6 +54,13 @@ func runRouter(args []string, out io.Writer) error {
 		pollEvery    = fs.Duration("poll-interval", 500*time.Millisecond, "member health-poll period")
 		offlineAfter = fs.Int("offline-after", 2, "consecutive failed polls before a member is offline and its leases evacuate")
 		retryAfter   = fs.Int("retry-after", 1, "Retry-After hint (seconds) on 503 responses")
+		probeTO      = fs.Duration("probe-timeout", cluster.DefaultProbeTimeout, "deadline on each member health probe")
+		evacTO       = fs.Duration("evac-timeout", cluster.DefaultEvacTimeout, "deadline on each evacuation alloc (pending-free drains use half)")
+		forwardTO    = fs.Duration("forward-timeout", cluster.DefaultForwardTimeout, "per-call deadline on forwarded member requests without an inbound deadline")
+		maxInflight  = fs.Int("max-inflight", cluster.DefaultMaxInFlightPerMember, "concurrent forwarded calls per member before fast 503s (negative: unbounded)")
+		hedgeDelay   = fs.Duration("hedge-delay", cluster.DefaultHedgeDelay, "wait before hedging a second attempt on fan-out reads (negative: no hedging)")
+		scrubEvery   = fs.Duration("scrub-interval", 0, "anti-entropy scrub period diffing the lease books against every member (0: disabled)")
+		scrubBudget  = fs.Uint64("scrub-budget", 0, "bytes re-placed per scrub cycle (0: 256 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,14 +69,51 @@ func runRouter(args []string, out io.Writer) error {
 		return errors.New("router needs at least one -member name=url")
 	}
 	cfg := cluster.Config{
-		Members:           members,
-		JournalPath:       *journal,
-		SyncEveryAppend:   *syncEvery,
-		PollInterval:      *pollEvery,
-		OfflineAfter:      *offlineAfter,
-		RetryAfterSeconds: *retryAfter,
+		Members:              members,
+		JournalPath:          *journal,
+		SyncEveryAppend:      *syncEvery,
+		PollInterval:         *pollEvery,
+		OfflineAfter:         *offlineAfter,
+		RetryAfterSeconds:    *retryAfter,
+		ProbeTimeout:         *probeTO,
+		EvacTimeout:          *evacTO,
+		ForwardTimeout:       *forwardTO,
+		MaxInFlightPerMember: *maxInflight,
+		HedgeDelay:           *hedgeDelay,
+		ScrubInterval:        *scrubEvery,
+		ScrubBudgetBytes:     *scrubBudget,
+	}
+	if err := validateRouterConfig(cfg); err != nil {
+		return err
 	}
 	return routerUntilSignal(*addr, cfg, out)
+}
+
+// validateRouterConfig front-runs cluster.New with flag-named errors,
+// the router twin of validateServeConfig.
+func validateRouterConfig(cfg cluster.Config) error {
+	if cfg.ProbeTimeout <= 0 {
+		return fmt.Errorf("-probe-timeout must be positive, got %v", cfg.ProbeTimeout)
+	}
+	if cfg.EvacTimeout <= 0 {
+		return fmt.Errorf("-evac-timeout must be positive, got %v", cfg.EvacTimeout)
+	}
+	if cfg.ForwardTimeout <= 0 {
+		return fmt.Errorf("-forward-timeout must be positive, got %v", cfg.ForwardTimeout)
+	}
+	if cfg.ScrubInterval < 0 {
+		return fmt.Errorf("-scrub-interval must not be negative, got %v", cfg.ScrubInterval)
+	}
+	if cfg.ScrubInterval > 0 && cfg.ScrubInterval < cfg.ProbeTimeout {
+		return fmt.Errorf("-scrub-interval %v must be at least -probe-timeout %v: a scrub cycle lists every member", cfg.ScrubInterval, cfg.ProbeTimeout)
+	}
+	if cfg.PollInterval <= 0 {
+		return fmt.Errorf("-poll-interval must be positive, got %v", cfg.PollInterval)
+	}
+	if cfg.OfflineAfter <= 0 {
+		return fmt.Errorf("-offline-after must be positive, got %d", cfg.OfflineAfter)
+	}
+	return nil
 }
 
 // routerUntilSignal runs the router until SIGINT/SIGTERM, then drains
@@ -216,6 +260,69 @@ func clusterLoadtest(opts clusterLoadtestOptions, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	}
+	return nil
+}
+
+// clusterChaostestOptions is the -cluster branch of `hetmemd
+// chaostest`.
+type clusterChaostestOptions struct {
+	seed        int64
+	netSeed     int64
+	steps       int
+	interval    time.Duration
+	clients     int
+	requests    int
+	restart     int
+	netFaults   bool
+	timeout     time.Duration
+	scrubReport string
+}
+
+// clusterChaostest runs the partition chaos suite and, when asked,
+// writes the scrub-convergence report artifact.
+func clusterChaostest(opts clusterChaostestOptions, out io.Writer) error {
+	dir, err := os.MkdirTemp("", "hetmem-netchaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+	rep, runErr := cluster.NetChaosRun(ctx, cluster.NetChaosOptions{
+		NetSeed:       opts.netSeed,
+		Steps:         opts.steps,
+		StepInterval:  opts.interval,
+		JournalDir:    dir,
+		RestartMember: opts.restart,
+		DisableFaults: !opts.netFaults,
+		Load: server.LoadOptions{
+			Clients:           opts.clients,
+			RequestsPerClient: opts.requests,
+			Seed:              opts.seed,
+		},
+	}, out)
+	if opts.scrubReport != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(opts.scrubReport, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(out, "hetmemd: scrub report written to %s\n", opts.scrubReport)
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Fprintf(out, "hetmemd: cluster chaos converged after %d scrub cycle(s), %d leases alive, books %s\n",
+		rep.ConvergedAfter, rep.LeasesAlive, rep.Consistency)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("cluster chaostest timed out after %s", opts.timeout)
 	}
 	return nil
 }

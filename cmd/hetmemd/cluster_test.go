@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -16,14 +15,8 @@ import (
 	"hetmem/internal/server"
 )
 
-func TestRouterFlagValidation(t *testing.T) {
-	if err := run([]string{"router"}, io.Discard); err == nil {
-		t.Fatal("router without members should fail")
-	}
-	if err := run([]string{"router", "-member", "no-equals-sign"}, io.Discard); err == nil {
-		t.Fatal("malformed -member should fail")
-	}
-}
+// Router flag validation lives in flags_test.go alongside the serve
+// flags.
 
 // TestRouterSubcommandEndToEnd boots two real daemons, fronts them
 // with the router subcommand's serve loop, does real work through the

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hetmem/internal/cluster"
 	"hetmem/internal/server"
 )
 
@@ -44,6 +45,44 @@ func TestServeFlagValidation(t *testing.T) {
 		{JournalPath: "wal", SyncEveryAppend: true, CheckpointMaxWAL: 8 << 10},
 	} {
 		if err := validateServeConfig(cfg); err != nil {
+			t.Errorf("config %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+func TestRouterFlagValidation(t *testing.T) {
+	member := []string{"-member", "m0=http://127.0.0.1:1"}
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"no-members", []string{"router"}, "-member"},
+		{"malformed-member", []string{"router", "-member", "no-equals-sign"}, "name=url"},
+		{"zero-probe-timeout", append([]string{"router", "-probe-timeout", "0s"}, member...), "-probe-timeout"},
+		{"negative-evac-timeout", append([]string{"router", "-evac-timeout", "-1s"}, member...), "-evac-timeout"},
+		{"zero-forward-timeout", append([]string{"router", "-forward-timeout", "0s"}, member...), "-forward-timeout"},
+		{"negative-scrub-interval", append([]string{"router", "-scrub-interval", "-1s"}, member...), "-scrub-interval"},
+		{"scrub-faster-than-probe", append([]string{"router", "-scrub-interval", "1s", "-probe-timeout", "5s"}, member...), "-scrub-interval"},
+		{"zero-poll-interval", append([]string{"router", "-poll-interval", "0s"}, member...), "-poll-interval"},
+		{"zero-offline-after", append([]string{"router", "-offline-after", "0"}, member...), "-offline-after"},
+	} {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Sane router configs pass the front-run validation.
+	for _, cfg := range []cluster.Config{
+		{PollInterval: time.Second, OfflineAfter: 2, ProbeTimeout: 2 * time.Second, EvacTimeout: 10 * time.Second, ForwardTimeout: 10 * time.Second},
+		{PollInterval: time.Second, OfflineAfter: 2, ProbeTimeout: time.Second, EvacTimeout: time.Second, ForwardTimeout: time.Second, ScrubInterval: 30 * time.Second, ScrubBudgetBytes: 1 << 20},
+	} {
+		if err := validateRouterConfig(cfg); err != nil {
 			t.Errorf("config %+v rejected: %v", cfg, err)
 		}
 	}

@@ -539,18 +539,30 @@ func runReapstress(args []string, out io.Writer) error {
 func runChaostest(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hetmemd chaostest", flag.ContinueOnError)
 	var (
-		platName = fs.String("p", "xeon", "platform for the daemon under test")
-		seed     = fs.Int64("seed", 1, "seed for the fault plan and traffic mix")
-		steps    = fs.Int("steps", 40, "fault steps in the plan")
-		interval = fs.Duration("interval", 10*time.Millisecond, "pause between fault steps")
-		clients  = fs.Int("clients", 16, "concurrent client goroutines")
-		requests = fs.Int("requests", 50, "operations per client")
-		journal  = fs.String("journal", "", "journal path for the daemon under test (empty: none)")
-		shed     = fs.Float64("shed", 0.95, "admission-control watermark")
-		timeout  = fs.Duration("timeout", 2*time.Minute, "overall run timeout")
+		platName    = fs.String("p", "xeon", "platform for the daemon under test")
+		seed        = fs.Int64("seed", 1, "seed for the fault plan and traffic mix")
+		steps       = fs.Int("steps", 40, "fault steps in the plan")
+		interval    = fs.Duration("interval", 10*time.Millisecond, "pause between fault steps")
+		clients     = fs.Int("clients", 16, "concurrent client goroutines")
+		requests    = fs.Int("requests", 50, "operations per client")
+		journal     = fs.String("journal", "", "journal path for the daemon under test (empty: none)")
+		shed        = fs.Float64("shed", 0.95, "admission-control watermark")
+		timeout     = fs.Duration("timeout", 2*time.Minute, "overall run timeout")
+		clusterMode = fs.Bool("cluster", false, "chaos-test the in-process cluster: network faults on every router->member link, a wiped-journal member restart mid-load, then anti-entropy scrub convergence")
+		netFaults   = fs.Bool("netfaults", true, "with -cluster: inject the seeded network-fault plan (false: restart-only run)")
+		netSeed     = fs.Int64("net-seed", 1, "with -cluster: seed for the network-fault plan; the same seed replays the same schedule")
+		restart     = fs.Int("restart", 1, "with -cluster: member index restarted with a wiped journal mid-run (negative: nobody)")
+		scrubOut    = fs.String("scrub-report", "", "with -cluster: write the per-cycle scrub report JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clusterMode {
+		return clusterChaostest(clusterChaostestOptions{
+			seed: *seed, netSeed: *netSeed, steps: *steps, interval: *interval,
+			clients: *clients, requests: *requests, restart: *restart,
+			netFaults: *netFaults, timeout: *timeout, scrubReport: *scrubOut,
+		}, out)
 	}
 	sys, err := core.NewSystem(*platName, core.Options{})
 	if err != nil {

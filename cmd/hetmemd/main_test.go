@@ -193,6 +193,39 @@ func TestChaostestSubcommand(t *testing.T) {
 	}
 }
 
+// TestChaostestClusterMode runs the scaled-down partition chaos
+// suite: network faults on every router->member link, one member
+// restarted with a wiped journal mid-load, scrub convergence, and the
+// JSON scrub-report artifact.
+func TestChaostestClusterMode(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "scrub.json")
+	var out strings.Builder
+	err := run([]string{
+		"chaostest", "-cluster",
+		"-clients", "8", "-requests", "40",
+		"-steps", "20", "-interval", "5ms",
+		"-net-seed", "7", "-restart", "1",
+		"-scrub-report", report,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v (output: %s)", err, out.String())
+	}
+	for _, want := range []string{"restarted member", "scrub cycle 1", "converged after", "books consistent"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in: %s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("scrub report artifact: %v", err)
+	}
+	for _, want := range []string{`"net_seed": 7`, `"restarted_member": "m1"`, `"converged_after_cycles"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("scrub report missing %q: %s", want, data)
+		}
+	}
+}
+
 // TestServeGracefulShutdown boots the real serve path with a journal,
 // drives one allocation, sends SIGTERM, and expects a clean drain with
 // the journal flushed.

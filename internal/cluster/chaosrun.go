@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"hetmem/internal/netfaults"
+	"hetmem/internal/server"
+)
+
+// The cluster chaos harness behind `hetmemd chaostest -cluster`: an
+// in-process fleet with a chaos proxy on every router->member link, a
+// seeded network-fault plan running against live load, optionally one
+// member hard-restarted with a wiped journal mid-run, and then the
+// anti-entropy scrubber driven until the books converge.
+
+// NetChaosOptions configures one cluster chaos run.
+type NetChaosOptions struct {
+	// NetSeed seeds the network-fault plan; the same seed replays the
+	// same fault schedule (netfaults.RandomPlan).
+	NetSeed int64
+	// Steps is the fault-plan length (default 40).
+	Steps int
+	// StepInterval is the pause between fault steps (default 25ms).
+	StepInterval time.Duration
+	// Load shapes the traffic driven through the router during the
+	// fault plan. Tolerate and Retry are filled in by the harness.
+	Load server.LoadOptions
+	// JournalDir holds the router and member journals; empty runs
+	// everything journal-less (the wiped-restart scenario then
+	// degenerates to a plain restart, which is still a valid run).
+	JournalDir string
+	// RestartMember is the member index hard-restarted with a wiped
+	// journal halfway through the plan (-1: nobody restarts).
+	RestartMember int
+	// DisableFaults keeps the chaos proxies transparent: the run still
+	// exercises load, restart, and scrub convergence, with no network
+	// faults injected (`hetmemd chaostest -cluster -netfaults=false`).
+	DisableFaults bool
+	// MaxScrubCycles bounds the post-chaos convergence loop (default
+	// 5). The acceptance bar is convergence to a clean cycle well
+	// before the bound.
+	MaxScrubCycles int
+	// Platforms overrides the member platform mix (default
+	// DefaultSimPlatforms).
+	Platforms []string
+}
+
+// NetChaosReport is the run's artifact: what the load saw, what the
+// fault plan injected, and cycle-by-cycle what the scrubber repaired.
+type NetChaosReport struct {
+	Load           string        `json:"load"`
+	FaultEvents    int           `json:"fault_events"`
+	NetSeed        int64         `json:"net_seed"`
+	Restarted      string        `json:"restarted_member,omitempty"`
+	Scrubs         []ScrubReport `json:"scrubs"`
+	ConvergedAfter int           `json:"converged_after_cycles"`
+	Consistency    string        `json:"consistency"`
+	LeasesAlive    uint64        `json:"leases_alive"`
+}
+
+// tolerateNetChaos accepts the failures a partitioned fleet
+// legitimately surfaces to the load generator.
+func tolerateNetChaos(err error) bool {
+	return errors.Is(err, server.ErrCodeMemberUnavailable) ||
+		errors.Is(err, server.ErrShedding) ||
+		errors.Is(err, server.ErrCapacityExhausted) ||
+		errors.Is(err, server.ErrLeaseExpired)
+}
+
+// NetChaosRun executes one cluster chaos scenario and returns its
+// report. The run fails if the load generator hits an untolerated
+// error, the fleet does not return to health, the scrubber does not
+// converge within MaxScrubCycles, or the final books are inconsistent.
+func NetChaosRun(ctx context.Context, opts NetChaosOptions, out io.Writer) (NetChaosReport, error) {
+	if out == nil {
+		out = io.Discard
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 40
+	}
+	if opts.StepInterval <= 0 {
+		opts.StepInterval = 25 * time.Millisecond
+	}
+	if opts.MaxScrubCycles <= 0 {
+		opts.MaxScrubCycles = 5
+	}
+	rep := NetChaosReport{NetSeed: opts.NetSeed}
+
+	var memberCfg server.Config
+	routerCfg := Config{
+		PollInterval:   50 * time.Millisecond,
+		OfflineAfter:   2,
+		MemberRetry:    &server.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		ProbeTimeout:   500 * time.Millisecond,
+		EvacTimeout:    2 * time.Second,
+		ForwardTimeout: 2 * time.Second,
+		HedgeDelay:     50 * time.Millisecond,
+	}
+	if opts.JournalDir != "" {
+		memberCfg.JournalPath = filepath.Join(opts.JournalDir, "member")
+		routerCfg.JournalPath = filepath.Join(opts.JournalDir, "router")
+	}
+	sim, err := StartSim(SimOptions{
+		Platforms: opts.Platforms,
+		Member:    memberCfg,
+		Router:    routerCfg,
+		NetFaults: true,
+		Out:       out,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer sim.Close()
+
+	plan := netfaults.RandomPlan(opts.NetSeed, opts.Steps, len(sim.Members), netfaults.RandomOptions{})
+	if opts.DisableFaults {
+		// Keep the step clock (so the restart still lands mid-load) but
+		// inject nothing.
+		plan = netfaults.Plan{Events: []netfaults.Event{{Step: opts.Steps, Kind: netfaults.Heal}}}
+	} else {
+		rep.FaultEvents = len(plan.Events)
+	}
+	restartAt := -1
+	if opts.RestartMember >= 0 && opts.RestartMember < len(sim.Members) {
+		restartAt = plan.Steps() / 2
+	}
+
+	load := opts.Load
+	load.Tolerate = tolerateNetChaos
+	if load.Retry == nil {
+		load.Retry = &server.RetryPolicy{MaxAttempts: 6, BaseDelay: 25 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+	}
+	done := make(chan struct{})
+	var stats server.LoadStats
+	var loadErr error
+	go func() {
+		defer close(done)
+		stats, loadErr = server.LoadTest(ctx, sim.Base, load)
+	}()
+
+	for step := 0; step <= plan.Steps(); step++ {
+		if ctx.Err() != nil {
+			break
+		}
+		for _, ev := range plan.StepEvents(step) {
+			if err := sim.Injector.Apply(ev); err != nil {
+				return rep, fmt.Errorf("cluster: net fault %+v: %w", ev, err)
+			}
+		}
+		if step == restartAt {
+			victim := sim.Members[opts.RestartMember]
+			if err := sim.Restart(opts.RestartMember, true); err != nil {
+				return rep, err
+			}
+			rep.Restarted = victim.Name
+			fmt.Fprintf(out, "hetmemd: restarted member %s with a wiped journal at fault step %d\n", victim.Name, step)
+		}
+		select {
+		case <-time.After(opts.StepInterval):
+		case <-done:
+		}
+	}
+	sim.Injector.HealAll()
+	<-done
+	rep.Load = stats.String()
+	fmt.Fprintf(out, "hetmemd: chaos load %s\n", stats)
+	if loadErr != nil {
+		return rep, loadErr
+	}
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
+
+	// Fabric is healed; wait for the poller's view to catch up and the
+	// evacuations it owes (offline transitions, the restarted member)
+	// to land.
+	healthDeadline := time.Now().Add(30 * time.Second)
+	for {
+		sim.Router.PollOnce(ctx)
+		h, err := sim.Router.Health(ctx)
+		if err != nil {
+			return rep, err
+		}
+		if h.Status == "ok" {
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			return rep, fmt.Errorf("cluster: fleet not healthy 30s after the fabric healed: %+v", h.Nodes)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Drive the scrubber to convergence: a clean cycle means no
+	// orphans, no lost leases, no drift — the books agree everywhere.
+	for cycle := 1; cycle <= opts.MaxScrubCycles; cycle++ {
+		sim.Router.PollOnce(ctx)
+		sr, err := sim.Router.ScrubOnce(ctx)
+		if err != nil {
+			return rep, err
+		}
+		rep.Scrubs = append(rep.Scrubs, sr)
+		fmt.Fprintf(out, "hetmemd: scrub cycle %d: %d orphans freed (%d suspects), %d lost repaired (%d failed), %d drift alarms\n",
+			cycle, sr.OrphansFreed, sr.OrphanSuspects, sr.LostRepaired, sr.LostFailed, sr.DriftAlarms)
+		if sr.Clean() {
+			rep.ConvergedAfter = cycle
+			break
+		}
+	}
+	if rep.ConvergedAfter == 0 {
+		return rep, fmt.Errorf("cluster: scrubber did not converge in %d cycles: %+v", opts.MaxScrubCycles, rep.Scrubs)
+	}
+
+	leases, err := sim.Router.Leases(ctx, false)
+	if err != nil {
+		return rep, err
+	}
+	rep.LeasesAlive = uint64(leases.Count)
+	if uint64(stats.LeasesLeft) != uint64(leases.Count) {
+		return rep, fmt.Errorf("cluster: router tracks %d leases, load generator left %d alive — leases lost", leases.Count, stats.LeasesLeft)
+	}
+	desc, err := server.VerifyConsistency(ctx, sim.Base)
+	if err != nil {
+		return rep, err
+	}
+	rep.Consistency = desc
+	fmt.Fprintf(out, "hetmemd: books %s\n", desc)
+	return rep, nil
+}

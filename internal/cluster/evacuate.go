@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"hetmem/internal/journal"
 	"hetmem/internal/server"
@@ -45,7 +44,16 @@ func evacKey(rl *rlease) string {
 // requests touching them fail with the retryable member_unavailable —
 // and the next poll tick retries. tryMu keeps overlapping poll ticks
 // from double-running a slow evacuation.
-func (r *Router) evacuateMember(ctx context.Context, m *member) {
+//
+// freeSource controls whether the source copy gets a queued free. For
+// an OFFLINE member the answer is yes: the same instance may come
+// back still holding the lease, and its IDs stay valid. For a
+// RESTARTED member the answer is NO — a reboot that wiped its journal
+// reissues lease IDs from scratch, so a queued free of an old ID
+// could land on a fresh, unrelated lease of the new instance. The
+// anti-entropy scrubber reclaims whatever copies an intact-journal
+// restart re-offered, as orphans, with the book re-checked first.
+func (r *Router) evacuateMember(ctx context.Context, m *member, freeSource bool) {
 	if !m.evacMu.TryLock() {
 		return
 	}
@@ -67,7 +75,7 @@ func (r *Router) evacuateMember(ctx context.Context, m *member) {
 		if ctx.Err() != nil {
 			return
 		}
-		if err := r.evacuateLease(ctx, &stranded[i]); err != nil {
+		if err := r.evacuateLease(ctx, &stranded[i], false, freeSource); err != nil {
 			r.migrationsFailed.Add(1)
 		} else {
 			r.migrations.Add(1)
@@ -78,12 +86,16 @@ func (r *Router) evacuateMember(ctx context.Context, m *member) {
 // evacuateLease moves one stranded lease to the best surviving
 // member. snap is a copy of the lease taken when the evacuation
 // started; the commit re-checks the live entry so a concurrent free
-// (or an earlier evacuation) wins cleanly.
-func (r *Router) evacuateLease(ctx context.Context, snap *rlease) error {
+// (or an earlier evacuation) wins cleanly. allowSameSlot admits the
+// source member as a target — the scrubber's lost-lease repair uses
+// it, because there the member is alive and simply lost the lease
+// (restart with a wiped journal), so re-placing on the same member is
+// both legal and often the rendezvous-preferred answer.
+func (r *Router) evacuateLease(ctx context.Context, snap *rlease, allowSameSlot, freeSource bool) error {
 	elig := r.eligible()
 	candidates := elig[:0:0]
 	for _, m := range elig {
-		if m.slot != snap.slot {
+		if allowSameSlot || m.slot != snap.slot {
 			candidates = append(candidates, m)
 		}
 	}
@@ -115,7 +127,7 @@ func (r *Router) evacuateLease(ctx context.Context, snap *rlease) error {
 	var lastErr error
 	for _, name := range rank(key, names) {
 		target := byName[name]
-		actx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		actx, cancel := context.WithTimeout(ctx, r.cfg.EvacTimeout)
 		mresp, err := target.cl.Alloc(actx, req)
 		cancel()
 		if err != nil {
@@ -125,7 +137,7 @@ func (r *Router) evacuateLease(ctx context.Context, snap *rlease) error {
 			}
 			continue
 		}
-		return r.commitEvacuation(ctx, snap, target, mresp)
+		return r.commitEvacuation(ctx, snap, target, mresp, freeSource)
 	}
 	return fmt.Errorf("cluster: evacuate lease %d: %w", snap.id, lastErr)
 }
@@ -136,7 +148,7 @@ func (r *Router) evacuateLease(ctx context.Context, snap *rlease) error {
 // just created is released (safe: the idempotency key that guarded
 // creation is derived from a source pair that no longer exists, so
 // no concurrent evacuation can be sharing this grant).
-func (r *Router) commitEvacuation(ctx context.Context, snap *rlease, target *member, mresp server.AllocResponse) error {
+func (r *Router) commitEvacuation(ctx context.Context, snap *rlease, target *member, mresp server.AllocResponse, freeSource bool) error {
 	r.mu.Lock()
 	cur, ok := r.leases[snap.id]
 	if !ok || cur.slot != snap.slot || cur.memberLease != snap.memberLease {
@@ -168,9 +180,14 @@ func (r *Router) commitEvacuation(ctx context.Context, snap *rlease, target *mem
 
 	// Free-on-source, last: if the source daemon is unreachable (the
 	// usual case — it just died) the free queues and drains when it
-	// returns; its TTL reaper is the backstop.
-	source := r.members[snap.slot]
-	source.queueFree(snap.memberLease)
+	// returns; its TTL reaper is the backstop. Skipped when the source
+	// is a restarted instance (lease IDs may be reissued — see
+	// evacuateMember) or a lost-lease repair (the source never holds
+	// the copy); the scrubber and the reaper own those leftovers.
+	if freeSource {
+		source := r.members[snap.slot]
+		source.queueFree(snap.memberLease)
+	}
 	return nil
 }
 
@@ -180,7 +197,7 @@ func (r *Router) commitEvacuation(ctx context.Context, snap *rlease, target *mem
 // lease) already took care of it.
 func (r *Router) drainPendingFrees(ctx context.Context, m *member) {
 	for _, memberLease := range m.takePendingFrees() {
-		fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		fctx, cancel := context.WithTimeout(ctx, r.cfg.EvacTimeout/2)
 		err := m.cl.Free(fctx, memberLease)
 		cancel()
 		if err != nil && !errors.Is(err, server.ErrLeaseExpired) {

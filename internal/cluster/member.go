@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetmem/internal/server"
@@ -50,6 +51,14 @@ type member struct {
 	slot int // index into Router.members; NodeOS in journal records
 	cl   *server.Client
 
+	// sem bounds concurrent data-plane forwards to this member (nil:
+	// unbounded). Control-plane traffic — polls, evacuations, scrubs,
+	// pending-free drains — bypasses it so recovery work never starves
+	// behind a client surge.
+	sem chan struct{}
+	// overloads counts forwards refused at the in-flight bound.
+	overloads atomic.Uint64
+
 	// evacMu serializes evacuations of this member across poll ticks
 	// (TryLock: a tick that finds one running skips, not queues).
 	evacMu sync.Mutex
@@ -94,8 +103,8 @@ func (m *member) healthRow() server.NodeHealth {
 // evacuation of the member's leases, restarted does the same (the
 // daemon came back empty-handed), and recovered drains the
 // pending-free queue.
-func (m *member) poll(ctx context.Context, offlineAfter int) (wentOffline, restarted, recovered bool) {
-	hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+func (m *member) poll(ctx context.Context, offlineAfter int, probeTimeout time.Duration) (wentOffline, restarted, recovered bool) {
+	hctx, cancel := context.WithTimeout(ctx, probeTimeout)
 	h, err := m.cl.Health(hctx)
 	cancel()
 

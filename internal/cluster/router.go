@@ -42,6 +42,74 @@ type Config struct {
 	// clients (nil: server.DefaultRetry). Tests tighten it so a dead
 	// member fails fast.
 	MemberRetry *server.RetryPolicy
+	// ProbeTimeout bounds each member health probe (default 2s).
+	ProbeTimeout time.Duration
+	// EvacTimeout bounds each evacuation alloc on a target member
+	// (default 10s); pending-free drains use half of it.
+	EvacTimeout time.Duration
+	// ForwardTimeout is the per-call deadline ceiling on forwarded
+	// member requests when the inbound request carries no deadline of
+	// its own (default 10s). An inbound context deadline always
+	// propagates; this is the backstop, replacing the old blanket 30s
+	// http.Client timeout.
+	ForwardTimeout time.Duration
+	// MaxInFlightPerMember bounds concurrent forwarded data-plane
+	// calls per member; excess requests fail fast with the retryable
+	// member_unavailable instead of piling up goroutines behind a slow
+	// or partitioned member (default 256; negative disables).
+	MaxInFlightPerMember int
+	// HedgeDelay is how long a fan-out read (attrs/topology rollups,
+	// scrubber lease listings) waits before hedging a second attempt
+	// at the same member, so one slow link no longer stalls the whole
+	// response (default 150ms; negative disables hedging).
+	HedgeDelay time.Duration
+	// ScrubInterval enables the anti-entropy scrubber: every interval
+	// the router diffs its lease books against each member's /v1/leases
+	// and repairs divergence (0: disabled).
+	ScrubInterval time.Duration
+	// ScrubBudgetBytes bounds the bytes re-placed per scrub cycle, so
+	// a repair storm cannot starve live traffic (0: 256 MiB).
+	ScrubBudgetBytes uint64
+}
+
+// Config defaults, exported so flags and docs quote one source of
+// truth.
+const (
+	DefaultProbeTimeout         = 2 * time.Second
+	DefaultEvacTimeout          = 10 * time.Second
+	DefaultForwardTimeout       = 10 * time.Second
+	DefaultMaxInFlightPerMember = 256
+	DefaultHedgeDelay           = 150 * time.Millisecond
+	DefaultScrubBudgetBytes     = 256 << 20
+)
+
+// withDefaults fills the zero values of the tuning knobs.
+func (cfg Config) withDefaults() Config {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.OfflineAfter <= 0 {
+		cfg.OfflineAfter = 2
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.EvacTimeout <= 0 {
+		cfg.EvacTimeout = DefaultEvacTimeout
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = DefaultForwardTimeout
+	}
+	if cfg.MaxInFlightPerMember == 0 {
+		cfg.MaxInFlightPerMember = DefaultMaxInFlightPerMember
+	}
+	if cfg.HedgeDelay == 0 {
+		cfg.HedgeDelay = DefaultHedgeDelay
+	}
+	if cfg.ScrubBudgetBytes == 0 {
+		cfg.ScrubBudgetBytes = DefaultScrubBudgetBytes
+	}
+	return cfg
 }
 
 // rlease is one routed lease: the router-scoped lease ID the client
@@ -93,6 +161,18 @@ type Router struct {
 	migrationsFailed atomic.Uint64
 	evacuations      atomic.Uint64
 
+	// Anti-entropy scrubber state (scrub.go). scrubMu serializes
+	// cycles; orphanSuspects carries first-sighting orphans between
+	// consecutive cycles so an in-flight alloc is never mistaken for
+	// an orphan.
+	scrubMu        sync.Mutex
+	orphanSuspects map[orphanKey]string // -> member instance ID at first sighting
+	scrubCycles    atomic.Uint64
+	scrubOrphans   atomic.Uint64
+	scrubLost      atomic.Uint64
+	scrubDrift     atomic.Uint64
+	scrubFailures  atomic.Uint64
+
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -106,20 +186,16 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Members) == 0 {
 		return nil, errors.New("cluster: no members configured")
 	}
-	if cfg.PollInterval <= 0 {
-		cfg.PollInterval = 500 * time.Millisecond
-	}
-	if cfg.OfflineAfter <= 0 {
-		cfg.OfflineAfter = 2
-	}
+	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:        cfg,
-		byName:     make(map[string]*member, len(cfg.Members)),
-		instanceID: server.NewInstanceID(),
-		leases:     make(map[uint64]*rlease),
-		idem:       make(map[string]uint64),
-		nextLease:  1,
-		stopCh:     make(chan struct{}),
+		cfg:            cfg,
+		byName:         make(map[string]*member, len(cfg.Members)),
+		instanceID:     server.NewInstanceID(),
+		leases:         make(map[uint64]*rlease),
+		idem:           make(map[string]uint64),
+		nextLease:      1,
+		orphanSuspects: make(map[orphanKey]string),
+		stopCh:         make(chan struct{}),
 	}
 	for i, spec := range cfg.Members {
 		if spec.Name == "" || spec.URL == "" {
@@ -128,11 +204,20 @@ func New(cfg Config) (*Router, error) {
 		if _, dup := r.byName[spec.Name]; dup {
 			return nil, fmt.Errorf("cluster: duplicate member name %q", spec.Name)
 		}
-		opts := []server.ClientOption{server.WithoutHeartbeat()}
+		// Member attempts are bounded by the forward timeout, not the
+		// old blanket 30s: a member that accepts and goes silent (an
+		// asymmetric partition) costs one forward timeout per attempt.
+		opts := []server.ClientOption{
+			server.WithoutHeartbeat(),
+			server.WithAttemptTimeout(cfg.ForwardTimeout),
+		}
 		if cfg.MemberRetry != nil {
 			opts = append(opts, server.WithRetryPolicy(*cfg.MemberRetry))
 		}
 		m := &member{name: spec.Name, url: spec.URL, slot: i, cl: server.NewClient(spec.URL, opts...)}
+		if cfg.MaxInFlightPerMember > 0 {
+			m.sem = make(chan struct{}, cfg.MaxInFlightPerMember)
+		}
 		r.members = append(r.members, m)
 		r.byName[spec.Name] = m
 	}
@@ -148,6 +233,10 @@ func New(cfg Config) (*Router, error) {
 
 	r.wg.Add(1)
 	go r.pollLoop()
+	if cfg.ScrubInterval > 0 {
+		r.wg.Add(1)
+		go r.scrubLoop()
+	}
 	return r, nil
 }
 
@@ -323,13 +412,15 @@ func (r *Router) PollOnce(ctx context.Context) {
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()
-			wentOffline, restarted, _ := m.poll(ctx, r.cfg.OfflineAfter)
+			wentOffline, restarted, _ := m.poll(ctx, r.cfg.OfflineAfter, r.cfg.ProbeTimeout)
 			state, _, _ := m.snapshotState()
 			if wentOffline || restarted || state == memberOffline {
 				// Evacuate on the transition AND on every later tick while
 				// leases remain stranded: an evacuation that failed for
-				// capacity retries until the fleet has room.
-				r.evacuateMember(ctx, m)
+				// capacity retries until the fleet has room. A restarted
+				// member gets no source frees — its new instance may
+				// reissue the old lease IDs (see evacuateMember).
+				r.evacuateMember(ctx, m, !restarted)
 			}
 			if state != memberOffline && m.pendingFreeDepth() > 0 {
 				r.drainPendingFrees(ctx, m)
@@ -384,6 +475,35 @@ func (r *Router) routeKey(key string) (*member, error) {
 	return elig[pick(key, names)], nil
 }
 
+// forwardCtx derives the context a forwarded member call runs under:
+// the inbound deadline when the client set one (deadline propagation
+// hop by hop), else the configured forward-timeout backstop so no
+// member call can outlive the router's patience.
+func (r *Router) forwardCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+}
+
+// acquire claims an in-flight slot on m for one data-plane forward.
+// A member already at its in-flight bound fails fast with the
+// retryable member_unavailable — overload becomes a 503 the client
+// can back off on, not a goroutine pileup behind a slow link.
+func (r *Router) acquire(m *member) (release func(), err error) {
+	if m.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case m.sem <- struct{}{}:
+		return func() { <-m.sem }, nil
+	default:
+		m.overloads.Add(1)
+		return nil, fmt.Errorf("%w: member %s over in-flight limit %d",
+			server.ErrMemberUnavailable, m.name, cap(m.sem))
+	}
+}
+
 // forwardErr shapes a member-call failure for the client: a member's
 // own API error passes through verbatim (it already carries the right
 // v1 code), while transport-level failures become the retryable
@@ -431,7 +551,14 @@ func (r *Router) Alloc(ctx context.Context, req server.AllocRequest) (server.All
 	if err != nil {
 		return server.AllocResponse{}, err
 	}
-	mresp, err := m.cl.Alloc(ctx, req)
+	release, err := r.acquire(m)
+	if err != nil {
+		return server.AllocResponse{}, err
+	}
+	fctx, cancel := r.forwardCtx(ctx)
+	mresp, err := m.cl.Alloc(fctx, req)
+	cancel()
+	release()
 	if err != nil {
 		return server.AllocResponse{}, r.forwardErr(m, err)
 	}
@@ -512,7 +639,14 @@ func (r *Router) AllocBatch(ctx context.Context, reqs []server.AllocRequest) (se
 			for j, i := range idxs {
 				sub[j] = reqs[i]
 			}
-			mresp, err := m.cl.AllocBatch(ctx, sub)
+			var mresp server.BatchAllocResponse
+			release, err := r.acquire(m)
+			if err == nil {
+				fctx, cancel := r.forwardCtx(ctx)
+				mresp, err = m.cl.AllocBatch(fctx, sub)
+				cancel()
+				release()
+			}
 			if err != nil || len(mresp.Results) != len(idxs) {
 				if err == nil {
 					err = fmt.Errorf("%w: member %s returned %d results for %d items",
@@ -586,7 +720,19 @@ func (r *Router) Free(ctx context.Context, req server.FreeRequest) (server.FreeR
 	m, memberLease := r.members[rl.slot], rl.memberLease
 	r.mu.Unlock()
 
-	if err := m.cl.Free(ctx, memberLease); err != nil && !errors.Is(err, server.ErrLeaseExpired) {
+	release, err := r.acquire(m)
+	if err != nil {
+		// Member over its in-flight bound: the routed lease is already
+		// gone, so park the member-side free for the poller's drain
+		// instead of failing an already-committed operation.
+		m.queueFree(memberLease)
+		return server.FreeResponse{Lease: req.Lease, Freed: true}, nil
+	}
+	fctx, cancel := r.forwardCtx(ctx)
+	err = m.cl.Free(fctx, memberLease)
+	cancel()
+	release()
+	if err != nil && !errors.Is(err, server.ErrLeaseExpired) {
 		m.queueFree(memberLease)
 	}
 	return server.FreeResponse{Lease: req.Lease, Freed: true}, nil
@@ -606,8 +752,15 @@ func (r *Router) Renew(ctx context.Context, req server.RenewRequest) (server.Ren
 	m, memberLease := r.members[rl.slot], rl.memberLease
 	r.mu.Unlock()
 
+	release, err := r.acquire(m)
+	if err != nil {
+		return server.RenewResponse{}, err
+	}
 	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
-	mresp, err := m.cl.Renew(ctx, memberLease, ttl)
+	fctx, cancel := r.forwardCtx(ctx)
+	mresp, err := m.cl.Renew(fctx, memberLease, ttl)
+	cancel()
+	release()
 	if err != nil {
 		if errors.Is(err, server.ErrLeaseExpired) {
 			r.dropLease(req.Lease, rl.slot, memberLease)
@@ -652,7 +805,14 @@ func (r *Router) Migrate(ctx context.Context, req server.MigrateRequest) (server
 
 	fwd := req
 	fwd.Lease = memberLease
-	mresp, err := m.cl.Migrate(ctx, fwd)
+	release, err := r.acquire(m)
+	if err != nil {
+		return server.MigrateResponse{}, err
+	}
+	fctx, cancel := r.forwardCtx(ctx)
+	mresp, err := m.cl.Migrate(fctx, fwd)
+	cancel()
+	release()
 	if err != nil {
 		if errors.Is(err, server.ErrLeaseExpired) {
 			r.dropLease(req.Lease, slot, memberLease)
@@ -746,7 +906,9 @@ func (r *Router) TopologyJSON(ctx context.Context) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			topo, err := m.cl.Topology(ctx)
+			topo, err := hedged(ctx, r.cfg.HedgeDelay, func(ctx context.Context) (*topology.Topology, error) {
+				return m.cl.Topology(ctx)
+			})
 			if err != nil {
 				out.Members[i].Error = err.Error()
 				return
@@ -775,7 +937,9 @@ func (r *Router) Attrs(ctx context.Context) ([]server.AttrReport, error) {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			reports, err := m.cl.Attrs(ctx)
+			reports, err := hedged(ctx, r.cfg.HedgeDelay, func(ctx context.Context) ([]server.AttrReport, error) {
+				return m.cl.Attrs(ctx)
+			})
 			if err == nil {
 				results[i] = result{m: m, reports: reports}
 			}
@@ -824,6 +988,11 @@ func (r *Router) WriteMetrics(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "hetmemd_cluster_migrations_failed_total %d\n", r.migrationsFailed.Load())
 	fmt.Fprintf(w, "hetmemd_cluster_evacuations_total %d\n", r.evacuations.Load())
 	fmt.Fprintf(w, "hetmemd_cluster_idempotent_replays_total %d\n", r.idemReplays.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_scrub_cycles_total %d\n", r.scrubCycles.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_scrub_failures_total %d\n", r.scrubFailures.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_scrub_repairs_total{kind=\"orphan\"} %d\n", r.scrubOrphans.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_scrub_repairs_total{kind=\"lost\"} %d\n", r.scrubLost.Load())
+	fmt.Fprintf(w, "hetmemd_cluster_scrub_repairs_total{kind=\"drift\"} %d\n", r.scrubDrift.Load())
 
 	r.mu.Lock()
 	bytesBySlot := make([]uint64, len(r.members))
@@ -839,6 +1008,7 @@ func (r *Router) WriteMetrics(ctx context.Context, w io.Writer) error {
 		fmt.Fprintf(w, "hetmemd_cluster_member_state{member=%q} %d\n", m.name, state)
 		fmt.Fprintf(w, "hetmemd_cluster_member_pressure{member=%q} %g\n", m.name, pressure)
 		fmt.Fprintf(w, "hetmemd_cluster_member_pending_free{member=%q} %d\n", m.name, m.pendingFreeDepth())
+		fmt.Fprintf(w, "hetmemd_cluster_member_overload_total{member=%q} %d\n", m.name, m.overloads.Load())
 		if id != "" {
 			fmt.Fprintf(w, "hetmemd_cluster_member_info{member=%q,instance_id=%q} 1\n", m.name, id)
 		}

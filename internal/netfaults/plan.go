@@ -1,0 +1,173 @@
+package netfaults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Plan is an ordered network-fault script. Build one programmatically,
+// or let RandomPlan generate a reproducible scenario from a seed.
+type Plan struct {
+	Events []Event
+}
+
+// Steps returns the highest step number in the plan (-1 when empty).
+func (p Plan) Steps() int {
+	max := -1
+	for _, ev := range p.Events {
+		if ev.Step > max {
+			max = ev.Step
+		}
+	}
+	return max
+}
+
+// StepEvents returns the events of one step, in plan order.
+func (p Plan) StepEvents(step int) []Event {
+	var out []Event
+	for _, ev := range p.Events {
+		if ev.Step == step {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RandomOptions tunes RandomPlan.
+type RandomOptions struct {
+	// MaxConcurrentCut bounds how many links may be fully or partially
+	// partitioned at once; RandomPlan additionally never cuts the last
+	// clean link, so the router always has somewhere to place or
+	// evacuate to. Default: half the links.
+	MaxConcurrentCut int
+	// MaxLatency bounds injected link latency (default 50ms).
+	MaxLatency time.Duration
+	// DropBurst is the connection count armed by DropConn/Truncate
+	// events. Default 2.
+	DropBurst int
+	// FlapBeats is how many down/up beats a Flap burst emits (default
+	// 4: down, up, down, up over four consecutive steps).
+	FlapBeats int
+}
+
+// RandomPlan generates a deterministic network-chaos scenario: steps
+// fault events over the given links, drawn from a seeded source.
+// Every partition and latency fault it opens it eventually heals, and
+// the final step heals everything, so a full run ends with a nominal
+// fabric. At least one link stays clean at every point, and the same
+// seed always yields the same schedule.
+func RandomPlan(seed int64, steps int, linkCount int, opts RandomOptions) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	links := make([]int, linkCount)
+	for i := range links {
+		links[i] = i
+	}
+
+	maxCut := opts.MaxConcurrentCut
+	if maxCut <= 0 {
+		maxCut = linkCount / 2
+	}
+	if maxCut >= linkCount {
+		maxCut = linkCount - 1
+	}
+	maxLat := opts.MaxLatency
+	if maxLat <= 0 {
+		maxLat = 50 * time.Millisecond
+	}
+	burst := opts.DropBurst
+	if burst <= 0 {
+		burst = 2
+	}
+	beats := opts.FlapBeats
+	if beats <= 0 {
+		beats = 4
+	}
+
+	cut := map[int]Kind{} // link -> partition kind in effect
+	slowed := map[int]bool{}
+	var p Plan
+	add := func(step int, ev Event) {
+		ev.Step = step
+		p.Events = append(p.Events, ev)
+	}
+	healCut := func(step, link int) {
+		add(step, Event{Link: link, Kind: Heal})
+		delete(cut, link)
+		delete(slowed, link)
+	}
+	// oldestCut picks the longest-partitioned link deterministically
+	// (smallest index among the cut set).
+	oldestCut := func() int {
+		victim := -1
+		for l := range cut {
+			if victim < 0 || l < victim {
+				victim = l
+			}
+		}
+		return victim
+	}
+
+	step := 0
+	for step < steps {
+		link := links[rng.Intn(len(links))]
+		switch choice := rng.Intn(10); {
+		case choice < 3: // partition / heal toggle
+			if _, isCut := cut[link]; isCut {
+				healCut(step, link)
+			} else if len(cut) < maxCut {
+				kind := []Kind{PartitionSym, PartitionIn, PartitionOut}[rng.Intn(3)]
+				add(step, Event{Link: link, Kind: kind})
+				cut[link] = kind
+			} else {
+				healCut(step, oldestCut())
+			}
+		case choice < 5: // latency inject / restore toggle
+			if slowed[link] {
+				add(step, Event{Link: link, Kind: Latency, Delay: 0})
+				delete(slowed, link)
+			} else {
+				d := time.Duration(1+rng.Int63n(int64(maxLat/time.Millisecond))) * time.Millisecond
+				add(step, Event{Link: link, Kind: Latency, Delay: d})
+				slowed[link] = true
+			}
+		case choice < 7: // mid-body connection drops
+			add(step, Event{Link: link, Kind: DropConn, Count: burst})
+		case choice < 8: // truncated responses
+			add(step, Event{Link: link, Kind: Truncate, Count: burst})
+		default: // flap burst: the link bounces over consecutive steps
+			if _, isCut := cut[link]; isCut || len(cut) >= maxCut {
+				add(step, Event{Link: link, Kind: DropConn, Count: burst})
+				break
+			}
+			for b := 1; b <= beats && step < steps; b++ {
+				add(step, Event{Link: link, Kind: Flap, Beat: b})
+				if b < beats {
+					step++
+				}
+			}
+			if beats%2 == 1 {
+				// An odd burst ends down; book it as cut so the budget and
+				// the final heal see it.
+				cut[link] = PartitionSym
+			}
+		}
+		step++
+	}
+
+	// Heal every open fault so the plan ends nominal.
+	var open []int
+	for l := range cut {
+		open = append(open, l)
+	}
+	for l := range slowed {
+		if _, dup := cut[l]; !dup {
+			open = append(open, l)
+		}
+	}
+	sort.Ints(open)
+	for _, l := range open {
+		add(steps, Event{Link: l, Kind: Heal})
+	}
+	return p
+}

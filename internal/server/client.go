@@ -51,9 +51,13 @@ type Client struct {
 	base    string
 	http    *http.Client
 	retry   RetryPolicy
-	breaker *breaker
-	hb      *heartbeater
-	noHB    bool
+	// attemptTimeout bounds each HTTP exchange (dial through body
+	// read). The caller's context bounds the whole call, retries and
+	// backoff included; whichever deadline is sooner wins.
+	attemptTimeout time.Duration
+	breaker        *breaker
+	hb             *heartbeater
+	noHB           bool
 }
 
 // ClientOption customizes a Client.
@@ -68,6 +72,17 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 // WithHTTPClient substitutes the underlying http.Client.
 func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) { c.http = h }
+}
+
+// WithAttemptTimeout bounds each individual HTTP attempt (dial through
+// body read) instead of the historical blanket http.Client timeout.
+// The caller's context still bounds the whole call — attempts, backoff
+// sleeps, everything — so a router forwarding a request propagates its
+// inbound deadline to the member instead of pinning every hop at 30s.
+// Zero keeps the 30s default; negative disables the per-attempt bound
+// (the context alone governs).
+func WithAttemptTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.attemptTimeout = d }
 }
 
 // WithCircuitBreaker arms a client-side circuit breaker: after
@@ -96,15 +111,23 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	tr := http.DefaultTransport.(*http.Transport).Clone()
 	tr.MaxIdleConnsPerHost = 128
 	c := &Client{
-		base:  strings.TrimRight(base, "/"),
-		http:  &http.Client{Timeout: 30 * time.Second, Transport: tr},
-		retry: DefaultRetry,
+		base: strings.TrimRight(base, "/"),
+		// No http.Client.Timeout: a blanket client timeout would cap the
+		// whole retry loop at one opaque number and ignore the caller's
+		// context. Each attempt is bounded by attemptTimeout instead,
+		// and the caller's deadline bounds the call.
+		http:           &http.Client{Transport: tr},
+		retry:          DefaultRetry,
+		attemptTimeout: 30 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	if c.retry.MaxAttempts < 1 {
 		c.retry.MaxAttempts = 1
+	}
+	if c.attemptTimeout < 0 {
+		c.attemptTimeout = 0
 	}
 	c.hb = newHeartbeater(c)
 	return c
@@ -252,7 +275,19 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 				// Previous attempt was a retryable HTTP status.
 				retryAfter = res.retryAfter
 			}
-			t := time.NewTimer(c.retry.backoff(attempt-1, retryAfter))
+			delay := c.retry.backoff(attempt-1, retryAfter)
+			// The backoff must not sleep past the caller's deadline: a
+			// sleep that cannot be followed by a useful attempt only
+			// delays the failure the caller is already owed. Fail now,
+			// with the last error attached.
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= delay {
+				if lastErr != nil {
+					return res, fmt.Errorf("server: deadline expires during retry backoff (attempt %d): %w", attempt, lastErr)
+				}
+				// Retryable HTTP status with no time left: surface it.
+				return res, nil
+			}
+			t := time.NewTimer(delay)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -264,8 +299,17 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		if payload != nil {
 			body = bytes.NewReader(payload)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		// Each attempt gets its own deadline under the caller's: a
+		// member that accepted the connection and went silent (an
+		// asymmetric partition) fails this attempt at attemptTimeout
+		// and the loop moves on, instead of consuming the whole call.
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if c.attemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
+		}
+		req, err := http.NewRequestWithContext(attemptCtx, method, c.base+path, body)
 		if err != nil {
+			cancel()
 			return res, err
 		}
 		if payload != nil {
@@ -273,6 +317,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
+			cancel()
 			if ctx.Err() != nil {
 				return res, ctx.Err()
 			}
@@ -291,7 +336,11 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		c.breaker.record(true)
 		data, err := readBody(resp)
 		resp.Body.Close()
+		cancel()
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
 			res.transportRetries++
 			lastErr = err
 			continue
