@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest netchaos reapstress clean
+.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest netchaos reapstress tenantstress clean
 
 all: build vet test
 
@@ -68,6 +68,15 @@ netchaos:
 
 reapstress:
 	$(GO) run ./cmd/hetmemd reapstress -ttl 1s -crashers 32 -holders 16
+
+# Multi-tenant QoS acceptance: the admission boundary tests under
+# -race, then the isolation scenario — a greedy best-effort tenant
+# saturating a 4-member cluster against a guaranteed tenant's p99 and
+# zero-lost-leases invariants, with the run recorded in
+# TENANT_report.json.
+tenantstress:
+	$(GO) test -race -run 'TestShedWatermark|TestQuota|TestBurstable|TestQueueTimeout|TestDefaultTenant|TestClientFailsFast' ./internal/server
+	$(GO) run ./cmd/hetmemd tenantstress -report TENANT_report.json
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,12 @@ func TestServeFlagValidation(t *testing.T) {
 		{"checkpoint-without-journal", []string{"serve", "-checkpoint-every", "1m"}, "-journal"},
 		{"checkpoint-bytes-without-journal", []string{"serve", "-checkpoint-bytes", "1048576"}, "-journal"},
 		{"negative-ttl", []string{"serve", "-lease-ttl", "-5s", "-reap-interval", "1s"}, "negative"},
+		{"tenants-file-missing", []string{"serve", "-tenants", "/nonexistent/tenants.json"}, "-tenants"},
+		{"negative-queue-depth", []string{"serve", "-queue-depth", "-1"}, "-queue-depth"},
+		{"queue-timeout-without-queue", []string{"serve", "-queue-timeout", "1s"}, "-queue-depth"},
+		{"negative-queue-timeout", []string{"serve", "-queue-depth", "4", "-queue-timeout", "-1s"}, "negative"},
+		{"headroom-out-of-range", []string{"serve", "-shed", "0.8", "-guaranteed-headroom", "1.5"}, "-guaranteed-headroom"},
+		{"headroom-without-watermark", []string{"serve", "-shed", "0", "-guaranteed-headroom", "0.2"}, "-shed"},
 	} {
 		err := run(tc.args, io.Discard)
 		if err == nil {
@@ -43,6 +49,8 @@ func TestServeFlagValidation(t *testing.T) {
 		{DefaultLeaseTTL: 30 * time.Second, ReapInterval: 5 * time.Second},
 		{JournalPath: "wal", CheckpointEvery: time.Minute, CheckpointMaxWAL: 1 << 20},
 		{JournalPath: "wal", SyncEveryAppend: true, CheckpointMaxWAL: 8 << 10},
+		{ShedWatermark: 0.7, GuaranteedHeadroom: 0.25, QueueDepth: 32, QueueTimeout: time.Second},
+		{ShedWatermark: 0.9, QueueDepth: 8},
 	} {
 		if err := validateServeConfig(cfg); err != nil {
 			t.Errorf("config %+v rejected: %v", cfg, err)

@@ -16,6 +16,7 @@
 //	hetmemd bench -cluster                     # router-vs-single-daemon benchmark (BENCH_cluster.json)
 //	hetmemd chaostest -steps 60                # fault-inject a daemon under load
 //	hetmemd reapstress -ttl 1s                 # orphan-reaper acceptance run
+//	hetmemd tenantstress                       # multi-tenant QoS isolation run (TENANT_report.json)
 //	hetmemd platforms                          # list available platforms
 //
 // Try it:
@@ -43,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetmem/internal/cluster"
 	"hetmem/internal/core"
 	"hetmem/internal/platform"
 	"hetmem/internal/server"
@@ -57,7 +59,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: hetmemd <serve|router|loadtest|chaostest|reapstress|bench|platforms> [flags] (-h for flags)")
+		return fmt.Errorf("usage: hetmemd <serve|router|loadtest|chaostest|reapstress|tenantstress|bench|platforms> [flags] (-h for flags)")
 	}
 	switch args[0] {
 	case "serve":
@@ -70,6 +72,8 @@ func run(args []string, out io.Writer) error {
 		return runChaostest(args[1:], out)
 	case "reapstress":
 		return runReapstress(args[1:], out)
+	case "tenantstress":
+		return runTenantstress(args[1:], out)
 	case "bench":
 		return runBench(args[1:], out)
 	case "platforms":
@@ -82,7 +86,7 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve, router, loadtest, chaostest, reapstress, bench, or platforms)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, router, loadtest, chaostest, reapstress, tenantstress, bench, or platforms)", args[0])
 	}
 }
 
@@ -158,6 +162,10 @@ func runServe(args []string, out io.Writer) error {
 		ckptBytes  = fs.Int64("checkpoint-bytes", 0, "checkpoint when the WAL exceeds this many bytes (0: no size trigger)")
 		rebalEvery = fs.Duration("rebalance-every", 0, "pause between healed-node rebalance batches (0: no rebalancing)")
 		rebalBytes = fs.Uint64("rebalance-budget", 0, "bytes migrated per rebalance batch (0: 256 MiB)")
+		tenants    = fs.String("tenants", "", "tenant config file: priority classes and per-kind byte quotas (empty: every tenant is burstable, unlimited)")
+		queueDepth = fs.Int("queue-depth", 0, "burstable admission-queue depth under overload (0: burstable sheds like best-effort)")
+		queueWaitT = fs.Duration("queue-timeout", 0, "max burstable wait in the admission queue (0 with -queue-depth: 1s)")
+		headroom   = fs.Float64("guaranteed-headroom", 0, "capacity fraction above -shed reserved for guaranteed tenants, in [0,1]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +187,10 @@ func runServe(args []string, out io.Writer) error {
 		CheckpointMaxWAL:      *ckptBytes,
 		RebalanceInterval:     *rebalEvery,
 		RebalanceBudget:       *rebalBytes,
+		TenantsPath:           *tenants,
+		QueueDepth:            *queueDepth,
+		QueueTimeout:          *queueWaitT,
+		GuaranteedHeadroom:    *headroom,
 	}
 	if err := validateServeConfig(cfg); err != nil {
 		return err
@@ -202,8 +214,25 @@ func validateServeConfig(cfg server.Config) error {
 	if cfg.GroupCommit && cfg.JournalPath == "" {
 		return fmt.Errorf("-group-commit needs -journal: there is nothing to commit without a WAL")
 	}
-	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 {
+	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 || cfg.QueueTimeout < 0 {
 		return fmt.Errorf("duration and byte flags must not be negative")
+	}
+	if cfg.TenantsPath != "" {
+		if _, err := os.Stat(cfg.TenantsPath); err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("-queue-depth must not be negative (got %d)", cfg.QueueDepth)
+	}
+	if cfg.QueueTimeout > 0 && cfg.QueueDepth == 0 {
+		return fmt.Errorf("-queue-timeout %v needs -queue-depth > 0: there is no queue to bound", cfg.QueueTimeout)
+	}
+	if cfg.GuaranteedHeadroom < 0 || cfg.GuaranteedHeadroom > 1 {
+		return fmt.Errorf("-guaranteed-headroom %v outside [0, 1]", cfg.GuaranteedHeadroom)
+	}
+	if cfg.GuaranteedHeadroom > 0 && cfg.ShedWatermark <= 0 {
+		return fmt.Errorf("-guaranteed-headroom %v needs -shed > 0: headroom is relative to the watermark", cfg.GuaranteedHeadroom)
 	}
 	return nil
 }
@@ -534,6 +563,52 @@ func runReapstress(args []string, out io.Writer) error {
 	})
 	fmt.Fprintf(out, "hetmemd: reapstress %s\n", rep)
 	return err
+}
+
+func runTenantstress(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hetmemd tenantstress", flag.ContinueOnError)
+	var (
+		noiseClients = fs.Int("noise-clients", 8, "greedy best-effort client goroutines")
+		noiseAllocs  = fs.Int("noise-allocs", 400, "max allocations per noise client (saturation backstop)")
+		noiseSize    = fs.Uint64("noise-size", 64<<20, "bytes per noise allocation")
+		goldAllocs   = fs.Int("gold-allocs", 100, "guaranteed-tenant probe allocations per phase")
+		goldSize     = fs.Uint64("gold-size", 8<<20, "bytes per guaranteed probe")
+		floor        = fs.Duration("baseline-floor", 25*time.Millisecond, "minimum baseline p99 the 2x isolation bar is computed from")
+		timeout      = fs.Duration("timeout", 3*time.Minute, "overall run timeout")
+		outPath      = fs.String("report", "TENANT_report.json", "JSON report artifact path (empty: stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hetmemd-tenantstress-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	rep, err := cluster.TenantStress(ctx, cluster.TenantStressOptions{
+		JournalDir:     dir,
+		NoiseClients:   *noiseClients,
+		NoiseMaxAllocs: *noiseAllocs,
+		NoiseSizeBytes: *noiseSize,
+		GoldAllocs:     *goldAllocs,
+		GoldSizeBytes:  *goldSize,
+		BaselineFloor:  *floor,
+	}, out)
+	if *outPath != "" {
+		if werr := cluster.WriteTenantStressReport(rep, *outPath); werr != nil && err == nil {
+			err = werr
+		} else if werr == nil {
+			fmt.Fprintf(out, "hetmemd: tenant isolation report written to %s\n", *outPath)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hetmemd: tenantstress PASS: gold p99 %.2fms under load (bar %.2fms), %d/%d gold leases intact, 0 sheds/evictions\n",
+		rep.LoadedP99Ms, rep.P99BarMs, rep.GoldLeases-rep.GoldLost, rep.GoldLeases)
+	return nil
 }
 
 func runChaostest(args []string, out io.Writer) error {

@@ -124,6 +124,11 @@ func (r *Router) evacuateLease(ctx context.Context, snap *rlease, allowSameSlot,
 
 	// Walk the rendezvous ranking: the natural next-best owner first,
 	// then the rest, so a full member does not strand the lease.
+	// The re-placement runs as the lease's owning tenant — the target
+	// member must book the bytes against the same quotas and class the
+	// original grant did, or an evacuation would silently launder one
+	// tenant's usage into another's.
+	ctx = server.ContextWithTenant(ctx, snap.tenant)
 	var lastErr error
 	for _, name := range rank(key, names) {
 		target := byName[name]

@@ -14,6 +14,7 @@ import (
 
 	"hetmem/internal/journal"
 	"hetmem/internal/server"
+	"hetmem/internal/tenant"
 	"hetmem/internal/topology"
 )
 
@@ -128,6 +129,9 @@ type rlease struct {
 	key       string // client idempotency key, "" if none
 	size      uint64
 	ttlMillis uint64
+	// tenant owns the lease for quota and priority purposes; it follows
+	// the lease through journal replay, evacuation, and scrub repair.
+	tenant string
 
 	// resp is the response the client saw, replayed verbatim on
 	// idempotent retries.
@@ -261,6 +265,10 @@ func (r *Router) replay(restored journal.Restored) {
 				key:         rec.Key,
 				size:        rec.Size,
 				ttlMillis:   rec.TTLMillis,
+				tenant:      rec.Tenant,
+			}
+			if rl.tenant == "" {
+				rl.tenant = tenant.Default // pre-tenancy journal record
 			}
 			// The member-reported placement string is not journaled;
 			// after a restart the replayed response names the member.
@@ -381,9 +389,20 @@ func allocRecord(rl *rlease) journal.Record {
 		Initiator: rl.initiator,
 		Key:       rl.key,
 		Size:      rl.size,
+		Tenant:    rl.tenant,
 		TTLMillis: rl.ttlMillis,
 		Segments:  []journal.Segment{{NodeOS: rl.slot, Bytes: rl.memberLease}},
 	}
+}
+
+// requestTenant resolves the tenant a routed request runs as: the
+// X-Hetmem-Tenant header (stamped into the context by the shared API
+// plumbing), else the default tenant.
+func requestTenant(ctx context.Context) string {
+	if t := server.TenantFromContext(ctx); t != "" {
+		return t
+	}
+	return tenant.Default
 }
 
 // pollLoop drives the membership view: each tick polls every member,
@@ -593,6 +612,7 @@ func (r *Router) commitAlloc(ctx context.Context, m *member, req server.AllocReq
 		key:         req.IdempotencyKey,
 		size:        req.Size,
 		ttlMillis:   uint64(mresp.TTLSeconds * 1000),
+		tenant:      requestTenant(ctx),
 	}
 	resp := mresp
 	resp.Lease = id
@@ -839,14 +859,19 @@ func (r *Router) Migrate(ctx context.Context, req server.MigrateRequest) (server
 func (r *Router) Leases(ctx context.Context, list bool) (server.LeasesResponse, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	resp := server.LeasesResponse{NodeBytes: make(map[string]uint64, len(r.members))}
+	resp := server.LeasesResponse{
+		NodeBytes:   make(map[string]uint64, len(r.members)),
+		TenantBytes: make(map[string]uint64),
+	}
 	for _, rl := range r.leases {
 		resp.Count++
 		resp.Bytes += rl.size
 		resp.NodeBytes[r.members[rl.slot].name] += rl.size
+		resp.TenantBytes[rl.tenant] += rl.size
 		if list {
 			resp.Leases = append(resp.Leases, server.LeaseInfo{
 				Lease: rl.id, Name: rl.name, Size: rl.size, Placement: rl.resp.Placement,
+				Tenant: rl.tenant,
 			})
 		}
 	}
@@ -996,11 +1021,25 @@ func (r *Router) WriteMetrics(ctx context.Context, w io.Writer) error {
 
 	r.mu.Lock()
 	bytesBySlot := make([]uint64, len(r.members))
+	tenantBytes := make(map[string]uint64)
 	leaseCount := len(r.leases)
 	for _, rl := range r.leases {
 		bytesBySlot[rl.slot] += rl.size
+		tenantBytes[rl.tenant] += rl.size
 	}
 	r.mu.Unlock()
+
+	// Per-tenant rollup across the whole fleet, tenant label first so
+	// the per-tenant consistency check prefix-matches it like the
+	// members' own kind-split series.
+	tenants := make([]string, 0, len(tenantBytes))
+	for name := range tenantBytes {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		fmt.Fprintf(w, "hetmemd_tenant_bytes{tenant=%q} %d\n", name, tenantBytes[name])
+	}
 
 	nodes := make([]server.NodeUsage, len(r.members))
 	for i, m := range r.members {

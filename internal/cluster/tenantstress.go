@@ -1,0 +1,483 @@
+package cluster
+
+// The multi-tenant QoS acceptance harness behind `hetmemd
+// tenantstress`: a 4-member journaled cluster with per-member tenant
+// configs, a greedy best-effort tenant ("noise") saturating the fleet
+// to the shed watermark, and a guaranteed tenant ("gold") whose
+// latency and leases must not care. The run then restarts a member
+// with its journal intact, drives the poller and the anti-entropy
+// scrubber back to convergence, and proves three invariants:
+//
+//   - isolation: gold's alloc p99 under full noise saturation stays
+//     within 2x its unloaded baseline (floored, so CI scheduler noise
+//     cannot fail a healthy run), and every gold alloc succeeds;
+//   - zero lost leases: every gold lease granted during the run still
+//     renews after the restart and the scrub — none shed, none
+//     evicted, none lost in evacuation;
+//   - books: per-tenant byte accounting is consistent on the router
+//     and on every member, after restart and scrub.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetmem/internal/server"
+)
+
+// TenantStressOptions configures one isolation run.
+type TenantStressOptions struct {
+	// JournalDir holds the member and router journals plus the
+	// generated tenants config (required).
+	JournalDir string
+	// NoiseClients is how many greedy best-effort goroutines hammer
+	// the fleet (default 8).
+	NoiseClients int
+	// NoiseMaxAllocs caps each noise client's allocations, a backstop
+	// against a fleet too large to saturate (default 400).
+	NoiseMaxAllocs int
+	// NoiseSizeBytes is the noise allocation size (default 64 MiB).
+	NoiseSizeBytes uint64
+	// GoldAllocs is the guaranteed tenant's probe count per phase
+	// (default 100).
+	GoldAllocs int
+	// GoldSizeBytes is the guaranteed probe size (default 8 MiB).
+	GoldSizeBytes uint64
+	// BaselineFloor is the minimum baseline p99 the 2x bar is computed
+	// from, absorbing scheduler noise on shared runners (default 25ms).
+	BaselineFloor time.Duration
+	// Platforms overrides the member platform mix (default
+	// tenantStressPlatforms).
+	Platforms []string
+}
+
+// tenantStressPlatforms is the default member mix: small synthetic
+// machines, because the scenario needs a fleet a greedy tenant can
+// actually saturate (the real testbeds are multi-TB — noise would hit
+// its alloc cap long before any watermark). Two mixed-kind members
+// whose HBM-plus-quota capacity crosses the shed watermark, so sheds
+// and burstable queue timeouts engage there, and two DRAM-only
+// members where the noise DRAM quota binds below the watermark, so
+// quota_exceeded engages there. One run exercises every degradation
+// path.
+var tenantStressPlatforms = []string{
+	"synthetic:package:1 core:2 pu:2 mem:package:DRAM:6GiB:bw=90:lat=85 mem:package:HBM:8GiB:bw=200:lat=110",
+	"synthetic:package:1 core:2 pu:2 mem:package:DRAM:6GiB:bw=90:lat=85",
+	"synthetic:package:1 core:2 pu:2 mem:package:DRAM:6GiB:bw=90:lat=85 mem:package:HBM:8GiB:bw=200:lat=110",
+	"synthetic:package:1 core:2 pu:2 mem:package:DRAM:6GiB:bw=90:lat=85",
+}
+
+func (o TenantStressOptions) withDefaults() TenantStressOptions {
+	if o.NoiseClients <= 0 {
+		o.NoiseClients = 8
+	}
+	if o.NoiseMaxAllocs <= 0 {
+		o.NoiseMaxAllocs = 400
+	}
+	if o.NoiseSizeBytes == 0 {
+		o.NoiseSizeBytes = 64 << 20
+	}
+	if o.GoldAllocs <= 0 {
+		o.GoldAllocs = 100
+	}
+	if o.GoldSizeBytes == 0 {
+		o.GoldSizeBytes = 8 << 20
+	}
+	if o.BaselineFloor <= 0 {
+		o.BaselineFloor = 25 * time.Millisecond
+	}
+	if len(o.Platforms) == 0 {
+		o.Platforms = tenantStressPlatforms
+	}
+	return o
+}
+
+// TenantStressReport is the run's JSON artifact.
+type TenantStressReport struct {
+	BaselineP99Ms float64 `json:"gold_baseline_p99_ms"`
+	LoadedP99Ms   float64 `json:"gold_loaded_p99_ms"`
+	// P99Bar is the pass bar: 2x the floored baseline.
+	P99BarMs float64 `json:"gold_p99_bar_ms"`
+
+	GoldAllocs    int    `json:"gold_allocs"`
+	GoldLeases    int    `json:"gold_leases"`
+	GoldLost      int    `json:"gold_lost_leases"`
+	GoldSheds     uint64 `json:"gold_sheds"`
+	GoldEvictions uint64 `json:"gold_evictions"`
+
+	NoiseAllocs       uint64 `json:"noise_allocs"`
+	NoiseSheds        uint64 `json:"noise_sheds"`
+	NoiseQuotaRejects uint64 `json:"noise_quota_rejects"`
+
+	SilverProbes        int `json:"silver_probes"`
+	SilverQueueTimeouts int `json:"silver_queue_timeouts"`
+
+	RestartedMember string        `json:"restarted_member"`
+	Scrubs          []ScrubReport `json:"scrubs"`
+	ConvergedAfter  int           `json:"converged_after_cycles"`
+
+	RouterBooks string            `json:"router_books"`
+	MemberBooks map[string]string `json:"member_books"`
+}
+
+// tenantStressConfig is the tenants file every member loads: gold is
+// guaranteed, noise is best-effort with a per-member DRAM quota, and
+// anything else — the silver queue probes — defaults to burstable.
+// The 3 GiB quota is sized against tenantStressPlatforms: on a
+// mixed member (6 DRAM + 8 HBM) the watermark at 0.70 x 14 GiB =
+// 9.8 GiB is reachable through HBM plus 1.8 GiB of quota, so noise
+// sheds there; on a DRAM-only member (6 GiB) the quota binds below
+// the 4.2 GiB watermark, so noise gets quota_exceeded there.
+const tenantStressConfig = `{
+  "default_class": "burstable",
+  "tenants": {
+    "gold":  {"class": "guaranteed"},
+    "noise": {"class": "best-effort", "quotas": {"DRAM": 3221225472}}
+  }
+}
+`
+
+// p99 returns the 99th-percentile of the samples (the max for small
+// sets), in milliseconds.
+func p99(samples []time.Duration) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (99*len(sorted) + 99) / 100
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return float64(sorted[idx-1]) / float64(time.Millisecond)
+}
+
+// goldProbe runs one phase of guaranteed-tenant allocations and
+// returns the per-alloc latencies and granted lease IDs. Every alloc
+// must succeed: a guaranteed tenant never sheds while the fleet has
+// headroom, loaded or not.
+func goldProbe(ctx context.Context, cl *server.Client, phase string, count int, size uint64) ([]time.Duration, []uint64, error) {
+	lat := make([]time.Duration, 0, count)
+	leases := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		resp, err := cl.Alloc(ctx, server.AllocRequest{
+			Name:       fmt.Sprintf("gold-%s-%d", phase, i),
+			Size:       size,
+			Attr:       "Capacity",
+			Partial:    true,
+			Remote:     true,
+			TTLSeconds: 600,
+		})
+		if err != nil {
+			return lat, leases, fmt.Errorf("cluster: gold alloc %d (%s phase) failed: %w", i, phase, err)
+		}
+		lat = append(lat, time.Since(start))
+		leases = append(leases, resp.Lease)
+	}
+	return lat, leases, nil
+}
+
+// TenantStress runs the isolation scenario and returns its report.
+func TenantStress(ctx context.Context, opts TenantStressOptions, out io.Writer) (TenantStressReport, error) {
+	if out == nil {
+		out = io.Discard
+	}
+	opts = opts.withDefaults()
+	rep := TenantStressReport{MemberBooks: make(map[string]string)}
+	if opts.JournalDir == "" {
+		return rep, errors.New("cluster: tenantstress needs a journal dir")
+	}
+	tenantsPath := filepath.Join(opts.JournalDir, "tenants.json")
+	if err := os.WriteFile(tenantsPath, []byte(tenantStressConfig), 0o644); err != nil {
+		return rep, err
+	}
+
+	memberCfg := server.Config{
+		JournalPath:        filepath.Join(opts.JournalDir, "member"),
+		TenantsPath:        tenantsPath,
+		ShedWatermark:      0.70,
+		GuaranteedHeadroom: 0.25,
+		QueueDepth:         32,
+		QueueTimeout:       300 * time.Millisecond,
+	}
+	routerCfg := Config{
+		JournalPath:    filepath.Join(opts.JournalDir, "router"),
+		PollInterval:   50 * time.Millisecond,
+		OfflineAfter:   2,
+		MemberRetry:    &server.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		ProbeTimeout:   500 * time.Millisecond,
+		EvacTimeout:    2 * time.Second,
+		ForwardTimeout: 2 * time.Second,
+	}
+	sim, err := StartSim(SimOptions{
+		Platforms: opts.Platforms,
+		Member:    memberCfg,
+		Router:    routerCfg,
+		Out:       out,
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer sim.Close()
+
+	gold := server.NewClient(sim.Base, server.WithTenant("gold"),
+		server.WithRetryPolicy(server.NoRetry), server.WithoutHeartbeat())
+	defer gold.Close()
+
+	// Phase 1: unloaded baseline.
+	baseLat, baseLeases, err := goldProbe(ctx, gold, "base", opts.GoldAllocs, opts.GoldSizeBytes)
+	if err != nil {
+		return rep, err
+	}
+	rep.BaselineP99Ms = p99(baseLat)
+	fmt.Fprintf(out, "hetmemd: gold baseline p99 %.2fms over %d allocs\n", rep.BaselineP99Ms, len(baseLat))
+
+	// Phase 2: the noise tenant saturates the fleet. Each client
+	// allocates greedily and holds every lease; the fleet counts as
+	// saturated once enough consecutive allocs shed fleet-wide.
+	var noiseAllocs, noiseSheds, noiseQuota atomic.Uint64
+	var consecFails atomic.Int64
+	saturated := make(chan struct{})
+	var satOnce sync.Once
+	stopNoise := make(chan struct{})
+	var noiseWG sync.WaitGroup
+	satThreshold := int64(2 * opts.NoiseClients)
+	for c := 0; c < opts.NoiseClients; c++ {
+		noiseWG.Add(1)
+		go func(id int) {
+			defer noiseWG.Done()
+			cl := server.NewClient(sim.Base, server.WithTenant("noise"),
+				server.WithRetryPolicy(server.NoRetry), server.WithoutHeartbeat())
+			defer cl.Close()
+			for i := 0; i < opts.NoiseMaxAllocs; i++ {
+				select {
+				case <-stopNoise:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				_, err := cl.Alloc(ctx, server.AllocRequest{
+					Name:    fmt.Sprintf("noise-%d-%d", id, i),
+					Size:    opts.NoiseSizeBytes,
+					Attr:    "Bandwidth",
+					Partial: true,
+					Remote:  true,
+				})
+				if err == nil {
+					noiseAllocs.Add(1)
+					consecFails.Store(0)
+					continue
+				}
+				switch {
+				case errors.Is(err, server.ErrShedding), errors.Is(err, server.ErrQueueTimeout):
+					noiseSheds.Add(1)
+				case errors.Is(err, server.ErrQuotaExceeded):
+					noiseQuota.Add(1)
+				case errors.Is(err, server.ErrCapacityExhausted):
+					// A member's machine filled before its watermark
+					// tripped; counts toward saturation all the same.
+				default:
+					// Unexpected failure mode: not fatal for a greedy
+					// best-effort client, but don't let it count as
+					// saturation.
+					continue
+				}
+				if consecFails.Add(1) >= satThreshold {
+					satOnce.Do(func() { close(saturated) })
+				}
+			}
+			// This client hit its cap without the fleet saturating; do
+			// not hold the gold phase hostage.
+			satOnce.Do(func() { close(saturated) })
+		}(c)
+	}
+	select {
+	case <-saturated:
+	case <-ctx.Done():
+		close(stopNoise)
+		noiseWG.Wait()
+		return rep, ctx.Err()
+	}
+	fmt.Fprintf(out, "hetmemd: fleet saturated after %d noise allocs (%d sheds, %d quota rejects so far)\n",
+		noiseAllocs.Load(), noiseSheds.Load(), noiseQuota.Load())
+
+	// Phase 3: gold probes again, under full saturation — noise keeps
+	// hammering the whole time. A burstable "silver" tenant pokes the
+	// admission queue alongside, aimed straight at a saturated member:
+	// through the router the probe would just fall back to a member
+	// with headroom (correct fleet behaviour, but it never shows the
+	// queue), while the member-level view is where burstable admission
+	// queues behind the watermark and times out.
+	var silverTimeouts int
+	silverProbes := 6
+	silverDone := make(chan struct{})
+	go func() {
+		defer close(silverDone)
+		silver := server.NewClient(sim.Members[0].URL, server.WithTenant("silver"),
+			server.WithRetryPolicy(server.NoRetry), server.WithoutHeartbeat())
+		defer silver.Close()
+		for i := 0; i < silverProbes; i++ {
+			// Outlives the members' 300ms queue timeout, so the recorded
+			// failure is the server's queue_timeout envelope rather than
+			// a client-side deadline.
+			sctx, cancel := context.WithTimeout(ctx, 400*time.Millisecond)
+			_, err := silver.Alloc(sctx, server.AllocRequest{
+				Name: fmt.Sprintf("silver-%d", i), Size: opts.NoiseSizeBytes,
+				Attr: "Capacity", Partial: true, Remote: true,
+			})
+			cancel()
+			if errors.Is(err, server.ErrQueueTimeout) {
+				silverTimeouts++
+			}
+		}
+	}()
+	loadLat, loadLeases, goldErr := goldProbe(ctx, gold, "loaded", opts.GoldAllocs, opts.GoldSizeBytes)
+	<-silverDone
+	close(stopNoise)
+	noiseWG.Wait()
+	if goldErr != nil {
+		return rep, goldErr
+	}
+	rep.LoadedP99Ms = p99(loadLat)
+	rep.P99BarMs = 2 * max(rep.BaselineP99Ms, float64(opts.BaselineFloor)/float64(time.Millisecond))
+	rep.GoldAllocs = len(baseLat) + len(loadLat)
+	rep.NoiseAllocs = noiseAllocs.Load()
+	rep.NoiseSheds = noiseSheds.Load()
+	rep.NoiseQuotaRejects = noiseQuota.Load()
+	rep.SilverProbes = silverProbes
+	rep.SilverQueueTimeouts = silverTimeouts
+	fmt.Fprintf(out, "hetmemd: gold loaded p99 %.2fms (bar %.2fms); noise: %d allocs, %d sheds, %d quota rejects; silver: %d/%d queue timeouts\n",
+		rep.LoadedP99Ms, rep.P99BarMs, rep.NoiseAllocs, rep.NoiseSheds, rep.NoiseQuotaRejects, silverTimeouts, silverProbes)
+	if rep.LoadedP99Ms > rep.P99BarMs {
+		return rep, fmt.Errorf("cluster: gold p99 %.2fms under load exceeds the %.2fms bar (baseline %.2fms)",
+			rep.LoadedP99Ms, rep.P99BarMs, rep.BaselineP99Ms)
+	}
+	// Saturation must have been real: the member mix is sized so the
+	// watermark sheds best-effort on the mixed members and the DRAM
+	// quota rejects it on the DRAM-only ones. A run where either count
+	// is zero proved nothing about that degradation path.
+	if rep.NoiseSheds == 0 {
+		return rep, errors.New("cluster: fleet saturated without a single best-effort shed — the watermark never engaged")
+	}
+	if rep.NoiseQuotaRejects == 0 {
+		return rep, errors.New("cluster: noise never hit its DRAM quota — the quota_exceeded path never engaged")
+	}
+	if rep.SilverQueueTimeouts == 0 {
+		return rep, errors.New("cluster: no silver probe timed out in the queue — burstable admission never queued")
+	}
+
+	// Phase 4: restart a member with its journal intact. Its leases
+	// replay locally; the router evacuates its view of them to the
+	// survivors (gold moves under its guaranteed headroom), and the
+	// scrubber reclaims the replayed duplicates as orphans.
+	victim := 0
+	rep.RestartedMember = sim.Members[victim].Name
+	if err := sim.Restart(victim, false); err != nil {
+		return rep, err
+	}
+	fmt.Fprintf(out, "hetmemd: restarted member %s (journal intact)\n", rep.RestartedMember)
+	healthDeadline := time.Now().Add(30 * time.Second)
+	for {
+		sim.Router.PollOnce(ctx)
+		h, err := sim.Router.Health(ctx)
+		if err != nil {
+			return rep, err
+		}
+		if h.Status == "ok" {
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			return rep, fmt.Errorf("cluster: fleet not healthy 30s after the restart: %+v", h.Nodes)
+		}
+		select {
+		case <-ctx.Done():
+			return rep, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	const maxScrub = 6
+	for cycle := 1; cycle <= maxScrub; cycle++ {
+		sim.Router.PollOnce(ctx)
+		sr, err := sim.Router.ScrubOnce(ctx)
+		if err != nil {
+			return rep, err
+		}
+		rep.Scrubs = append(rep.Scrubs, sr)
+		fmt.Fprintf(out, "hetmemd: scrub cycle %d: %d orphans freed (%d suspects), %d lost repaired (%d failed), %d drift alarms\n",
+			cycle, sr.OrphansFreed, sr.OrphanSuspects, sr.LostRepaired, sr.LostFailed, sr.DriftAlarms)
+		if sr.Clean() {
+			rep.ConvergedAfter = cycle
+			break
+		}
+	}
+	if rep.ConvergedAfter == 0 {
+		return rep, fmt.Errorf("cluster: scrubber did not converge in %d cycles", maxScrub)
+	}
+
+	// Phase 5: the invariants. Every gold lease must still renew —
+	// zero lost across saturation, restart, evacuation, and scrub.
+	goldLeases := append(append([]uint64(nil), baseLeases...), loadLeases...)
+	rep.GoldLeases = len(goldLeases)
+	for _, id := range goldLeases {
+		if _, err := gold.Renew(ctx, id, 0); err != nil {
+			rep.GoldLost++
+			fmt.Fprintf(out, "hetmemd: gold lease %d lost: %v\n", id, err)
+		}
+	}
+	if rep.GoldLost > 0 {
+		return rep, fmt.Errorf("cluster: %d of %d gold leases lost", rep.GoldLost, rep.GoldLeases)
+	}
+
+	// Gold was never shed or evicted, on any member. The restarted
+	// member's counters reset to zero, which cannot hide a violation —
+	// the zero we assert is the same zero.
+	for _, m := range sim.Members {
+		cl := server.NewClient(m.URL, server.WithoutHeartbeat())
+		metrics, err := cl.Metrics(ctx)
+		cl.Close()
+		if err != nil {
+			return rep, fmt.Errorf("cluster: member %s metrics: %w", m.Name, err)
+		}
+		rep.GoldSheds += uint64(server.SumSeriesPrefix(metrics, `hetmemd_tenant_sheds_total{tenant="gold"`))
+		rep.GoldEvictions += uint64(server.SumSeriesPrefix(metrics, `hetmemd_tenant_evictions_total{tenant="gold"`))
+	}
+	if rep.GoldSheds > 0 || rep.GoldEvictions > 0 {
+		return rep, fmt.Errorf("cluster: guaranteed tenant saw %d sheds and %d evictions — isolation broken",
+			rep.GoldSheds, rep.GoldEvictions)
+	}
+
+	// Phase 6: per-tenant books, router and members.
+	desc, err := server.VerifyConsistency(ctx, sim.Base)
+	if err != nil {
+		return rep, fmt.Errorf("cluster: router books: %w", err)
+	}
+	rep.RouterBooks = desc
+	for _, m := range sim.Members {
+		desc, err := server.VerifyConsistency(ctx, m.URL)
+		if err != nil {
+			return rep, fmt.Errorf("cluster: member %s books: %w", m.Name, err)
+		}
+		rep.MemberBooks[m.Name] = desc
+	}
+	fmt.Fprintf(out, "hetmemd: router books %s\n", rep.RouterBooks)
+	return rep, nil
+}
+
+// WriteTenantStressReport writes the run artifact as indented JSON.
+func WriteTenantStressReport(rep TenantStressReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -104,6 +104,9 @@ type Record struct {
 	Initiator string `json:"initiator,omitempty"`
 	Key       string `json:"key,omitempty"`
 	Size      uint64 `json:"size,omitempty"`
+	// Tenant is the owning tenant (alloc records; empty means the
+	// default tenant, which also keeps pre-tenancy journals replayable).
+	Tenant string `json:"tenant,omitempty"`
 	// TTLMillis is the lease's granted time-to-live in milliseconds
 	// (alloc records; 0 means the lease never expires).
 	TTLMillis uint64 `json:"ttl_ms,omitempty"`

@@ -17,6 +17,7 @@ package platform
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"hetmem/internal/hmat"
 	"hetmem/internal/memsim"
@@ -65,8 +66,15 @@ func register(name string, f func() *Platform) {
 	registry[name] = f
 }
 
-// Get builds the named platform.
+// Get builds the named platform. Names of the form
+// "synthetic:<desc>" build an ad-hoc machine from the FromSynthetic
+// grammar instead of the registry, so every -platform flag can take a
+// purpose-built topology (the tenantstress harness uses this for a
+// fleet small enough to saturate).
 func Get(name string) (*Platform, error) {
+	if desc, ok := strings.CutPrefix(name, "synthetic:"); ok {
+		return FromSynthetic("synthetic", desc)
+	}
 	f, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("platform: unknown platform %q (have %v)", name, Names())

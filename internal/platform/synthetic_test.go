@@ -157,3 +157,21 @@ func TestSyntheticRendering(t *testing.T) {
 		t.Fatal("description missing")
 	}
 }
+
+// Get accepts "synthetic:<desc>" names, so every -platform flag can
+// take an ad-hoc machine without registering it.
+func TestGetSyntheticPrefix(t *testing.T) {
+	p, err := Get("synthetic:package:1 core:2 pu:2 mem:package:DRAM:6GiB:bw=90:lat=85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "synthetic" || !p.HasHMAT {
+		t.Fatalf("got name %q HasHMAT %v, want synthetic with HMAT", p.Name, p.HasHMAT)
+	}
+	if len(p.Topo.NUMANodes()) != 1 || p.Topo.NUMANodes()[0].Subtype != "DRAM" {
+		t.Fatalf("unexpected NUMA nodes: %+v", p.Topo.NUMANodes())
+	}
+	if _, err := Get("synthetic:not a machine"); err == nil {
+		t.Fatal("malformed synthetic description accepted")
+	}
+}

@@ -88,14 +88,17 @@ func (a *apiBase) route(method, path string, ep Endpoint, h http.HandlerFunc) {
 }
 
 // instrument wraps a handler with request counting and latency
-// observation. On a forwarding node the observed latency IS the
-// member round trip, so the per-endpoint histograms double as the
-// forwarded-request latency rollup.
+// observation, and stamps the X-Hetmem-Tenant header (when present)
+// into the request context — one chokepoint, so the daemon's own
+// handlers and a forwarding Backend see the tenant the same way. On a
+// forwarding node the observed latency IS the member round trip, so
+// the per-endpoint histograms double as the forwarded-request latency
+// rollup.
 func (a *apiBase) instrument(e Endpoint, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(sw, r)
+		h(sw, withRequestTenant(r))
 		a.metrics.Observe(e, time.Since(start), sw.status >= 400)
 	}
 }

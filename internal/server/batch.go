@@ -43,6 +43,12 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i].Error = &body
 		s.metrics.AllocFailed.Add(1)
 	}
+	// One tenant per batch: the whole request rode in under one
+	// X-Hetmem-Tenant header. Burstable batch items use the
+	// non-queueing class check — parking a half-placed batch in the
+	// admission queue would hold its placements hostage.
+	tn := s.tenants.Get(TenantFromContext(r.Context()))
+	tenantEcho := TenantFromContext(r.Context())
 
 	// Phase 1: place every item. Capacity is claimed under the per-node
 	// locks as each placement lands, so items in the same batch see each
@@ -70,16 +76,22 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			fail(i, err)
 			continue
 		}
-		if err := s.admit(item.Size); err != nil {
+		if err := s.admitClass(tn, item.Size); err != nil {
 			fail(i, err)
 			continue
 		}
-		sp := alloc.Spec{Avoid: s.avoidFn, Partial: item.Partial, Remote: item.Remote}
+		sp := alloc.Spec{Avoid: s.avoidFor(tn, item.Size), Partial: item.Partial, Remote: item.Remote}
 		if item.Policy == "bind" {
 			sp.Policy = alloc.Bind
 		}
 		buf, dec, err := s.sys.Allocator.AllocSpec(item.Name, item.Size, id, ini, sp)
 		if err != nil {
+			fail(i, err)
+			continue
+		}
+		if err := chargeBuf(tn, buf); err != nil {
+			s.sys.Machine.Free(buf)
+			s.admitGate.broadcast()
 			fail(i, err)
 			continue
 		}
@@ -89,6 +101,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 		l.size = item.Size
 		l.attr = item.Attr
 		l.initiator = item.Initiator
+		l.tenant = tn.Name
 		l.buf = buf
 		l.setTTL(ttl)
 		l.renew(time.Now())
@@ -104,6 +117,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 				Partial:      dec.Partial,
 				Remote:       dec.Remote,
 				TTLSeconds:   ttl.Seconds(),
+				Tenant:       tenantEcho,
 			},
 		})
 	}
@@ -117,12 +131,14 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			s.ckmu.RUnlock()
 			// The batch write failed (or its fsync did, compensated
 			// inside journalBatch): nothing becomes visible; every
-			// placement is unwound.
+			// placement is unwound, charges included.
 			for _, it := range placed {
+				refundSegs(tn, it.l.buf.SegmentsSnapshot())
 				s.sys.Machine.Free(it.l.buf)
 				it.l.release()
 				fail(it.idx, err)
 			}
+			s.admitGate.broadcast()
 			placed = nil
 		} else {
 			for _, it := range placed {
@@ -178,6 +194,7 @@ func (s *Server) journalBatch(placed []batchItem) error {
 			Attr:      it.l.attr,
 			Initiator: it.l.initiator,
 			Size:      it.l.size,
+			Tenant:    it.l.tenant,
 			TTLMillis: uint64(it.l.getTTL() / time.Millisecond),
 			Segments:  segmentsOf(it.l.buf),
 		}

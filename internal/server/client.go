@@ -58,6 +58,9 @@ type Client struct {
 	breaker        *breaker
 	hb             *heartbeater
 	noHB           bool
+	// tenant is stamped on every request as X-Hetmem-Tenant. A
+	// per-request tenant in the context (ContextWithTenant) wins.
+	tenant string
 }
 
 // ClientOption customizes a Client.
@@ -98,6 +101,14 @@ func WithCircuitBreaker(threshold int, cooldown time.Duration) ClientOption {
 // WithoutHeartbeat disables the automatic renewal of TTL leases.
 func WithoutHeartbeat() ClientOption {
 	return func(c *Client) { c.noHB = true }
+}
+
+// WithTenant stamps every request from this client with the tenant's
+// X-Hetmem-Tenant header, so the daemon books the client's allocations
+// against that tenant's quotas and priority class. A tenant carried in
+// the request context (ContextWithTenant) overrides it per call.
+func WithTenant(name string) ClientOption {
+	return func(c *Client) { c.tenant = name }
 }
 
 // NewClient returns a client for the daemon at base, e.g.
@@ -315,6 +326,11 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if t := TenantFromContext(ctx); t != "" {
+			req.Header.Set(TenantHeader, t)
+		} else if c.tenant != "" {
+			req.Header.Set(TenantHeader, c.tenant)
+		}
 		resp, err := c.http.Do(req)
 		if err != nil {
 			cancel()
@@ -349,6 +365,15 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		res.body = data
 		res.retryAfter = parseRetryAfter(resp.Header)
 		if retryableStatus(resp.StatusCode) {
+			// The status alone is not the last word: quota_exceeded
+			// rides on 429 but is terminal — the daemon has room, this
+			// tenant does not, and replaying the request only burns the
+			// retry budget against a limit that will not move. Trust
+			// the envelope's own retryable verdict when it carries one.
+			var v1 ErrorBody
+			if json.Unmarshal(data, &v1) == nil && v1.Code != "" && !v1.Retryable {
+				return res, nil
+			}
 			lastErr = nil
 			continue
 		}

@@ -52,6 +52,10 @@ func appendAllocResponse(dst []byte, r *AllocResponse) []byte {
 		dst = jsonenc.AppendKey(dst, "ttl_seconds")
 		dst = jsonenc.AppendFloat(dst, r.TTLSeconds)
 	}
+	if r.Tenant != "" {
+		dst = jsonenc.AppendKey(dst, "tenant")
+		dst = jsonenc.AppendString(dst, r.Tenant)
+	}
 	return append(dst, '}')
 }
 

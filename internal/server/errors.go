@@ -17,6 +17,7 @@ import (
 
 	"hetmem/internal/alloc"
 	"hetmem/internal/memsim"
+	"hetmem/internal/tenant"
 )
 
 // The stable v1 error codes.
@@ -47,6 +48,14 @@ const (
 	// router migrates the member's leases to survivors in the
 	// background, after which the same request lands on a live member.
 	CodeMemberUnavailable = "member_unavailable"
+	// CodeQuotaExceeded: the tenant's per-kind byte quota cannot hold
+	// the allocation. Not retryable — the message names the tenant,
+	// the memory kind, and the limit; free bytes or raise the quota.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeQueueTimeout: a burstable allocation waited in the bounded
+	// admission queue until its deadline without headroom appearing.
+	// Retryable — load may drain.
+	CodeQueueTimeout = "queue_timeout"
 )
 
 // ErrorBody is the uniform v1 error envelope.
@@ -71,6 +80,11 @@ func classify(err error) (status int, code string, retryable bool) {
 		return http.StatusNotFound, CodeLeaseExpired, false
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable, CodeShedding, true
+	case errors.Is(err, tenant.ErrOverQuota):
+		// 429, not 503: the daemon has room, this tenant does not.
+		return http.StatusTooManyRequests, CodeQuotaExceeded, false
+	case errors.Is(err, ErrQueueTimedOut):
+		return http.StatusServiceUnavailable, CodeQueueTimeout, true
 	case errors.Is(err, memsim.ErrTransient):
 		return http.StatusServiceUnavailable, CodeTransientFault, true
 	case errors.Is(err, memsim.ErrNodeOffline):
@@ -92,6 +106,11 @@ func classify(err error) (status int, code string, retryable bool) {
 // server importing the cluster package.
 var ErrMemberUnavailable = errors.New("server: cluster member unavailable")
 
+// ErrQueueTimedOut is the admission queue's deadline error: a
+// burstable allocation waited QueueTimeout (or its request deadline)
+// without the watermark clearing.
+var ErrQueueTimedOut = errors.New("server: admission queue timeout")
+
 // Sentinel errors matching the v1 codes. server.Client maps an error
 // envelope back to these, so callers write
 //
@@ -108,6 +127,8 @@ var (
 	ErrCapacityExhausted     = codeSentinel(CodeCapacityExhausted)
 	ErrInternal              = codeSentinel(CodeInternal)
 	ErrCodeMemberUnavailable = codeSentinel(CodeMemberUnavailable)
+	ErrQuotaExceeded         = codeSentinel(CodeQuotaExceeded)
+	ErrQueueTimeout          = codeSentinel(CodeQueueTimeout)
 )
 
 // codeSentinel is an error identified purely by its v1 code.

@@ -178,10 +178,19 @@ func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) 
 	if err != nil {
 		return 0, alloc.Decision{}, err
 	}
+	// Snapshot the placement before the move so the tenant's per-kind
+	// books can follow the bytes across tiers.
+	before := l.buf.SegmentsSnapshot()
 	cost, dec, err := s.sys.Allocator.MigrateToBestSpec(l.buf, id, ini, alloc.Spec{Avoid: s.avoidFn, Remote: remote})
 	if err != nil {
 		return 0, alloc.Decision{}, err
 	}
+	// Migration never fails on quota: the bytes already exist, only
+	// their kind changed. ForceCharge keeps the books truthful even for
+	// a tenant past its limit on the destination kind.
+	tn := s.tenants.Get(l.tenant)
+	refundSegs(tn, before)
+	forceChargeBuf(tn, l.buf)
 	if _, err := s.appendJournal(journal.Record{
 		Op:       journal.OpMigrate,
 		Lease:    l.id,

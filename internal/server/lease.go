@@ -24,6 +24,7 @@ type lease struct {
 	attr      string
 	initiator string
 	key       string
+	tenant    string
 	buf       *memsim.Buffer
 
 	// ttlNS is the granted time-to-live in nanoseconds (0 = never
@@ -74,7 +75,7 @@ func (l *lease) release() {
 	// Zero field by field: the struct embeds mutexes, so a wholesale
 	// *l = lease{} would copy locks.
 	l.id = 0
-	l.name, l.attr, l.initiator, l.key = "", "", "", ""
+	l.name, l.attr, l.initiator, l.key, l.tenant = "", "", "", "", ""
 	l.size = 0
 	l.buf = nil
 	l.ttlNS.Store(0)

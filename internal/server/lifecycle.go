@@ -71,6 +71,7 @@ func (s *Server) ReapNow() int {
 		}
 		s.ckmu.RLock()
 		taken.jmu.Lock()
+		segs := taken.buf.SegmentsSnapshot()
 		err := s.sys.Machine.Free(taken.buf)
 		if err == nil {
 			// Journaled exactly like a client free. If the append
@@ -89,9 +90,17 @@ func (s *Server) ReapNow() int {
 		if taken.key != "" {
 			s.idem.forget(taken.key)
 		}
+		// A reap is an eviction from the tenant's point of view: give
+		// the bytes back, count it, and wake queued admissions.
+		tn := s.tenants.Get(taken.tenant)
+		refundSegs(tn, segs)
+		tn.Evictions.Add(1)
 		taken.release()
 		reaped++
 		s.metrics.LeasesReaped.Add(1)
+	}
+	if reaped > 0 {
+		s.admitGate.broadcast()
 	}
 	if reaped > 0 {
 		s.bumpEpoch()
@@ -142,6 +151,7 @@ func (s *Server) CheckpointNow() error {
 				Initiator: l.initiator,
 				Key:       l.key,
 				Size:      l.size,
+				Tenant:    l.tenant,
 				TTLMillis: uint64(l.getTTL() / time.Millisecond),
 				Segments:  segmentsOf(l.buf),
 			})

@@ -255,5 +255,19 @@ func VerifyConsistency(ctx context.Context, base string) (string, error) {
 	if int(active) != leases.Count {
 		return "", fmt.Errorf("server: /metrics reports %d active leases, /leases reports %d", int(active), leases.Count)
 	}
-	return fmt.Sprintf("consistent: %d leases, %d bytes across %d nodes", leases.Count, leaseBytes, len(leases.NodeBytes)), nil
+	// Per-tenant books: each tenant's lease-table bytes must equal the
+	// sum of its hetmemd_tenant_bytes{tenant=...,kind=...} series. The
+	// tenant label is always emitted first, so the prefix is exact.
+	var tenantBytes uint64
+	for name, b := range leases.TenantBytes {
+		tenantBytes += b
+		got := SumSeriesPrefix(metrics, fmt.Sprintf("hetmemd_tenant_bytes{tenant=%q", name))
+		if math.Abs(got-float64(b)) > 0.5 {
+			return "", fmt.Errorf("server: tenant %s: /metrics=%v bytes, leases=%d", name, got, b)
+		}
+	}
+	if len(leases.TenantBytes) > 0 && tenantBytes != leaseBytes {
+		return "", fmt.Errorf("server: tenant bytes sum to %d, lease table holds %d", tenantBytes, leaseBytes)
+	}
+	return fmt.Sprintf("consistent: %d leases, %d bytes across %d nodes, %d tenants", leases.Count, leaseBytes, len(leases.NodeBytes), len(leases.TenantBytes)), nil
 }

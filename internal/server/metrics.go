@@ -262,6 +262,21 @@ func SumSeries(m map[string]float64, name string) float64 {
 	return sum
 }
 
+// SumSeriesPrefix adds up every series whose full key (name and label
+// block included) starts with prefix. The tenant series emit the tenant
+// label first, so e.g.
+// SumSeriesPrefix(m, `hetmemd_tenant_bytes{tenant="gold"`) is one
+// tenant's bytes across every kind.
+func SumSeriesPrefix(m map[string]float64, prefix string) float64 {
+	var sum float64
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
 // sortedNodeUsage orders node gauges by name for deterministic output.
 func sortedNodeUsage(nodes []NodeUsage) []NodeUsage {
 	out := make([]NodeUsage, len(nodes))

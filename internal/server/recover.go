@@ -7,6 +7,7 @@ import (
 
 	"hetmem/internal/journal"
 	"hetmem/internal/memsim"
+	"hetmem/internal/tenant"
 )
 
 // restoreFromJournal folds replayed records into the lease table and
@@ -94,7 +95,17 @@ func (s *Server) restoreFromJournal(recs []journal.Record, nextLease uint64) err
 		l.attr = p.rec.Attr
 		l.initiator = p.rec.Initiator
 		l.key = p.rec.Key
+		l.tenant = p.rec.Tenant
+		if l.tenant == "" {
+			// Pre-tenancy journal record: its lease belongs to the
+			// default tenant, same as an untenanted live request.
+			l.tenant = tenant.Default
+		}
 		l.buf = buf
+		// Re-charge the tenant's books. ForceCharge, not Charge: the
+		// bytes are already placed, and a quota lowered across the
+		// restart must not strand a journaled lease.
+		forceChargeBuf(s.tenants.Get(l.tenant), buf)
 		l.setTTL(time.Duration(p.rec.TTLMillis) * time.Millisecond)
 		l.renew(time.Now())
 		s.leases.restore(l)

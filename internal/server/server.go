@@ -52,12 +52,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetmem/internal/alloc"
@@ -67,6 +69,7 @@ import (
 	"hetmem/internal/journal"
 	"hetmem/internal/lstopo"
 	"hetmem/internal/memsim"
+	"hetmem/internal/tenant"
 	"hetmem/internal/topology"
 )
 
@@ -88,6 +91,29 @@ type Config struct {
 	// RetryAfterSeconds is the Retry-After hint on 503 responses
 	// (default 1).
 	RetryAfterSeconds int
+
+	// TenantsPath loads a tenant config file (classes and per-kind
+	// quotas) into the registry at boot; see internal/tenant for the
+	// format. Unknown tenants still auto-register with the default
+	// class, so the file only needs the tenants that matter.
+	TenantsPath string
+	// Tenants injects a pre-built registry (in-process harnesses);
+	// nil builds a fresh one. TenantsPath loads into whichever is used.
+	Tenants *tenant.Registry
+	// QueueDepth bounds the burstable admission queue: allocations
+	// from burstable tenants that hit the shed watermark wait (up to
+	// QueueTimeout) for capacity instead of shedding, unless this many
+	// are already waiting. 0 disables queueing — burstable sheds like
+	// best-effort.
+	QueueDepth int
+	// QueueTimeout caps a burstable allocation's wait in the admission
+	// queue (default 1s); the request context's deadline shortens it.
+	QueueTimeout time.Duration
+	// GuaranteedHeadroom is the capacity fraction above ShedWatermark
+	// reserved for guaranteed tenants: they admit up to
+	// min(1, ShedWatermark+GuaranteedHeadroom) while everyone else
+	// sheds at the watermark.
+	GuaranteedHeadroom float64
 
 	// GroupCommit coalesces concurrent journal appends into one
 	// write+fsync (requires JournalPath): every acked alloc/free is
@@ -166,6 +192,7 @@ func (c Config) validate() error {
 		{"ReapInterval", c.ReapInterval},
 		{"CheckpointEvery", c.CheckpointEvery},
 		{"RebalanceInterval", c.RebalanceInterval},
+		{"QueueTimeout", c.QueueTimeout},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("server: config: %s must not be negative (got %v)", d.name, d.v)
@@ -187,6 +214,12 @@ func (c Config) validate() error {
 	}
 	if (c.ShedWatermark < 0) || (c.ShedWatermark > 1) {
 		return fmt.Errorf("server: config: ShedWatermark %v outside [0, 1]", c.ShedWatermark)
+	}
+	if (c.GuaranteedHeadroom < 0) || (c.GuaranteedHeadroom > 1) {
+		return fmt.Errorf("server: config: GuaranteedHeadroom %v outside [0, 1]", c.GuaranteedHeadroom)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: config: QueueDepth must not be negative (got %d)", c.QueueDepth)
 	}
 	if c.GroupCommit && c.JournalPath == "" {
 		return fmt.Errorf("server: config: GroupCommit without a JournalPath: there is nothing to commit")
@@ -249,6 +282,14 @@ type Server struct {
 	// at every use, and the alloc hot path passes it on every request.
 	avoidFn func(*topology.Object) bool
 
+	// tenants is the QoS registry: priority classes, per-kind quotas,
+	// and per-tenant accounting. admitGate wakes queued burstable
+	// admissions whenever capacity is released; queueWaiting bounds the
+	// queue at Config.QueueDepth.
+	tenants      *tenant.Registry
+	admitGate    waitGate
+	queueWaiting atomic.Int32
+
 	// reads is the epoch-snapshot read path (see epoch.go), and
 	// topoJSON the /v1/topology body exported once at boot: the
 	// topology tree is immutable after discovery (faults mutate memsim
@@ -289,6 +330,17 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 	if cfg.RebalanceInterval > 0 && cfg.RebalanceBudget == 0 {
 		cfg.RebalanceBudget = 256 << 20
 	}
+	if cfg.QueueDepth > 0 && cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = time.Second
+	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = tenant.NewRegistry()
+	}
+	if cfg.TenantsPath != "" {
+		if err := cfg.Tenants.Load(cfg.TenantsPath); err != nil {
+			return nil, fmt.Errorf("server: loading tenants: %w", err)
+		}
+	}
 	var osIdx []int
 	for _, n := range sys.Machine.Nodes() {
 		osIdx = append(osIdx, n.OSIndex())
@@ -305,6 +357,7 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		ckptKick:         make(chan struct{}, 1),
 		rebalancing:      make(map[int]bool),
 		defaultInitiator: sys.Topology().Root().CPUSet.Copy(),
+		tenants:          cfg.Tenants,
 	}
 	s.avoidFn = s.avoidUnhealthy
 	topoJSON, err := topology.Export(sys.Topology())
@@ -553,19 +606,8 @@ func (s *Server) pressure() (used, total uint64) {
 	return used, total
 }
 
-// admit applies the shed watermark to an allocation of size bytes.
-func (s *Server) admit(size uint64) error {
-	if s.cfg.ShedWatermark <= 0 {
-		return nil
-	}
-	used, total := s.pressure()
-	if total == 0 || float64(used)+float64(size) > s.cfg.ShedWatermark*float64(total) {
-		s.metrics.ShedTotal.Add(1)
-		return fmt.Errorf("%w: %d of %d online bytes in use, watermark %.2f",
-			ErrOverloaded, used, total, s.cfg.ShedWatermark)
-	}
-	return nil
-}
+// Admission is class-aware since tenants arrived: see admitTenant and
+// admitClass in tenant.go. pressure above stays the shared gauge.
 
 func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeAllocRequest(r.Body)
@@ -574,7 +616,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.IdempotencyKey == "" {
-		resp, err := s.doAlloc(req)
+		resp, err := s.doAlloc(r.Context(), req)
 		if err != nil {
 			s.writeError(w, r, err)
 			return
@@ -601,7 +643,7 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		s.writeAllocResponse(w, &e.resp)
 		return
 	}
-	resp, err := s.doAlloc(req)
+	resp, err := s.doAlloc(r.Context(), req)
 	if err != nil {
 		// Failed attempts are forgotten so a later retry can succeed.
 		s.idem.fail(req.IdempotencyKey, e, err)
@@ -612,9 +654,9 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 	s.writeAllocResponse(w, &resp)
 }
 
-// doAlloc performs the placement, journals it, and registers the
-// lease.
-func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
+// doAlloc performs the placement, charges the tenant, journals it,
+// and registers the lease.
+func (s *Server) doAlloc(ctx context.Context, req AllocRequest) (AllocResponse, error) {
 	id, ok := s.sys.Registry.ByName(req.Attr)
 	if !ok {
 		return AllocResponse{}, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr)
@@ -623,15 +665,24 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 	if err != nil {
 		return AllocResponse{}, err
 	}
-	if err := s.admit(req.Size); err != nil {
+	tn := s.tenants.Get(TenantFromContext(ctx))
+	if err := s.admitTenant(ctx, tn, req.Size); err != nil {
 		return AllocResponse{}, err
 	}
-	sp := alloc.Spec{Avoid: s.avoidFn, Partial: req.Partial, Remote: req.Remote}
+	sp := alloc.Spec{Avoid: s.avoidFor(tn, req.Size), Partial: req.Partial, Remote: req.Remote}
 	if req.Policy == "bind" {
 		sp.Policy = alloc.Bind
 	}
 	buf, dec, err := s.sys.Allocator.AllocSpec(req.Name, req.Size, id, ini, sp)
 	if err != nil {
+		s.metrics.AllocFailed.Add(1)
+		return AllocResponse{}, err
+	}
+	// The placement exists; now it must fit the tenant's per-kind
+	// quotas. A miss undoes the placement and reports the kind+limit.
+	if err := chargeBuf(tn, buf); err != nil {
+		s.sys.Machine.Free(buf)
+		s.admitGate.broadcast()
 		s.metrics.AllocFailed.Add(1)
 		return AllocResponse{}, err
 	}
@@ -643,6 +694,7 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 	l.attr = req.Attr
 	l.initiator = req.Initiator
 	l.key = req.IdempotencyKey
+	l.tenant = tn.Name
 	l.buf = buf
 	l.setTTL(ttl)
 	l.renew(time.Now())
@@ -662,6 +714,7 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		Initiator: req.Initiator,
 		Key:       req.IdempotencyKey,
 		Size:      req.Size,
+		Tenant:    tn.Name,
 		TTLMillis: uint64(ttl / time.Millisecond),
 		Segments:  segmentsOf(buf),
 	})
@@ -675,7 +728,9 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 			s.appendJournal(journal.Record{Op: journal.OpFree, Lease: leaseID})
 		}
 		s.ckmu.RUnlock()
+		refundSegs(tn, buf.SegmentsSnapshot())
 		s.sys.Machine.Free(buf)
+		s.admitGate.broadcast()
 		l.release()
 		return AllocResponse{}, err
 	}
@@ -708,6 +763,9 @@ func (s *Server) doAlloc(req AllocRequest) (AllocResponse, error) {
 		Partial:      dec.Partial,
 		Remote:       dec.Remote,
 		TTLSeconds:   ttl.Seconds(),
+		// Echoed only when the request named a tenant: untenanted
+		// clients keep the pre-tenancy wire format byte for byte.
+		Tenant: TenantFromContext(ctx),
 	}, nil
 }
 
@@ -769,6 +827,7 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.jmu.Lock()
+	segs := l.buf.SegmentsSnapshot()
 	err = s.sys.Machine.Free(l.buf)
 	if err == nil {
 		// On failure here the memory is already released but the WAL may
@@ -777,10 +836,17 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		// sees an error, so the free was never acknowledged.
 		_, err = s.appendJournal(journal.Record{Op: journal.OpFree, Lease: l.id})
 	}
+	freed := l.buf.Freed()
 	l.jmu.Unlock()
 	s.ckmu.RUnlock()
-	key := l.key
+	key, tenantName := l.key, l.tenant
 	l.release() // the table's reference, transferred by take
+	if freed {
+		// The bytes are back (even if the journal append failed after
+		// the free): refund the tenant and wake queued admissions.
+		refundSegs(s.tenants.Get(tenantName), segs)
+		s.admitGate.broadcast()
+	}
 	if err != nil {
 		s.writeError(w, r, err)
 		return
@@ -830,10 +896,11 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 }
 
 // leasesResponse assembles the live lease table view; the per-node
-// totals are computed from the leases themselves, so clients can
-// cross-check them against the allocator gauges in /metrics.
+// and per-tenant totals are computed from the leases themselves, so
+// clients can cross-check them against the allocator gauges and the
+// tenant registry's books in /metrics.
 func (s *Server) leasesResponse(includeList bool) LeasesResponse {
-	resp := LeasesResponse{NodeBytes: make(map[string]uint64)}
+	resp := LeasesResponse{NodeBytes: make(map[string]uint64), TenantBytes: make(map[string]uint64)}
 	leases := s.leases.borrowAll()
 	defer releaseAll(leases)
 	for _, l := range leases {
@@ -841,6 +908,7 @@ func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 		resp.Bytes += l.size
 		for _, seg := range l.buf.SegmentsSnapshot() {
 			resp.NodeBytes[seg.Node.Label()] += seg.Bytes
+			resp.TenantBytes[l.tenant] += seg.Bytes
 		}
 		if includeList {
 			resp.Leases = append(resp.Leases, LeaseInfo{
@@ -848,6 +916,7 @@ func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 				Name:      l.name,
 				Size:      l.size,
 				Placement: l.buf.NodeNames(),
+				Tenant:    l.tenant,
 			})
 		}
 	}
@@ -922,6 +991,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "hetmemd_instance_info{instance_id=%q} 1\n", s.instanceID)
 	fmt.Fprint(w, s.metrics.Render(nodes, leaseCount))
+	s.tenants.WriteMetrics(w)
+	fmt.Fprintf(w, "hetmemd_admission_queue_waiting %d\n", s.queueWaiting.Load())
 	if s.store != nil {
 		fmt.Fprintf(w, "hetmemd_wal_bytes %d\n", s.store.WALBytes())
 		fmt.Fprintf(w, "hetmemd_checkpoint_seq %d\n", s.store.Seq())

@@ -1,0 +1,372 @@
+package server_test
+
+// Admission-control boundary tests for the multi-tenant QoS path:
+// landing exactly on the shed watermark (and exactly on a quota) must
+// admit, one byte further must not; the guaranteed headroom admits
+// while best-effort sheds; a full burstable queue sheds immediately
+// while queued waiters are woken by the free that makes room; the
+// queue deadline surfaces as the retryable queue_timeout envelope;
+// and requests without a tenant header are accounted to the default
+// tenant. Run with -race: the queue tests park real goroutines.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetmem/internal/core"
+	"hetmem/internal/server"
+)
+
+// admissionPlatform is a machine small enough for exact watermark
+// arithmetic: one 256 MiB DRAM node, so ShedWatermark 0.5 means the
+// boundary sits at exactly 128 MiB.
+const admissionPlatform = "synthetic:package:1 core:1 pu:1 mem:package:DRAM:256MiB:bw=90:lat=85"
+
+const admissionTenants = `{
+  "tenants": {
+    "be":   {"class": "best-effort"},
+    "vip":  {"class": "guaranteed"},
+    "slow": {"class": "burstable"},
+    "q":    {"class": "best-effort", "quotas": {"DRAM": 33554432}}
+  }
+}
+`
+
+// startTenantServer boots a daemon on the admission platform with the
+// test tenant roster loaded from a real -tenants file.
+func startTenantServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(admissionTenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.TenantsPath = path
+	sys, err := core.NewSystem(admissionPlatform, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewWithConfig(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func tenantClient(ts *httptest.Server, name string) *server.Client {
+	return server.NewClient(ts.URL, server.WithTenant(name),
+		server.WithRetryPolicy(server.NoRetry), server.WithoutHeartbeat())
+}
+
+func allocSize(ctx context.Context, cl *server.Client, name string, size uint64) (server.AllocResponse, error) {
+	return cl.Alloc(ctx, server.AllocRequest{
+		Name: name, Size: size, Attr: "Capacity", Partial: true, Remote: true,
+	})
+}
+
+// TestShedWatermarkExactBoundary pins the admission comparison: an
+// allocation landing exactly on the watermark is admitted (the check
+// is strictly greater-than), the next byte is shed for best-effort,
+// and a guaranteed tenant keeps admitting into its reserved headroom
+// until that, too, is exactly consumed.
+func TestShedWatermarkExactBoundary(t *testing.T) {
+	ctx := context.Background()
+	_, ts := startTenantServer(t, server.Config{
+		ShedWatermark:      0.5,
+		GuaranteedHeadroom: 0.25, // vip admits to 0.75 x 256 MiB = 192 MiB
+	})
+	be := tenantClient(ts, "be")
+	defer be.Close()
+
+	// Exactly at the watermark: 128 MiB of 256 MiB at 0.5.
+	if _, err := allocSize(ctx, be, "exact", 128<<20); err != nil {
+		t.Fatalf("alloc landing exactly on the watermark must admit: %v", err)
+	}
+	_, err := allocSize(ctx, be, "over", 1<<20)
+	if !errors.Is(err, server.ErrShedding) {
+		t.Fatalf("one allocation past the watermark: got %v, want shedding", err)
+	}
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable || !apiErr.Retryable {
+		t.Fatalf("shed envelope: %+v, want retryable 503", apiErr)
+	}
+
+	// The guaranteed tenant admits into the reserved headroom band —
+	// and its own boundary is just as exact: 64 MiB reaches 192 MiB
+	// (0.75 x 256), one more MiB does not fit.
+	vip := tenantClient(ts, "vip")
+	defer vip.Close()
+	if _, err := allocSize(ctx, vip, "headroom", 64<<20); err != nil {
+		t.Fatalf("guaranteed tenant must admit into headroom while best-effort sheds: %v", err)
+	}
+	if _, err := allocSize(ctx, vip, "past-headroom", 1<<20); !errors.Is(err, server.ErrShedding) {
+		t.Fatalf("guaranteed tenant past its headroom: got %v, want shedding", err)
+	}
+}
+
+// TestQuotaExactBoundary pins the quota comparison and the
+// quota_exceeded envelope: consuming the quota exactly succeeds, one
+// more byte yields a non-retryable 429 naming the tenant, the kind,
+// and the limit, and a free refunds the headroom back.
+func TestQuotaExactBoundary(t *testing.T) {
+	ctx := context.Background()
+	srv, ts := startTenantServer(t, server.Config{})
+	q := tenantClient(ts, "q")
+	defer q.Close()
+
+	// Exactly the 32 MiB DRAM quota.
+	first, err := allocSize(ctx, q, "exact-quota", 32<<20)
+	if err != nil {
+		t.Fatalf("alloc consuming the quota exactly must succeed: %v", err)
+	}
+	_, err = allocSize(ctx, q, "over-quota", 1<<20)
+	if !errors.Is(err, server.ErrQuotaExceeded) {
+		t.Fatalf("alloc past the quota: got %v, want quota_exceeded", err)
+	}
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("quota error is not an APIError: %v", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Retryable {
+		t.Fatalf("quota envelope: %+v, want non-retryable 429", apiErr)
+	}
+	for _, want := range []string{`"q"`, "DRAM", "33554432"} {
+		if !strings.Contains(apiErr.Message, want) {
+			t.Errorf("quota message %q does not name %s", apiErr.Message, want)
+		}
+	}
+
+	// The raw v1 envelope carries the same verdict.
+	body, _ := json.Marshal(server.AllocRequest{Name: "raw", Size: 1 << 20, Attr: "Capacity", Partial: true, Remote: true})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/alloc", bytes.NewReader(body))
+	req.Header.Set(server.TenantHeader, "q")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope server.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || envelope.Code != server.CodeQuotaExceeded || envelope.Retryable {
+		t.Fatalf("raw envelope: HTTP %d %+v, want 429 quota_exceeded retryable=false", resp.StatusCode, envelope)
+	}
+
+	// Freeing refunds the quota: the 1 MiB that was just rejected fits.
+	if err := q.Free(ctx, first.Lease); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := allocSize(ctx, q, "after-refund", 1<<20); err != nil {
+		t.Fatalf("alloc after the refund must succeed: %v", err)
+	}
+	if got := srv.Tenants().Get("q").QuotaRejects.Load(); got != 2 {
+		t.Errorf("quota rejects counter: %d, want 2 (client + raw request)", got)
+	}
+}
+
+// TestBurstableQueueFullShedsImmediately fills the bounded admission
+// queue and checks the two ends of its contract: the waiter past the
+// bound sheds without waiting, and the parked waiters are woken by
+// the free that clears the watermark.
+func TestBurstableQueueFullShedsImmediately(t *testing.T) {
+	ctx := context.Background()
+	srv, ts := startTenantServer(t, server.Config{
+		ShedWatermark: 0.25, // 64 MiB of 256 MiB
+		QueueDepth:    2,
+		QueueTimeout:  10 * time.Second, // waiters park until the free, not a deadline
+	})
+	be := tenantClient(ts, "be")
+	defer be.Close()
+	filler, err := allocSize(ctx, be, "filler", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two burstable allocations park in the queue.
+	slow := tenantClient(ts, "slow")
+	defer slow.Close()
+	var parkedErrs [2]error
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, parkedErrs[i] = allocSize(ctx, slow, fmt.Sprintf("parked-%d", i), 1<<20)
+			done <- i
+		}(i)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return srv.Tenants().Get("slow").QueueWaits.Load() == 2
+	})
+
+	// The third finds the queue full and sheds immediately.
+	start := time.Now()
+	_, err = allocSize(ctx, slow, "past-queue", 1<<20)
+	if !errors.Is(err, server.ErrShedding) {
+		t.Fatalf("alloc against a full queue: got %v, want shedding", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("full-queue shed took %v — it must not wait for the queue", waited)
+	}
+
+	// Freeing the filler wakes both waiters; with the watermark clear
+	// they admit.
+	if err := be.Free(ctx, filler.Lease); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case idx := <-done:
+			if parkedErrs[idx] != nil {
+				t.Errorf("parked alloc %d: %v, want admission after the free", idx, parkedErrs[idx])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked burstable allocs not woken by the free")
+		}
+	}
+	if got := srv.Tenants().Get("slow").QueueTimeouts.Load(); got != 0 {
+		t.Errorf("queue timeouts: %d, want 0 — the waiters were woken, not timed out", got)
+	}
+}
+
+// TestQueueTimeoutEnvelope parks a burstable allocation until the
+// queue deadline and checks the wire verdict: a retryable 503 with
+// the queue_timeout code, after genuinely waiting the timeout out.
+func TestQueueTimeoutEnvelope(t *testing.T) {
+	ctx := context.Background()
+	_, ts := startTenantServer(t, server.Config{
+		ShedWatermark: 0.25,
+		QueueDepth:    4,
+		QueueTimeout:  100 * time.Millisecond,
+	})
+	be := tenantClient(ts, "be")
+	defer be.Close()
+	if _, err := allocSize(ctx, be, "filler", 64<<20); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := tenantClient(ts, "slow")
+	defer slow.Close()
+	start := time.Now()
+	_, err := allocSize(ctx, slow, "doomed", 1<<20)
+	if !errors.Is(err, server.ErrQueueTimeout) {
+		t.Fatalf("burstable alloc with no headroom: got %v, want queue_timeout", err)
+	}
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Errorf("queue timeout after %v — the waiter must sit out the full 100ms deadline", waited)
+	}
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable ||
+		apiErr.Code != server.CodeQueueTimeout || !apiErr.Retryable {
+		t.Fatalf("queue_timeout envelope: %+v, want retryable 503 queue_timeout", apiErr)
+	}
+}
+
+// TestDefaultTenantAccounting allocates without a tenant header and
+// checks the bytes are booked — and refunded — under the default
+// tenant, in /metrics and in the /leases rollup.
+func TestDefaultTenantAccounting(t *testing.T) {
+	ctx := context.Background()
+	srv, ts := startTenantServer(t, server.Config{})
+	cl := server.NewClient(ts.URL, server.WithRetryPolicy(server.NoRetry), server.WithoutHeartbeat())
+	defer cl.Close()
+
+	resp, err := allocSize(ctx, cl, "anon", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tenant != "" {
+		t.Errorf("untenanted alloc echoed tenant %q — the response must only echo what the client sent", resp.Tenant)
+	}
+	metrics := metricsOf(t, srv)
+	if got := metrics[`hetmemd_tenant_bytes{tenant="default",kind="DRAM"}`]; got != 8<<20 {
+		t.Errorf("default tenant DRAM bytes: %v, want %d", got, 8<<20)
+	}
+	leases, err := cl.Leases(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := leases.TenantBytes["default"]; got != 8<<20 {
+		t.Errorf("/leases default tenant bytes: %d, want %d", got, 8<<20)
+	}
+
+	if err := cl.Free(ctx, resp.Lease); err != nil {
+		t.Fatal(err)
+	}
+	metrics = metricsOf(t, srv)
+	if got := metrics[`hetmemd_tenant_bytes{tenant="default",kind="DRAM"}`]; got != 0 {
+		t.Errorf("default tenant DRAM bytes after free: %v, want 0", got)
+	}
+}
+
+// TestClientFailsFastOnQuotaExceeded pins the retry-loop contract for
+// the new codes: a 429 whose envelope says retryable:false consumes
+// exactly one attempt (quota_exceeded), while a retryable 503
+// queue_timeout still burns the full retry budget.
+func TestClientFailsFastOnQuotaExceeded(t *testing.T) {
+	ctx := context.Background()
+
+	var quotaHits atomic.Int32
+	quotaSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		quotaHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorBody{
+			Code: server.CodeQuotaExceeded, Message: "tenant \"q\" over DRAM quota", Retryable: false,
+		})
+	}))
+	defer quotaSrv.Close()
+	cl := server.NewClient(quotaSrv.URL, server.WithRetryPolicy(fastRetry(5)), server.WithoutHeartbeat())
+	_, err := allocSize(ctx, cl, "x", 1<<20)
+	cl.Close()
+	if !errors.Is(err, server.ErrQuotaExceeded) {
+		t.Fatalf("got %v, want quota_exceeded", err)
+	}
+	if got := quotaHits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a non-retryable 429, want exactly 1", got)
+	}
+
+	var queueHits atomic.Int32
+	queueSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		queueHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorBody{
+			Code: server.CodeQueueTimeout, Message: "waited 1s for headroom", Retryable: true,
+		})
+	}))
+	defer queueSrv.Close()
+	cl = server.NewClient(queueSrv.URL, server.WithRetryPolicy(fastRetry(3)), server.WithoutHeartbeat())
+	_, err = allocSize(ctx, cl, "x", 1<<20)
+	cl.Close()
+	if !errors.Is(err, server.ErrQueueTimeout) {
+		t.Fatalf("got %v, want queue_timeout", err)
+	}
+	if got := queueHits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts for a retryable 503, want the full budget of 3", got)
+	}
+}

@@ -70,6 +70,9 @@ type AllocResponse struct {
 	// TTLSeconds is the granted time-to-live (possibly clamped from
 	// the request); 0 means the lease never expires.
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// Tenant echoes the X-Hetmem-Tenant header when the request named
+	// one; absent for untenanted requests (the default tenant).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // MaxBatchAllocs bounds the items in one /v1/alloc/batch request.
@@ -161,15 +164,20 @@ type LeaseInfo struct {
 	Name      string `json:"name"`
 	Size      uint64 `json:"size"`
 	Placement string `json:"placement"`
+	Tenant    string `json:"tenant,omitempty"`
 }
 
 // LeasesResponse summarizes the live lease table, including the
-// per-node byte totals that must agree with /metrics.
+// per-node and per-tenant byte totals that must agree with /metrics.
 type LeasesResponse struct {
 	Count     int               `json:"count"`
 	Bytes     uint64            `json:"bytes"`
 	NodeBytes map[string]uint64 `json:"node_bytes"`
-	Leases    []LeaseInfo       `json:"leases,omitempty"`
+	// TenantBytes sums each tenant's placed bytes, computed from the
+	// lease table — the cross-check against the tenant registry's own
+	// hetmemd_tenant_bytes books in /metrics.
+	TenantBytes map[string]uint64 `json:"tenant_bytes,omitempty"`
+	Leases      []LeaseInfo       `json:"leases,omitempty"`
 }
 
 // NodeHealth is one node's entry in the /health report. On a cluster
