@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race bench bench-alloc bench-cluster repro cover fuzz chaos clustertest netchaos reapstress tenantstress clean
+.PHONY: all build vet test race bench bench-alloc bench-cluster advisorbench repro cover fuzz chaos clustertest netchaos reapstress tenantstress clean
 
 all: build vet test
 
@@ -32,6 +32,14 @@ bench-alloc:
 # BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/hetmemd bench -cluster -cluster-out BENCH_cluster.json
+
+# Tiering-advisor acceptance: the convergence/pause/budget/restart
+# tests under -race, then the phased-workload A/B — the advisor run
+# must beat the static run by >=1.15x simulated time after paying its
+# migration costs, recorded in BENCH_advisor.json.
+advisorbench:
+	$(GO) test -race -run 'TestAdvisor|TestLeaseDetail' ./internal/server
+	$(GO) run ./cmd/hetmemd bench -advisor -advisor-out BENCH_advisor.json
 
 repro:
 	$(GO) run ./cmd/repro

@@ -166,6 +166,10 @@ func runServe(args []string, out io.Writer) error {
 		queueDepth = fs.Int("queue-depth", 0, "burstable admission-queue depth under overload (0: burstable sheds like best-effort)")
 		queueWaitT = fs.Duration("queue-timeout", 0, "max burstable wait in the admission queue (0 with -queue-depth: 1s)")
 		headroom   = fs.Float64("guaranteed-headroom", 0, "capacity fraction above -shed reserved for guaranteed tenants, in [0,1]")
+		advEvery   = fs.Duration("advisor-interval", 10*time.Second, "tiering-advisor sample interval")
+		advHyst    = fs.Int("advisor-hysteresis", 0, "agreeing advisor samples before a lease moves (0: 3)")
+		advCool    = fs.Int("advisor-cooldown", 0, "samples a lease rests after an advisor move (0: 5)")
+		noAdvisor  = fs.Bool("no-advisor", false, "disable the online tiering advisor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,6 +195,12 @@ func runServe(args []string, out io.Writer) error {
 		QueueDepth:            *queueDepth,
 		QueueTimeout:          *queueWaitT,
 		GuaranteedHeadroom:    *headroom,
+		AdvisorInterval:       *advEvery,
+		AdvisorHysteresis:     *advHyst,
+		AdvisorCooldown:       *advCool,
+	}
+	if *noAdvisor {
+		cfg.AdvisorInterval = 0
 	}
 	if err := validateServeConfig(cfg); err != nil {
 		return err
@@ -214,8 +224,11 @@ func validateServeConfig(cfg server.Config) error {
 	if cfg.GroupCommit && cfg.JournalPath == "" {
 		return fmt.Errorf("-group-commit needs -journal: there is nothing to commit without a WAL")
 	}
-	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 || cfg.QueueTimeout < 0 {
+	if cfg.DefaultLeaseTTL < 0 || cfg.ReapInterval < 0 || cfg.CheckpointEvery < 0 || cfg.RebalanceInterval < 0 || cfg.CheckpointMaxWAL < 0 || cfg.QueueTimeout < 0 || cfg.AdvisorInterval < 0 {
 		return fmt.Errorf("duration and byte flags must not be negative")
+	}
+	if cfg.AdvisorHysteresis < 0 || cfg.AdvisorCooldown < 0 {
+		return fmt.Errorf("-advisor-hysteresis and -advisor-cooldown must not be negative")
 	}
 	if cfg.TenantsPath != "" {
 		if _, err := os.Stat(cfg.TenantsPath); err != nil {
@@ -393,12 +406,18 @@ func runBench(args []string, out io.Writer) error {
 		restartPath = fs.String("restart-out", "BENCH_restart.json", "restart benchmark artifact path (empty: embed in -out only)")
 		clust       = fs.Bool("cluster", false, "benchmark the cluster router path against a single daemon instead of the fast-path A/B")
 		clustPath   = fs.String("cluster-out", "BENCH_cluster.json", "with -cluster: JSON artifact path (empty: stdout only)")
+		adv         = fs.Bool("advisor", false, "benchmark the tiering advisor: phased workload with the advisor on vs off")
+		advPath     = fs.String("advisor-out", "BENCH_advisor.json", "with -advisor: JSON artifact path (empty: stdout only)")
+		advPhases   = fs.Int("advisor-phases", 8, "with -advisor: pointer-chase phases per run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *clust {
 		return clusterBench(*clients, *requests, *size, *clustPath, out)
+	}
+	if *adv {
+		return advisorBench(*platName, *advPhases, *advPath, out)
 	}
 	dir, err := os.MkdirTemp("", "hetmemd-bench-")
 	if err != nil {
@@ -510,6 +529,39 @@ func runBench(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "hetmemd: bench report written to %s\n", *outPath)
+	}
+	return nil
+}
+
+// advisorBench runs the phased-workload advisor A/B (see
+// server.RunAdvisorBench) and writes the BENCH_advisor.json artifact.
+func advisorBench(platName string, phases int, outPath string, out io.Writer) error {
+	report, err := server.RunAdvisorBench(server.AdvisorBenchOptions{
+		Platform: platName,
+		Phases:   phases,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hetmemd: bench advisor on:  %.2f s simulated, %d move(s), final placement %s\n",
+		report.WithAdvisor.ElapsedSeconds, report.WithAdvisor.Moves, report.WithAdvisor.Placement)
+	fmt.Fprintf(out, "hetmemd: bench advisor off: %.2f s simulated, final placement %s\n",
+		report.Without.ElapsedSeconds, report.Without.Placement)
+	fmt.Fprintf(out, "hetmemd: bench advisor speedup %.2fx\n", report.Speedup)
+	if outPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "hetmemd: advisor benchmark written to %s\n", outPath)
+	}
+	// The acceptance floor: the advisor must win by enough to have
+	// clearly paid for its migrations in simulated time.
+	if report.Speedup < 1.15 {
+		return fmt.Errorf("advisor speedup %.2fx below the 1.15x acceptance floor", report.Speedup)
 	}
 	return nil
 }

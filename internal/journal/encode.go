@@ -62,6 +62,10 @@ func appendRecordJSON(dst []byte, r Record) []byte {
 		dst = jsonenc.AppendKey(dst, "size")
 		dst = jsonenc.AppendUint(dst, r.Size)
 	}
+	if r.Tenant != "" {
+		dst = jsonenc.AppendKey(dst, "tenant")
+		dst = jsonenc.AppendString(dst, r.Tenant)
+	}
 	if r.TTLMillis != 0 {
 		dst = jsonenc.AppendKey(dst, "ttl_ms")
 		dst = jsonenc.AppendUint(dst, r.TTLMillis)
@@ -81,6 +85,10 @@ func appendRecordJSON(dst []byte, r Record) []byte {
 			dst = append(dst, '}')
 		}
 		dst = append(dst, ']')
+	}
+	if r.Origin != "" {
+		dst = jsonenc.AppendKey(dst, "origin")
+		dst = jsonenc.AppendString(dst, r.Origin)
 	}
 	if r.Seq != 0 {
 		dst = jsonenc.AppendKey(dst, "seq")

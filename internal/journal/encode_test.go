@@ -18,8 +18,12 @@ var encodeTestRecords = []Record{
 		Segments: []Segment{{NodeOS: 0, Bytes: 512 << 10}, {NodeOS: 4, Bytes: 512 << 10}}},
 	{Op: OpAlloc, Lease: 7, Name: `weird "name"\with\escapes` + "\n\t\x01", Attr: "capacity",
 		Initiator: "0-63", Size: 1, Segments: []Segment{{NodeOS: 12, Bytes: 1}}},
+	{Op: OpAlloc, Lease: 9, Name: "tenanted", Attr: "capacity", Tenant: "team-a",
+		Size: 4096, Segments: []Segment{{NodeOS: 2, Bytes: 4096}}},
 	{Op: OpFree, Lease: 42},
 	{Op: OpMigrate, Lease: 7, Segments: []Segment{{NodeOS: 2, Bytes: 1}}},
+	{Op: OpMigrate, Lease: 7, Attr: "Latency", Origin: OriginAdvisor,
+		Segments: []Segment{{NodeOS: 0, Bytes: 1}}},
 	{Op: OpCheckpoint, Seq: 3, Count: 17, NextLease: 99},
 	{Op: OpCheckpoint, Seq: 5},
 	{Op: OpAlloc, Lease: ^uint64(0), Name: "max", Size: ^uint64(0),

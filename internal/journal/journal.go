@@ -41,6 +41,10 @@ import (
 // Magic identifies a journal file.
 var Magic = []byte("HMWJ1\n")
 
+// OriginAdvisor tags migrate records written by the daemon's tiering
+// advisor (Record.Origin).
+const OriginAdvisor = "advisor"
+
 // MaxRecordBytes bounds a single record's payload; larger lengths in a
 // frame header are treated as corruption.
 const MaxRecordBytes = 1 << 20
@@ -112,6 +116,11 @@ type Record struct {
 	TTLMillis uint64 `json:"ttl_ms,omitempty"`
 	// Segments is the placement (alloc and migrate records).
 	Segments []Segment `json:"segments,omitempty"`
+	// Origin names the subsystem that initiated a migrate record
+	// (OriginAdvisor for moves made by the tiering advisor; empty for
+	// client-requested and rebalancer moves). Replay uses it to restore
+	// the advisor's promotion/demotion counters after a restart.
+	Origin string `json:"origin,omitempty"`
 
 	// Checkpoint-record fields. Seq is the snapshot sequence number
 	// (always > 0 on a valid checkpoint record); Count is the number of

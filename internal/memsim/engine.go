@@ -181,7 +181,9 @@ func (e *Engine) randomMissRate(bufSize uint64) float64 {
 
 // Phase executes one phase and advances the clock. Accesses touching
 // freed buffers panic: that is a use-after-free in the simulated
-// application.
+// application. Placement is read through SegmentsSnapshot, so a
+// concurrent Migrate (the daemon's advisor or rebalancer moving a
+// buffer mid-run) lands between phases rather than racing one.
 func (e *Engine) Phase(name string, accesses []Access) PhaseResult {
 	lineSize := e.m.model.Caches.LineSize
 
@@ -198,6 +200,7 @@ func (e *Engine) Phase(name string, accesses []Access) PhaseResult {
 	var totalStreamBytes float64
 	var totalRandom uint64
 	var extraCPU float64
+	var touched []*Buffer
 
 	for _, a := range accesses {
 		extraCPU += a.CPUSeconds
@@ -205,7 +208,7 @@ func (e *Engine) Phase(name string, accesses []Access) PhaseResult {
 		if b == nil {
 			continue
 		}
-		if b.freed {
+		if b.Freed() {
 			panic(fmt.Sprintf("memsim: phase %q touches freed buffer %q", name, b.Name))
 		}
 		sf := e.streamMissFraction(b.Size)
@@ -216,7 +219,8 @@ func (e *Engine) Phase(name string, accesses []Access) PhaseResult {
 		}
 		b.Loads += a.ReadBytes/8 + a.RandomReads
 		b.Stores += a.WriteBytes / 8
-		for _, seg := range b.Segments {
+		touched = append(touched, b)
+		for _, seg := range b.SegmentsSnapshot() {
 			frac := 1.0
 			if b.Size > 0 {
 				frac = float64(seg.Bytes) / float64(b.Size)
@@ -304,6 +308,9 @@ func (e *Engine) Phase(name string, accesses []Access) PhaseResult {
 		}
 	}
 	e.stats.Phases = append(e.stats.Phases, res)
+	for _, b := range touched {
+		b.publishTelemetry()
+	}
 	return res
 }
 

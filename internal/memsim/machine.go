@@ -260,6 +260,50 @@ type Buffer struct {
 	mu    sync.Mutex // guards Segments and freed
 	freed bool
 	m     *Machine
+
+	// tele mirrors the engine-owned counters above for concurrent
+	// readers: the engine publishes into it at the end of every Phase
+	// (and on ResetCounters), so a background sampler — the daemon's
+	// tiering advisor — can read a coherent snapshot without touching
+	// the single-threaded simulation state.
+	tele telemetry
+}
+
+// Telemetry is a point-in-time copy of a buffer's access counters, safe
+// to read concurrently with a running engine. Counters are cumulative
+// since allocation (or the last ResetCounters); samplers diff
+// successive snapshots to get per-interval activity.
+type Telemetry struct {
+	LLCMisses    uint64 `json:"llc_misses"`
+	RandomMisses uint64 `json:"random_misses"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+}
+
+// telemetry is the atomic mirror behind TelemetrySnapshot.
+type telemetry struct {
+	llcMisses, randomMisses, loads, stores atomic.Uint64
+}
+
+// publishTelemetry copies the engine-owned counters into the atomic
+// mirror. Called by the engine at phase end and by ResetCounters; not
+// safe to race with other writers (the engine is single-threaded).
+func (b *Buffer) publishTelemetry() {
+	b.tele.llcMisses.Store(b.LLCMisses)
+	b.tele.randomMisses.Store(b.RandomMisses)
+	b.tele.loads.Store(b.Loads)
+	b.tele.stores.Store(b.Stores)
+}
+
+// TelemetrySnapshot returns the last published counters. Safe for
+// concurrent use; returns zeros until the first phase completes.
+func (b *Buffer) TelemetrySnapshot() Telemetry {
+	return Telemetry{
+		LLCMisses:    b.tele.llcMisses.Load(),
+		RandomMisses: b.tele.randomMisses.Load(),
+		Loads:        b.tele.loads.Load(),
+		Stores:       b.tele.stores.Load(),
+	}
 }
 
 // SegmentsSnapshot returns a copy of the buffer's current segments,
@@ -557,5 +601,6 @@ func (m *Machine) ResetCounters() {
 	defer m.bufMu.Unlock()
 	for _, b := range m.buffers {
 		b.LLCMisses, b.RandomMisses, b.Loads, b.Stores = 0, 0, 0, 0
+		b.publishTelemetry()
 	}
 }

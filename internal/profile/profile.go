@@ -28,28 +28,33 @@ import (
 )
 
 // Summary is the Table IV row for one run.
+//
+// The JSON tags are a stable schema shared by every programmatic
+// surface — the repro/membench CLIs and the daemon's /v1/advisor API
+// all emit this one shape. The Render* functions below remain the
+// human-facing text renderers; new tooling should consume the JSON.
 type Summary struct {
-	Elapsed    float64
-	CPUSeconds float64
+	Elapsed    float64 `json:"elapsed_seconds"`
+	CPUSeconds float64 `json:"cpu_seconds"`
 
 	// DRAMBoundPct is the share of clockticks stalled on any main
 	// memory (VTune "DRAM Bound" semantics, see package comment).
-	DRAMBoundPct float64
+	DRAMBoundPct float64 `json:"dram_bound_pct"`
 	// PMemBoundPct is the share of clockticks stalled on persistent
 	// memory.
-	PMemBoundPct float64
+	PMemBoundPct float64 `json:"pmem_bound_pct"`
 
 	// BWBoundPct maps each memory kind to the share of elapsed time
 	// spent saturating that kind's bandwidth.
-	BWBoundPct map[string]float64
+	BWBoundPct map[string]float64 `json:"bw_bound_pct,omitempty"`
 
 	// LatencySensitive and BandwidthSensitive are the indicator flags
 	// the paper reads off the VTune summary.
-	LatencySensitive   bool
-	BandwidthSensitive bool
+	LatencySensitive   bool `json:"latency_sensitive"`
+	BandwidthSensitive bool `json:"bandwidth_sensitive"`
 	// BandwidthKind is the kind whose bandwidth flag fired ("" when
 	// none).
-	BandwidthKind string
+	BandwidthKind string `json:"bandwidth_kind,omitempty"`
 }
 
 // DRAMBWBoundPct and PMemBWBoundPct return the Table IV bandwidth
@@ -115,18 +120,20 @@ func Summarize(st memsim.Stats) Summary {
 	return s
 }
 
-// ObjectReport is one row of the Figure 7 hot-object list.
+// ObjectReport is one row of the Figure 7 hot-object list. Like
+// Summary, its JSON tags are the stable schema shared by the CLIs and
+// the daemon's lease/advisor API.
 type ObjectReport struct {
-	Name      string
-	Placement string
-	Size      uint64
-	LLCMisses uint64
-	Loads     uint64
-	Stores    uint64
+	Name      string `json:"name"`
+	Placement string `json:"placement"`
+	Size      uint64 `json:"size"`
+	LLCMisses uint64 `json:"llc_misses"`
+	Loads     uint64 `json:"loads"`
+	Stores    uint64 `json:"stores"`
 	// RandomShare is the fraction of LLC misses caused by irregular
 	// accesses: close to 1 for latency-critical buffers (graph
 	// indirection arrays), close to 0 for streaming buffers.
-	RandomShare float64
+	RandomShare float64 `json:"random_share"`
 }
 
 // Sensitivity classifies the buffer the way an analyst reads Figure 7:
@@ -163,6 +170,27 @@ func HotObjects(m *memsim.Machine) []ObjectReport {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].LLCMisses > out[j].LLCMisses })
 	return out
+}
+
+// ObjectReportDelta builds one hot-object row from the difference of
+// two telemetry snapshots of the same buffer — the incremental,
+// per-lease form of HotObjects used by the daemon's tiering advisor,
+// which samples counters over an interval instead of reading
+// whole-machine cumulative totals. prev may be the zero value for the
+// first sample.
+func ObjectReportDelta(name, placement string, size uint64, prev, cur memsim.Telemetry) ObjectReport {
+	r := ObjectReport{
+		Name:      name,
+		Placement: placement,
+		Size:      size,
+		LLCMisses: cur.LLCMisses - prev.LLCMisses,
+		Loads:     cur.Loads - prev.Loads,
+		Stores:    cur.Stores - prev.Stores,
+	}
+	if r.LLCMisses > 0 {
+		r.RandomShare = float64(cur.RandomMisses-prev.RandomMisses) / float64(r.LLCMisses)
+	}
+	return r
 }
 
 // TimelineEntry is one phase of the bandwidth timeline (the graph part

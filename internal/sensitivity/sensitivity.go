@@ -214,35 +214,81 @@ type BufferRecommendation struct {
 	Rationale string
 }
 
+// Options is the shared tunable set for per-buffer classification,
+// used both by the offline tools (repro/membench reading a finished
+// run) and by the daemon's live tiering advisor (which adds the
+// stability knobs). The zero value is usable; Default fills in the
+// documented defaults.
+type Options struct {
+	// MinMissShare is the share of total LLC misses below which a
+	// buffer is classified Capacity (not performance-critical).
+	MinMissShare float64 `json:"min_miss_share"`
+	// Hysteresis is the number of consecutive agreeing samples a live
+	// classifier requires before acting on a change (ignored by the
+	// one-shot offline path).
+	Hysteresis int `json:"hysteresis"`
+	// CooldownSamples is the number of sample intervals a live
+	// classifier waits after moving a buffer before reconsidering it
+	// (ignored by the one-shot offline path).
+	CooldownSamples int `json:"cooldown_samples"`
+}
+
+// DefaultOptions returns the documented defaults: buffers under 1% of
+// total misses are capacity-tier, a live classifier waits for 3
+// agreeing samples and rests 5 intervals after a move.
+func DefaultOptions() Options {
+	return Options{MinMissShare: 0.01, Hysteresis: 3, CooldownSamples: 5}
+}
+
 // FromHotObjects converts a hot-object report into per-buffer
 // recommendations — the actionable outcome of the paper's Section
 // VI-B: "modify Graph500 to allocate this buffer with the latency
 // attribute". Buffers below minMissShare of the total misses are
 // classified Capacity (not performance-critical).
+//
+// Deprecated-in-spirit compat wrapper: new callers should use
+// FromHotObjectsOpts, which takes the shared Options struct instead of
+// a bare float.
 func FromHotObjects(objs []profile.ObjectReport, minMissShare float64) []BufferRecommendation {
+	return FromHotObjectsOpts(objs, Options{MinMissShare: minMissShare})
+}
+
+// FromHotObjectsOpts is FromHotObjects with the full tunable set.
+func FromHotObjectsOpts(objs []profile.ObjectReport, opts Options) []BufferRecommendation {
 	var total uint64
 	for _, o := range objs {
 		total += o.LLCMisses
 	}
-	var out []BufferRecommendation
+	out := make([]BufferRecommendation, 0, len(objs))
 	for _, o := range objs {
-		rec := BufferRecommendation{Name: o.Name, Report: o}
-		share := 0.0
-		if total > 0 {
-			share = float64(o.LLCMisses) / float64(total)
-		}
-		switch {
-		case share < minMissShare:
-			rec.Attr = memattr.Capacity
-			rec.Rationale = fmt.Sprintf("only %.1f%% of LLC misses: not performance-critical", 100*share)
-		case o.Sensitivity() == "Latency":
-			rec.Attr = memattr.Latency
-			rec.Rationale = fmt.Sprintf("%.0f%% of its misses are irregular", 100*o.RandomShare)
-		default:
-			rec.Attr = memattr.Bandwidth
-			rec.Rationale = "misses are streaming line fills"
-		}
-		out = append(out, rec)
+		out = append(out, classifyObject(o, total, opts))
 	}
 	return out
+}
+
+// ClassifyObject classifies one buffer against a total miss count —
+// the incremental entry point the live advisor uses with per-interval
+// deltas (profile.ObjectReportDelta) instead of a whole-machine report.
+func ClassifyObject(o profile.ObjectReport, totalMisses uint64, opts Options) BufferRecommendation {
+	return classifyObject(o, totalMisses, opts)
+}
+
+func classifyObject(o profile.ObjectReport, total uint64, opts Options) BufferRecommendation {
+	rec := BufferRecommendation{Name: o.Name, Report: o}
+	share := 0.0
+	if total > 0 {
+		share = float64(o.LLCMisses) / float64(total)
+	}
+	switch {
+	case share < opts.MinMissShare:
+		rec.Attr = memattr.Capacity
+		rec.Rationale = fmt.Sprintf("only %.1f%% of LLC misses: not performance-critical", 100*share)
+	case o.Sensitivity() == "Latency":
+		rec.Attr = memattr.Latency
+		rec.Rationale = fmt.Sprintf("%.0f%% of its misses are irregular", 100*o.RandomShare)
+	default:
+		rec.Attr = memattr.Bandwidth
+		rec.Rationale = "misses are streaming line fills"
+	}
+	return rec
 }

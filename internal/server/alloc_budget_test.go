@@ -32,8 +32,11 @@ import (
 // is ~25%: enough for toolchain noise, not enough to hide a leaked
 // per-request allocation chain.
 const (
-	allocFreeBudget = 36
-	renewBudget     = 14
+	allocFreeBudget   = 36
+	renewBudget       = 14
+	// Measured steady state 3: route match, path-value string, and the
+	// placement string. The encoder itself is pooled and free.
+	leaseDetailBudget = 6
 )
 
 // budgetRW is a recyclable ResponseWriter: headers survive across
@@ -123,6 +126,29 @@ func TestAllocBudget(t *testing.T) {
 		if allocs > allocFreeBudget {
 			t.Errorf("alloc+free round trip costs %.1f allocs/op, budget %d — the hot path regressed",
 				allocs, allocFreeBudget)
+		}
+	})
+
+	t.Run("lease_detail", func(t *testing.T) {
+		allocPayload := []byte(`{"name":"budget-detail","size":4096,"attr":"Capacity"}`)
+		allocBody := bytes.NewReader(nil)
+		allocReq := budgetReq("POST", "/v1/alloc", allocBody)
+		serve(allocReq, allocBody, allocPayload)
+		id := parseLeaseID(t, w.body)
+
+		detailBody := bytes.NewReader(nil)
+		detailReq := budgetReq("GET", "/v1/leases/"+strconv.FormatUint(id, 10), detailBody)
+
+		detail := func() { serve(detailReq, detailBody, nil) }
+		detail()
+		if !bytes.Contains(w.body, []byte(`"telemetry":`)) {
+			t.Fatalf("lease detail failed: %s", w.body)
+		}
+		allocs := testing.AllocsPerRun(500, detail)
+		t.Logf("lease detail: %.1f allocs/op (budget %d)", allocs, leaseDetailBudget)
+		if allocs > leaseDetailBudget {
+			t.Errorf("lease detail costs %.1f allocs/op, budget %d — the encoder path regressed",
+				allocs, leaseDetailBudget)
 		}
 	})
 

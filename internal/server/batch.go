@@ -66,6 +66,17 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			fail(i, fmt.Errorf("%w: idempotency_key is not supported in batches", ErrBadRequest))
 			continue
 		}
+		// Attribute-less items defer to the tiering advisor, exactly
+		// like a single /alloc (see doAlloc).
+		advice := ""
+		if item.Attr == "" {
+			if s.advisor == nil {
+				fail(i, fmt.Errorf("%w: missing attr", ErrBadRequest))
+				continue
+			}
+			item.Attr = s.adviceFor(item.Name)
+			advice = item.Attr
+		}
 		id, ok := s.sys.Registry.ByName(item.Attr)
 		if !ok {
 			fail(i, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, item.Attr))
@@ -118,6 +129,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 				Remote:       dec.Remote,
 				TTLSeconds:   ttl.Seconds(),
 				Tenant:       tenantEcho,
+				Advice:       advice,
 			},
 		})
 	}

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"hetmem/internal/advisor"
 	"hetmem/internal/topology"
 )
 
@@ -582,6 +583,45 @@ func (c *Client) Leases(ctx context.Context, list bool) (LeasesResponse, error) 
 	var out LeasesResponse
 	err = json.Unmarshal(body, &out)
 	return out, err
+}
+
+// LeaseDetail fetches one lease's full record — placement, attribute,
+// advisor classification, and access telemetry.
+func (c *Client) LeaseDetail(ctx context.Context, lease uint64) (LeaseDetailResponse, error) {
+	body, err := c.get(ctx, "/v1/leases/"+strconv.FormatUint(lease, 10))
+	if err != nil {
+		return LeaseDetailResponse{}, err
+	}
+	var out LeaseDetailResponse
+	err = json.Unmarshal(body, &out)
+	return out, err
+}
+
+// Advisor fetches the tiering advisor's state: configuration, cycle
+// and move counters, and the rolling decision log. Daemons running
+// without an advisor answer 409 advisor_paused
+// (errors.Is(err, server.ErrCodeAdvisorPaused)).
+func (c *Client) Advisor(ctx context.Context) (advisor.Snapshot, error) {
+	body, err := c.get(ctx, "/v1/advisor")
+	if err != nil {
+		return advisor.Snapshot{}, err
+	}
+	var out advisor.Snapshot
+	err = json.Unmarshal(body, &out)
+	return out, err
+}
+
+// AdvisorPause suspends automatic re-placement. Pausing an
+// already-paused advisor is a 409 advisor_paused error, so callers
+// coordinating a maintenance window can detect a double-pause.
+func (c *Client) AdvisorPause(ctx context.Context) error {
+	return c.post(ctx, "/v1/advisor/pause", struct{}{}, nil, false)
+}
+
+// AdvisorResume restarts automatic re-placement; resuming a running
+// advisor is a no-op.
+func (c *Client) AdvisorResume(ctx context.Context) error {
+	return c.post(ctx, "/v1/advisor/resume", struct{}{}, nil, true)
 }
 
 // Health fetches the daemon's health report.

@@ -56,6 +56,55 @@ func appendAllocResponse(dst []byte, r *AllocResponse) []byte {
 		dst = jsonenc.AppendKey(dst, "tenant")
 		dst = jsonenc.AppendString(dst, r.Tenant)
 	}
+	if r.Advice != "" {
+		dst = jsonenc.AppendKey(dst, "advice")
+		dst = jsonenc.AppendString(dst, r.Advice)
+	}
+	return append(dst, '}')
+}
+
+// appendLeaseDetailResponse appends a GET /v1/leases/{id} body,
+// mirroring the LeaseDetailResponse struct tags (telemetry is not
+// omitempty: an untouched buffer reports explicit zeros).
+func appendLeaseDetailResponse(dst []byte, r *LeaseDetailResponse) []byte {
+	dst = append(dst, '{')
+	dst = jsonenc.AppendKey(dst, "lease")
+	dst = jsonenc.AppendUint(dst, r.Lease)
+	dst = jsonenc.AppendKey(dst, "name")
+	dst = jsonenc.AppendString(dst, r.Name)
+	dst = jsonenc.AppendKey(dst, "size")
+	dst = jsonenc.AppendUint(dst, r.Size)
+	dst = jsonenc.AppendKey(dst, "attr")
+	dst = jsonenc.AppendString(dst, r.Attr)
+	dst = jsonenc.AppendKey(dst, "placement")
+	dst = jsonenc.AppendString(dst, r.Placement)
+	if r.Tenant != "" {
+		dst = jsonenc.AppendKey(dst, "tenant")
+		dst = jsonenc.AppendString(dst, r.Tenant)
+	}
+	if r.Initiator != "" {
+		dst = jsonenc.AppendKey(dst, "initiator")
+		dst = jsonenc.AppendString(dst, r.Initiator)
+	}
+	if r.TTLSeconds != 0 {
+		dst = jsonenc.AppendKey(dst, "ttl_seconds")
+		dst = jsonenc.AppendFloat(dst, r.TTLSeconds)
+	}
+	if r.Class != "" {
+		dst = jsonenc.AppendKey(dst, "class")
+		dst = jsonenc.AppendString(dst, r.Class)
+	}
+	dst = jsonenc.AppendKey(dst, "telemetry")
+	dst = append(dst, '{')
+	dst = jsonenc.AppendKey(dst, "llc_misses")
+	dst = jsonenc.AppendUint(dst, r.Telemetry.LLCMisses)
+	dst = jsonenc.AppendKey(dst, "random_misses")
+	dst = jsonenc.AppendUint(dst, r.Telemetry.RandomMisses)
+	dst = jsonenc.AppendKey(dst, "loads")
+	dst = jsonenc.AppendUint(dst, r.Telemetry.Loads)
+	dst = jsonenc.AppendKey(dst, "stores")
+	dst = jsonenc.AppendUint(dst, r.Telemetry.Stores)
+	dst = append(dst, '}')
 	return append(dst, '}')
 }
 
@@ -160,6 +209,19 @@ func (s *Server) writeRenewResponse(w http.ResponseWriter, resp *RenewResponse) 
 	}
 	bp := getRespBuf()
 	b := appendRenewResponse(*bp, resp)
+	writeBody(w, b)
+	*bp = b[:0]
+	putRespBuf(bp)
+}
+
+// writeLeaseDetailResponse writes a lease-detail response.
+func (s *Server) writeLeaseDetailResponse(w http.ResponseWriter, resp LeaseDetailResponse) {
+	if s.cfg.LegacyEncoding {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	bp := getRespBuf()
+	b := appendLeaseDetailResponse(*bp, &resp)
 	writeBody(w, b)
 	*bp = b[:0]
 	putRespBuf(bp)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"hetmem/internal/memsim"
 )
 
 // marshalRef is the reference encoding the hand-rolled encoders must
@@ -53,6 +55,43 @@ var encoderCases = []struct {
 		val:  &AllocResponse{Lease: 7, Placement: "HBM#2", AttrUsed: "Latency", TTLSeconds: 0.05},
 		enc: func(dst []byte) []byte {
 			return appendAllocResponse(dst, &AllocResponse{Lease: 7, Placement: "HBM#2", AttrUsed: "Latency", TTLSeconds: 0.05})
+		},
+	},
+	{
+		name: "alloc with advice",
+		val: &AllocResponse{
+			Lease: 11, Placement: "NVDIMM#2", AttrUsed: "Capacity",
+			TTLSeconds: 5, Tenant: "team-a", Advice: "Capacity",
+		},
+		enc: func(dst []byte) []byte {
+			return appendAllocResponse(dst, &AllocResponse{
+				Lease: 11, Placement: "NVDIMM#2", AttrUsed: "Capacity",
+				TTLSeconds: 5, Tenant: "team-a", Advice: "Capacity",
+			})
+		},
+	},
+	{
+		name: "lease detail minimal",
+		val:  &LeaseDetailResponse{Lease: 3, Name: "buf", Size: 4096, Attr: "Capacity", Placement: "DRAM#0"},
+		enc: func(dst []byte) []byte {
+			return appendLeaseDetailResponse(dst, &LeaseDetailResponse{Lease: 3, Name: "buf", Size: 4096, Attr: "Capacity", Placement: "DRAM#0"})
+		},
+	},
+	{
+		name: "lease detail full",
+		val: &LeaseDetailResponse{
+			Lease: 18446744073709551615, Name: "graph \"index\"", Size: 6 << 30,
+			Attr: "Latency", Placement: "NVDIMM#2", Tenant: "team-b",
+			Initiator: "0-19", TTLSeconds: 30.5, Class: "Latency",
+			Telemetry: memsim.Telemetry{LLCMisses: 123456, RandomMisses: 120000, Loads: 250000000, Stores: 7},
+		},
+		enc: func(dst []byte) []byte {
+			return appendLeaseDetailResponse(dst, &LeaseDetailResponse{
+				Lease: 18446744073709551615, Name: "graph \"index\"", Size: 6 << 30,
+				Attr: "Latency", Placement: "NVDIMM#2", Tenant: "team-b",
+				Initiator: "0-19", TTLSeconds: 30.5, Class: "Latency",
+				Telemetry: memsim.Telemetry{LLCMisses: 123456, RandomMisses: 120000, Loads: 250000000, Stores: 7},
+			})
 		},
 	},
 	{

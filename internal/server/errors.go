@@ -56,6 +56,11 @@ const (
 	// admission queue until its deadline without headroom appearing.
 	// Retryable — load may drain.
 	CodeQueueTimeout = "queue_timeout"
+	// CodeAdvisorPaused: the tiering advisor is paused (or not running
+	// at all on this daemon) and the request requires it — pausing an
+	// already-paused advisor, or asking an advisor-less daemon for its
+	// state. Not retryable: an operator must resume (or enable) it.
+	CodeAdvisorPaused = "advisor_paused"
 )
 
 // ErrorBody is the uniform v1 error envelope.
@@ -91,6 +96,10 @@ func classify(err error) (status int, code string, retryable bool) {
 		return http.StatusServiceUnavailable, CodeNodeOffline, true
 	case errors.Is(err, ErrMemberUnavailable):
 		return http.StatusServiceUnavailable, CodeMemberUnavailable, true
+	case errors.Is(err, ErrAdvisorPaused):
+		// 409: the request conflicts with the advisor's current state,
+		// and only an operator action changes that state.
+		return http.StatusConflict, CodeAdvisorPaused, false
 	case errors.Is(err, alloc.ErrExhausted), errors.Is(err, memsim.ErrNoCapacity):
 		// The daemon is healthy; the machine is full. 507 tells the
 		// client to free, shrink, or retry with partial/remote.
@@ -111,6 +120,10 @@ var ErrMemberUnavailable = errors.New("server: cluster member unavailable")
 // without the watermark clearing.
 var ErrQueueTimedOut = errors.New("server: admission queue timeout")
 
+// ErrAdvisorPaused means the tiering advisor is paused or not running
+// on this daemon and the request needed it.
+var ErrAdvisorPaused = errors.New("server: advisor paused")
+
 // Sentinel errors matching the v1 codes. server.Client maps an error
 // envelope back to these, so callers write
 //
@@ -129,6 +142,7 @@ var (
 	ErrCodeMemberUnavailable = codeSentinel(CodeMemberUnavailable)
 	ErrQuotaExceeded         = codeSentinel(CodeQuotaExceeded)
 	ErrQueueTimeout          = codeSentinel(CodeQueueTimeout)
+	ErrCodeAdvisorPaused     = codeSentinel(CodeAdvisorPaused)
 )
 
 // codeSentinel is an error identified purely by its v1 code.

@@ -166,6 +166,15 @@ func (s *Server) evacuate(nodeOS int) {
 // journals the move. The caller must hold l.jmu, so the journal's
 // record order matches the buffer's placement history.
 func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) (float64, alloc.Decision, error) {
+	return s.migrateOriginLocked(l, attrName, iniList, remote, "")
+}
+
+// migrateOriginLocked is migrateLocked with an origin tag. A non-empty
+// origin (the tiering advisor) additionally reclassifies the lease:
+// its attribute becomes attrName, and the journal record carries both
+// the attribute and the origin so restart replay reconstructs the
+// reclassification and the advisor's counters exactly.
+func (s *Server) migrateOriginLocked(l *lease, attrName, iniList string, remote bool, origin string) (float64, alloc.Decision, error) {
 	id, ok := s.sys.Registry.ByName(attrName)
 	if !ok {
 		// Replayed lease with an attribute this platform no longer
@@ -191,11 +200,17 @@ func (s *Server) migrateLocked(l *lease, attrName, iniList string, remote bool) 
 	tn := s.tenants.Get(l.tenant)
 	refundSegs(tn, before)
 	forceChargeBuf(tn, l.buf)
-	if _, err := s.appendJournal(journal.Record{
+	rec := journal.Record{
 		Op:       journal.OpMigrate,
 		Lease:    l.id,
 		Segments: segmentsOf(l.buf),
-	}); err != nil {
+	}
+	if origin != "" {
+		rec.Attr = attrName
+		rec.Origin = origin
+		l.attr = attrName
+	}
+	if _, err := s.appendJournal(rec); err != nil {
 		return cost, dec, err
 	}
 	// The lease moved: per-node byte totals and placements changed.

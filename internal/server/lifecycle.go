@@ -30,6 +30,10 @@ func (s *Server) startBackground() {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
+	if s.advisor != nil {
+		s.wg.Add(1)
+		go s.advisorLoop()
+	}
 }
 
 func (s *Server) reapLoop() {
@@ -248,7 +252,7 @@ func (s *Server) wantsNode(l *lease, nodeOS int) bool {
 			return false
 		}
 	}
-	id, ok := s.sys.Registry.ByName(l.attr)
+	id, ok := s.sys.Registry.ByName(attrOf(l))
 	if !ok {
 		return false
 	}

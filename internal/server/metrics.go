@@ -25,11 +25,14 @@ const (
 	EpMetrics
 	EpHealth
 	EpAllocBatch
+	EpLeaseDetail
+	EpAdvisor
 	numEndpoints
 )
 
 var endpointNames = [numEndpoints]string{
 	"topology", "attrs", "alloc", "free", "renew", "migrate", "leases", "metrics", "health", "alloc_batch",
+	"lease_detail", "advisor",
 }
 
 func (e Endpoint) String() string { return endpointNames[e] }
@@ -79,6 +82,16 @@ type Metrics struct {
 	RebalanceTotal    atomic.Uint64 // leases migrated back onto healed nodes
 	RebalanceFailed   atomic.Uint64 // rebalance migrations that failed
 	RebalanceBytes    atomic.Uint64 // bytes moved by the rebalancer
+
+	// Tiering-advisor counters. Promoted/Demoted are restored from
+	// advisor-tagged journal migrate records on restart; the held
+	// counters are session-local (a hold journals nothing).
+	AdvisorPromoted       atomic.Uint64 // advisor moves toward a performance tier
+	AdvisorDemoted        atomic.Uint64 // advisor moves toward the capacity tier
+	AdvisorHeldBudget     atomic.Uint64 // moves deferred by the cycle migration budget
+	AdvisorHeldHysteresis atomic.Uint64 // moves deferred by hysteresis/cooldown
+	AdvisorCycles         atomic.Uint64 // completed sample cycles
+	AdvisorBytesMoved     atomic.Uint64 // bytes moved by the advisor
 
 	// Fast-path counters (PR 4). The cache gauges mirror
 	// alloc.Allocator.CacheStats, copied in by handleMetrics so the
@@ -180,6 +193,12 @@ func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
 	counter("hetmemd_rebalance_bytes_total", m.RebalanceBytes.Load())
 	counter("hetmemd_placement_cache_hits_total", m.PlacementCacheHits.Load())
 	counter("hetmemd_placement_cache_misses_total", m.PlacementCacheMisses.Load())
+	counter("hetmemd_advisor_promoted_total", m.AdvisorPromoted.Load())
+	counter("hetmemd_advisor_demoted_total", m.AdvisorDemoted.Load())
+	counter("hetmemd_advisor_held_budget_total", m.AdvisorHeldBudget.Load())
+	counter("hetmemd_advisor_held_hysteresis_total", m.AdvisorHeldHysteresis.Load())
+	counter("hetmemd_advisor_cycles_total", m.AdvisorCycles.Load())
+	counter("hetmemd_advisor_bytes_moved_total", m.AdvisorBytesMoved.Load())
 	fmt.Fprintf(&sb, "hetmemd_leases_active %d\n", leases)
 
 	var batchCum, batchCount uint64

@@ -62,6 +62,22 @@ func (s *Server) restoreFromJournal(recs []journal.Record, nextLease uint64) err
 					i, r.Lease, sum, p.rec.Size)
 			}
 			p.rec.Segments = r.Segments
+			if r.Attr != "" {
+				// The move reclassified the lease (the tiering advisor
+				// journals its target attribute); the restored lease keeps
+				// the new attribute.
+				p.rec.Attr = r.Attr
+			}
+			if r.Origin == journal.OriginAdvisor {
+				// Restore the advisor's move counters exactly as they
+				// were: a Capacity-bound move was a demotion, anything
+				// else a promotion.
+				if r.Attr == "Capacity" {
+					s.metrics.AdvisorDemoted.Add(1)
+				} else {
+					s.metrics.AdvisorPromoted.Add(1)
+				}
+			}
 		default:
 			return fmt.Errorf("server: journal record %d: unknown op %d", i, r.Op)
 		}

@@ -62,6 +62,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetmem/internal/advisor"
 	"hetmem/internal/alloc"
 	"hetmem/internal/bitmap"
 	"hetmem/internal/core"
@@ -69,6 +70,7 @@ import (
 	"hetmem/internal/journal"
 	"hetmem/internal/lstopo"
 	"hetmem/internal/memsim"
+	"hetmem/internal/sensitivity"
 	"hetmem/internal/tenant"
 	"hetmem/internal/topology"
 )
@@ -170,8 +172,31 @@ type Config struct {
 	// between budget-sized batches. 0 disables rebalancing.
 	RebalanceInterval time.Duration
 	// RebalanceBudget caps the bytes migrated per rebalance batch
-	// (default 256 MiB when rebalancing is on).
+	// (default 256 MiB when rebalancing or the advisor is on). The
+	// tiering advisor shares this budget: each of its sample cycles may
+	// move at most this many bytes.
 	RebalanceBudget uint64
+
+	// AdvisorInterval enables the online tiering advisor: a background
+	// loop that samples per-lease access telemetry, reclassifies each
+	// lease (latency-bound, bandwidth-bound, or cold), and migrates
+	// misplaced leases through the journaled migrate path under
+	// RebalanceBudget. 0 disables the advisor (and its /v1/advisor API
+	// answers 409 advisor_paused).
+	AdvisorInterval time.Duration
+	// AdvisorHysteresis is how many consecutive agreeing samples a
+	// reclassification needs before the advisor moves a lease
+	// (default 3).
+	AdvisorHysteresis int
+	// AdvisorCooldown is how many sample intervals a lease rests after
+	// an advisor move before it may move again (default 5).
+	AdvisorCooldown int
+	// AdvisorMinMissShare is the share of an interval's total LLC
+	// misses below which a lease is classified cold (default 0.01).
+	AdvisorMinMissShare float64
+	// AdvisorLogSize caps the rolling decision log served by
+	// GET /v1/advisor (default 256 entries).
+	AdvisorLogSize int
 
 	// FS routes all journal and snapshot I/O; nil means the real
 	// filesystem. Chaos tests install a faults.FaultFS here.
@@ -193,6 +218,7 @@ func (c Config) validate() error {
 		{"CheckpointEvery", c.CheckpointEvery},
 		{"RebalanceInterval", c.RebalanceInterval},
 		{"QueueTimeout", c.QueueTimeout},
+		{"AdvisorInterval", c.AdvisorInterval},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("server: config: %s must not be negative (got %v)", d.name, d.v)
@@ -232,6 +258,15 @@ func (c Config) validate() error {
 	}
 	if c.ReplayWorkers < 0 {
 		return fmt.Errorf("server: config: ReplayWorkers must not be negative (got %d)", c.ReplayWorkers)
+	}
+	if c.AdvisorHysteresis < 0 {
+		return fmt.Errorf("server: config: AdvisorHysteresis must not be negative (got %d)", c.AdvisorHysteresis)
+	}
+	if c.AdvisorCooldown < 0 {
+		return fmt.Errorf("server: config: AdvisorCooldown must not be negative (got %d)", c.AdvisorCooldown)
+	}
+	if c.AdvisorMinMissShare < 0 || c.AdvisorMinMissShare >= 1 {
+		return fmt.Errorf("server: config: AdvisorMinMissShare %v outside [0, 1)", c.AdvisorMinMissShare)
 	}
 	return nil
 }
@@ -273,6 +308,12 @@ type Server struct {
 	// rebalancing guards one in-flight rebalance per healed node.
 	rebalMu     sync.Mutex
 	rebalancing map[int]bool
+
+	// advisor is the online tiering advisor's state (nil when
+	// Config.AdvisorInterval is 0); adviseMu serializes sample cycles
+	// so a manual AdviseOnce never interleaves with the timer loop.
+	advisor  *advisor.Tracker
+	adviseMu sync.Mutex
 
 	// defaultInitiator is used when a request does not name one: the
 	// whole machine's cpuset.
@@ -327,7 +368,7 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 	if cfg.MaxLeaseTTL == 0 {
 		cfg.MaxLeaseTTL = time.Hour
 	}
-	if cfg.RebalanceInterval > 0 && cfg.RebalanceBudget == 0 {
+	if (cfg.RebalanceInterval > 0 || cfg.AdvisorInterval > 0) && cfg.RebalanceBudget == 0 {
 		cfg.RebalanceBudget = 256 << 20
 	}
 	if cfg.QueueDepth > 0 && cfg.QueueTimeout == 0 {
@@ -360,6 +401,17 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 		tenants:          cfg.Tenants,
 	}
 	s.avoidFn = s.avoidUnhealthy
+	if cfg.AdvisorInterval > 0 {
+		s.advisor = advisor.New(advisor.Config{
+			Interval: cfg.AdvisorInterval,
+			Options: sensitivity.Options{
+				MinMissShare:    cfg.AdvisorMinMissShare,
+				Hysteresis:      cfg.AdvisorHysteresis,
+				CooldownSamples: cfg.AdvisorCooldown,
+			},
+			LogSize: cfg.AdvisorLogSize,
+		})
+	}
 	topoJSON, err := topology.Export(sys.Topology())
 	if err != nil {
 		return nil, err
@@ -401,6 +453,19 @@ func NewWithConfig(sys *core.System, cfg Config) (*Server, error) {
 	s.route("GET", "/health", EpHealth, s.handleHealth)
 	// Batch allocation is v1-only: it was born versioned.
 	s.mux.HandleFunc("POST /v1/alloc/batch", s.instrument(EpAllocBatch, s.handleAllocBatch))
+	// The lease-detail and advisor surfaces are v1-only too. The lease
+	// route uses the mux's path-segment pattern ({id} via PathValue) —
+	// no prefix-trimming special cases.
+	s.mux.HandleFunc("GET /v1/leases/{id}", s.instrument(EpLeaseDetail, s.handleLeaseDetail))
+	s.mux.HandleFunc("GET /v1/advisor", s.instrument(EpAdvisor, s.handleAdvisor))
+	s.mux.HandleFunc("POST /v1/advisor/pause", s.instrument(EpAdvisor, s.handleAdvisorPause))
+	s.mux.HandleFunc("POST /v1/advisor/resume", s.instrument(EpAdvisor, s.handleAdvisorResume))
+	if s.advisor != nil {
+		// Replay restored the advisor's move counters into the metrics;
+		// mirror them into the tracker so /v1/advisor and /metrics agree
+		// across restarts.
+		s.advisor.RestoreCounters(s.metrics.AdvisorPromoted.Load(), s.metrics.AdvisorDemoted.Load())
+	}
 	s.startBackground()
 	return s, nil
 }
@@ -657,6 +722,18 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 // doAlloc performs the placement, charges the tenant, journals it,
 // and registers the lease.
 func (s *Server) doAlloc(ctx context.Context, req AllocRequest) (AllocResponse, error) {
+	// A request with no attribute defers the tiering decision to the
+	// advisor: place under its live classification of this buffer name
+	// (or the capacity tier for a name it has never observed) and say
+	// so in the response. Without an advisor the field stays required.
+	advice := ""
+	if req.Attr == "" {
+		if s.advisor == nil {
+			return AllocResponse{}, fmt.Errorf("%w: missing attr", ErrBadRequest)
+		}
+		req.Attr = s.adviceFor(req.Name)
+		advice = req.Attr
+	}
 	id, ok := s.sys.Registry.ByName(req.Attr)
 	if !ok {
 		return AllocResponse{}, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr)
@@ -766,6 +843,7 @@ func (s *Server) doAlloc(ctx context.Context, req AllocRequest) (AllocResponse, 
 		// Echoed only when the request named a tenant: untenanted
 		// clients keep the pre-tenancy wire format byte for byte.
 		Tenant: TenantFromContext(ctx),
+		Advice: advice,
 	}, nil
 }
 
@@ -911,13 +989,21 @@ func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 			resp.TenantBytes[l.tenant] += seg.Bytes
 		}
 		if includeList {
-			resp.Leases = append(resp.Leases, LeaseInfo{
+			info := LeaseInfo{
 				Lease:     l.id,
 				Name:      l.name,
 				Size:      l.size,
 				Placement: l.buf.NodeNames(),
 				Tenant:    l.tenant,
-			})
+				Attr:      attrOf(l),
+			}
+			if s.advisor != nil {
+				info.Class = s.advisor.Classification(l.id)
+			}
+			if t := l.buf.TelemetrySnapshot(); t != (memsim.Telemetry{}) {
+				info.Telemetry = &t
+			}
+			resp.Leases = append(resp.Leases, info)
 		}
 	}
 	return resp

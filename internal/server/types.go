@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"hetmem/internal/bitmap"
+	"hetmem/internal/memsim"
 )
 
 // MaxRequestBytes bounds the size of a request body the daemon will
@@ -73,6 +74,11 @@ type AllocResponse struct {
 	// Tenant echoes the X-Hetmem-Tenant header when the request named
 	// one; absent for untenanted requests (the default tenant).
 	Tenant string `json:"tenant,omitempty"`
+	// Advice is set when the request carried no attribute and the
+	// tiering advisor chose one: the attribute the daemon placed under
+	// (the advisor's live classification of this buffer name, or
+	// "Capacity" for a name it has never observed).
+	Advice string `json:"advice,omitempty"`
 }
 
 // MaxBatchAllocs bounds the items in one /v1/alloc/batch request.
@@ -165,6 +171,32 @@ type LeaseInfo struct {
 	Size      uint64 `json:"size"`
 	Placement string `json:"placement"`
 	Tenant    string `json:"tenant,omitempty"`
+	// Attr is the lease's current attribute — the one it was allocated
+	// under, or the advisor's reclassification after an advisor move.
+	Attr string `json:"attr,omitempty"`
+	// Class is the advisor's live classification of the lease
+	// ("Latency", "Bandwidth", or "Capacity"); absent when the advisor
+	// is off or has not yet observed the lease.
+	Class string `json:"class,omitempty"`
+	// Telemetry is the lease buffer's cumulative access counters from
+	// the simulated workload; absent when the buffer was never touched.
+	Telemetry *memsim.Telemetry `json:"telemetry,omitempty"`
+}
+
+// LeaseDetailResponse is GET /v1/leases/{id}: everything /v1/leases
+// reports for the lease plus the request-shaping fields (initiator,
+// TTL) and the full telemetry block, zero or not.
+type LeaseDetailResponse struct {
+	Lease      uint64           `json:"lease"`
+	Name       string           `json:"name"`
+	Size       uint64           `json:"size"`
+	Attr       string           `json:"attr"`
+	Placement  string           `json:"placement"`
+	Tenant     string           `json:"tenant,omitempty"`
+	Initiator  string           `json:"initiator,omitempty"`
+	TTLSeconds float64          `json:"ttl_seconds,omitempty"`
+	Class      string           `json:"class,omitempty"`
+	Telemetry  memsim.Telemetry `json:"telemetry"`
 }
 
 // LeasesResponse summarizes the live lease table, including the
@@ -278,9 +310,10 @@ func validateAllocRequest(req AllocRequest) error {
 	if req.Size == 0 {
 		return fmt.Errorf("%w: size must be > 0", ErrBadRequest)
 	}
-	if req.Attr == "" {
-		return fmt.Errorf("%w: missing attr", ErrBadRequest)
-	}
+	// An empty Attr is not rejected here: when the tiering advisor is
+	// running, the daemon fills it with the advisor's advice for the
+	// buffer name (see doAlloc). Without an advisor it is still an
+	// error, enforced at placement time.
 	switch req.Policy {
 	case "", "preferred", "bind":
 	default:
