@@ -49,6 +49,8 @@ func runRouter(args []string, out io.Writer) error {
 	fs.Var(&members, "member", "cluster member as name=url (repeat per daemon); the name is the rendezvous identity")
 	var (
 		addr         = fs.String("addr", "127.0.0.1:7078", "router listen address")
+		udsPath      = fs.String("uds", "", "also serve the binary wire protocol on this unix socket path (empty: disabled)")
+		tcpBin       = fs.String("tcp-bin", "", "also serve the binary wire protocol on this TCP address (empty: disabled)")
 		journal      = fs.String("journal", "", "router lease-journal path (empty: routed leases do not survive router restarts)")
 		syncEvery    = fs.Bool("journal-sync", false, "fsync the router journal after every record")
 		pollEvery    = fs.Duration("poll-interval", 500*time.Millisecond, "member health-poll period")
@@ -86,7 +88,7 @@ func runRouter(args []string, out io.Writer) error {
 	if err := validateRouterConfig(cfg); err != nil {
 		return err
 	}
-	return routerUntilSignal(*addr, cfg, out)
+	return routerUntilSignal(serveAddrs{http: *addr, uds: *udsPath, tcpBin: *tcpBin}, cfg, out)
 }
 
 // validateRouterConfig front-runs cluster.New with flag-named errors,
@@ -118,7 +120,7 @@ func validateRouterConfig(cfg cluster.Config) error {
 
 // routerUntilSignal runs the router until SIGINT/SIGTERM, then drains
 // and checkpoints its journal — the cluster twin of serveUntilSignal.
-func routerUntilSignal(addr string, cfg cluster.Config, out io.Writer) error {
+func routerUntilSignal(addrs serveAddrs, cfg cluster.Config, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -129,12 +131,24 @@ func routerUntilSignal(addr string, cfg cluster.Config, out io.Writer) error {
 	if cfg.JournalPath != "" {
 		fmt.Fprintf(out, "hetmemd: router journal %s, %d leases restored\n", cfg.JournalPath, r.LeaseCount())
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", addrs.http)
 	if err != nil {
 		r.Close()
 		return err
 	}
 	fmt.Fprintf(out, "hetmemd: router listening on http://%s (%d members)\n", ln.Addr(), len(cfg.Members))
+
+	stopWire, err := serveWireListeners(wireEndpoints{
+		handler: r.WireHandler(),
+		metrics: r.Metrics(),
+		uds:     addrs.uds,
+		tcpBin:  addrs.tcpBin,
+	}, out)
+	if err != nil {
+		ln.Close()
+		r.Close()
+		return err
+	}
 
 	hs := newHTTPServer(r.Handler())
 	serveErr := make(chan error, 1)
@@ -142,6 +156,7 @@ func routerUntilSignal(addr string, cfg cluster.Config, out io.Writer) error {
 
 	select {
 	case err := <-serveErr:
+		stopWire()
 		r.Close()
 		return err
 	case <-ctx.Done():
@@ -152,6 +167,7 @@ func routerUntilSignal(addr string, cfg cluster.Config, out io.Writer) error {
 	if err := hs.Shutdown(shutCtx); err != nil {
 		hs.Close()
 	}
+	stopWire()
 	if err := r.Close(); err != nil {
 		return fmt.Errorf("router close: %w", err)
 	}

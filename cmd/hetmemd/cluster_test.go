@@ -40,9 +40,11 @@ func TestRouterSubcommandEndToEnd(t *testing.T) {
 		defer mu.Unlock()
 		return out.Write(p)
 	})
+	udsPath := filepath.Join(os.TempDir(), "hetmemd-router-test.sock")
+	defer os.Remove(udsPath)
 	done := make(chan error, 1)
 	go func() {
-		done <- routerUntilSignal(addr, cluster.Config{
+		done <- routerUntilSignal(serveAddrs{http: addr, uds: udsPath}, cluster.Config{
 			Members: []cluster.MemberSpec{
 				{Name: "m0", URL: m0},
 				{Name: "m1", URL: m1},
@@ -75,6 +77,22 @@ func TestRouterSubcommandEndToEnd(t *testing.T) {
 		t.Fatalf("placement %q not member-prefixed", resp.Placement)
 	}
 	if err := cl.Free(ctx, resp.Lease); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same federation path over the binary wire protocol: a
+	// unix-socket client allocates through the router's -uds listener
+	// and must see a member-prefixed placement too.
+	wcl := server.NewClient("unix://"+udsPath, server.WithoutHeartbeat())
+	defer wcl.Close()
+	wresp, err := wcl.Alloc(ctx, server.AllocRequest{Name: "fedwire", Size: 1 << 20, Attr: "Bandwidth"})
+	if err != nil {
+		t.Fatalf("alloc through router uds listener: %v", err)
+	}
+	if !strings.HasPrefix(wresp.Placement, "m0/") && !strings.HasPrefix(wresp.Placement, "m1/") {
+		t.Fatalf("wire placement %q not member-prefixed", wresp.Placement)
+	}
+	if err := wcl.Free(ctx, wresp.Lease); err != nil {
 		t.Fatal(err)
 	}
 

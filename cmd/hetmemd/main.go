@@ -48,6 +48,7 @@ import (
 	"hetmem/internal/core"
 	"hetmem/internal/platform"
 	"hetmem/internal/server"
+	"hetmem/internal/wire"
 )
 
 func main() {
@@ -143,6 +144,8 @@ func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hetmemd serve", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:7077", "listen address")
+		udsPath    = fs.String("uds", "", "also serve the binary wire protocol on this unix socket path (empty: disabled)")
+		tcpBin     = fs.String("tcp-bin", "", "also serve the binary wire protocol on this TCP address (empty: disabled)")
 		pprofAddr  = fs.String("pprof-addr", "", "side listener for /debug/pprof profiling endpoints (empty: disabled; keep it off untrusted networks)")
 		platName   = fs.String("p", "xeon", "platform to serve (see `hetmemd platforms`)")
 		forceBench = fs.Bool("force-bench", false, "benchmark attributes even when the firmware has an HMAT")
@@ -205,7 +208,17 @@ func runServe(args []string, out io.Writer) error {
 	if err := validateServeConfig(cfg); err != nil {
 		return err
 	}
-	return serveUntilSignal(*addr, *pprofAddr, *platName, *forceBench, cfg, out)
+	return serveUntilSignal(serveAddrs{http: *addr, uds: *udsPath, tcpBin: *tcpBin, pprof: *pprofAddr},
+		*platName, *forceBench, cfg, out)
+}
+
+// serveAddrs is where one daemon listens: the HTTP surface plus the
+// optional binary-protocol and pprof side listeners.
+type serveAddrs struct {
+	http   string
+	uds    string // unix socket path for the wire protocol
+	tcpBin string // TCP address for the wire protocol
+	pprof  string
 }
 
 // validateServeConfig front-runs server.NewWithConfig's validation so
@@ -252,7 +265,7 @@ func validateServeConfig(cfg server.Config) error {
 
 // serveUntilSignal runs the daemon until SIGINT/SIGTERM, then shuts
 // down gracefully: in-flight requests drain and the journal flushes.
-func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg server.Config, out io.Writer) error {
+func serveUntilSignal(addrs serveAddrs, platName string, forceBench bool, cfg server.Config, out io.Writer) error {
 	// Register for signals before announcing the listener, so anything
 	// that saw "listening" can already shut us down cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -262,11 +275,11 @@ func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg ser
 	if err != nil {
 		return err
 	}
-	if pprofAddr != "" {
+	if addrs.pprof != "" {
 		// The profiler gets its own listener so the API surface stays
 		// clean: net/http/pprof registers on the default mux, which the
 		// daemon's handler never serves.
-		pln, err := net.Listen("tcp", pprofAddr)
+		pln, err := net.Listen("tcp", addrs.pprof)
 		if err != nil {
 			srv.Close()
 			return fmt.Errorf("pprof listener: %w", err)
@@ -275,12 +288,24 @@ func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg ser
 		fmt.Fprintf(out, "hetmemd: pprof on http://%s/debug/pprof/\n", pln.Addr())
 		go http.Serve(pln, nil)
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", addrs.http)
 	if err != nil {
 		srv.Close()
 		return err
 	}
 	fmt.Fprintf(out, "hetmemd: listening on http://%s\n", ln.Addr())
+
+	stopWire, err := serveWireListeners(wireEndpoints{
+		handler: srv.WireHandler(),
+		metrics: srv.Metrics(),
+		uds:     addrs.uds,
+		tcpBin:  addrs.tcpBin,
+	}, out)
+	if err != nil {
+		ln.Close()
+		srv.Close()
+		return err
+	}
 
 	hs := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
@@ -288,6 +313,7 @@ func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg ser
 
 	select {
 	case err := <-serveErr:
+		stopWire()
 		srv.Close()
 		return err
 	case <-ctx.Done():
@@ -298,6 +324,7 @@ func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg ser
 	if err := hs.Shutdown(shutCtx); err != nil {
 		hs.Close()
 	}
+	stopWire()
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("journal close: %w", err)
 	}
@@ -305,10 +332,62 @@ func serveUntilSignal(addr, pprofAddr, platName string, forceBench bool, cfg ser
 	return nil
 }
 
+// wireEndpoints is a node's binary-protocol serving configuration:
+// the dispatcher, the metrics its listeners feed, and where to bind.
+// Both the daemon and the cluster router serve the wire protocol
+// through it.
+type wireEndpoints struct {
+	handler wire.Handler
+	metrics *server.Metrics
+	uds     string
+	tcpBin  string
+}
+
+// serveWireListeners binds the requested binary-protocol listeners
+// and serves them in the background; the returned stop closes them
+// (and removes the socket file). With neither address set it is a
+// no-op.
+func serveWireListeners(eps wireEndpoints, out io.Writer) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+	if eps.uds != "" {
+		// A socket file left by a crashed daemon would fail the bind;
+		// the daemon owns its path, so a stale file is removed, not
+		// reported.
+		os.Remove(eps.uds)
+		uln, err := net.Listen("unix", eps.uds)
+		if err != nil {
+			return nil, fmt.Errorf("wire uds listener: %w", err)
+		}
+		ws := wire.NewServer(eps.handler, eps.metrics.TransportStats(server.TransportUDS))
+		go ws.Serve(uln)
+		fmt.Fprintf(out, "hetmemd: wire listening on unix://%s\n", eps.uds)
+		path := eps.uds
+		stops = append(stops, func() { ws.Close(); os.Remove(path) })
+	}
+	if eps.tcpBin != "" {
+		bln, err := net.Listen("tcp", eps.tcpBin)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("wire tcp listener: %w", err)
+		}
+		ws := wire.NewServer(eps.handler, eps.metrics.TransportStats(server.TransportTCPBin))
+		go ws.Serve(bln)
+		fmt.Fprintf(out, "hetmemd: wire listening on tcp+bin://%s\n", bln.Addr())
+		stops = append(stops, func() { ws.Close() })
+	}
+	return stop, nil
+}
+
 func runLoadtest(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hetmemd loadtest", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:7077 (empty: boot one in-process)")
+		addr     = fs.String("addr", "", "daemon base URL — http://host:port, unix:///path.sock, or tcp+bin://host:port (empty: boot one in-process)")
+		tsport   = fs.String("transport", "http", "in-process daemon transport: http, uds, or tcp-bin (with -addr, the URL scheme decides)")
 		platName = fs.String("p", "xeon", "platform for the in-process daemon")
 		clients  = fs.Int("clients", 8, "concurrent client goroutines")
 		requests = fs.Int("requests", 100, "operations per client")
@@ -354,13 +433,18 @@ func runLoadtest(args []string, out io.Writer) error {
 	ctx := context.Background()
 	base := *addr
 	if base == "" {
+		srv, err := buildServer(*platName, false, server.Config{}, out)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
 		var stop func()
-		var err error
-		base, stop, err = startServer("127.0.0.1:0", *platName, false, out)
+		base, stop, err = server.ServeTransport(srv, *tsport)
 		if err != nil {
 			return err
 		}
 		defer stop()
+		fmt.Fprintf(out, "hetmemd: listening on %s\n", base)
 	}
 
 	stats, err := server.LoadTest(ctx, base, server.LoadOptions{
@@ -409,6 +493,9 @@ func runBench(args []string, out io.Writer) error {
 		adv         = fs.Bool("advisor", false, "benchmark the tiering advisor: phased workload with the advisor on vs off")
 		advPath     = fs.String("advisor-out", "BENCH_advisor.json", "with -advisor: JSON artifact path (empty: stdout only)")
 		advPhases   = fs.Int("advisor-phases", 8, "with -advisor: pointer-chase phases per run")
+		noWire      = fs.Bool("no-wire", false, "skip the transport-comparison runs (http vs uds vs tcp-bin) and their acceptance gates")
+		wireClients = fs.Int("wire-clients", 4, "concurrent clients for the transport-comparison runs (low on purpose: they measure per-request latency, not saturation)")
+		basePath    = fs.String("baseline", "", "prior BENCH_alloc.json to gate the transport runs against (empty: read -out before overwriting it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -463,6 +550,24 @@ func runBench(args []string, out io.Writer) error {
 			GroupCommit: true,
 		}}})
 	}
+	if !*noWire {
+		// The transport trio: the same single-item workload over HTTP,
+		// the unix-socket wire protocol, and multiplexed binary TCP —
+		// journal off and few clients, so the numbers are per-request
+		// transport cost, not fsync queueing. wire_http is the
+		// like-for-like control for the two binary rows.
+		for _, t := range []struct{ name, transport string }{
+			{"wire_http", "http"}, {"wire_uds", "uds"}, {"wire_tcpbin", "tcp-bin"},
+		} {
+			runs = append(runs, struct {
+				name string
+				opts server.BenchOptions
+			}{t.name, server.BenchOptions{Transport: t.transport, Clients: *wireClients}})
+		}
+	}
+	// The gates compare against the last recorded report; read it
+	// before -out overwrites it.
+	prior := readPriorBench(*basePath, *outPath)
 
 	report := server.BenchReport{
 		Benchmark: "server_alloc",
@@ -480,7 +585,9 @@ func runBench(args []string, out io.Writer) error {
 	for trial := 0; trial < *trials; trial++ {
 		for i, r := range runs {
 			r.opts.Platform = *platName
-			r.opts.Clients = *clients
+			if r.opts.Clients == 0 {
+				r.opts.Clients = *clients
+			}
 			r.opts.Requests = *requests
 			r.opts.SizeBytes = *size
 			res, err := server.RunAllocBench(ctx, r.name, r.opts)
@@ -530,6 +637,72 @@ func runBench(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "hetmemd: bench report written to %s\n", *outPath)
 	}
+	if !*noWire {
+		// Gate after writing the artifact, so a failed gate still
+		// leaves the numbers behind for inspection.
+		return wireGates(report, prior, out)
+	}
+	return nil
+}
+
+// readPriorBench loads the last recorded BENCH_alloc.json (explicit
+// path, else the -out path before it is overwritten); nil when there
+// is none or it does not parse — first runs gate only on the absolute
+// targets.
+func readPriorBench(basePath, outPath string) *server.BenchReport {
+	if basePath == "" {
+		basePath = outPath
+	}
+	if basePath == "" {
+		return nil
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil
+	}
+	var p server.BenchReport
+	if json.Unmarshal(data, &p) != nil {
+		return nil
+	}
+	return &p
+}
+
+// wireGates enforces the binary-transport acceptance bars on a bench
+// report: the UDS wire path must hold a sub-100µs single-item p50,
+// beat the recorded single-item HTTP fast path (the committed
+// fast_zeroalloc row) by 10x in allocs/sec, and not regress its own
+// recorded p50 by more than 25%. CI greps for the PASS line.
+func wireGates(report server.BenchReport, prior *server.BenchReport, out io.Writer) error {
+	find := func(rs []server.BenchResult, name string) *server.BenchResult {
+		for i := range rs {
+			if rs[i].Name == name {
+				return &rs[i]
+			}
+		}
+		return nil
+	}
+	uds := find(report.Results, "wire_uds")
+	if uds == nil {
+		return fmt.Errorf("wire gate: no wire_uds result in the report")
+	}
+	if uds.P50Micros >= 100 {
+		return fmt.Errorf("wire gate: uds single-item p50 %.0fµs misses the 100µs target", uds.P50Micros)
+	}
+	if prior != nil {
+		if base := find(prior.Results, "fast_zeroalloc"); base != nil && base.AllocsPerSec > 0 {
+			speedup := uds.AllocsPerSec / base.AllocsPerSec
+			fmt.Fprintf(out, "hetmemd: bench wire_uds vs recorded single-item fast path: %.1fx\n", speedup)
+			if speedup < 10 {
+				return fmt.Errorf("wire gate: uds %.0f allocs/s is %.1fx the recorded single-item fast path (%.0f allocs/s); the bar is 10x",
+					uds.AllocsPerSec, speedup, base.AllocsPerSec)
+			}
+		}
+		if pu := find(prior.Results, "wire_uds"); pu != nil && pu.P50Micros > 0 && uds.P50Micros > 1.25*pu.P50Micros {
+			return fmt.Errorf("wire gate: uds p50 %.0fµs regressed more than 25%% against the recorded %.0fµs",
+				uds.P50Micros, pu.P50Micros)
+		}
+	}
+	fmt.Fprintf(out, "hetmemd: wire transports PASS (uds %.0f allocs/s, p50 %.0fµs)\n", uds.AllocsPerSec, uds.P50Micros)
 	return nil
 }
 

@@ -247,9 +247,11 @@ func TestServeGracefulShutdown(t *testing.T) {
 		defer mu.Unlock()
 		return out.Write(p)
 	})
+	udsPath := filepath.Join(os.TempDir(), "hetmemd-serve-test.sock")
+	defer os.Remove(udsPath)
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilSignal(addr, "", "xeon", false, server.Config{JournalPath: journal}, w)
+		done <- serveUntilSignal(serveAddrs{http: addr, uds: udsPath}, "xeon", false, server.Config{JournalPath: journal}, w)
 	}()
 
 	// Wait for the daemon to come up, then do real work over the wire.
@@ -268,6 +270,14 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 	if _, err := cl.Alloc(ctx, server.AllocRequest{Name: "g", Size: 1 << 30, Attr: "Bandwidth", Initiator: "0-19"}); err != nil {
 		t.Fatal(err)
+	}
+
+	// The -uds side listener serves the same daemon over the binary
+	// protocol.
+	wcl := server.NewClient("unix://"+udsPath, server.WithoutHeartbeat())
+	defer wcl.Close()
+	if _, err := wcl.Health(ctx); err != nil {
+		t.Fatalf("health over the uds wire listener: %v", err)
 	}
 
 	// The registered NotifyContext turns our SIGTERM into a graceful

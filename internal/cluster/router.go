@@ -16,6 +16,7 @@ import (
 	"hetmem/internal/server"
 	"hetmem/internal/tenant"
 	"hetmem/internal/topology"
+	"hetmem/internal/wire"
 )
 
 // Config describes the cluster a Router fronts.
@@ -328,6 +329,13 @@ func (r *Router) appendLocked(rec journal.Record) error {
 // Handler returns the router's HTTP surface: the full /v1 API plus
 // the deprecated legacy aliases, identical to a daemon's.
 func (r *Router) Handler() http.Handler { return r.api.Handler() }
+
+// WireHandler returns the router's binary-protocol dispatcher, so a
+// federation front-end serves the wire ops (-uds/-tcp-bin) through
+// the same placement paths as its HTTP surface. Lease-detail answers
+// 404 here, matching the router's HTTP mux, which has no per-lease
+// detail route.
+func (r *Router) WireHandler() wire.Handler { return r.api.WireHandler() }
 
 // Metrics returns the router's live request metrics.
 func (r *Router) Metrics() *server.Metrics { return r.api.Metrics() }

@@ -9,6 +9,7 @@ package server
 // migrate path under the shared rebalance budget.
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -274,10 +275,20 @@ func (s *Server) handleLeaseDetail(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	resp, err := s.LeaseDetail(r.Context(), id)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeLeaseDetailResponse(w, resp)
+}
+
+// LeaseDetail is the LeaseDetailer entry behind GET /v1/leases/{id},
+// shared with the binary transport's lease-detail op.
+func (s *Server) LeaseDetail(ctx context.Context, id uint64) (LeaseDetailResponse, error) {
 	l, ok := s.leases.get(id)
 	if !ok {
-		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, id))
-		return
+		return LeaseDetailResponse{}, fmt.Errorf("%w: %d", errNoSuchLease, id)
 	}
 	resp := LeaseDetailResponse{
 		Lease:      l.id,
@@ -294,5 +305,5 @@ func (s *Server) handleLeaseDetail(w http.ResponseWriter, r *http.Request) {
 		resp.Class = s.advisor.Classification(l.id)
 	}
 	l.release()
-	s.writeLeaseDetailResponse(w, resp)
+	return resp, nil
 }

@@ -100,6 +100,14 @@ func (a *apiBase) instrument(e Endpoint, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		h(sw, withRequestTenant(r))
 		a.metrics.Observe(e, time.Since(start), sw.status >= 400)
+		// The HTTP slot of the per-transport counters; the binary
+		// listeners feed theirs from inside wire.Server.
+		hs := a.metrics.TransportStats(TransportHTTP)
+		hs.Requests.Add(1)
+		if r.ContentLength > 0 {
+			hs.BytesRx.Add(uint64(r.ContentLength))
+		}
+		hs.BytesTx.Add(uint64(sw.bytes))
 	}
 }
 

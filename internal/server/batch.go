@@ -9,6 +9,7 @@ package server
 // every placed item is unwound).
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -36,25 +37,36 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	resp, err := s.AllocBatch(r.Context(), req.Requests)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeBatchAllocResponse(w, &resp)
+}
 
-	resp := BatchAllocResponse{Results: make([]BatchAllocItem, len(req.Requests))}
+// AllocBatch is the Backend entry behind /v1/alloc/batch: every item
+// placed independently, one journal batch for the lot.
+func (s *Server) AllocBatch(ctx context.Context, reqs []AllocRequest) (BatchAllocResponse, error) {
+	resp := BatchAllocResponse{Results: make([]BatchAllocItem, len(reqs))}
 	fail := func(i int, err error) {
 		_, body := s.errorBody(err)
 		resp.Results[i].Error = &body
 		s.metrics.AllocFailed.Add(1)
 	}
 	// One tenant per batch: the whole request rode in under one
-	// X-Hetmem-Tenant header. Burstable batch items use the
-	// non-queueing class check — parking a half-placed batch in the
-	// admission queue would hold its placements hostage.
-	tn := s.tenants.Get(TenantFromContext(r.Context()))
-	tenantEcho := TenantFromContext(r.Context())
+	// X-Hetmem-Tenant header (or one wire tenant field). Burstable
+	// batch items use the non-queueing class check — parking a
+	// half-placed batch in the admission queue would hold its
+	// placements hostage.
+	tn := s.tenants.Get(TenantFromContext(ctx))
+	tenantEcho := TenantFromContext(ctx)
 
 	// Phase 1: place every item. Capacity is claimed under the per-node
 	// locks as each placement lands, so items in the same batch see each
 	// other's usage — a batch cannot oversubscribe a node.
 	var placed []batchItem
-	for i, item := range req.Requests {
+	for i, item := range reqs {
 		if err := validateAllocRequest(item); err != nil {
 			fail(i, err)
 			continue
@@ -185,7 +197,7 @@ func (s *Server) handleAllocBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Succeeded++
 		}
 	}
-	s.writeBatchAllocResponse(w, &resp)
+	return resp, nil
 }
 
 // journalBatch appends one OpAlloc record per placed item as a single

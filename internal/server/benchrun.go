@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"hetmem/internal/core"
+	"hetmem/internal/wire"
 )
 
 // BenchOptions configures one RunAllocBench run.
@@ -35,6 +38,11 @@ type BenchOptions struct {
 	// Batch > 1 allocates through /v1/alloc/batch in groups of this
 	// many items per round trip (each still freed individually).
 	Batch int
+	// Transport selects how the clients reach the daemon: "" or
+	// "http" (HTTP/1.1), "uds" (binary protocol over a unix socket),
+	// or "tcp-bin" (binary protocol over one multiplexed TCP
+	// connection per client).
+	Transport string
 	// Server is the daemon configuration under test.
 	Server Config
 }
@@ -72,7 +80,10 @@ type BenchReport struct {
 // BenchResult is one configuration's measurement, JSON-ready for
 // BENCH_alloc.json.
 type BenchResult struct {
-	Name         string  `json:"name"`
+	Name string `json:"name"`
+	// Transport is the client transport of the run ("http" when
+	// empty; "uds" and "tcp-bin" are the binary wire protocol).
+	Transport    string  `json:"transport,omitempty"`
 	Clients      int     `json:"clients"`
 	Allocs       int     `json:"allocs"`
 	Seconds      float64 `json:"seconds"`
@@ -119,14 +130,23 @@ func RunAllocBench(ctx context.Context, name string, opts BenchOptions) (BenchRe
 		return BenchResult{}, err
 	}
 	defer srv.Close()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	base, stopListen, err := ServeTransport(srv, opts.Transport)
 	if err != nil {
 		return BenchResult{}, err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
-	go hs.Serve(ln)
-	defer hs.Close()
-	base := "http://" + ln.Addr().String()
+	defer stopListen()
+
+	// The binary transports' deployment model is ONE persistent
+	// multiplexed connection carrying every client's requests — that is
+	// what the request IDs and the group-commit write coalescing exist
+	// for — so the bench shares a single Client across the goroutines.
+	// HTTP keeps a client per goroutine (its deployment model is pooled
+	// connections), matching the earlier bench rows.
+	var shared *Client
+	if opts.Transport == "uds" || opts.Transport == "tcp-bin" {
+		shared = NewClient(base, WithRetryPolicy(NoRetry), WithoutHeartbeat())
+		defer shared.Close()
+	}
 
 	hits0, misses0 := sys.Allocator.CacheStats()
 	lat := make([][]time.Duration, opts.Clients)
@@ -140,7 +160,10 @@ func RunAllocBench(ctx context.Context, name string, opts BenchOptions) (BenchRe
 			defer wg.Done()
 			// Benchmark the request path, not the retry machinery or the
 			// background heartbeater.
-			cl := NewClient(base, WithRetryPolicy(NoRetry), WithoutHeartbeat())
+			cl := shared
+			if cl == nil {
+				cl = NewClient(base, WithRetryPolicy(NoRetry), WithoutHeartbeat())
+			}
 			req := AllocRequest{
 				Name: "bench", Size: opts.SizeBytes, Attr: "Bandwidth", Initiator: "0-19",
 			}
@@ -168,6 +191,7 @@ func RunAllocBench(ctx context.Context, name string, opts BenchOptions) (BenchRe
 	allocs := opts.Clients * opts.Requests
 	res := BenchResult{
 		Name:         name,
+		Transport:    opts.Transport,
 		Clients:      opts.Clients,
 		Allocs:       allocs,
 		Seconds:      elapsed.Seconds(),
@@ -189,6 +213,48 @@ func RunAllocBench(ctx context.Context, name string, opts BenchOptions) (BenchRe
 		res.P99BatchMicros = percentileMicros(batches, 0.99)
 	}
 	return res, nil
+}
+
+// ServeTransport binds srv to a fresh ephemeral listener speaking the
+// named transport ("" or "http", "uds", "tcp-bin") and serves it in
+// the background. The returned base is ready for NewClient; stop
+// shuts the listener down (the daemon itself is left to the caller).
+// The bench and loadtest harnesses use it to run the same workload
+// over every transport.
+func ServeTransport(srv *Server, transport string) (base string, stop func(), err error) {
+	switch transport {
+	case "", "http":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+	case "uds":
+		dir, err := os.MkdirTemp("", "hetmemd-uds-")
+		if err != nil {
+			return "", nil, err
+		}
+		path := filepath.Join(dir, "hetmemd.sock")
+		ln, err := net.Listen("unix", path)
+		if err != nil {
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		ws := wire.NewServer(srv.WireHandler(), srv.Metrics().TransportStats(TransportUDS))
+		go ws.Serve(ln)
+		return "unix://" + path, func() { ws.Close(); os.RemoveAll(dir) }, nil
+	case "tcp-bin":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, err
+		}
+		ws := wire.NewServer(srv.WireHandler(), srv.Metrics().TransportStats(TransportTCPBin))
+		go ws.Serve(ln)
+		return "tcp+bin://" + ln.Addr().String(), func() { ws.Close() }, nil
+	}
+	return "", nil, fmt.Errorf("unknown transport %q (want http, uds, or tcp-bin)", transport)
 }
 
 // benchClient runs one client's alloc/free round trips, recording each

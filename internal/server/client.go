@@ -18,6 +18,7 @@ import (
 
 	"hetmem/internal/advisor"
 	"hetmem/internal/topology"
+	"hetmem/internal/wire"
 )
 
 // RetryPolicy controls the client's resilience to transient failures:
@@ -62,6 +63,10 @@ type Client struct {
 	// tenant is stamped on every request as X-Hetmem-Tenant. A
 	// per-request tenant in the context (ContextWithTenant) wins.
 	tenant string
+	// wc is the binary-protocol transport, non-nil when the base URL
+	// is unix:// or tcp+bin://; see clientwire.go. When set, do()
+	// exchanges wire frames instead of HTTP requests.
+	wc *wire.Client
 }
 
 // ClientOption customizes a Client.
@@ -113,7 +118,10 @@ func WithTenant(name string) ClientOption {
 }
 
 // NewClient returns a client for the daemon at base, e.g.
-// "http://127.0.0.1:7077".
+// "http://127.0.0.1:7077". A "unix:///path.sock" or
+// "tcp+bin://host:port" base selects the binary wire protocol over a
+// persistent multiplexed connection instead of HTTP; every method,
+// option, and error behaves identically (see clientwire.go).
 //
 // The client keeps its own connection pool sized for talking to one
 // host: http.DefaultTransport caps idle connections per host at 2,
@@ -131,6 +139,7 @@ func NewClient(base string, opts ...ClientOption) *Client {
 		http:           &http.Client{Transport: tr},
 		retry:          DefaultRetry,
 		attemptTimeout: 30 * time.Second,
+		wc:             wireBaseFor(base),
 	}
 	for _, o := range opts {
 		o(c)
@@ -145,11 +154,15 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	return c
 }
 
-// Close stops the background heartbeater (if it ever started). The
-// client itself remains usable; held TTL leases just stop being
+// Close stops the background heartbeater (if it ever started) and
+// drops the binary transport's connection. The client itself remains
+// usable (a later call re-dials); held TTL leases just stop being
 // renewed.
 func (c *Client) Close() error {
 	c.hb.stopAll()
+	if c.wc != nil {
+		return c.wc.Close()
+	}
 	return nil
 }
 
@@ -274,6 +287,17 @@ type doResult struct {
 func (c *Client) do(ctx context.Context, method, path string, payload []byte, idempotent bool) (doResult, error) {
 	var res doResult
 	var lastErr error
+	// On a binary transport, resolve the wire op before burning
+	// attempts: an unmapped path (the advisor control surface) fails
+	// identically every time.
+	var wop wire.Op
+	var wbody []byte
+	if c.wc != nil {
+		var err error
+		if wop, wbody, err = wireOpFor(method, path, payload); err != nil {
+			return res, err
+		}
+	}
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if err := c.breaker.allow(); err != nil {
 			if lastErr != nil {
@@ -307,10 +331,6 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 			case <-t.C:
 			}
 		}
-		var body io.Reader
-		if payload != nil {
-			body = bytes.NewReader(payload)
-		}
 		// Each attempt gets its own deadline under the caller's: a
 		// member that accepted the connection and went silent (an
 		// asymmetric partition) fails this attempt at attemptTimeout
@@ -319,60 +339,91 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, id
 		if c.attemptTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
 		}
-		req, err := http.NewRequestWithContext(attemptCtx, method, c.base+path, body)
-		if err != nil {
+		if c.wc != nil {
+			status, data, err := c.wc.RoundTrip(attemptCtx, wop, c.requestTenant(ctx), wbody)
 			cancel()
-			return res, err
-		}
-		if payload != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		if t := TenantFromContext(ctx); t != "" {
-			req.Header.Set(TenantHeader, t)
-		} else if c.tenant != "" {
-			req.Header.Set(TenantHeader, c.tenant)
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
+			if err != nil {
+				if ctx.Err() != nil {
+					return res, ctx.Err()
+				}
+				c.breaker.record(false)
+				// ErrNotSent proves the frame never reached the daemon
+				// (a failed dial, or registration on a connection that
+				// had already died): as safe to replay as a refused TCP
+				// SYN. A mid-stream drop is the muxed transport's
+				// ambiguous failure — the daemon may have processed the
+				// frame and the answer died with the connection — so
+				// non-idempotent requests fail fast, exactly like an
+				// HTTP reset mid-exchange.
+				if !idempotent && !errors.Is(err, wire.ErrNotSent) {
+					return res, fmt.Errorf("server: transport error on non-idempotent request: %w", err)
+				}
+				res.transportRetries++
+				lastErr = err
+				continue
+			}
+			c.breaker.record(true)
+			res.status = status
+			res.body = data
+			res.retryAfter = wireRetryAfter(status, data)
+		} else {
+			var body io.Reader
+			if payload != nil {
+				body = bytes.NewReader(payload)
+			}
+			req, err := http.NewRequestWithContext(attemptCtx, method, c.base+path, body)
+			if err != nil {
+				cancel()
+				return res, err
+			}
+			if payload != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			if t := c.requestTenant(ctx); t != "" {
+				req.Header.Set(TenantHeader, t)
+			}
+			resp, err := c.http.Do(req)
+			if err != nil {
+				cancel()
+				if ctx.Err() != nil {
+					return res, ctx.Err()
+				}
+				c.breaker.record(false)
+				if !idempotent && !connRefused(err) {
+					// The server may have seen this one; replaying it blind
+					// could double its effect. Let the caller decide.
+					return res, fmt.Errorf("server: transport error on non-idempotent request: %w", err)
+				}
+				res.transportRetries++
+				lastErr = err
+				continue
+			}
+			// Any HTTP response — even an error status — means the daemon
+			// is reachable and talking: the breaker records success.
+			c.breaker.record(true)
+			data, err := readBody(resp)
+			resp.Body.Close()
 			cancel()
-			if ctx.Err() != nil {
-				return res, ctx.Err()
+			if err != nil {
+				if ctx.Err() != nil {
+					return res, ctx.Err()
+				}
+				res.transportRetries++
+				lastErr = err
+				continue
 			}
-			c.breaker.record(false)
-			if !idempotent && !connRefused(err) {
-				// The server may have seen this one; replaying it blind
-				// could double its effect. Let the caller decide.
-				return res, fmt.Errorf("server: transport error on non-idempotent request: %w", err)
-			}
-			res.transportRetries++
-			lastErr = err
-			continue
+			res.status = resp.StatusCode
+			res.body = data
+			res.retryAfter = parseRetryAfter(resp.Header)
 		}
-		// Any HTTP response — even an error status — means the daemon
-		// is reachable and talking: the breaker records success.
-		c.breaker.record(true)
-		data, err := readBody(resp)
-		resp.Body.Close()
-		cancel()
-		if err != nil {
-			if ctx.Err() != nil {
-				return res, ctx.Err()
-			}
-			res.transportRetries++
-			lastErr = err
-			continue
-		}
-		res.status = resp.StatusCode
-		res.body = data
-		res.retryAfter = parseRetryAfter(resp.Header)
-		if retryableStatus(resp.StatusCode) {
+		if retryableStatus(res.status) {
 			// The status alone is not the last word: quota_exceeded
 			// rides on 429 but is terminal — the daemon has room, this
 			// tenant does not, and replaying the request only burns the
 			// retry budget against a limit that will not move. Trust
 			// the envelope's own retryable verdict when it carries one.
 			var v1 ErrorBody
-			if json.Unmarshal(data, &v1) == nil && v1.Code != "" && !v1.Retryable {
+			if json.Unmarshal(res.body, &v1) == nil && v1.Code != "" && !v1.Retryable {
 				return res, nil
 			}
 			lastErr = nil

@@ -8,7 +8,24 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"hetmem/internal/wire"
 )
+
+// Transport indexes the per-transport counter slots: the HTTP surface
+// and the two binary listeners.
+const (
+	TransportHTTP = iota
+	TransportUDS
+	TransportTCPBin
+	numTransports
+)
+
+// transportNames label the hetmemd_transport_* series; the fixed order
+// (and the all-zero rows for unmounted transports) keeps the /metrics
+// text deterministic, so cluster rollups sum the same series on every
+// member.
+var transportNames = [numTransports]string{"http", "uds", "tcp-bin"}
 
 // Endpoint indexes the daemon's request counters.
 type Endpoint int
@@ -103,7 +120,20 @@ type Metrics struct {
 	// for the _sum series.
 	journalBatch    [numBatchBuckets + 1]atomic.Uint64
 	journalBatchSum atomic.Uint64
+
+	// transports is the per-transport observability block: requests,
+	// frame/request bytes, live connections, and decode errors, one
+	// slot per transport label. The binary listeners write their slots
+	// directly (each wire.Server is built with a pointer into this
+	// array); the HTTP slot is fed by instrument and the ConnState
+	// hook.
+	transports [numTransports]wire.Stats
 }
+
+// TransportStats returns the counter slot for one transport index
+// (TransportHTTP, TransportUDS, TransportTCPBin); the daemon hands
+// these to its wire listeners at mount time.
+func (m *Metrics) TransportStats(t int) *wire.Stats { return &m.transports[t] }
 
 // journalBatchBuckets are the group-commit batch-size histogram upper
 // bounds (records per fsync), doubling up to the default batch cap.
@@ -211,6 +241,16 @@ func (m *Metrics) Render(nodes []NodeUsage, leases int) string {
 	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_bucket{le=\"+Inf\"} %d\n", batchCum)
 	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_sum %d\n", m.journalBatchSum.Load())
 	fmt.Fprintf(&sb, "hetmemd_journal_batch_size_count %d\n", batchCount)
+
+	for t := 0; t < numTransports; t++ {
+		name := transportNames[t]
+		st := &m.transports[t]
+		fmt.Fprintf(&sb, "hetmemd_transport_requests_total{transport=%q} %d\n", name, st.Requests.Load())
+		fmt.Fprintf(&sb, "hetmemd_transport_bytes_rx_total{transport=%q} %d\n", name, st.BytesRx.Load())
+		fmt.Fprintf(&sb, "hetmemd_transport_bytes_tx_total{transport=%q} %d\n", name, st.BytesTx.Load())
+		fmt.Fprintf(&sb, "hetmemd_transport_active_conns{transport=%q} %d\n", name, st.ActiveConns.Load())
+		fmt.Fprintf(&sb, "hetmemd_transport_decode_errors_total{transport=%q} %d\n", name, st.DecodeErrors.Load())
+	}
 
 	for _, n := range nodes {
 		fmt.Fprintf(&sb, "hetmemd_node_capacity_bytes{node=%q} %d\n", n.Node, n.Capacity)

@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -559,15 +560,23 @@ func segmentsOf(b *memsim.Buffer) []journal.Segment {
 	return out
 }
 
-// statusWriter records the status code for instrumentation.
+// statusWriter records the status code and body bytes for
+// instrumentation.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -589,9 +598,23 @@ func isV1(r *http.Request) bool {
 
 var errNoSuchLease = errors.New("server: no such lease")
 
+// Server implements Backend (plus LeaseDetailer), so the binary
+// transport can dispatch into it exactly like cluster.Router.
+var (
+	_ Backend       = (*Server)(nil)
+	_ LeaseDetailer = (*Server)(nil)
+)
+
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(s.topoJSON)
+}
+
+// TopologyJSON is the Backend entry behind /v1/topology. The topology
+// tree is immutable after discovery, so the body is the boot-time
+// export.
+func (s *Server) TopologyJSON(ctx context.Context) ([]byte, error) {
+	return s.topoJSON, nil
 }
 
 // attrReports assembles the /v1/attrs JSON view from the registry.
@@ -633,16 +656,21 @@ func (s *Server) handleAttrs(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, lstopo.RenderMemAttrs(s.sys.Registry))
 		return
 	}
-	if snap := s.epochRead(); snap != nil {
-		writeJSON(w, http.StatusOK, snap.attrs)
-		return
-	}
-	out, err := s.attrReports()
+	out, err := s.Attrs(r.Context())
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// Attrs is the Backend entry behind /v1/attrs (the JSON dump; the
+// lstopo text rendering stays HTTP-only).
+func (s *Server) Attrs(ctx context.Context) ([]AttrReport, error) {
+	if snap := s.epochRead(); snap != nil {
+		return snap.attrs, nil
+	}
+	return s.attrReports()
 }
 
 // resolveInitiator widens an absent initiator to the whole machine.
@@ -680,14 +708,19 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	if req.IdempotencyKey == "" {
-		resp, err := s.doAlloc(r.Context(), req)
-		if err != nil {
-			s.writeError(w, r, err)
-			return
-		}
-		s.writeAllocResponse(w, &resp)
+	resp, err := s.Alloc(r.Context(), req)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
+	}
+	s.writeAllocResponse(w, &resp)
+}
+
+// Alloc is the Backend entry: the idempotency-key protocol around
+// doAlloc, shared by the HTTP handler and the binary transport.
+func (s *Server) Alloc(ctx context.Context, req AllocRequest) (AllocResponse, error) {
+	if req.IdempotencyKey == "" {
+		return s.doAlloc(ctx, req)
 	}
 
 	e, owner := s.idem.begin(req.IdempotencyKey)
@@ -696,27 +729,23 @@ func (s *Server) handleAlloc(w http.ResponseWriter, r *http.Request) {
 		// its outcome and replay it instead of allocating twice.
 		select {
 		case <-e.done:
-		case <-r.Context().Done():
-			s.writeError(w, r, fmt.Errorf("%w: canceled waiting for idempotent result", ErrOverloaded))
-			return
+		case <-ctx.Done():
+			return AllocResponse{}, fmt.Errorf("%w: canceled waiting for idempotent result", ErrOverloaded)
 		}
 		s.metrics.IdemReplays.Add(1)
 		if e.err != nil {
-			s.writeError(w, r, e.err)
-			return
+			return AllocResponse{}, e.err
 		}
-		s.writeAllocResponse(w, &e.resp)
-		return
+		return e.resp, nil
 	}
-	resp, err := s.doAlloc(r.Context(), req)
+	resp, err := s.doAlloc(ctx, req)
 	if err != nil {
 		// Failed attempts are forgotten so a later retry can succeed.
 		s.idem.fail(req.IdempotencyKey, e, err)
-		s.writeError(w, r, err)
-		return
+		return AllocResponse{}, err
 	}
 	s.idem.succeed(e, resp)
-	s.writeAllocResponse(w, &resp)
+	return resp, nil
 }
 
 // doAlloc performs the placement, charges the tenant, journals it,
@@ -873,10 +902,19 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	resp, err := s.Renew(r.Context(), req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeRenewResponse(w, &resp)
+}
+
+// Renew is the Backend entry behind /v1/renew: the lease heartbeat.
+func (s *Server) Renew(ctx context.Context, req RenewRequest) (RenewResponse, error) {
 	l, ok := s.leases.get(req.Lease)
 	if !ok {
-		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
-		return
+		return RenewResponse{}, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease)
 	}
 	if req.TTLSeconds > 0 {
 		l.setTTL(s.grantTTL(req.TTLSeconds))
@@ -885,7 +923,7 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	resp := RenewResponse{Lease: l.id, TTLSeconds: l.getTTL().Seconds()}
 	l.release()
 	s.metrics.RenewTotal.Add(1)
-	s.writeRenewResponse(w, &resp)
+	return resp, nil
 }
 
 func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
@@ -894,6 +932,16 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	resp, err := s.Free(r.Context(), req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.writeFreeResponse(w, &resp)
+}
+
+// Free is the Backend entry behind /v1/free.
+func (s *Server) Free(ctx context.Context, req FreeRequest) (FreeResponse, error) {
 	// The checkpoint lock spans removal, free, and journal append: a
 	// snapshot either still holds the lease (and its free lands in the
 	// fresh WAL) or holds neither.
@@ -901,12 +949,11 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 	l, ok := s.leases.take(req.Lease)
 	if !ok {
 		s.ckmu.RUnlock()
-		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
-		return
+		return FreeResponse{}, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease)
 	}
 	l.jmu.Lock()
 	segs := l.buf.SegmentsSnapshot()
-	err = s.sys.Machine.Free(l.buf)
+	err := s.sys.Machine.Free(l.buf)
 	if err == nil {
 		// On failure here the memory is already released but the WAL may
 		// still say the lease is alive; restart resurrects it as an
@@ -926,15 +973,14 @@ func (s *Server) handleFree(w http.ResponseWriter, r *http.Request) {
 		s.admitGate.broadcast()
 	}
 	if err != nil {
-		s.writeError(w, r, err)
-		return
+		return FreeResponse{}, err
 	}
 	if key != "" {
 		s.idem.forget(key)
 	}
 	s.bumpEpoch()
 	s.metrics.FreeTotal.Add(1)
-	s.writeFreeResponse(w, &FreeResponse{Lease: req.Lease, Freed: true})
+	return FreeResponse{Lease: req.Lease, Freed: true}, nil
 }
 
 func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
@@ -943,14 +989,22 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	if _, ok := s.sys.Registry.ByName(req.Attr); !ok {
-		s.writeError(w, r, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr))
+	resp, err := s.Migrate(r.Context(), req)
+	if err != nil {
+		s.writeError(w, r, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Migrate is the Backend entry behind /v1/migrate.
+func (s *Server) Migrate(ctx context.Context, req MigrateRequest) (MigrateResponse, error) {
+	if _, ok := s.sys.Registry.ByName(req.Attr); !ok {
+		return MigrateResponse{}, fmt.Errorf("%w: unknown attribute %q", ErrBadRequest, req.Attr)
 	}
 	l, ok := s.leases.get(req.Lease)
 	if !ok {
-		s.writeError(w, r, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease))
-		return
+		return MigrateResponse{}, fmt.Errorf("%w: %d", errNoSuchLease, req.Lease)
 	}
 	s.ckmu.RLock()
 	l.jmu.Lock()
@@ -959,18 +1013,17 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
 	s.ckmu.RUnlock()
 	if err != nil {
 		l.release()
-		s.writeError(w, r, err)
-		return
+		return MigrateResponse{}, err
 	}
 	placement := l.buf.NodeNames()
 	l.release()
 	s.metrics.MigrateTotal.Add(1)
-	writeJSON(w, http.StatusOK, MigrateResponse{
+	return MigrateResponse{
 		Lease:       req.Lease,
 		Placement:   placement,
 		Rank:        dec.RankPosition,
 		CostSeconds: cost,
-	})
+	}, nil
 }
 
 // leasesResponse assembles the live lease table view; the per-node
@@ -1010,20 +1063,38 @@ func (s *Server) leasesResponse(includeList bool) LeasesResponse {
 }
 
 func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
-	includeList := r.URL.Query().Get("list") != ""
-	snap := s.epochRead()
-	if snap == nil {
-		writeJSON(w, http.StatusOK, s.leasesResponse(includeList))
+	resp, err := s.Leases(r.Context(), r.URL.Query().Get("list") != "")
+	if err != nil {
+		s.writeError(w, r, err)
 		return
-	}
-	resp := snap.leases // shallow copy; shared map/slice are immutable
-	if !includeList {
-		resp.Leases = nil
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Leases is the Backend entry behind /v1/leases.
+func (s *Server) Leases(ctx context.Context, list bool) (LeasesResponse, error) {
+	snap := s.epochRead()
+	if snap == nil {
+		return s.leasesResponse(list), nil
+	}
+	resp := snap.leases // shallow copy; shared map/slice are immutable
+	if !list {
+		resp.Leases = nil
+	}
+	return resp, nil
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Health(r.Context())
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Health is the Backend entry behind /v1/health.
+func (s *Server) Health(ctx context.Context) (HealthResponse, error) {
 	states := s.health.snapshot()
 	resp := HealthResponse{Status: "ok", InstanceID: s.instanceID, ShedWatermark: s.cfg.ShedWatermark}
 	if s.store != nil {
@@ -1044,10 +1115,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			State: st.String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.WriteMetrics(r.Context(), w)
+}
+
+// WriteMetrics is the Backend entry behind /metrics: it renders the
+// full metrics text to w.
+func (s *Server) WriteMetrics(ctx context.Context, w io.Writer) error {
 	// Per-node gauges and the lease count come from the epoch snapshot
 	// (they only change when a writer bumps the epoch); the scalar
 	// counters are atomics read live, so they are exact even between
@@ -1074,7 +1152,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.sys.Allocator.CacheStats()
 	s.metrics.PlacementCacheHits.Store(hits)
 	s.metrics.PlacementCacheMisses.Store(misses)
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "hetmemd_instance_info{instance_id=%q} 1\n", s.instanceID)
 	fmt.Fprint(w, s.metrics.Render(nodes, leaseCount))
 	s.tenants.WriteMetrics(w)
@@ -1083,4 +1160,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "hetmemd_wal_bytes %d\n", s.store.WALBytes())
 		fmt.Fprintf(w, "hetmemd_checkpoint_seq %d\n", s.store.Seq())
 	}
+	return nil
 }

@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Error kinds for transport-failure classification. The distinction is
+// the whole point of satellite retry safety: a request that provably
+// never reached the server (the dial failed, or the connection was
+// already dead before a byte of the frame was queued) is safe to retry
+// even when non-idempotent; a connection that dropped after the frame
+// was written is ambiguous — the server may have processed the request
+// without us seeing the answer — so only idempotent requests may
+// replay it.
+var (
+	// ErrNotSent: the request provably never reached the server.
+	ErrNotSent = errors.New("wire: request not sent")
+	// ErrConnDropped: the connection died with the request in flight.
+	ErrConnDropped = errors.New("wire: connection dropped mid-request")
+)
+
+// transportError pairs the classification sentinel with the underlying
+// error, and unwraps to both — errors.Is sees ErrNotSent/ErrConnDropped
+// AND syscall-level causes like ECONNREFUSED through one wrapper.
+type transportError struct {
+	kind error // ErrNotSent or ErrConnDropped
+	err  error
+}
+
+func (e *transportError) Error() string   { return e.kind.Error() + ": " + e.err.Error() }
+func (e *transportError) Unwrap() []error { return []error{e.kind, e.err} }
+
+func notSent(err error) error     { return &transportError{kind: ErrNotSent, err: err} }
+func connDropped(err error) error { return &transportError{kind: ErrConnDropped, err: err} }
+
+// Client is one multiplexed binary-protocol connection to a daemon,
+// with lazy dialing and automatic re-establishment: the first
+// RoundTrip after a drop dials fresh. It is safe for concurrent use —
+// that is the point: many goroutines share the one connection, each
+// request tagged with a unique ID, responses correlated as they
+// arrive in any order.
+//
+// The Client retries nothing itself. Retry policy, backoff, circuit
+// breaking, and idempotency live in server.Client, which treats this
+// as one transport attempt; the error classification above tells it
+// which failures are replayable.
+type Client struct {
+	network string // "unix" or "tcp"
+	addr    string
+
+	dialTimeout time.Duration
+	nextID      atomic.Uint64
+
+	mu sync.Mutex
+	cc *clientConn
+}
+
+// NewClient prepares a client for the daemon's binary listener at
+// network/addr ("unix" + socket path, or "tcp" + host:port). No
+// connection is made until the first RoundTrip.
+func NewClient(network, addr string) *Client {
+	return &Client{network: network, addr: addr, dialTimeout: 10 * time.Second}
+}
+
+// Close drops the current connection (if any); in-flight requests fail
+// with ErrConnDropped. The client remains usable — the next RoundTrip
+// redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(connDropped(errors.New("client closed")))
+	}
+	return nil
+}
+
+// RoundTrip sends one request and waits for its response. The returned
+// body is freshly allocated and owned by the caller. Errors unwrap to
+// ErrNotSent or ErrConnDropped (see above); a context error is
+// returned as-is.
+func (c *Client) RoundTrip(ctx context.Context, op Op, tenant string, body []byte) (status int, respBody []byte, err error) {
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return 0, nil, notSent(err)
+	}
+	id := c.nextID.Add(1)
+	ch, err := cc.register(id)
+	if err != nil {
+		// The connection died between our dial/lookup and registration;
+		// nothing of this request was ever queued.
+		return 0, nil, notSent(err)
+	}
+
+	bp := getBuf()
+	frame, err := AppendRequest((*bp)[:0], op, id, tenant, body)
+	if err != nil {
+		*bp = frame[:0]
+		putBuf(bp)
+		cc.forget(id)
+		return 0, nil, notSent(err)
+	}
+	*bp = frame
+	if err := cc.write(frame); err != nil {
+		putBuf(bp)
+		cc.forget(id)
+		// A write error after bytes may have left the socket is
+		// ambiguous; fail the whole connection so every waiter learns.
+		cc.fail(connDropped(err))
+		return 0, nil, connDropped(err)
+	}
+	putBuf(bp)
+
+	select {
+	case r := <-ch:
+		return r.status, r.body, r.err
+	case <-ctx.Done():
+		cc.forget(id)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// conn returns the live connection, dialing one if needed.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cc != nil && !c.cc.dead() {
+		return c.cc, nil
+	}
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, c.network, c.addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		c:       nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		waiters: make(map[uint64]chan clientResult),
+		done:    make(chan struct{}),
+	}
+	go cc.readLoop()
+	c.cc = cc
+	return cc, nil
+}
+
+type clientResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// clientConn is one live multiplexed connection: a write mutex
+// serializing frame writes, a waiter table keyed by request ID, and a
+// reader goroutine correlating responses.
+type clientConn struct {
+	c net.Conn
+
+	wmu     sync.Mutex    // serializes whole-frame writes
+	bw      *bufio.Writer // written under wmu
+	pending atomic.Int32  // senders that have committed to taking wmu
+
+	mu      sync.Mutex
+	waiters map[uint64]chan clientResult
+	err     error // set once the connection is failed
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (cc *clientConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+func (cc *clientConn) register(id uint64) (chan clientResult, error) {
+	ch := make(chan clientResult, 1)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	cc.waiters[id] = ch
+	return ch, nil
+}
+
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	delete(cc.waiters, id)
+	cc.mu.Unlock()
+}
+
+// write sends one whole frame under the write lock. net.Conn allows
+// concurrent Write calls but does not make them atomic, and an
+// interleaved frame would corrupt the stream for every request on the
+// connection.
+//
+// Frames group-commit: a sender that observes another sender already
+// committed to the lock (pending > 0 after its own decrement) leaves
+// its frame in the buffer and skips the flush — the last sender in
+// the burst flushes everyone's frames in one syscall, the same
+// coalescing the server's write loop does for responses.
+func (cc *clientConn) write(frame []byte) error {
+	cc.pending.Add(1)
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	_, err := cc.bw.Write(frame)
+	if cc.pending.Add(-1) > 0 && err == nil {
+		// The observed sender increments pending before taking wmu, so
+		// it (or a later sender, inductively) reaches the flush below.
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return cc.bw.Flush()
+}
+
+// fail marks the connection dead exactly once and delivers err to
+// every waiter: one mid-stream drop fails all in-flight requests, and
+// each caller classifies it against its own idempotency.
+func (cc *clientConn) fail(err error) {
+	cc.once.Do(func() {
+		cc.mu.Lock()
+		cc.err = err
+		waiters := cc.waiters
+		cc.waiters = make(map[uint64]chan clientResult)
+		cc.mu.Unlock()
+		close(cc.done)
+		cc.c.Close()
+		for _, ch := range waiters {
+			ch <- clientResult{err: err}
+		}
+	})
+}
+
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.c, 64<<10)
+	var buf []byte
+	for {
+		payload, nbuf, err := readFrame(br, buf[:0], MaxResponseFrame)
+		if err != nil {
+			cc.fail(connDropped(err))
+			return
+		}
+		buf = nbuf
+		resp, err := DecodeResponse(payload)
+		if err != nil {
+			cc.fail(connDropped(err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.waiters[resp.ID]
+		delete(cc.waiters, resp.ID)
+		cc.mu.Unlock()
+		if ok {
+			// The payload buffer is reused for the next frame; the
+			// waiter gets its own copy.
+			body := make([]byte, len(resp.Body))
+			copy(body, resp.Body)
+			ch <- clientResult{status: resp.Status, body: body}
+		}
+	}
+}

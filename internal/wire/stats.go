@@ -1,0 +1,24 @@
+package wire
+
+import "sync/atomic"
+
+// Stats is one transport listener's observability surface: lock-free
+// counters the daemon renders into /metrics as the
+// hetmemd_transport_* series. A Server writes into the Stats it was
+// built with, so the daemon can hand each listener the slot matching
+// its transport label and render all of them deterministically —
+// including all-zero rows for transports that are not mounted.
+type Stats struct {
+	// Requests counts frames accepted for dispatch.
+	Requests atomic.Uint64
+	// BytesRx / BytesTx count frame bytes (headers included) read from
+	// and written to peers.
+	BytesRx atomic.Uint64
+	BytesTx atomic.Uint64
+	// ActiveConns is the live connection gauge.
+	ActiveConns atomic.Int64
+	// DecodeErrors counts connections dropped for undecodable input:
+	// truncated frames, CRC mismatches, oversized lengths, bad
+	// versions, unknown ops, and duplicate in-flight request IDs.
+	DecodeErrors atomic.Uint64
+}

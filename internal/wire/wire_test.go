@@ -1,0 +1,366 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readOne parses a single frame out of raw bytes.
+func readOne(t *testing.T, data []byte, max int) ([]byte, error) {
+	t.Helper()
+	payload, _, err := readFrame(bufio.NewReader(bytes.NewReader(data)), nil, max)
+	return payload, err
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	body := []byte(`{"name":"x","size":4096}`)
+	frame, err := AppendRequest(nil, OpAlloc, 42, "team-a", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readOne(t, frame, MaxRequestFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpAlloc || req.ID != 42 || req.Tenant != "team-a" || !bytes.Equal(req.Body, body) {
+		t.Fatalf("roundtrip mismatch: %+v", req)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	body := []byte(`{"lease":7}`)
+	frame, err := AppendResponse(nil, 99, 503, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readOne(t, frame, MaxResponseFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 99 || resp.Status != 503 || !bytes.Equal(resp.Body, body) {
+		t.Fatalf("roundtrip mismatch: %+v", resp)
+	}
+}
+
+func TestAppendRequestValidation(t *testing.T) {
+	if _, err := AppendRequest(nil, 0, 1, "", nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("invalid op: %v", err)
+	}
+	if _, err := AppendRequest(nil, opSentinel, 1, "", nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("sentinel op: %v", err)
+	}
+	long := make([]byte, 256)
+	if _, err := AppendRequest(nil, OpAlloc, 1, string(long), nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("overlong tenant: %v", err)
+	}
+	big := make([]byte, MaxRequestFrame)
+	if _, err := AppendRequest(nil, OpAlloc, 1, "", big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized body: %v", err)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	good, err := AppendRequest(nil, OpFree, 7, "", []byte(`{"lease":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("clean EOF", func(t *testing.T) {
+		if _, err := readOne(t, nil, MaxRequestFrame); err != io.EOF {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := readOne(t, good[:5], MaxRequestFrame); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("want ErrBadFrame, got %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if _, err := readOne(t, good[:len(good)-3], MaxRequestFrame); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("want ErrBadFrame, got %v", err)
+		}
+	})
+	t.Run("CRC mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-1] ^= 0x40
+		if _, err := readOne(t, bad, MaxRequestFrame); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("want ErrBadFrame, got %v", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(bad[0:4], MaxRequestFrame+1)
+		if _, err := readOne(t, bad, MaxRequestFrame); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("want ErrFrameTooLarge, got %v", err)
+		}
+	})
+	t.Run("zero length", func(t *testing.T) {
+		bad := make([]byte, frameHeaderSize)
+		if _, err := readOne(t, bad, MaxRequestFrame); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("want ErrBadFrame, got %v", err)
+		}
+	})
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	good, _ := AppendRequest(nil, OpAlloc, 1, "t", []byte("{}"))
+	payload, err := readOne(t, good, MaxRequestFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := payload[:5]
+	if _, err := DecodeRequest(short); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload: %v", err)
+	}
+	badVer := append([]byte(nil), payload...)
+	badVer[0] = 9
+	if _, err := DecodeRequest(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	badOp := append([]byte(nil), payload...)
+	badOp[1] = byte(opSentinel)
+	if _, err := DecodeRequest(badOp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad op: %v", err)
+	}
+	badTenant := append([]byte(nil), payload...)
+	badTenant[10] = 200 // tenant length far past the payload end
+	if _, err := DecodeRequest(badTenant); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated tenant: %v", err)
+	}
+	if _, err := DecodeResponse([]byte{Version}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short response: %v", err)
+	}
+}
+
+// echoHandler answers 200 with the request body, optionally sleeping
+// per request to force out-of-order completion.
+type echoHandler struct {
+	delay func(body []byte) time.Duration
+}
+
+func (h echoHandler) ServeWire(_ context.Context, _ Op, _ string, body, dst []byte) (int, []byte) {
+	if h.delay != nil {
+		time.Sleep(h.delay(body))
+	}
+	return 200, append(dst, body...)
+}
+
+// startUDS serves h on a fresh unix socket and returns its path.
+func startUDS(t *testing.T, h Handler, stats *Stats) (string, *Server) {
+	t.Helper()
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("wiretest-%d.sock", os.Getpid()))
+	os.Remove(path)
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(h, stats)
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close(); os.Remove(path) })
+	return path, s
+}
+
+// TestMuxOutOfOrder floods one connection with concurrent requests
+// whose handler latency is inverted (early requests are slow), so the
+// server must answer out of order and the client must re-correlate
+// every response by ID.
+func TestMuxOutOfOrder(t *testing.T) {
+	var stats Stats
+	path, _ := startUDS(t, echoHandler{delay: func(body []byte) time.Duration {
+		n, _ := strconv.Atoi(string(body))
+		return time.Duration(31-n) * time.Millisecond
+	}}, &stats)
+	cl := NewClient("unix", path)
+	defer cl.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := strconv.Itoa(i)
+			status, body, err := cl.RoundTrip(context.Background(), OpHealth, "", []byte(want))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if status != 200 || string(body) != want {
+				errs[i] = fmt.Errorf("request %d got status %d body %q", i, status, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stats.Requests.Load(); got != n {
+		t.Fatalf("requests counter %d, want %d", got, n)
+	}
+	if got := stats.ActiveConns.Load(); got != 1 {
+		t.Fatalf("active conns %d, want 1", got)
+	}
+	if rx, tx := stats.BytesRx.Load(), stats.BytesTx.Load(); rx == 0 || tx == 0 {
+		t.Fatalf("byte counters did not move: rx %d tx %d", rx, tx)
+	}
+}
+
+// TestDuplicateRequestIDCloses hand-writes two frames reusing one
+// request ID while the first is still in flight; the server must treat
+// it as a protocol error, count it, and hang up.
+func TestDuplicateRequestIDCloses(t *testing.T) {
+	var stats Stats
+	path, _ := startUDS(t, echoHandler{delay: func([]byte) time.Duration {
+		return 200 * time.Millisecond
+	}}, &stats)
+	nc, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	frame, err := AppendRequest(nil, OpHealth, 1, "", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same ID twice, back to back: the first is parked in its handler
+	// sleep when the second arrives.
+	if _, err := nc.Write(append(append([]byte(nil), frame...), frame...)); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			break // server hung up (possibly after flushing the first response)
+		}
+	}
+	if got := stats.DecodeErrors.Load(); got != 1 {
+		t.Fatalf("decode errors %d, want 1", got)
+	}
+}
+
+// TestClientReconnect kills the server under a client, restarts it on
+// the same socket, and expects the next RoundTrip to redial and
+// succeed — with the in-between failure classified ErrConnDropped.
+func TestClientReconnect(t *testing.T) {
+	var stats Stats
+	path, s := startUDS(t, echoHandler{}, &stats)
+	cl := NewClient("unix", path)
+	defer cl.Close()
+
+	if _, _, err := cl.RoundTrip(context.Background(), OpHealth, "", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// The connection is dead; the next exchange either fails as a
+	// mid-stream drop (the conn died under us) or as not-sent (the
+	// redial hit the removed socket) — never silently succeeds.
+	if _, _, err := cl.RoundTrip(context.Background(), OpHealth, "", []byte("2")); err == nil {
+		t.Fatal("round trip against a closed server succeeded")
+	} else if !errors.Is(err, ErrConnDropped) && !errors.Is(err, ErrNotSent) {
+		t.Fatalf("unclassified transport error: %v", err)
+	}
+
+	os.Remove(path)
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewServer(echoHandler{}, &stats)
+	go s2.Serve(ln)
+	defer s2.Close()
+
+	status, body, err := cl.RoundTrip(context.Background(), OpHealth, "", []byte("3"))
+	if err != nil {
+		t.Fatalf("round trip after server restart: %v", err)
+	}
+	if status != 200 || string(body) != "3" {
+		t.Fatalf("got %d %q after reconnect", status, body)
+	}
+}
+
+func TestDialFailureIsNotSent(t *testing.T) {
+	cl := NewClient("unix", filepath.Join(t.TempDir(), "nothing-here.sock"))
+	_, _, err := cl.RoundTrip(context.Background(), OpHealth, "", nil)
+	if !errors.Is(err, ErrNotSent) {
+		t.Fatalf("dial failure must classify as ErrNotSent, got %v", err)
+	}
+	if errors.Is(err, ErrConnDropped) {
+		t.Fatalf("dial failure must not classify as ErrConnDropped: %v", err)
+	}
+}
+
+// bigHandler answers with a body larger than MaxResponseFrame.
+type bigHandler struct{}
+
+func (bigHandler) ServeWire(_ context.Context, _ Op, _ string, _, dst []byte) (int, []byte) {
+	return 200, append(dst, make([]byte, MaxResponseFrame+1)...)
+}
+
+// TestOversizedResponseAnswers500 proves a response outgrowing the
+// frame cap degrades to a 500 for that request without killing the
+// connection.
+func TestOversizedResponseAnswers500(t *testing.T) {
+	path, _ := startUDS(t, bigHandler{}, nil)
+	cl := NewClient("unix", path)
+	defer cl.Close()
+	status, body, err := cl.RoundTrip(context.Background(), OpMetrics, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 500 || len(body) != 0 {
+		t.Fatalf("oversized response: got %d with %d body bytes, want bare 500", status, len(body))
+	}
+	// Same connection still serves.
+	if status, _, err = cl.RoundTrip(context.Background(), OpMetrics, "", nil); err != nil || status != 500 {
+		t.Fatalf("connection unusable after oversized response: %d %v", status, err)
+	}
+}
+
+// TestContextCancelMidFlight cancels a waiting RoundTrip; the call
+// returns the context error and the connection keeps serving others.
+func TestContextCancelMidFlight(t *testing.T) {
+	path, _ := startUDS(t, echoHandler{delay: func(body []byte) time.Duration {
+		if string(body) == "slow" {
+			return 300 * time.Millisecond
+		}
+		return 0
+	}}, nil)
+	cl := NewClient("unix", path)
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := cl.RoundTrip(ctx, OpHealth, "", []byte("slow")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	status, body, err := cl.RoundTrip(context.Background(), OpHealth, "", []byte("ok"))
+	if err != nil || status != 200 || string(body) != "ok" {
+		t.Fatalf("connection unusable after canceled request: %d %q %v", status, body, err)
+	}
+}
